@@ -1,0 +1,22 @@
+//! Static and dynamic analyses for the JavaFlow evaluation.
+//!
+//! These are the Chapter 5 instruments:
+//!
+//! * [`Summary`] / [`pearson`] — the aggregate-row statistics every results
+//!   table reports (Tables 9–14, 20–26) and the Table 23 correlations;
+//! * [`StaticMix`] — the Table 6 node-kind mix that sizes heterogeneous
+//!   fabrics;
+//! * [`DynamicMix`] — the Table 2 dynamic instruction-mix columns;
+//! * [`Utilization`] / [`top_methods`] — the Table 1/3/4 method-utilization
+//!   analysis showing a handful of methods dominate each benchmark.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod mix;
+mod stats;
+mod utilization;
+
+pub use mix::{DynamicMix, StaticMix};
+pub use stats::{pearson, Summary};
+pub use utilization::{top_methods, top_share, TopMethod, Utilization};

@@ -1,0 +1,166 @@
+//! Instruction-mix analyses: the static mix of Table 6 and the dynamic mix
+//! columns of Table 2.
+
+use javaflow_bytecode::{InstructionGroup, Method, NodeKind};
+use javaflow_interp::MethodProfile;
+
+/// Static mix of a method or method set, as node-kind fractions
+/// (Table 6's %Arith / %Float / %Control / %Storage columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StaticMix {
+    /// Fraction handled by arithmetic nodes.
+    pub arith: f64,
+    /// Fraction handled by floating-point nodes.
+    pub float: f64,
+    /// Fraction handled by control nodes.
+    pub control: f64,
+    /// Fraction handled by storage nodes.
+    pub storage: f64,
+    /// Total static instructions.
+    pub total: usize,
+}
+
+impl StaticMix {
+    /// Computes the static mix over a set of methods.
+    #[must_use]
+    pub fn of<'m>(methods: impl IntoIterator<Item = &'m Method>) -> StaticMix {
+        let mut counts = [0usize; 4];
+        let mut total = 0usize;
+        for m in methods {
+            for insn in &m.code {
+                let k = match insn.group().node_kind() {
+                    NodeKind::Arith => 0,
+                    NodeKind::Float => 1,
+                    NodeKind::Control => 2,
+                    NodeKind::Storage => 3,
+                };
+                counts[k] += 1;
+                total += 1;
+            }
+        }
+        if total == 0 {
+            return StaticMix::default();
+        }
+        let f = |k: usize| counts[k] as f64 / total as f64;
+        StaticMix { arith: f(0), float: f(1), control: f(2), storage: f(3), total }
+    }
+}
+
+/// Dynamic mix columns of Table 2, as fractions of the dynamic count.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DynamicMix {
+    /// Local reads/writes/incs plus stack moves (the "Locals+Stack" column
+    /// — all folding candidates).
+    pub locals_stack: f64,
+    /// Fixed-point arithmetic and conversions.
+    pub arith_fixed: f64,
+    /// Floating-point arithmetic.
+    pub arith_float: f64,
+    /// Unordered constant-pool reads ("Constants-Stg").
+    pub constants: f64,
+    /// Ordered array/field storage operations.
+    pub storage: f64,
+    /// Conditional and unconditional jumps.
+    pub control: f64,
+    /// Calls and returns.
+    pub calls: f64,
+    /// Object/special operations requiring the GPP.
+    pub special: f64,
+    /// Total dynamic instructions.
+    pub total: u64,
+}
+
+impl DynamicMix {
+    /// Aggregates profiles into the Table 2 columns.
+    #[must_use]
+    pub fn of<'p>(profiles: impl IntoIterator<Item = &'p MethodProfile>) -> DynamicMix {
+        let mut by_group: std::collections::HashMap<InstructionGroup, u64> =
+            std::collections::HashMap::new();
+        for p in profiles {
+            for (g, c) in p.by_group() {
+                *by_group.entry(g).or_insert(0) += c;
+            }
+        }
+        let total: u64 = by_group.values().sum();
+        if total == 0 {
+            return DynamicMix::default();
+        }
+        let g = |keys: &[InstructionGroup]| -> f64 {
+            keys.iter().map(|k| by_group.get(k).copied().unwrap_or(0)).sum::<u64>() as f64
+                / total as f64
+        };
+        use InstructionGroup as G;
+        DynamicMix {
+            locals_stack: g(&[G::LocalRead, G::LocalWrite, G::LocalInc, G::ArithMove]),
+            arith_fixed: g(&[G::ArithInteger, G::FloatConversion]),
+            arith_float: g(&[G::FloatArith]),
+            constants: g(&[G::MemConst]),
+            storage: g(&[G::MemRead, G::MemWrite]),
+            control: g(&[G::ControlFlow]),
+            calls: g(&[G::Call, G::Return]),
+            special: g(&[G::Special]),
+            total,
+        }
+    }
+
+    /// Sum of all fractions (≈ 1.0 for a sanity check).
+    #[must_use]
+    pub fn fraction_sum(&self) -> f64 {
+        self.locals_stack
+            + self.arith_fixed
+            + self.arith_float
+            + self.constants
+            + self.storage
+            + self.control
+            + self.calls
+            + self.special
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javaflow_bytecode::{Insn, Opcode, Operand};
+
+    #[test]
+    fn static_mix_fractions() {
+        let mut m = Method::new("t", 0, false);
+        m.max_locals = 1;
+        m.code = vec![
+            Insn::simple(Opcode::IConst0),                 // arith
+            Insn::simple(Opcode::DConst0),                 // arith (move)
+            Insn::simple(Opcode::DConst1),                 // arith
+            Insn::simple(Opcode::DAdd),                    // float
+            Insn::new(Opcode::Goto, Operand::Target(5)),   // control
+            Insn::simple(Opcode::ReturnVoid),              // control
+        ];
+        let mix = StaticMix::of([&m]);
+        assert_eq!(mix.total, 6);
+        assert!((mix.arith - 0.5).abs() < 1e-12);
+        assert!((mix.float - 1.0 / 6.0).abs() < 1e-12);
+        assert!((mix.control - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mix.storage, 0.0);
+    }
+
+    #[test]
+    fn dynamic_mix_sums_to_one() {
+        let mut p = javaflow_interp::Profiler::new();
+        let m = javaflow_bytecode::MethodId(0);
+        p.record(m, 0, &Insn::simple(Opcode::IAdd));
+        p.record(m, 1, &Insn::simple(Opcode::DMul));
+        p.record(m, 2, &Insn::simple(Opcode::ILoad0));
+        p.record(
+            m,
+            3,
+            &Insn::new(
+                Opcode::GetField,
+                Operand::Field(javaflow_bytecode::FieldRef { class: 0, slot: 0 }),
+            ),
+        );
+        let mix = DynamicMix::of(p.methods().values());
+        assert_eq!(mix.total, 4);
+        assert!((mix.fraction_sum() - 1.0).abs() < 1e-12);
+        assert!((mix.storage - 0.25).abs() < 1e-12);
+        assert!((mix.locals_stack - 0.25).abs() < 1e-12);
+    }
+}

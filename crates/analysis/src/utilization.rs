@@ -1,0 +1,103 @@
+//! Method-utilization analysis: Table 1 (how few methods dominate the
+//! dynamic instruction count) and Tables 3–4 (the top-4 methods per
+//! benchmark with their contribution).
+
+use javaflow_bytecode::{MethodId, Program};
+use javaflow_interp::Profiler;
+
+/// One Table 1 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Utilization {
+    /// Total dynamic instructions executed.
+    pub total_ops: u64,
+    /// Number of distinct methods executed.
+    pub methods_used: usize,
+    /// Number of (hottest-first) methods covering 90% of `total_ops`.
+    pub methods_at_90: usize,
+}
+
+impl Utilization {
+    /// Computes utilization from a profiler.
+    #[must_use]
+    pub fn of(profiler: &Profiler) -> Utilization {
+        Utilization {
+            total_ops: profiler.total_ops(),
+            methods_used: profiler.methods_executed(),
+            methods_at_90: profiler.top_fraction(0.9).len(),
+        }
+    }
+}
+
+/// One Tables 3–4 row: a hot method and its share of the benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopMethod {
+    /// Method id.
+    pub id: MethodId,
+    /// Method name.
+    pub name: String,
+    /// Dynamic instructions attributed to the method.
+    pub ops: u64,
+    /// Fraction of the benchmark's dynamic instructions.
+    pub share: f64,
+}
+
+/// The top-`n` methods of a profiled run, with names resolved against the
+/// program (Tables 3–4).
+#[must_use]
+pub fn top_methods(profiler: &Profiler, program: &Program, n: usize) -> Vec<TopMethod> {
+    let total = profiler.total_ops().max(1) as f64;
+    profiler
+        .ranked()
+        .into_iter()
+        .take(n)
+        .map(|(id, ops)| TopMethod {
+            id,
+            name: program.method(id).name.clone(),
+            ops,
+            share: ops as f64 / total,
+        })
+        .collect()
+}
+
+/// Combined share of the top-`n` methods (the "% Top 4" column).
+#[must_use]
+pub fn top_share(profiler: &Profiler, n: usize) -> f64 {
+    let total = profiler.total_ops().max(1) as f64;
+    profiler.ranked().into_iter().take(n).map(|(_, ops)| ops as f64).sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javaflow_bytecode::{Insn, Method, Opcode};
+
+    #[test]
+    fn utilization_counts_hot_prefix() {
+        let mut prof = Profiler::new();
+        for _ in 0..95 {
+            prof.record(MethodId(0), 0, &Insn::simple(Opcode::IAdd));
+        }
+        for _ in 0..5 {
+            prof.record(MethodId(1), 0, &Insn::simple(Opcode::IAdd));
+        }
+        let u = Utilization::of(&prof);
+        assert_eq!(u.total_ops, 100);
+        assert_eq!(u.methods_used, 2);
+        assert_eq!(u.methods_at_90, 1);
+    }
+
+    #[test]
+    fn top_methods_resolve_names() {
+        let mut program = Program::new();
+        let mut m = Method::new("Hot.loop", 0, false);
+        m.code.push(Insn::simple(Opcode::ReturnVoid));
+        let id = program.add_method(m);
+        let mut prof = Profiler::new();
+        prof.record(id, 0, &Insn::simple(Opcode::IAdd));
+        let tops = top_methods(&prof, &program, 4);
+        assert_eq!(tops.len(), 1);
+        assert_eq!(tops[0].name, "Hot.loop");
+        assert!((tops[0].share - 1.0).abs() < 1e-12);
+        assert!((top_share(&prof, 4) - 1.0).abs() < 1e-12);
+    }
+}

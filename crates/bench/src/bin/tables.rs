@@ -1,0 +1,82 @@
+//! Regenerates every table of the JavaFlow evaluation.
+//!
+//! ```text
+//! tables                  # print all tables (1–28)
+//! tables --table 22       # one table
+//! tables --synthetic 400  # population size for the Chapter 7 sweeps
+//! ```
+
+use javaflow_bench::{chapter5_tables, chapter7_tables, default_evaluation, profile_suite};
+
+fn main() {
+    let mut table: Option<u32> = None;
+    let mut figure: Option<u32> = None;
+    let mut synthetic = 240usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--table" => {
+                table = args.next().and_then(|v| v.parse().ok());
+                if table.is_none() {
+                    eprintln!("--table requires a number 1..=28");
+                    std::process::exit(2);
+                }
+            }
+            "--synthetic" => {
+                synthetic = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--synthetic requires a count");
+                        std::process::exit(2);
+                    });
+            }
+            "--figure" => {
+                figure = args.next().and_then(|v| v.parse().ok());
+                if figure.is_none() {
+                    eprintln!("--figure requires a number");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: tables [--table N] [--figure N] [--synthetic COUNT]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(f) = figure {
+        print!("{}", javaflow_bench::figure(f));
+        if table.is_none() {
+            return;
+        }
+    }
+    let wanted: Vec<u32> = match table {
+        Some(t) => vec![t],
+        None => (1..=28).collect(),
+    };
+    let needs_ch5 = wanted.iter().any(|t| (1..=8).contains(t));
+    let needs_ch7 = wanted.iter().any(|t| (9..=28).contains(t));
+
+    let suite = needs_ch5.then(|| {
+        eprintln!("profiling the benchmark suite on the interpreter …");
+        profile_suite()
+    });
+    let eval = needs_ch7.then(|| {
+        eprintln!("running the population on all six configurations ({synthetic} synthetic) …");
+        default_evaluation(synthetic)
+    });
+
+    for t in wanted {
+        let text = if (1..=8).contains(&t) {
+            chapter5_tables(suite.as_ref().expect("chapter 5 data"), t)
+        } else {
+            chapter7_tables(eval.as_ref().expect("chapter 7 data"), t)
+        };
+        println!("{text}");
+    }
+}

@@ -1,0 +1,594 @@
+//! A javap-style assembler and disassembler.
+//!
+//! The dissertation's toolchain captured methods as JAVAP text and fed that
+//! into the simulator; this module plays the same role. The format is
+//! line-oriented:
+//!
+//! ```text
+//! .class Random fields=1 statics=0
+//!
+//! .method Random.next args=2 returns=true locals=4
+//! .const long 25214903917
+//!   aload 0
+//!   ldc #0
+//! loop:
+//!   iinc 2 -1
+//!   iload 2
+//!   ifne @loop
+//!   ireturn
+//! .end
+//! ```
+//!
+//! * labels are `name:` lines; branch operands are `@name` or absolute `@N`
+//! * `.const <type> <value>` appends to the method's constant pool
+//! * field operands are `<class> <slot>` with the class by name or id
+//! * call operands are the callee's method name; arity and return type are
+//!   resolved when the whole program has been parsed
+//!
+//! [`disassemble`] produces text that [`assemble`] parses back to an equal
+//! program (round-trip property-tested).
+
+use std::collections::HashMap;
+
+use crate::{
+    ArrayKind, CallRef, ClassDef, FieldRef, Insn, Method, Opcode, Operand, Program, SwitchTable,
+    Value,
+};
+
+/// An assembly error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(fm, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, message: message.into() })
+}
+
+/// A not-yet-linked operand (labels and callee names unresolved).
+#[derive(Debug)]
+enum RawOperand {
+    Done(Operand),
+    Label(String),
+    Callee(String),
+    Switch(Vec<(i32, String)>, String),
+}
+
+#[derive(Debug)]
+struct RawMethod {
+    method: Method,
+    raw: Vec<(usize, RawOperand)>, // (line, operand) per instruction
+    labels: HashMap<String, u32>,
+}
+
+/// Assembles a full program.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`].
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut classes: Vec<ClassDef> = Vec::new();
+    let mut class_ids: HashMap<String, u16> = HashMap::new();
+    let mut raws: Vec<RawMethod> = Vec::new();
+    let mut current: Option<RawMethod> = None;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let lno = idx + 1;
+        let line = raw_line.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".class ") {
+            if current.is_some() {
+                return err(lno, ".class inside .method");
+            }
+            let mut name = None;
+            let mut fields = 0u16;
+            let mut statics = 0u16;
+            for tok in rest.split_whitespace() {
+                if let Some(v) = tok.strip_prefix("fields=") {
+                    fields = v.parse().map_err(|_| AsmError {
+                        line: lno,
+                        message: format!("bad fields count `{v}`"),
+                    })?;
+                } else if let Some(v) = tok.strip_prefix("statics=") {
+                    statics = v.parse().map_err(|_| AsmError {
+                        line: lno,
+                        message: format!("bad statics count `{v}`"),
+                    })?;
+                } else if name.is_none() {
+                    name = Some(tok.to_string());
+                } else {
+                    return err(lno, format!("unexpected token `{tok}`"));
+                }
+            }
+            let name = name.ok_or_else(|| AsmError {
+                line: lno,
+                message: ".class requires a name".into(),
+            })?;
+            class_ids.insert(name.clone(), classes.len() as u16);
+            classes.push(ClassDef { name, instance_fields: fields, static_fields: statics });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".method ") {
+            if current.is_some() {
+                return err(lno, "nested .method");
+            }
+            let mut name = None;
+            let mut args = 0u16;
+            let mut returns = false;
+            let mut locals: Option<u16> = None;
+            for tok in rest.split_whitespace() {
+                if let Some(v) = tok.strip_prefix("args=") {
+                    args = v.parse().map_err(|_| AsmError {
+                        line: lno,
+                        message: format!("bad args `{v}`"),
+                    })?;
+                } else if let Some(v) = tok.strip_prefix("returns=") {
+                    returns = v == "true";
+                } else if let Some(v) = tok.strip_prefix("locals=") {
+                    locals = Some(v.parse().map_err(|_| AsmError {
+                        line: lno,
+                        message: format!("bad locals `{v}`"),
+                    })?);
+                } else if name.is_none() {
+                    name = Some(tok.to_string());
+                } else {
+                    return err(lno, format!("unexpected token `{tok}`"));
+                }
+            }
+            let name = name.ok_or_else(|| AsmError {
+                line: lno,
+                message: ".method requires a name".into(),
+            })?;
+            let mut method = Method::new(name, args, returns);
+            method.max_locals = locals.unwrap_or(args);
+            current = Some(RawMethod { method, raw: Vec::new(), labels: HashMap::new() });
+            continue;
+        }
+        if line == ".end" {
+            let raw = current.take().ok_or_else(|| AsmError {
+                line: lno,
+                message: ".end without .method".into(),
+            })?;
+            raws.push(raw);
+            continue;
+        }
+        let Some(cur) = current.as_mut() else {
+            return err(lno, format!("`{line}` outside .method"));
+        };
+        if let Some(rest) = line.strip_prefix(".const ") {
+            let mut it = rest.split_whitespace();
+            let (ty, val) = (it.next(), it.next());
+            let (Some(ty), Some(val)) = (ty, val) else {
+                return err(lno, ".const requires `<type> <value>`");
+            };
+            let v = parse_const(ty, val)
+                .ok_or_else(|| AsmError { line: lno, message: format!("bad constant `{val}`") })?;
+            cur.method.cpool.push(v);
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let addr = cur.method.code.len() as u32;
+            if cur.labels.insert(label.to_string(), addr).is_some() {
+                return err(lno, format!("duplicate label `{label}`"));
+            }
+            continue;
+        }
+        // An instruction line.
+        let mut it = line.split_whitespace();
+        let mnem = it.next().expect("non-empty line");
+        let op = Opcode::from_mnemonic(mnem)
+            .ok_or_else(|| AsmError { line: lno, message: format!("unknown opcode `{mnem}`") })?;
+        let rest: Vec<&str> = it.collect();
+        let raw_op = parse_operand(op, &rest, &class_ids, lno)?;
+        cur.method.code.push(Insn { op, operand: Operand::None });
+        cur.raw.push((lno, raw_op));
+        continue;
+    }
+    if current.is_some() {
+        return err(source.lines().count(), "missing .end");
+    }
+
+    // Link: method name → (id, argc, returns).
+    let mut program = Program::new();
+    for c in classes {
+        program.add_class(c);
+    }
+    let mut sigs: HashMap<String, (crate::MethodId, u8, bool)> = HashMap::new();
+    let mut ids = Vec::new();
+    for r in &raws {
+        let id = program.add_method(r.method.clone());
+        sigs.insert(
+            r.method.name.clone(),
+            (id, r.method.num_args as u8, r.method.returns),
+        );
+        ids.push(id);
+    }
+    for (r, id) in raws.iter().zip(ids) {
+        let resolve_label = |name: &str, line: usize| -> Result<u32, AsmError> {
+            if let Some(a) = r.labels.get(name) {
+                return Ok(*a);
+            }
+            if let Ok(n) = name.parse::<u32>() {
+                return Ok(n);
+            }
+            err(line, format!("unknown label `{name}`"))
+        };
+        for (i, (line, raw)) in r.raw.iter().enumerate() {
+            let operand = match raw {
+                RawOperand::Done(o) => o.clone(),
+                RawOperand::Label(l) => Operand::Target(resolve_label(l, *line)?),
+                RawOperand::Callee(name) => {
+                    let (m, argc, returns) = *sigs.get(name.as_str()).ok_or_else(|| AsmError {
+                        line: *line,
+                        message: format!("unknown callee `{name}`"),
+                    })?;
+                    Operand::Call(CallRef { method: m, argc, returns })
+                }
+                RawOperand::Switch(arms, default) => {
+                    let mut table = SwitchTable { arms: Vec::new(), default: 0 };
+                    for (k, l) in arms {
+                        table.arms.push((*k, resolve_label(l, *line)?));
+                    }
+                    table.default = resolve_label(default, *line)?;
+                    Operand::Switch(table)
+                }
+            };
+            program.method_mut(id).code[i].operand = operand;
+        }
+    }
+    Ok(program)
+}
+
+fn parse_const(ty: &str, val: &str) -> Option<Value> {
+    Some(match ty {
+        "int" => Value::Int(val.parse().ok()?),
+        "long" => Value::Long(val.parse().ok()?),
+        "float" => Value::Float(val.parse().ok()?),
+        "double" => Value::Double(val.parse().ok()?),
+        "null" => Value::NULL,
+        _ => return None,
+    })
+}
+
+fn parse_operand(
+    op: Opcode,
+    rest: &[&str],
+    class_ids: &HashMap<String, u16>,
+    lno: usize,
+) -> Result<RawOperand, AsmError> {
+    use Opcode as O;
+    let need = |n: usize| -> Result<(), AsmError> {
+        if rest.len() == n {
+            Ok(())
+        } else {
+            err(lno, format!("{op} expects {n} operand(s), found {}", rest.len()))
+        }
+    };
+    let class_of = |tok: &str| -> Result<u16, AsmError> {
+        if let Some(id) = class_ids.get(tok) {
+            return Ok(*id);
+        }
+        tok.parse::<u16>()
+            .map_err(|_| AsmError { line: lno, message: format!("unknown class `{tok}`") })
+    };
+    let done = |o: Operand| Ok(RawOperand::Done(o));
+    match op {
+        O::BiPush | O::SiPush => {
+            need(1)?;
+            let v: i32 = rest[0]
+                .parse()
+                .map_err(|_| AsmError { line: lno, message: format!("bad imm `{}`", rest[0]) })?;
+            done(Operand::Imm(v))
+        }
+        O::Ldc | O::LdcW | O::Ldc2W => {
+            need(1)?;
+            let idx = rest[0].strip_prefix('#').unwrap_or(rest[0]);
+            let i: u16 = idx
+                .parse()
+                .map_err(|_| AsmError { line: lno, message: format!("bad cp index `{idx}`") })?;
+            done(Operand::Cp(i))
+        }
+        O::ILoad | O::LLoad | O::FLoad | O::DLoad | O::ALoad | O::IStore | O::LStore | O::FStore
+        | O::DStore | O::AStore | O::Ret => {
+            need(1)?;
+            let r: u16 = rest[0]
+                .parse()
+                .map_err(|_| AsmError { line: lno, message: format!("bad local `{}`", rest[0]) })?;
+            done(Operand::Local(r))
+        }
+        O::IInc => {
+            need(2)?;
+            let local: u16 = rest[0]
+                .parse()
+                .map_err(|_| AsmError { line: lno, message: format!("bad local `{}`", rest[0]) })?;
+            let delta: i32 = rest[1]
+                .parse()
+                .map_err(|_| AsmError { line: lno, message: format!("bad delta `{}`", rest[1]) })?;
+            done(Operand::Inc { local, delta })
+        }
+        O::GetStatic | O::PutStatic | O::GetField | O::PutField => {
+            need(2)?;
+            let class = class_of(rest[0])?;
+            let slot: u16 = rest[1]
+                .parse()
+                .map_err(|_| AsmError { line: lno, message: format!("bad slot `{}`", rest[1]) })?;
+            done(Operand::Field(FieldRef { class, slot }))
+        }
+        O::InvokeVirtual | O::InvokeSpecial | O::InvokeStatic | O::InvokeInterface
+        | O::InvokeDynamic => {
+            need(1)?;
+            Ok(RawOperand::Callee(rest[0].to_string()))
+        }
+        O::New | O::ANewArray | O::CheckCast | O::InstanceOf => {
+            need(1)?;
+            done(Operand::ClassId(class_of(rest[0])?))
+        }
+        O::NewArray => {
+            need(1)?;
+            let kind = match rest[0] {
+                "boolean" => ArrayKind::Boolean,
+                "char" => ArrayKind::Char,
+                "float" => ArrayKind::Float,
+                "double" => ArrayKind::Double,
+                "byte" => ArrayKind::Byte,
+                "short" => ArrayKind::Short,
+                "int" => ArrayKind::Int,
+                "long" => ArrayKind::Long,
+                other => return err(lno, format!("bad array kind `{other}`")),
+            };
+            done(Operand::ArrayType(kind))
+        }
+        O::MultiANewArray => {
+            need(2)?;
+            let class = class_of(rest[0])?;
+            let dims: u8 = rest[1]
+                .parse()
+                .map_err(|_| AsmError { line: lno, message: format!("bad dims `{}`", rest[1]) })?;
+            done(Operand::Dims { class, dims })
+        }
+        O::TableSwitch | O::LookupSwitch => {
+            if rest.is_empty() {
+                return err(lno, "switch requires arms");
+            }
+            let mut arms = Vec::new();
+            let mut default = None;
+            for tok in rest {
+                let (k, l) = tok.split_once(":@").ok_or_else(|| AsmError {
+                    line: lno,
+                    message: format!("bad switch arm `{tok}` (want key:@label)"),
+                })?;
+                if k == "default" {
+                    default = Some(l.to_string());
+                } else {
+                    let key: i32 = k.parse().map_err(|_| AsmError {
+                        line: lno,
+                        message: format!("bad switch key `{k}`"),
+                    })?;
+                    arms.push((key, l.to_string()));
+                }
+            }
+            let default =
+                default.ok_or_else(|| AsmError { line: lno, message: "missing default arm".into() })?;
+            Ok(RawOperand::Switch(arms, default))
+        }
+        _ if op.is_branch() => {
+            need(1)?;
+            let l = rest[0].strip_prefix('@').ok_or_else(|| AsmError {
+                line: lno,
+                message: format!("branch target must start with `@`, found `{}`", rest[0]),
+            })?;
+            Ok(RawOperand::Label(l.to_string()))
+        }
+        _ => {
+            need(0)?;
+            done(Operand::None)
+        }
+    }
+}
+
+/// Disassembles a program to assembler text that [`assemble`] accepts.
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for c in program.classes() {
+        let _ = writeln!(
+            out,
+            ".class {} fields={} statics={}",
+            c.name, c.instance_fields, c.static_fields
+        );
+    }
+    for (_, m) in program.methods() {
+        let _ = writeln!(
+            out,
+            "\n.method {} args={} returns={} locals={}",
+            m.name, m.num_args, m.returns, m.max_locals
+        );
+        for v in &m.cpool {
+            let s = match v {
+                Value::Int(x) => format!("int {x}"),
+                Value::Long(x) => format!("long {x}"),
+                Value::Float(x) => format!("float {x}"),
+                Value::Double(x) => format!("double {x}"),
+                Value::Ref(_) => "null".to_string(),
+                Value::RetAddr(_) => "null".to_string(),
+            };
+            let _ = writeln!(out, ".const {s}");
+        }
+        for (addr, insn) in m.iter() {
+            let _ = write!(out, "  {}", insn.op.mnemonic());
+            match &insn.operand {
+                Operand::None => {}
+                Operand::Imm(v) => {
+                    let _ = write!(out, " {v}");
+                }
+                Operand::Local(r) => {
+                    let _ = write!(out, " {r}");
+                }
+                Operand::Target(t) => {
+                    let _ = write!(out, " @{t}");
+                }
+                Operand::Cp(i) => {
+                    let _ = write!(out, " #{i}");
+                }
+                Operand::Field(f) => {
+                    let _ = write!(out, " {} {}", program.class(f.class).name, f.slot);
+                }
+                Operand::Call(c) => {
+                    let _ = write!(out, " {}", program.method(c.method).name);
+                }
+                Operand::Inc { local, delta } => {
+                    let _ = write!(out, " {local} {delta}");
+                }
+                Operand::ArrayType(k) => {
+                    let s = match k {
+                        ArrayKind::Boolean => "boolean",
+                        ArrayKind::Char => "char",
+                        ArrayKind::Float => "float",
+                        ArrayKind::Double => "double",
+                        ArrayKind::Byte => "byte",
+                        ArrayKind::Short => "short",
+                        ArrayKind::Int => "int",
+                        ArrayKind::Long => "long",
+                    };
+                    let _ = write!(out, " {s}");
+                }
+                Operand::ClassId(c) => {
+                    let _ = write!(out, " {}", program.class(*c).name);
+                }
+                Operand::Switch(t) => {
+                    for (k, tgt) in &t.arms {
+                        let _ = write!(out, " {k}:@{tgt}");
+                    }
+                    let _ = write!(out, " default:@{}", t.default);
+                }
+                Operand::Dims { class, dims } => {
+                    let _ = write!(out, " {} {dims}", program.class(*class).name);
+                }
+            }
+            let _ = writeln!(out, " ; @{addr} {}", insn.group().label());
+        }
+        let _ = writeln!(out, ".end");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+.class Point fields=2 statics=1
+
+.method Point.scale args=2 returns=true locals=3
+.const double 2.5
+  aload 0
+  getfield Point 0
+  ldc #0
+  dmul
+  dreturn
+.end
+
+.method Point.loop args=1 returns=false locals=2
+top:
+  iinc 1 -1
+  iload 1
+  ifne @top
+  invokestatic Point.scale
+  pop
+  return
+.end
+";
+
+    #[test]
+    fn assembles_sample() {
+        let p = assemble(SAMPLE).unwrap();
+        assert_eq!(p.num_methods(), 2);
+        let (_, scale) = p.method_by_name("Point.scale").unwrap();
+        assert_eq!(scale.code.len(), 5);
+        assert_eq!(scale.cpool, vec![Value::Double(2.5)]);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn call_arity_resolved_from_callee() {
+        let p = assemble(SAMPLE).unwrap();
+        let (_, lp) = p.method_by_name("Point.loop").unwrap();
+        let call = &lp.code[3];
+        match &call.operand {
+            Operand::Call(c) => {
+                assert_eq!(c.argc, 2);
+                assert!(c.returns);
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labels_resolve_backwards() {
+        let p = assemble(SAMPLE).unwrap();
+        let (_, lp) = p.method_by_name("Point.loop").unwrap();
+        assert_eq!(lp.code[2].branch_target(), Some(0));
+        assert!(lp.is_back_branch(2));
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = assemble(SAMPLE).unwrap();
+        let text = disassemble(&p);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p.num_methods(), p2.num_methods());
+        for ((_, a), (_, b)) in p.methods().zip(p2.methods()) {
+            assert_eq!(a, b, "round-trip mismatch for {}", a.name);
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble(".method t args=0 returns=false\n  frobnicate\n.end").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let e = assemble(".method t args=0 returns=false\n  goto @nowhere\n.end").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn switch_parses() {
+        let src = ".method t args=1 returns=false locals=1
+  iload 0
+  tableswitch 0:@a 1:@b default:@c
+a:
+  return
+b:
+  return
+c:
+  return
+.end";
+        let p = assemble(src).unwrap();
+        let (_, m) = p.method_by_name("t").unwrap();
+        match &m.code[1].operand {
+            Operand::Switch(t) => {
+                assert_eq!(t.arms, vec![(0, 2), (1, 3)]);
+                assert_eq!(t.default, 4);
+            }
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! A structured builder for emitting valid ByteCode methods.
+//!
+//! The workload suite uses this in place of `javac`: kernels are written as
+//! Rust code against the builder, which picks compact opcode forms
+//! (`iconst_3` vs `bipush` vs `ldc`), manages the constant pool, and patches
+//! branch labels. [`MethodBuilder::finish`] validates and verifies the
+//! result, so a successfully built method is always fabric-loadable.
+
+use crate::{
+    verify, ArrayKind, CallRef, FieldRef, Insn, MethodId, Method, Opcode, Operand, Value,
+    VerifyError,
+};
+
+/// A forward- or backward-referenced branch label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// A pending switch: instruction address, arms, default label.
+type SwitchPatch = (u32, Vec<(i32, Label)>, Label);
+
+/// Builds one [`Method`].
+#[derive(Debug)]
+pub struct MethodBuilder {
+    method: Method,
+    /// label id → bound address
+    bound: Vec<Option<u32>>,
+    /// (instruction addr, label id) patches
+    patches: Vec<(u32, Label)>,
+    switch_patches: Vec<SwitchPatch>,
+}
+
+impl MethodBuilder {
+    /// Starts a method with `num_args` arguments (delivered in registers
+    /// `0..num_args`).
+    #[must_use]
+    pub fn new(name: impl Into<String>, num_args: u16, returns: bool) -> MethodBuilder {
+        MethodBuilder {
+            method: Method::new(name, num_args, returns),
+            bound: Vec::new(),
+            patches: Vec::new(),
+            switch_patches: Vec::new(),
+        }
+    }
+
+    /// The current emission address.
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        self.method.code.len() as u32
+    }
+
+    /// Creates an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.bound.push(None);
+        Label(self.bound.len() - 1)
+    }
+
+    /// Binds a label to the current address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.bound[label.0].is_none(), "label bound twice");
+        self.bound[label.0] = Some(self.here());
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, op: Opcode, operand: Operand) -> &mut Self {
+        self.method.code.push(Insn { op, operand });
+        self
+    }
+
+    /// Emits an operand-less instruction.
+    pub fn op(&mut self, op: Opcode) -> &mut Self {
+        self.emit(op, Operand::None)
+    }
+
+    /// Emits a branch to `label`.
+    pub fn branch(&mut self, op: Opcode, label: Label) -> &mut Self {
+        let addr = self.here();
+        self.patches.push((addr, label));
+        self.emit(op, Operand::Target(u32::MAX))
+    }
+
+    /// Emits a `tableswitch` with the given arms and default.
+    pub fn switch(&mut self, arms: Vec<(i32, Label)>, default: Label) -> &mut Self {
+        let addr = self.here();
+        self.switch_patches.push((addr, arms, default));
+        self.emit(
+            Opcode::TableSwitch,
+            Operand::Switch(crate::SwitchTable { arms: Vec::new(), default: u32::MAX }),
+        )
+    }
+
+    /// Adds a constant to the pool, reusing an existing bit-equal entry.
+    pub fn constant(&mut self, v: Value) -> u16 {
+        if let Some(i) = self.method.cpool.iter().position(|c| c.bits_eq(&v)) {
+            return i as u16;
+        }
+        self.method.cpool.push(v);
+        (self.method.cpool.len() - 1) as u16
+    }
+
+    fn touch_local(&mut self, r: u16) {
+        self.method.max_locals = self.method.max_locals.max(r + 1);
+    }
+
+    // ---- Typed convenience emitters ------------------------------------
+
+    /// Pushes an `int` constant using the most compact form.
+    pub fn iconst(&mut self, v: i32) -> &mut Self {
+        match v {
+            -1 => self.op(Opcode::IConstM1),
+            0 => self.op(Opcode::IConst0),
+            1 => self.op(Opcode::IConst1),
+            2 => self.op(Opcode::IConst2),
+            3 => self.op(Opcode::IConst3),
+            4 => self.op(Opcode::IConst4),
+            5 => self.op(Opcode::IConst5),
+            v if i32::from(v as i8) == v => self.emit(Opcode::BiPush, Operand::Imm(v)),
+            v if i32::from(v as i16) == v => self.emit(Opcode::SiPush, Operand::Imm(v)),
+            v => {
+                let i = self.constant(Value::Int(v));
+                self.emit(Opcode::Ldc, Operand::Cp(i))
+            }
+        }
+    }
+
+    /// Pushes a `long` constant.
+    pub fn lconst(&mut self, v: i64) -> &mut Self {
+        match v {
+            0 => self.op(Opcode::LConst0),
+            1 => self.op(Opcode::LConst1),
+            v => {
+                let i = self.constant(Value::Long(v));
+                self.emit(Opcode::Ldc2W, Operand::Cp(i))
+            }
+        }
+    }
+
+    /// Pushes a `float` constant.
+    pub fn fconst(&mut self, v: f32) -> &mut Self {
+        if v == 0.0 && v.is_sign_positive() {
+            self.op(Opcode::FConst0)
+        } else if v == 1.0 {
+            self.op(Opcode::FConst1)
+        } else if v == 2.0 {
+            self.op(Opcode::FConst2)
+        } else {
+            let i = self.constant(Value::Float(v));
+            self.emit(Opcode::Ldc, Operand::Cp(i))
+        }
+    }
+
+    /// Pushes a `double` constant.
+    pub fn dconst(&mut self, v: f64) -> &mut Self {
+        if v == 0.0 && v.is_sign_positive() {
+            self.op(Opcode::DConst0)
+        } else if v == 1.0 {
+            self.op(Opcode::DConst1)
+        } else {
+            let i = self.constant(Value::Double(v));
+            self.emit(Opcode::Ldc2W, Operand::Cp(i))
+        }
+    }
+
+    /// Loads an `int` register (compact `iload_N` when possible).
+    pub fn iload(&mut self, r: u16) -> &mut Self {
+        self.touch_local(r);
+        match r {
+            0 => self.op(Opcode::ILoad0),
+            1 => self.op(Opcode::ILoad1),
+            2 => self.op(Opcode::ILoad2),
+            3 => self.op(Opcode::ILoad3),
+            r => self.emit(Opcode::ILoad, Operand::Local(r)),
+        }
+    }
+
+    /// Stores an `int` register.
+    pub fn istore(&mut self, r: u16) -> &mut Self {
+        self.touch_local(r);
+        match r {
+            0 => self.op(Opcode::IStore0),
+            1 => self.op(Opcode::IStore1),
+            2 => self.op(Opcode::IStore2),
+            3 => self.op(Opcode::IStore3),
+            r => self.emit(Opcode::IStore, Operand::Local(r)),
+        }
+    }
+
+    /// Loads a `long` register.
+    pub fn lload(&mut self, r: u16) -> &mut Self {
+        self.touch_local(r);
+        match r {
+            0 => self.op(Opcode::LLoad0),
+            1 => self.op(Opcode::LLoad1),
+            2 => self.op(Opcode::LLoad2),
+            3 => self.op(Opcode::LLoad3),
+            r => self.emit(Opcode::LLoad, Operand::Local(r)),
+        }
+    }
+
+    /// Stores a `long` register.
+    pub fn lstore(&mut self, r: u16) -> &mut Self {
+        self.touch_local(r);
+        match r {
+            0 => self.op(Opcode::LStore0),
+            1 => self.op(Opcode::LStore1),
+            2 => self.op(Opcode::LStore2),
+            3 => self.op(Opcode::LStore3),
+            r => self.emit(Opcode::LStore, Operand::Local(r)),
+        }
+    }
+
+    /// Loads a `float` register.
+    pub fn fload(&mut self, r: u16) -> &mut Self {
+        self.touch_local(r);
+        match r {
+            0 => self.op(Opcode::FLoad0),
+            1 => self.op(Opcode::FLoad1),
+            2 => self.op(Opcode::FLoad2),
+            3 => self.op(Opcode::FLoad3),
+            r => self.emit(Opcode::FLoad, Operand::Local(r)),
+        }
+    }
+
+    /// Stores a `float` register.
+    pub fn fstore(&mut self, r: u16) -> &mut Self {
+        self.touch_local(r);
+        match r {
+            0 => self.op(Opcode::FStore0),
+            1 => self.op(Opcode::FStore1),
+            2 => self.op(Opcode::FStore2),
+            3 => self.op(Opcode::FStore3),
+            r => self.emit(Opcode::FStore, Operand::Local(r)),
+        }
+    }
+
+    /// Loads a `double` register.
+    pub fn dload(&mut self, r: u16) -> &mut Self {
+        self.touch_local(r);
+        match r {
+            0 => self.op(Opcode::DLoad0),
+            1 => self.op(Opcode::DLoad1),
+            2 => self.op(Opcode::DLoad2),
+            3 => self.op(Opcode::DLoad3),
+            r => self.emit(Opcode::DLoad, Operand::Local(r)),
+        }
+    }
+
+    /// Stores a `double` register.
+    pub fn dstore(&mut self, r: u16) -> &mut Self {
+        self.touch_local(r);
+        match r {
+            0 => self.op(Opcode::DStore0),
+            1 => self.op(Opcode::DStore1),
+            2 => self.op(Opcode::DStore2),
+            3 => self.op(Opcode::DStore3),
+            r => self.emit(Opcode::DStore, Operand::Local(r)),
+        }
+    }
+
+    /// Loads a reference register.
+    pub fn aload(&mut self, r: u16) -> &mut Self {
+        self.touch_local(r);
+        match r {
+            0 => self.op(Opcode::ALoad0),
+            1 => self.op(Opcode::ALoad1),
+            2 => self.op(Opcode::ALoad2),
+            3 => self.op(Opcode::ALoad3),
+            r => self.emit(Opcode::ALoad, Operand::Local(r)),
+        }
+    }
+
+    /// Stores a reference register.
+    pub fn astore(&mut self, r: u16) -> &mut Self {
+        self.touch_local(r);
+        match r {
+            0 => self.op(Opcode::AStore0),
+            1 => self.op(Opcode::AStore1),
+            2 => self.op(Opcode::AStore2),
+            3 => self.op(Opcode::AStore3),
+            r => self.emit(Opcode::AStore, Operand::Local(r)),
+        }
+    }
+
+    /// Emits `iinc reg, delta`.
+    pub fn iinc(&mut self, r: u16, delta: i32) -> &mut Self {
+        self.touch_local(r);
+        self.emit(Opcode::IInc, Operand::Inc { local: r, delta })
+    }
+
+    /// Emits a resolved field access.
+    pub fn field(&mut self, op: Opcode, class: u16, slot: u16) -> &mut Self {
+        self.emit(op, Operand::Field(FieldRef { class, slot }))
+    }
+
+    /// Emits a call; the caller supplies the resolved signature.
+    pub fn invoke(&mut self, op: Opcode, method: MethodId, argc: u8, returns: bool) -> &mut Self {
+        self.emit(op, Operand::Call(CallRef { method, argc, returns }))
+    }
+
+    /// Emits `newarray` of a primitive kind.
+    pub fn newarray(&mut self, kind: ArrayKind) -> &mut Self {
+        self.emit(Opcode::NewArray, Operand::ArrayType(kind))
+    }
+
+    /// Finishes the method: patches labels, validates, and verifies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when a label is unbound or the generated code
+    /// fails validation/verification.
+    pub fn finish(mut self) -> Result<Method, BuildError> {
+        for (addr, label) in std::mem::take(&mut self.patches) {
+            let target = self.bound[label.0].ok_or(BuildError::UnboundLabel)?;
+            self.method.code[addr as usize].operand = Operand::Target(target);
+        }
+        for (addr, arms, default) in std::mem::take(&mut self.switch_patches) {
+            let mut table = crate::SwitchTable { arms: Vec::new(), default: 0 };
+            for (k, l) in arms {
+                table.arms.push((k, self.bound[l.0].ok_or(BuildError::UnboundLabel)?));
+            }
+            table.default = self.bound[default.0].ok_or(BuildError::UnboundLabel)?;
+            self.method.code[addr as usize].operand = Operand::Switch(table);
+        }
+        verify(&self.method).map_err(BuildError::Verify)?;
+        Ok(self.method)
+    }
+}
+
+/// Failure to finish a built method.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A label was referenced but never bound.
+    UnboundLabel,
+    /// The generated code failed verification.
+    Verify(VerifyError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnboundLabel => write!(fm, "unbound label"),
+            BuildError::Verify(e) => write!(fm, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Verify(e) => Some(e),
+            BuildError::UnboundLabel => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_countdown_loop() {
+        let mut b = MethodBuilder::new("countdown", 1, false);
+        let top = b.new_label();
+        b.bind(top);
+        b.iinc(0, -1).iload(0);
+        b.branch(Opcode::IfNe, top);
+        b.op(Opcode::ReturnVoid);
+        let m = b.finish().unwrap();
+        assert_eq!(m.code.len(), 4);
+        assert!(m.is_back_branch(2));
+    }
+
+    #[test]
+    fn compact_forms_chosen() {
+        let mut b = MethodBuilder::new("t", 0, true);
+        b.iconst(3).iconst(100).iconst(40_000).op(Opcode::IAdd).op(Opcode::IAdd);
+        b.op(Opcode::IReturn);
+        let m = b.finish().unwrap();
+        assert_eq!(m.code[0].op, Opcode::IConst3);
+        assert_eq!(m.code[1].op, Opcode::BiPush);
+        assert_eq!(m.code[2].op, Opcode::Ldc);
+        assert_eq!(m.cpool, vec![Value::Int(40_000)]);
+    }
+
+    #[test]
+    fn constant_pool_deduplicated() {
+        let mut b = MethodBuilder::new("t", 0, true);
+        b.dconst(3.25).dconst(3.25).op(Opcode::DAdd).op(Opcode::DReturn);
+        let m = b.finish().unwrap();
+        assert_eq!(m.cpool.len(), 1);
+    }
+
+    #[test]
+    fn unbound_label_detected() {
+        let mut b = MethodBuilder::new("t", 0, false);
+        let l = b.new_label();
+        b.branch(Opcode::Goto, l);
+        b.op(Opcode::ReturnVoid);
+        assert!(matches!(b.finish(), Err(BuildError::UnboundLabel)));
+    }
+
+    #[test]
+    fn invalid_stack_rejected_at_finish() {
+        let mut b = MethodBuilder::new("t", 0, false);
+        b.op(Opcode::IAdd).op(Opcode::ReturnVoid);
+        assert!(matches!(b.finish(), Err(BuildError::Verify(_))));
+    }
+
+    #[test]
+    fn max_locals_tracked() {
+        let mut b = MethodBuilder::new("t", 2, false);
+        b.iconst(1).istore(7);
+        b.op(Opcode::ReturnVoid);
+        let m = b.finish().unwrap();
+        assert_eq!(m.max_locals, 8);
+    }
+}

@@ -1,0 +1,194 @@
+//! Control-flow structure: basic blocks and branch statistics.
+//!
+//! Backwards branches (loops) require special handling in the fabric — the
+//! serial token bundle stalls and re-enters via the reverse network — so the
+//! number and length of back branches is a first-order performance input
+//! (Tables 7, 13, 14).
+
+use crate::{Method, Opcode};
+
+/// One basic block: a maximal straight-line instruction range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First linear address in the block.
+    pub start: u32,
+    /// One past the last linear address in the block.
+    pub end: u32,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the block is empty (never true for built CFGs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Summary of a single explicit control-flow jump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Jump {
+    /// Address of the jumping instruction.
+    pub from: u32,
+    /// Taken-path target address.
+    pub to: u32,
+    /// Whether the jump is conditional.
+    pub conditional: bool,
+}
+
+impl Jump {
+    /// Whether the jump goes backwards (a loop edge).
+    #[must_use]
+    pub fn is_back(&self) -> bool {
+        self.to <= self.from
+    }
+
+    /// Linear jump length `|to − from|`.
+    #[must_use]
+    pub fn length(&self) -> u32 {
+        self.to.abs_diff(self.from)
+    }
+}
+
+/// The control-flow graph of a method.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks, ordered by start address.
+    pub blocks: Vec<BasicBlock>,
+    /// All explicit jumps (conditionals, gotos, switch arms).
+    pub jumps: Vec<Jump>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a method.
+    #[must_use]
+    pub fn build(method: &Method) -> Cfg {
+        let n = method.code.len() as u32;
+        let mut leaders = vec![false; n as usize];
+        if n > 0 {
+            leaders[0] = true;
+        }
+        let mut jumps = Vec::new();
+        for (addr, insn) in method.iter() {
+            let mut mark = |t: u32| {
+                if t < n {
+                    leaders[t as usize] = true;
+                }
+            };
+            if insn.op.is_branch() || insn.op.is_return() || matches!(insn.op, Opcode::Ret) {
+                mark(addr + 1);
+            }
+            if let Some(t) = insn.branch_target() {
+                mark(t);
+                if insn.op.is_branch() {
+                    jumps.push(Jump { from: addr, to: t, conditional: insn.op.is_conditional() });
+                }
+            }
+            for t in insn.switch_targets() {
+                mark(t);
+                jumps.push(Jump { from: addr, to: t, conditional: true });
+            }
+        }
+        let mut blocks = Vec::new();
+        let mut start = 0u32;
+        for addr in 1..n {
+            if leaders[addr as usize] {
+                blocks.push(BasicBlock { start, end: addr });
+                start = addr;
+            }
+        }
+        if n > 0 {
+            blocks.push(BasicBlock { start, end: n });
+        }
+        Cfg { blocks, jumps }
+    }
+
+    /// Forward jumps (Table 13).
+    pub fn forward_jumps(&self) -> impl Iterator<Item = &Jump> {
+        self.jumps.iter().filter(|j| !j.is_back())
+    }
+
+    /// Backward jumps (Table 14).
+    pub fn back_jumps(&self) -> impl Iterator<Item = &Jump> {
+        self.jumps.iter().filter(|j| j.is_back())
+    }
+
+    /// `(count, average length, max length)` over an iterator of jumps.
+    fn jump_stats<'a>(jumps: impl Iterator<Item = &'a Jump>) -> (usize, f64, u32) {
+        let mut count = 0usize;
+        let mut sum = 0u64;
+        let mut max = 0u32;
+        for j in jumps {
+            count += 1;
+            sum += u64::from(j.length());
+            max = max.max(j.length());
+        }
+        let avg = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
+        (count, avg, max)
+    }
+
+    /// `(count, average length, max length)` of forward jumps.
+    #[must_use]
+    pub fn forward_jump_stats(&self) -> (usize, f64, u32) {
+        Cfg::jump_stats(self.forward_jumps())
+    }
+
+    /// `(count, average length, max length)` of backward jumps.
+    #[must_use]
+    pub fn back_jump_stats(&self) -> (usize, f64, u32) {
+        Cfg::jump_stats(self.back_jumps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Insn, Operand};
+
+    fn looped() -> Method {
+        let mut m = Method::new("t", 1, false);
+        m.code = vec![
+            Insn::new(Opcode::ILoad, Operand::Local(0)),               // 0
+            Insn::new(Opcode::IfEq, Operand::Target(5)),               // 1 fwd cond
+            Insn::new(Opcode::IInc, Operand::Inc { local: 0, delta: -1 }), // 2
+            Insn::new(Opcode::ILoad, Operand::Local(0)),               // 3
+            Insn::new(Opcode::IfNe, Operand::Target(2)),               // 4 back cond
+            Insn::simple(Opcode::ReturnVoid),                          // 5
+        ];
+        m
+    }
+
+    #[test]
+    fn blocks_split_at_branches_and_targets() {
+        let cfg = Cfg::build(&looped());
+        let starts: Vec<u32> = cfg.blocks.iter().map(|b| b.start).collect();
+        assert_eq!(starts, vec![0, 2, 5]);
+        assert_eq!(cfg.blocks.iter().map(BasicBlock::len).sum::<u32>(), 6);
+        assert!(cfg.blocks.iter().all(|b| !b.is_empty()));
+    }
+
+    #[test]
+    fn jump_direction_classified() {
+        let cfg = Cfg::build(&looped());
+        let (fc, favg, fmax) = cfg.forward_jump_stats();
+        let (bc, bavg, bmax) = cfg.back_jump_stats();
+        assert_eq!((fc, fmax), (1, 4));
+        assert!((favg - 4.0).abs() < 1e-9);
+        assert_eq!((bc, bmax), (1, 2));
+        assert!((bavg - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straight_line_single_block() {
+        let mut m = Method::new("t", 0, false);
+        m.code = vec![Insn::simple(Opcode::Nop), Insn::simple(Opcode::ReturnVoid)];
+        let cfg = Cfg::build(&m);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.jumps.is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Instruction groups and DataFlow-fabric node kinds.
+//!
+//! Appendix A of the dissertation partitions the ByteCode instruction set
+//! into groups whose processing in the fabric is similar; Chapter 5's static
+//! mix then collapses those groups into the four *node kinds* used to build
+//! heterogeneous fabrics (6 arithmetic : 1 floating-point : 2 storage :
+//! 1 control per 10 nodes, Figure 26).
+
+/// The Appendix A instruction group of an opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InstructionGroup {
+    /// Integer/long arithmetic and logical operations (Table 30).
+    ArithInteger,
+    /// Constants, immediate pushes, and stack shuffles (Table 31).
+    ArithMove,
+    /// Floating-point arithmetic and long/float/double comparisons (Table 32).
+    FloatArith,
+    /// Numeric conversions (Table 29).
+    FloatConversion,
+    /// Conditional and unconditional jumps (Table 33).
+    ControlFlow,
+    /// Method invocations (Table 34).
+    Call,
+    /// Method returns and `athrow` (Table 35).
+    Return,
+    /// Unordered constant-pool reads (Table 36).
+    MemConst,
+    /// Ordered heap / class-data reads (Table 37).
+    MemRead,
+    /// Ordered heap / class-data writes (Table 38).
+    MemWrite,
+    /// Local-variable (register) reads (Table 39).
+    LocalRead,
+    /// Local-variable (register) writes (Table 40).
+    LocalWrite,
+    /// The `iinc` register increment.
+    LocalInc,
+    /// Object/service operations delegated to the GPP (Table 41).
+    Special,
+}
+
+impl InstructionGroup {
+    /// All groups.
+    pub const ALL: &'static [InstructionGroup] = &[
+        InstructionGroup::ArithInteger,
+        InstructionGroup::ArithMove,
+        InstructionGroup::FloatArith,
+        InstructionGroup::FloatConversion,
+        InstructionGroup::ControlFlow,
+        InstructionGroup::Call,
+        InstructionGroup::Return,
+        InstructionGroup::MemConst,
+        InstructionGroup::MemRead,
+        InstructionGroup::MemWrite,
+        InstructionGroup::LocalRead,
+        InstructionGroup::LocalWrite,
+        InstructionGroup::LocalInc,
+        InstructionGroup::Special,
+    ];
+
+    /// A short human-readable label, used in table output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            InstructionGroup::ArithInteger => "arith-int",
+            InstructionGroup::ArithMove => "arith-move",
+            InstructionGroup::FloatArith => "float-arith",
+            InstructionGroup::FloatConversion => "float-conv",
+            InstructionGroup::ControlFlow => "control",
+            InstructionGroup::Call => "call",
+            InstructionGroup::Return => "return",
+            InstructionGroup::MemConst => "mem-const",
+            InstructionGroup::MemRead => "mem-read",
+            InstructionGroup::MemWrite => "mem-write",
+            InstructionGroup::LocalRead => "local-read",
+            InstructionGroup::LocalWrite => "local-write",
+            InstructionGroup::LocalInc => "local-inc",
+            InstructionGroup::Special => "special",
+        }
+    }
+
+    /// The heterogeneous-fabric node kind able to execute this group.
+    #[must_use]
+    pub fn node_kind(self) -> NodeKind {
+        match self {
+            InstructionGroup::FloatArith | InstructionGroup::FloatConversion => NodeKind::Float,
+            InstructionGroup::MemConst | InstructionGroup::MemRead | InstructionGroup::MemWrite => {
+                NodeKind::Storage
+            }
+            InstructionGroup::ControlFlow | InstructionGroup::Call | InstructionGroup::Return => {
+                NodeKind::Control
+            }
+            InstructionGroup::ArithInteger
+            | InstructionGroup::ArithMove
+            | InstructionGroup::LocalRead
+            | InstructionGroup::LocalWrite
+            | InstructionGroup::LocalInc
+            | InstructionGroup::Special => NodeKind::Arith,
+        }
+    }
+}
+
+impl std::fmt::Display for InstructionGroup {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.write_str(self.label())
+    }
+}
+
+/// The four kinds of Instruction Node in a heterogeneous DataFlow fabric
+/// (Chapter 5 static-mix conclusion: 60% arithmetic, 10% floating point,
+/// 20% storage, 10% control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeKind {
+    /// Integer arithmetic, logical, move, and register operations.
+    Arith,
+    /// Floating-point arithmetic and conversions.
+    Float,
+    /// Memory (heap, class data, constant pool) access; on the storage ring.
+    Storage,
+    /// Control flow, calls, and returns.
+    Control,
+}
+
+impl NodeKind {
+    /// All node kinds.
+    pub const ALL: &'static [NodeKind] =
+        &[NodeKind::Arith, NodeKind::Float, NodeKind::Storage, NodeKind::Control];
+
+    /// Short label used in table output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeKind::Arith => "arith",
+            NodeKind::Float => "float",
+            NodeKind::Storage => "storage",
+            NodeKind::Control => "control",
+        }
+    }
+}
+
+impl std::fmt::Display for NodeKind {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Opcode;
+
+    #[test]
+    fn every_group_maps_to_a_node_kind() {
+        for g in InstructionGroup::ALL {
+            let _ = g.node_kind();
+            assert!(!g.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn float_ops_need_float_nodes() {
+        assert_eq!(Opcode::DMul.group().node_kind(), NodeKind::Float);
+        assert_eq!(Opcode::I2D.group().node_kind(), NodeKind::Float);
+        assert_eq!(Opcode::IMul.group().node_kind(), NodeKind::Arith);
+        assert_eq!(Opcode::GetField.group().node_kind(), NodeKind::Storage);
+        assert_eq!(Opcode::Goto.group().node_kind(), NodeKind::Control);
+        assert_eq!(Opcode::InvokeStatic.group().node_kind(), NodeKind::Control);
+    }
+}

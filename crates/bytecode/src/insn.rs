@@ -1,0 +1,327 @@
+//! Instructions: an opcode plus its resolved operand.
+//!
+//! JavaFlow's IR is *post-resolution*: symbolic constant-pool references have
+//! already been linked to field slots and method ids, exactly as the
+//! dissertation's simulation assumes (the `_Quick` forms of Table 5, which
+//! cover 97–99% of dynamic storage accesses). Each instruction occupies one
+//! linear address — "all instructions are a single length and the linear
+//! addresses are independent of the size of the ByteCode instructions"
+//! (Section 4.2).
+
+use crate::{InstructionGroup, Opcode};
+
+/// Identifies a method within a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodId(pub u32);
+
+impl std::fmt::Display for MethodId {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(fm, "m{}", self.0)
+    }
+}
+
+/// A resolved (quickened) field reference: class id plus field slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldRef {
+    /// The owning class id (index into the program's class table).
+    pub class: u16,
+    /// The field slot within the class's instance or static area.
+    pub slot: u16,
+}
+
+/// A resolved call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallRef {
+    /// The callee.
+    pub method: MethodId,
+    /// Total number of values popped: declared arguments plus the receiver
+    /// for instance invocations.
+    pub argc: u8,
+    /// Whether the callee pushes a return value.
+    pub returns: bool,
+}
+
+/// Element kind for `newarray`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ArrayKind {
+    Boolean,
+    Char,
+    Float,
+    Double,
+    Byte,
+    Short,
+    Int,
+    Long,
+}
+
+/// A `tableswitch`/`lookupswitch` jump table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SwitchTable {
+    /// `(match key, target linear address)` pairs.
+    pub arms: Vec<(i32, u32)>,
+    /// Default target linear address.
+    pub default: u32,
+}
+
+/// The resolved operand of an instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// No operand.
+    None,
+    /// Immediate integer (`bipush`, `sipush`).
+    Imm(i32),
+    /// Local-variable (register) index.
+    Local(u16),
+    /// Branch target: the linear address of the taken path.
+    Target(u32),
+    /// Constant-pool index (`ldc`, `ldc_w`, `ldc2_w`).
+    Cp(u16),
+    /// Resolved field reference.
+    Field(FieldRef),
+    /// Resolved call site.
+    Call(CallRef),
+    /// `iinc` register and signed delta.
+    Inc {
+        /// Register index.
+        local: u16,
+        /// Signed increment.
+        delta: i32,
+    },
+    /// Primitive element kind for `newarray`.
+    ArrayType(ArrayKind),
+    /// Class id for `new`, `anewarray`, `checkcast`, `instanceof`.
+    ClassId(u16),
+    /// Jump table for the switch instructions.
+    Switch(SwitchTable),
+    /// `multianewarray`: class id and dimension count.
+    Dims {
+        /// Array class id.
+        class: u16,
+        /// Number of dimensions popped.
+        dims: u8,
+    },
+}
+
+/// One linear-addressed instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insn {
+    /// The operation code.
+    pub op: Opcode,
+    /// The resolved operand.
+    pub operand: Operand,
+}
+
+impl Insn {
+    /// Creates an instruction with no operand.
+    #[must_use]
+    pub fn simple(op: Opcode) -> Insn {
+        Insn { op, operand: Operand::None }
+    }
+
+    /// Creates an instruction with the given operand.
+    #[must_use]
+    pub fn new(op: Opcode, operand: Operand) -> Insn {
+        Insn { op, operand }
+    }
+
+    /// The instruction group (Appendix A).
+    #[must_use]
+    pub fn group(&self) -> InstructionGroup {
+        self.op.group()
+    }
+
+    /// Number of values this instruction pops ('Pop' in Appendix A; the
+    /// count of mesh operands a fabric node must receive before firing).
+    #[must_use]
+    pub fn pops(&self) -> u16 {
+        if let Some(n) = self.op.base_pops() {
+            return n;
+        }
+        match &self.operand {
+            Operand::Call(c) => u16::from(c.argc),
+            Operand::Dims { dims, .. } => u16::from(*dims),
+            _ => 0,
+        }
+    }
+
+    /// Number of values this instruction pushes ('Push' in Appendix A; the
+    /// number of dataflow results to fan out to consumer nodes).
+    #[must_use]
+    pub fn pushes(&self) -> u16 {
+        if let Some(n) = self.op.base_pushes() {
+            return n;
+        }
+        match &self.operand {
+            Operand::Call(c) => u16::from(c.returns),
+            _ => 0,
+        }
+    }
+
+    /// The explicit branch target (taken-path linear address), if any.
+    ///
+    /// Switch instructions have multiple targets; see
+    /// [`Insn::switch_targets`].
+    #[must_use]
+    pub fn branch_target(&self) -> Option<u32> {
+        match &self.operand {
+            Operand::Target(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// All switch targets (arms then default) for switch instructions.
+    pub fn switch_targets(&self) -> impl Iterator<Item = u32> + '_ {
+        let table = match &self.operand {
+            Operand::Switch(t) => Some(t),
+            _ => None,
+        };
+        table
+            .into_iter()
+            .flat_map(|t| t.arms.iter().map(|(_, tgt)| *tgt).chain(std::iter::once(t.default)))
+    }
+
+    /// All possible successor linear addresses of this instruction at `addr`.
+    ///
+    /// Returns-and-throws have none; `goto` has one; conditionals have two
+    /// (fall-through first); switches have all arms plus default.
+    #[must_use]
+    pub fn successors(&self, addr: u32) -> Vec<u32> {
+        if self.op.is_return() {
+            return Vec::new();
+        }
+        match self.op {
+            Opcode::Goto | Opcode::GotoW | Opcode::Jsr | Opcode::JsrW => {
+                self.branch_target().into_iter().collect()
+            }
+            Opcode::Ret => Vec::new(), // dynamic; handled by jsr pairing
+            Opcode::TableSwitch | Opcode::LookupSwitch => self.switch_targets().collect(),
+            _ if self.op.is_conditional() => {
+                let mut v = vec![addr + 1];
+                v.extend(self.branch_target());
+                v
+            }
+            _ => vec![addr + 1],
+        }
+    }
+
+    /// Checks that the operand kind matches what the opcode requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch.
+    pub fn validate(&self) -> Result<(), String> {
+        use Opcode as O;
+        let ok = match self.op {
+            O::BiPush | O::SiPush => matches!(self.operand, Operand::Imm(_)),
+            O::Ldc | O::LdcW | O::Ldc2W => matches!(self.operand, Operand::Cp(_)),
+            O::ILoad | O::LLoad | O::FLoad | O::DLoad | O::ALoad | O::IStore | O::LStore
+            | O::FStore | O::DStore | O::AStore | O::Ret => {
+                matches!(self.operand, Operand::Local(_))
+            }
+            O::IInc => matches!(self.operand, Operand::Inc { .. }),
+            O::GetStatic | O::PutStatic | O::GetField | O::PutField => {
+                matches!(self.operand, Operand::Field(_))
+            }
+            O::InvokeVirtual | O::InvokeSpecial | O::InvokeStatic | O::InvokeInterface
+            | O::InvokeDynamic => matches!(self.operand, Operand::Call(_)),
+            O::New | O::ANewArray | O::CheckCast | O::InstanceOf => {
+                matches!(self.operand, Operand::ClassId(_))
+            }
+            O::NewArray => matches!(self.operand, Operand::ArrayType(_)),
+            O::MultiANewArray => matches!(self.operand, Operand::Dims { .. }),
+            O::TableSwitch | O::LookupSwitch => matches!(self.operand, Operand::Switch(_)),
+            op if op.is_branch() => matches!(self.operand, Operand::Target(_)),
+            _ => matches!(self.operand, Operand::None),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("operand {:?} invalid for opcode {}", self.operand, self.op))
+        }
+    }
+}
+
+impl std::fmt::Display for Insn {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(fm, "{}", self.op)?;
+        match &self.operand {
+            Operand::None => Ok(()),
+            Operand::Imm(v) => write!(fm, " {v}"),
+            Operand::Local(n) => write!(fm, " {n}"),
+            Operand::Target(t) => write!(fm, " @{t}"),
+            Operand::Cp(i) => write!(fm, " #{i}"),
+            Operand::Field(fr) => write!(fm, " c{}.f{}", fr.class, fr.slot),
+            Operand::Call(c) => {
+                write!(fm, " {} argc={} ret={}", c.method, c.argc, u8::from(c.returns))
+            }
+            Operand::Inc { local, delta } => write!(fm, " {local} {delta:+}"),
+            Operand::ArrayType(k) => write!(fm, " {k:?}"),
+            Operand::ClassId(c) => write!(fm, " c{c}"),
+            Operand::Switch(t) => write!(fm, " [{} arms, default @{}]", t.arms.len(), t.default),
+            Operand::Dims { class, dims } => write!(fm, " c{class} dims={dims}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_and_pushes_fixed() {
+        assert_eq!(Insn::simple(Opcode::IAdd).pops(), 2);
+        assert_eq!(Insn::simple(Opcode::IAdd).pushes(), 1);
+        assert_eq!(Insn::simple(Opcode::Dup2X2).pushes(), 6);
+    }
+
+    #[test]
+    fn pops_and_pushes_calls() {
+        let call = Insn::new(
+            Opcode::InvokeStatic,
+            Operand::Call(CallRef { method: MethodId(3), argc: 4, returns: true }),
+        );
+        assert_eq!(call.pops(), 4);
+        assert_eq!(call.pushes(), 1);
+        let void_call = Insn::new(
+            Opcode::InvokeVirtual,
+            Operand::Call(CallRef { method: MethodId(1), argc: 1, returns: false }),
+        );
+        assert_eq!(void_call.pops(), 1);
+        assert_eq!(void_call.pushes(), 0);
+    }
+
+    #[test]
+    fn successors_shapes() {
+        let add = Insn::simple(Opcode::IAdd);
+        assert_eq!(add.successors(5), vec![6]);
+        let goto = Insn::new(Opcode::Goto, Operand::Target(2));
+        assert_eq!(goto.successors(9), vec![2]);
+        let jump = Insn::new(Opcode::IfEq, Operand::Target(20));
+        assert_eq!(jump.successors(9), vec![10, 20]);
+        let ret = Insn::simple(Opcode::ReturnVoid);
+        assert!(ret.successors(3).is_empty());
+        let sw = Insn::new(
+            Opcode::TableSwitch,
+            Operand::Switch(SwitchTable { arms: vec![(0, 4), (1, 8)], default: 12 }),
+        );
+        assert_eq!(sw.successors(0), vec![4, 8, 12]);
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        assert!(Insn::simple(Opcode::IAdd).validate().is_ok());
+        assert!(Insn::new(Opcode::IAdd, Operand::Imm(1)).validate().is_err());
+        assert!(Insn::new(Opcode::Goto, Operand::Target(0)).validate().is_ok());
+        assert!(Insn::simple(Opcode::Goto).validate().is_err());
+        assert!(Insn::new(Opcode::ILoad, Operand::Local(2)).validate().is_ok());
+        assert!(Insn::simple(Opcode::ILoad).validate().is_err());
+    }
+
+    #[test]
+    fn display_round_trippable_mnemonics() {
+        let i = Insn::new(Opcode::IInc, Operand::Inc { local: 4, delta: -1 });
+        assert_eq!(i.to_string(), "iinc 4 -1");
+        assert_eq!(Insn::simple(Opcode::IAdd).to_string(), "iadd");
+    }
+}

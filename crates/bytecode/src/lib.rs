@@ -1,0 +1,66 @@
+//! The Java ByteCode substrate for the JavaFlow dataflow machine.
+//!
+//! This crate defines everything JavaFlow needs to know about Java ByteCode
+//! without depending on a real JVM:
+//!
+//! * [`Opcode`] — the full architected instruction set with per-opcode
+//!   instruction groups and value-semantics pop/push counts (Appendix A of
+//!   the dissertation);
+//! * [`Insn`], [`Method`], [`Program`] — a *post-resolution* linear IR where
+//!   every instruction occupies one linear address and symbolic references
+//!   are already quickened to field slots and method ids;
+//! * [`verify`] — the stack-shape verifier and static dataflow analysis
+//!   whose producer/consumer arcs are the golden model for the fabric's
+//!   distributed address resolution;
+//! * [`Cfg`] — basic blocks and forward/back branch statistics;
+//! * [`asm`] — a javap-style assembler/disassembler;
+//! * [`MethodBuilder`] — structured emission of valid methods (the workload
+//!   suite's stand-in for `javac`).
+//!
+//! # Example
+//!
+//! ```
+//! use javaflow_bytecode::{asm, verify, Cfg};
+//!
+//! let program = asm::assemble(
+//!     ".method abs args=1 returns=true locals=1
+//!        iload 0
+//!        ifge @pos
+//!        iload 0
+//!        ineg
+//!        ireturn
+//!      pos:
+//!        iload 0
+//!        ireturn
+//!      .end",
+//! )
+//! .unwrap();
+//! let (_, method) = program.method_by_name("abs").unwrap();
+//! let verified = verify(method).unwrap();
+//! assert_eq!(verified.max_stack, 1);
+//! assert_eq!(verified.back_merges, 0); // valid javac output never has any
+//! let cfg = Cfg::build(method);
+//! assert_eq!(cfg.forward_jump_stats().0, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asm;
+mod builder;
+mod cfg;
+mod group;
+mod insn;
+mod method;
+mod opcode;
+mod value;
+mod verify;
+
+pub use builder::{BuildError, Label, MethodBuilder};
+pub use cfg::{BasicBlock, Cfg, Jump};
+pub use group::{InstructionGroup, NodeKind};
+pub use insn::{ArrayKind, CallRef, FieldRef, Insn, MethodId, Operand, SwitchTable};
+pub use method::{ClassDef, Method, MethodError, Program};
+pub use opcode::Opcode;
+pub use value::{DataType, Value};
+pub use verify::{verify, DfEdge, VerifiedMethod, VerifyError};

@@ -1,0 +1,403 @@
+//! The Java ByteCode operation codes.
+//!
+//! Every opcode architected by the Java Virtual Machine specification (and
+//! catalogued in Appendix A of the JavaFlow dissertation) is listed here,
+//! together with its [`InstructionGroup`] and its *value-semantics* stack
+//! effect: the number of values it pops from and pushes onto the operand
+//! stack. JavaFlow reasons about whole values rather than 32-bit stack
+//! slots, so `ladd` pops two values and pushes one, exactly as in the
+//! dissertation's Appendix A tables. (The handful of `dup*` entries whose
+//! printed pop/push counts in the dissertation are internally inconsistent
+//! use the arithmetically correct value counts here.)
+//!
+//! Opcodes whose stack effect depends on their operand — the `invoke*`
+//! family and `multianewarray` — report `None` from [`Opcode::base_pops`] /
+//! [`Opcode::base_pushes`]; the effective counts are computed by
+//! [`crate::Insn::pops`] and [`crate::Insn::pushes`] from the operand.
+
+use crate::group::InstructionGroup;
+
+macro_rules! opcodes {
+    ($( $variant:ident = ($byte:expr, $mnem:literal, $group:ident, $pop:expr, $push:expr) ),+ $(,)?) => {
+        /// A Java ByteCode operation code.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[allow(missing_docs)] // the variants are the JVM mnemonics themselves
+        pub enum Opcode {
+            $($variant,)+
+        }
+
+        impl Opcode {
+            /// All opcodes, in JVM numbering order.
+            pub const ALL: &'static [Opcode] = &[$(Opcode::$variant,)+];
+
+            /// The JVM encoding byte for this opcode.
+            #[must_use]
+            pub fn byte(self) -> u8 {
+                match self { $(Opcode::$variant => $byte,)+ }
+            }
+
+            /// The JVM assembler mnemonic (as printed by `javap`).
+            #[must_use]
+            pub fn mnemonic(self) -> &'static str {
+                match self { $(Opcode::$variant => $mnem,)+ }
+            }
+
+            /// Looks an opcode up by its mnemonic.
+            #[must_use]
+            pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+                match s { $($mnem => Some(Opcode::$variant),)+ _ => None }
+            }
+
+            /// The instruction group this opcode belongs to (Appendix A).
+            #[must_use]
+            pub fn group(self) -> InstructionGroup {
+                match self { $(Opcode::$variant => InstructionGroup::$group,)+ }
+            }
+
+            /// Number of values popped, when fixed for the opcode alone.
+            ///
+            /// `None` for `invoke*` and `multianewarray`, whose pop count
+            /// depends on the call signature / dimension operand.
+            #[must_use]
+            pub fn base_pops(self) -> Option<u16> {
+                match self { $(Opcode::$variant => $pop,)+ }
+            }
+
+            /// Number of values pushed, when fixed for the opcode alone.
+            #[must_use]
+            pub fn base_pushes(self) -> Option<u16> {
+                match self { $(Opcode::$variant => $push,)+ }
+            }
+        }
+    };
+}
+
+const fn f(n: u16) -> Option<u16> {
+    Some(n)
+}
+const V: Option<u16> = None; // variable; depends on the operand
+
+opcodes! {
+    // -- Arithmetic/Move: constants and stack manipulation (Table 31) -----
+    Nop         = (0x00, "nop",          Special,   f(0), f(0)),
+    AConstNull  = (0x01, "aconst_null",  ArithMove, f(0), f(1)),
+    IConstM1    = (0x02, "iconst_m1",    ArithMove, f(0), f(1)),
+    IConst0     = (0x03, "iconst_0",     ArithMove, f(0), f(1)),
+    IConst1     = (0x04, "iconst_1",     ArithMove, f(0), f(1)),
+    IConst2     = (0x05, "iconst_2",     ArithMove, f(0), f(1)),
+    IConst3     = (0x06, "iconst_3",     ArithMove, f(0), f(1)),
+    IConst4     = (0x07, "iconst_4",     ArithMove, f(0), f(1)),
+    IConst5     = (0x08, "iconst_5",     ArithMove, f(0), f(1)),
+    LConst0     = (0x09, "lconst_0",     ArithMove, f(0), f(1)),
+    LConst1     = (0x0a, "lconst_1",     ArithMove, f(0), f(1)),
+    FConst0     = (0x0b, "fconst_0",     ArithMove, f(0), f(1)),
+    FConst1     = (0x0c, "fconst_1",     ArithMove, f(0), f(1)),
+    FConst2     = (0x0d, "fconst_2",     ArithMove, f(0), f(1)),
+    DConst0     = (0x0e, "dconst_0",     ArithMove, f(0), f(1)),
+    DConst1     = (0x0f, "dconst_1",     ArithMove, f(0), f(1)),
+    BiPush      = (0x10, "bipush",       ArithMove, f(0), f(1)),
+    SiPush      = (0x11, "sipush",       ArithMove, f(0), f(1)),
+    // -- Memory constant: constant-pool reads (Table 36) ------------------
+    Ldc         = (0x12, "ldc",          MemConst,  f(0), f(1)),
+    LdcW        = (0x13, "ldc_w",        MemConst,  f(0), f(1)),
+    Ldc2W       = (0x14, "ldc2_w",       MemConst,  f(0), f(1)),
+    // -- Local reads (Table 39) --------------------------------------------
+    ILoad       = (0x15, "iload",        LocalRead, f(0), f(1)),
+    LLoad       = (0x16, "lload",        LocalRead, f(0), f(1)),
+    FLoad       = (0x17, "fload",        LocalRead, f(0), f(1)),
+    DLoad       = (0x18, "dload",        LocalRead, f(0), f(1)),
+    ALoad       = (0x19, "aload",        LocalRead, f(0), f(1)),
+    ILoad0      = (0x1a, "iload_0",      LocalRead, f(0), f(1)),
+    ILoad1      = (0x1b, "iload_1",      LocalRead, f(0), f(1)),
+    ILoad2      = (0x1c, "iload_2",      LocalRead, f(0), f(1)),
+    ILoad3      = (0x1d, "iload_3",      LocalRead, f(0), f(1)),
+    LLoad0      = (0x1e, "lload_0",      LocalRead, f(0), f(1)),
+    LLoad1      = (0x1f, "lload_1",      LocalRead, f(0), f(1)),
+    LLoad2      = (0x20, "lload_2",      LocalRead, f(0), f(1)),
+    LLoad3      = (0x21, "lload_3",      LocalRead, f(0), f(1)),
+    FLoad0      = (0x22, "fload_0",      LocalRead, f(0), f(1)),
+    FLoad1      = (0x23, "fload_1",      LocalRead, f(0), f(1)),
+    FLoad2      = (0x24, "fload_2",      LocalRead, f(0), f(1)),
+    FLoad3      = (0x25, "fload_3",      LocalRead, f(0), f(1)),
+    DLoad0      = (0x26, "dload_0",      LocalRead, f(0), f(1)),
+    DLoad1      = (0x27, "dload_1",      LocalRead, f(0), f(1)),
+    DLoad2      = (0x28, "dload_2",      LocalRead, f(0), f(1)),
+    DLoad3      = (0x29, "dload_3",      LocalRead, f(0), f(1)),
+    ALoad0      = (0x2a, "aload_0",      LocalRead, f(0), f(1)),
+    ALoad1      = (0x2b, "aload_1",      LocalRead, f(0), f(1)),
+    ALoad2      = (0x2c, "aload_2",      LocalRead, f(0), f(1)),
+    ALoad3      = (0x2d, "aload_3",      LocalRead, f(0), f(1)),
+    // -- Memory reads: array loads (Table 37) ------------------------------
+    IALoad      = (0x2e, "iaload",       MemRead,   f(2), f(1)),
+    LALoad      = (0x2f, "laload",       MemRead,   f(2), f(1)),
+    FALoad      = (0x30, "faload",       MemRead,   f(2), f(1)),
+    DALoad      = (0x31, "daload",       MemRead,   f(2), f(1)),
+    AALoad      = (0x32, "aaload",       MemRead,   f(2), f(1)),
+    BALoad      = (0x33, "baload",       MemRead,   f(2), f(1)),
+    CALoad      = (0x34, "caload",       MemRead,   f(2), f(1)),
+    SALoad      = (0x35, "saload",       MemRead,   f(2), f(1)),
+    // -- Local writes (Table 40) -------------------------------------------
+    IStore      = (0x36, "istore",       LocalWrite, f(1), f(0)),
+    LStore      = (0x37, "lstore",       LocalWrite, f(1), f(0)),
+    FStore      = (0x38, "fstore",       LocalWrite, f(1), f(0)),
+    DStore      = (0x39, "dstore",       LocalWrite, f(1), f(0)),
+    AStore      = (0x3a, "astore",       LocalWrite, f(1), f(0)),
+    IStore0     = (0x3b, "istore_0",     LocalWrite, f(1), f(0)),
+    IStore1     = (0x3c, "istore_1",     LocalWrite, f(1), f(0)),
+    IStore2     = (0x3d, "istore_2",     LocalWrite, f(1), f(0)),
+    IStore3     = (0x3e, "istore_3",     LocalWrite, f(1), f(0)),
+    LStore0     = (0x3f, "lstore_0",     LocalWrite, f(1), f(0)),
+    LStore1     = (0x40, "lstore_1",     LocalWrite, f(1), f(0)),
+    LStore2     = (0x41, "lstore_2",     LocalWrite, f(1), f(0)),
+    LStore3     = (0x42, "lstore_3",     LocalWrite, f(1), f(0)),
+    FStore0     = (0x43, "fstore_0",     LocalWrite, f(1), f(0)),
+    FStore1     = (0x44, "fstore_1",     LocalWrite, f(1), f(0)),
+    FStore2     = (0x45, "fstore_2",     LocalWrite, f(1), f(0)),
+    FStore3     = (0x46, "fstore_3",     LocalWrite, f(1), f(0)),
+    DStore0     = (0x47, "dstore_0",     LocalWrite, f(1), f(0)),
+    DStore1     = (0x48, "dstore_1",     LocalWrite, f(1), f(0)),
+    DStore2     = (0x49, "dstore_2",     LocalWrite, f(1), f(0)),
+    DStore3     = (0x4a, "dstore_3",     LocalWrite, f(1), f(0)),
+    AStore0     = (0x4b, "astore_0",     LocalWrite, f(1), f(0)),
+    AStore1     = (0x4c, "astore_1",     LocalWrite, f(1), f(0)),
+    AStore2     = (0x4d, "astore_2",     LocalWrite, f(1), f(0)),
+    AStore3     = (0x4e, "astore_3",     LocalWrite, f(1), f(0)),
+    // -- Memory writes: array stores (Table 38) ----------------------------
+    IAStore     = (0x4f, "iastore",      MemWrite,  f(3), f(0)),
+    LAStore     = (0x50, "lastore",      MemWrite,  f(3), f(0)),
+    FAStore     = (0x51, "fastore",      MemWrite,  f(3), f(0)),
+    DAStore     = (0x52, "dastore",      MemWrite,  f(3), f(0)),
+    AAStore     = (0x53, "aastore",      MemWrite,  f(3), f(0)),
+    BAStore     = (0x54, "bastore",      MemWrite,  f(3), f(0)),
+    CAStore     = (0x55, "castore",      MemWrite,  f(3), f(0)),
+    SAStore     = (0x56, "sastore",      MemWrite,  f(3), f(0)),
+    // -- More Arithmetic/Move: stack shuffles (Table 31) -------------------
+    Pop         = (0x57, "pop",          ArithMove, f(1), f(0)),
+    Pop2        = (0x58, "pop2",         ArithMove, f(2), f(0)),
+    Dup         = (0x59, "dup",          ArithMove, f(1), f(2)),
+    DupX1       = (0x5a, "dup_x1",       ArithMove, f(2), f(3)),
+    DupX2       = (0x5b, "dup_x2",       ArithMove, f(3), f(4)),
+    Dup2        = (0x5c, "dup2",         ArithMove, f(2), f(4)),
+    Dup2X1      = (0x5d, "dup2_x1",      ArithMove, f(3), f(5)),
+    Dup2X2      = (0x5e, "dup2_x2",      ArithMove, f(4), f(6)),
+    Swap        = (0x5f, "swap",         ArithMove, f(2), f(2)),
+    // -- Integer arithmetic (Table 30) + float arithmetic (Table 32) -------
+    IAdd        = (0x60, "iadd",         ArithInteger, f(2), f(1)),
+    LAdd        = (0x61, "ladd",         ArithInteger, f(2), f(1)),
+    FAdd        = (0x62, "fadd",         FloatArith,   f(2), f(1)),
+    DAdd        = (0x63, "dadd",         FloatArith,   f(2), f(1)),
+    ISub        = (0x64, "isub",         ArithInteger, f(2), f(1)),
+    LSub        = (0x65, "lsub",         ArithInteger, f(2), f(1)),
+    FSub        = (0x66, "fsub",         FloatArith,   f(2), f(1)),
+    DSub        = (0x67, "dsub",         FloatArith,   f(2), f(1)),
+    IMul        = (0x68, "imul",         ArithInteger, f(2), f(1)),
+    LMul        = (0x69, "lmul",         ArithInteger, f(2), f(1)),
+    FMul        = (0x6a, "fmul",         FloatArith,   f(2), f(1)),
+    DMul        = (0x6b, "dmul",         FloatArith,   f(2), f(1)),
+    IDiv        = (0x6c, "idiv",         ArithInteger, f(2), f(1)),
+    LDiv        = (0x6d, "ldiv",         FloatArith,   f(2), f(1)),
+    FDiv        = (0x6e, "fdiv",         FloatArith,   f(2), f(1)),
+    DDiv        = (0x6f, "ddiv",         FloatArith,   f(2), f(1)),
+    IRem        = (0x70, "irem",         ArithInteger, f(2), f(1)),
+    LRem        = (0x71, "lrem",         ArithInteger, f(2), f(1)),
+    FRem        = (0x72, "frem",         FloatArith,   f(2), f(1)),
+    DRem        = (0x73, "drem",         FloatArith,   f(2), f(1)),
+    INeg        = (0x74, "ineg",         ArithInteger, f(1), f(1)),
+    LNeg        = (0x75, "lneg",         ArithInteger, f(1), f(1)),
+    FNeg        = (0x76, "fneg",         FloatArith,   f(1), f(1)),
+    DNeg        = (0x77, "dneg",         FloatArith,   f(1), f(1)),
+    IShl        = (0x78, "ishl",         ArithInteger, f(2), f(1)),
+    LShl        = (0x79, "lshl",         ArithInteger, f(2), f(1)),
+    IShr        = (0x7a, "ishr",         ArithInteger, f(2), f(1)),
+    LShr        = (0x7b, "lshr",         ArithInteger, f(2), f(1)),
+    IUShr       = (0x7c, "iushr",        ArithInteger, f(2), f(1)),
+    LUShr       = (0x7d, "lushr",        ArithInteger, f(2), f(1)),
+    IAnd        = (0x7e, "iand",         ArithInteger, f(2), f(1)),
+    LAnd        = (0x7f, "land",         ArithInteger, f(2), f(1)),
+    IOr         = (0x80, "ior",          ArithInteger, f(2), f(1)),
+    LOr         = (0x81, "lor",          ArithInteger, f(2), f(1)),
+    IXor        = (0x82, "ixor",         ArithInteger, f(2), f(1)),
+    LXor        = (0x83, "lxor",         ArithInteger, f(2), f(1)),
+    // -- Local increment (Table 39) -----------------------------------------
+    IInc        = (0x84, "iinc",         LocalInc,  f(0), f(0)),
+    // -- Conversions (Table 29) ---------------------------------------------
+    I2L         = (0x85, "i2l",          FloatConversion, f(1), f(1)),
+    I2F         = (0x86, "i2f",          FloatConversion, f(1), f(1)),
+    I2D         = (0x87, "i2d",          FloatConversion, f(1), f(1)),
+    L2I         = (0x88, "l2i",          FloatConversion, f(1), f(1)),
+    L2F         = (0x89, "l2f",          FloatConversion, f(1), f(1)),
+    L2D         = (0x8a, "l2d",          FloatConversion, f(1), f(1)),
+    F2I         = (0x8b, "f2i",          FloatConversion, f(1), f(1)),
+    F2L         = (0x8c, "f2l",          FloatConversion, f(1), f(1)),
+    F2D         = (0x8d, "f2d",          FloatConversion, f(1), f(1)),
+    D2I         = (0x8e, "d2i",          FloatConversion, f(1), f(1)),
+    D2L         = (0x8f, "d2l",          FloatConversion, f(1), f(1)),
+    D2F         = (0x90, "d2f",          FloatConversion, f(1), f(1)),
+    I2B         = (0x91, "i2b",          FloatConversion, f(1), f(1)),
+    I2C         = (0x92, "i2c",          FloatConversion, f(1), f(1)),
+    I2S         = (0x93, "i2s",          FloatConversion, f(1), f(1)),
+    // -- Comparisons producing an int (Table 32) ----------------------------
+    LCmp        = (0x94, "lcmp",         FloatArith, f(2), f(1)),
+    FCmpL       = (0x95, "fcmpl",        FloatArith, f(2), f(1)),
+    FCmpG       = (0x96, "fcmpg",        FloatArith, f(2), f(1)),
+    DCmpL       = (0x97, "dcmpl",        FloatArith, f(2), f(1)),
+    DCmpG       = (0x98, "dcmpg",        FloatArith, f(2), f(1)),
+    // -- Control flow (Table 33) --------------------------------------------
+    IfEq        = (0x99, "ifeq",         ControlFlow, f(1), f(0)),
+    IfNe        = (0x9a, "ifne",         ControlFlow, f(1), f(0)),
+    IfLt        = (0x9b, "iflt",         ControlFlow, f(1), f(0)),
+    IfGe        = (0x9c, "ifge",         ControlFlow, f(1), f(0)),
+    IfGt        = (0x9d, "ifgt",         ControlFlow, f(1), f(0)),
+    IfLe        = (0x9e, "ifle",         ControlFlow, f(1), f(0)),
+    IfICmpEq    = (0x9f, "if_icmpeq",    ControlFlow, f(2), f(0)),
+    IfICmpNe    = (0xa0, "if_icmpne",    ControlFlow, f(2), f(0)),
+    IfICmpLt    = (0xa1, "if_icmplt",    ControlFlow, f(2), f(0)),
+    IfICmpGe    = (0xa2, "if_icmpge",    ControlFlow, f(2), f(0)),
+    IfICmpGt    = (0xa3, "if_icmpgt",    ControlFlow, f(2), f(0)),
+    IfICmpLe    = (0xa4, "if_icmple",    ControlFlow, f(2), f(0)),
+    IfACmpEq    = (0xa5, "if_acmpeq",    ControlFlow, f(2), f(0)),
+    IfACmpNe    = (0xa6, "if_acmpne",    ControlFlow, f(2), f(0)),
+    Goto        = (0xa7, "goto",         ControlFlow, f(0), f(0)),
+    Jsr         = (0xa8, "jsr",          Special,     f(0), f(1)),
+    Ret         = (0xa9, "ret",          Special,     f(0), f(0)),
+    TableSwitch = (0xaa, "tableswitch",  Special,     f(1), f(0)),
+    LookupSwitch= (0xab, "lookupswitch", Special,     f(1), f(0)),
+    // -- Returns (Table 35) -------------------------------------------------
+    IReturn     = (0xac, "ireturn",      Return,    f(1), f(0)),
+    LReturn     = (0xad, "lreturn",      Return,    f(1), f(0)),
+    FReturn     = (0xae, "freturn",      Return,    f(1), f(0)),
+    DReturn     = (0xaf, "dreturn",      Return,    f(1), f(0)),
+    AReturn     = (0xb0, "areturn",      Return,    f(1), f(0)),
+    ReturnVoid  = (0xb1, "return",       Return,    f(0), f(0)),
+    // -- Field access (Tables 37/38) ----------------------------------------
+    GetStatic   = (0xb2, "getstatic",    MemRead,   f(0), f(1)),
+    PutStatic   = (0xb3, "putstatic",    MemWrite,  f(1), f(0)),
+    GetField    = (0xb4, "getfield",     MemRead,   f(1), f(1)),
+    PutField    = (0xb5, "putfield",     MemWrite,  f(2), f(0)),
+    // -- Calls (Table 34): stack effect depends on the signature ------------
+    InvokeVirtual   = (0xb6, "invokevirtual",   Call, V, V),
+    InvokeSpecial   = (0xb7, "invokespecial",   Call, V, V),
+    InvokeStatic    = (0xb8, "invokestatic",    Call, V, V),
+    InvokeInterface = (0xb9, "invokeinterface", Call, V, V),
+    InvokeDynamic   = (0xba, "invokedynamic",   Call, V, V),
+    // -- Object / service operations (Table 41) -----------------------------
+    New             = (0xbb, "new",           Special, f(0), f(1)),
+    NewArray        = (0xbc, "newarray",      Special, f(1), f(1)),
+    ANewArray       = (0xbd, "anewarray",     Special, f(1), f(1)),
+    ArrayLength     = (0xbe, "arraylength",   Special, f(1), f(1)),
+    AThrow          = (0xbf, "athrow",        Return,  f(1), f(0)),
+    CheckCast       = (0xc0, "checkcast",     Special, f(1), f(1)),
+    InstanceOf      = (0xc1, "instanceof",    Special, f(1), f(1)),
+    MonitorEnter    = (0xc2, "monitorenter",  Special, f(1), f(0)),
+    MonitorExit     = (0xc3, "monitorexit",   Special, f(1), f(0)),
+    Wide            = (0xc4, "wide",          Special, f(0), f(0)),
+    MultiANewArray  = (0xc5, "multianewarray", Special, V, f(1)),
+    IfNull          = (0xc6, "ifnull",        ControlFlow, f(1), f(0)),
+    IfNonNull       = (0xc7, "ifnonnull",     ControlFlow, f(1), f(0)),
+    GotoW           = (0xc8, "goto_w",        ControlFlow, f(0), f(0)),
+    JsrW            = (0xc9, "jsr_w",         Special,     f(0), f(1)),
+}
+
+impl Opcode {
+    /// Whether this opcode transfers control non-sequentially when taken.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self.group(),
+            InstructionGroup::ControlFlow
+        ) || matches!(self, Opcode::Jsr | Opcode::JsrW | Opcode::TableSwitch | Opcode::LookupSwitch)
+    }
+
+    /// Whether this opcode is an *unconditional* branch (`goto`/`goto_w`).
+    #[must_use]
+    pub fn is_goto(self) -> bool {
+        matches!(self, Opcode::Goto | Opcode::GotoW)
+    }
+
+    /// Whether this opcode is a conditional jump (`if*`).
+    #[must_use]
+    pub fn is_conditional(self) -> bool {
+        self.group() == InstructionGroup::ControlFlow && !self.is_goto()
+    }
+
+    /// Whether this opcode ends the current method (returns or `athrow`).
+    #[must_use]
+    pub fn is_return(self) -> bool {
+        self.group() == InstructionGroup::Return
+    }
+
+    /// Whether the opcode performs an *ordered* memory access (heap or
+    /// class data) that participates in `MEMORY_TOKEN` ordering.
+    ///
+    /// Constant-pool reads (`ldc*`) are unordered: the constant pool is
+    /// loaded before execution and never written (Section 6.3).
+    #[must_use]
+    pub fn is_ordered_memory(self) -> bool {
+        matches!(
+            self.group(),
+            InstructionGroup::MemRead | InstructionGroup::MemWrite
+        )
+    }
+}
+
+impl std::fmt::Display for Opcode {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_are_unique_and_ordered() {
+        let mut prev: i32 = -1;
+        for op in Opcode::ALL {
+            let b = i32::from(op.byte());
+            assert!(b > prev, "{op} byte 0x{b:02x} out of order");
+            prev = b;
+        }
+        assert_eq!(Opcode::ALL.len(), 0xca);
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(*op));
+        }
+        assert_eq!(Opcode::from_mnemonic("frobnicate"), None);
+    }
+
+    #[test]
+    fn variable_stack_effects_are_calls_or_multianewarray() {
+        for op in Opcode::ALL {
+            if op.base_pops().is_none() {
+                assert!(
+                    op.group() == InstructionGroup::Call || *op == Opcode::MultiANewArray,
+                    "{op} unexpectedly variable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Opcode::Goto.is_branch());
+        assert!(Opcode::Goto.is_goto());
+        assert!(!Opcode::Goto.is_conditional());
+        assert!(Opcode::IfICmpLt.is_conditional());
+        assert!(Opcode::TableSwitch.is_branch());
+        assert!(!Opcode::IAdd.is_branch());
+        assert!(Opcode::AThrow.is_return());
+        assert!(Opcode::ReturnVoid.is_return());
+    }
+
+    #[test]
+    fn ordered_memory_excludes_constant_pool() {
+        assert!(Opcode::GetField.is_ordered_memory());
+        assert!(Opcode::IAStore.is_ordered_memory());
+        assert!(!Opcode::Ldc.is_ordered_memory());
+        assert!(!Opcode::IAdd.is_ordered_memory());
+    }
+}

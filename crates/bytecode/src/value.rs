@@ -1,0 +1,213 @@
+//! Runtime values and the JavaFlow datatype tags.
+//!
+//! Java is strongly typed (Figure 8 / Figure 15): every datum carried on the
+//! serial or mesh networks is tagged with its type so that mismatches can
+//! raise exceptions instead of corrupting state.
+
+/// A strongly typed JVM value.
+///
+/// JavaFlow reasons in whole values: `long` and `double` are single values
+/// here, matching the dissertation's Appendix A pop/push accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 32-bit signed integer (also carries boolean/byte/char/short).
+    Int(i32),
+    /// 64-bit signed integer.
+    Long(i64),
+    /// 32-bit IEEE float.
+    Float(f32),
+    /// 64-bit IEEE double.
+    Double(f64),
+    /// Object/array reference: a heap handle, or `None` for `null`.
+    Ref(Option<u32>),
+    /// A `jsr` return address (linear instruction index).
+    RetAddr(u32),
+}
+
+/// The network type tag for a value (Figure 15 `JavaFlow DataTypes`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// `int` family.
+    Int,
+    /// `long`.
+    Long,
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+    /// Object or array reference.
+    Reference,
+    /// Subroutine return address.
+    ReturnAddress,
+}
+
+impl Value {
+    /// A null reference.
+    pub const NULL: Value = Value::Ref(None);
+
+    /// The network type tag for this value.
+    #[must_use]
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Long(_) => DataType::Long,
+            Value::Float(_) => DataType::Float,
+            Value::Double(_) => DataType::Double,
+            Value::Ref(_) => DataType::Reference,
+            Value::RetAddr(_) => DataType::ReturnAddress,
+        }
+    }
+
+    /// Extracts an `int`, or `None` if the value is not an `Int`.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i32> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `long`.
+    #[must_use]
+    pub fn as_long(&self) -> Option<i64> {
+        match self {
+            Value::Long(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `float`.
+    #[must_use]
+    pub fn as_float(&self) -> Option<f32> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `double`.
+    #[must_use]
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a reference handle (`Some(None)` is a present-but-null ref).
+    #[must_use]
+    pub fn as_ref_handle(&self) -> Option<Option<u32>> {
+        match self {
+            Value::Ref(h) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is the default zero of its type.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Value::Int(v) => *v == 0,
+            Value::Long(v) => *v == 0,
+            Value::Float(v) => *v == 0.0,
+            Value::Double(v) => *v == 0.0,
+            Value::Ref(h) => h.is_none(),
+            Value::RetAddr(_) => false,
+        }
+    }
+
+    /// Bit-exact equality (distinguishes NaNs; used by tests comparing the
+    /// interpreter golden model against fabric execution).
+    #[must_use]
+    pub fn bits_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Long(a), Value::Long(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Double(a), Value::Double(b)) => a.to_bits() == b.to_bits(),
+            (Value::Ref(a), Value::Ref(b)) => a == b,
+            (Value::RetAddr(a), Value::RetAddr(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(v) => write!(fm, "{v}"),
+            Value::Long(v) => write!(fm, "{v}L"),
+            Value::Float(v) => write!(fm, "{v}f"),
+            Value::Double(v) => write!(fm, "{v}d"),
+            Value::Ref(None) => write!(fm, "null"),
+            Value::Ref(Some(h)) => write!(fm, "ref#{h}"),
+            Value::RetAddr(a) => write!(fm, "ret@{a}"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Long(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_tags() {
+        assert_eq!(Value::Int(3).data_type(), DataType::Int);
+        assert_eq!(Value::Double(1.0).data_type(), DataType::Double);
+        assert_eq!(Value::NULL.data_type(), DataType::Reference);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_long(), None);
+        assert_eq!(Value::Long(9).as_long(), Some(9));
+        assert_eq!(Value::Ref(Some(4)).as_ref_handle(), Some(Some(4)));
+        assert_eq!(Value::NULL.as_ref_handle(), Some(None));
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Value::Int(0).is_zero());
+        assert!(Value::NULL.is_zero());
+        assert!(!Value::Int(1).is_zero());
+        assert!(!Value::RetAddr(0).is_zero());
+    }
+
+    #[test]
+    fn bit_equality_distinguishes_nan_payloads() {
+        let a = Value::Float(f32::NAN);
+        let b = Value::Float(f32::from_bits(f32::NAN.to_bits() ^ 1));
+        assert!(!a.bits_eq(&b));
+        assert!(a.bits_eq(&Value::Float(f32::NAN)));
+        assert!(!Value::Int(1).bits_eq(&Value::Long(1)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::NULL.to_string(), "null");
+        assert_eq!(Value::Long(5).to_string(), "5L");
+    }
+}

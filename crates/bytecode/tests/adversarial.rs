@@ -1,0 +1,206 @@
+//! Adversarial and consistency tests for the ByteCode substrate: the
+//! verifier against malformed streams, opcode-table invariants, assembler
+//! error paths, and builder/verifier integration.
+
+use javaflow_bytecode::{
+    asm, verify, Insn, InstructionGroup, Method, MethodBuilder, Opcode, Operand, VerifyError,
+};
+
+#[test]
+fn opcode_table_stack_effects_are_group_consistent() {
+    for op in Opcode::ALL {
+        let (Some(pops), Some(pushes)) = (op.base_pops(), op.base_pushes()) else {
+            continue;
+        };
+        match op.group() {
+            InstructionGroup::LocalRead => {
+                assert_eq!((pops, pushes), (0, 1), "{op}");
+            }
+            InstructionGroup::LocalWrite => {
+                assert_eq!((pops, pushes), (1, 0), "{op}");
+            }
+            InstructionGroup::LocalInc => {
+                assert_eq!((pops, pushes), (0, 0), "{op}");
+            }
+            InstructionGroup::MemConst => {
+                assert_eq!((pops, pushes), (0, 1), "{op}");
+            }
+            InstructionGroup::ControlFlow => {
+                assert!(pops <= 2 && pushes == 0, "{op}");
+            }
+            InstructionGroup::Return => {
+                assert!(pops <= 1 && pushes == 0, "{op}");
+            }
+            InstructionGroup::ArithInteger | InstructionGroup::FloatArith => {
+                assert!((1..=2).contains(&pops) && pushes == 1, "{op}");
+            }
+            InstructionGroup::FloatConversion => {
+                assert_eq!((pops, pushes), (1, 1), "{op}");
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn every_branch_opcode_has_classification() {
+    let branches: Vec<&Opcode> = Opcode::ALL.iter().filter(|o| o.is_branch()).collect();
+    assert!(branches.len() >= 20);
+    for op in branches {
+        assert!(
+            op.is_goto() || op.is_conditional() || matches!(
+                op,
+                Opcode::Jsr | Opcode::JsrW | Opcode::TableSwitch | Opcode::LookupSwitch
+            ),
+            "{op} unclassified"
+        );
+    }
+}
+
+#[test]
+fn verifier_rejects_depth_divergent_loop() {
+    // A loop that nets +1 stack per iteration must be rejected (the stack
+    // shape at the loop head differs between entries).
+    let mut m = Method::new("t", 1, false);
+    m.max_locals = 1;
+    m.code = vec![
+        Insn::simple(Opcode::IConst0),               // 0: push (loop head)
+        Insn::new(Opcode::ILoad, Operand::Local(0)), // 1
+        Insn::new(Opcode::IfNe, Operand::Target(0)), // 2: back edge, net +1
+        Insn::simple(Opcode::ReturnVoid),            // 3
+    ];
+    assert!(matches!(verify(&m), Err(VerifyError::ShapeMismatch { .. })));
+}
+
+#[test]
+fn verifier_handles_dense_diamonds() {
+    // Nested diamonds with stack values crossing the joins: stays
+    // polynomial and produces the union of producers.
+    let src = ".method d args=3 returns=true locals=3
+       iload 0
+       ifeq @b1
+       iload 1
+       goto @j1
+     b1:
+       iload 2
+     j1:
+       iload 0
+       ifne @b2
+       iconst_1
+       goto @j2
+     b2:
+       iconst_2
+     j2:
+       iadd
+       ireturn
+     .end";
+    let p = asm::assemble(src).unwrap();
+    let (_, m) = p.method_by_name("d").unwrap();
+    let v = verify(m).unwrap();
+    assert_eq!(v.merges, 2);
+    assert_eq!(v.back_merges, 0);
+    // iadd (@10) side 1 is fed by both iload 1 (@2) and iload 2 (@4);
+    // side 2 by the two constants (@7, @9).
+    let feeders = |side: u16| -> Vec<u32> {
+        v.edges
+            .iter()
+            .filter(|e| e.consumer == 10 && e.side == side)
+            .map(|e| e.producer)
+            .collect()
+    };
+    assert_eq!(feeders(1), vec![2, 4]);
+    assert_eq!(feeders(2), vec![7, 9]);
+}
+
+#[test]
+fn assembler_rejects_malformed_programs() {
+    let cases: &[(&str, &str)] = &[
+        (".method t args=0 returns=false\n  bogus\n.end", "unknown opcode"),
+        (".method t args=0 returns=false\n  goto nowhere\n.end", "must start with `@`"),
+        (".method t args=0 returns=false\n  iload\n.end", "expects 1 operand"),
+        (".method t args=0 returns=false\n  getfield Missing 0\n.end", "unknown class"),
+        (".method t args=0 returns=false\n  invokestatic ghost\n.end", "unknown callee"),
+        (".method t args=0 returns=false\n  return", "missing .end"),
+        (".method t args=0 returns=false\n x:\n x:\n  return\n.end", "duplicate label"),
+        ("  iadd\n", "outside .method"),
+        (".const int 3\n", "outside .method"),
+    ];
+    for (src, needle) in cases {
+        let err = asm::assemble(src).unwrap_err();
+        assert!(
+            err.message.contains(needle),
+            "source {src:?}: expected {needle:?} in {:?}",
+            err.message
+        );
+    }
+}
+
+#[test]
+fn builder_switch_integrates_with_interpreter() {
+    let mut b = MethodBuilder::new("sw", 1, true);
+    let a = b.new_label();
+    let c = b.new_label();
+    let d = b.new_label();
+    b.iload(0);
+    b.switch(vec![(1, a), (2, c)], d);
+    b.bind(a);
+    b.iconst(100);
+    b.op(Opcode::IReturn);
+    b.bind(c);
+    b.iconst(200);
+    b.op(Opcode::IReturn);
+    b.bind(d);
+    b.iconst(-1);
+    b.op(Opcode::IReturn);
+    let m = b.finish().unwrap();
+    let p = javaflow_bytecode::Program::from(m);
+    let run = |v: i32| {
+        let mut jvm = javaflow_interp::Interp::new(&p);
+        jvm.run(javaflow_bytecode::MethodId(0), &[javaflow_bytecode::Value::Int(v)])
+            .unwrap()
+            .unwrap()
+    };
+    assert_eq!(run(1), javaflow_bytecode::Value::Int(100));
+    assert_eq!(run(2), javaflow_bytecode::Value::Int(200));
+    assert_eq!(run(9), javaflow_bytecode::Value::Int(-1));
+}
+
+#[test]
+fn disassembly_is_stable() {
+    // Disassembling twice yields identical text (no hidden state).
+    let src = ".class K fields=1 statics=1
+     .method t args=1 returns=true locals=2
+     .const double 6.25
+       ldc2_w #0
+       dload 0
+       dmul
+       dreturn
+     .end";
+    let p = asm::assemble(src).unwrap();
+    let once = asm::disassemble(&p);
+    let twice = asm::disassemble(&asm::assemble(&once).unwrap());
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn display_formats_are_readable() {
+    assert_eq!(Insn::simple(Opcode::DAdd).to_string(), "dadd");
+    assert_eq!(
+        Insn::new(Opcode::Goto, Operand::Target(7)).to_string(),
+        "goto @7"
+    );
+    assert_eq!(
+        Insn::new(Opcode::ILoad, Operand::Local(9)).to_string(),
+        "iload 9"
+    );
+    assert_eq!(InstructionGroup::FloatArith.to_string(), "float-arith");
+}
+
+#[test]
+fn method_error_display_is_located() {
+    let mut m = Method::new("t", 0, false);
+    m.code = vec![Insn::new(Opcode::Goto, Operand::Target(99)), Insn::simple(Opcode::ReturnVoid)];
+    let e = m.validate().unwrap_err();
+    let text = e.to_string();
+    assert!(text.contains("@0") && text.contains("@99"), "{text}");
+}

@@ -1,0 +1,83 @@
+//! The Table 16 method filters.
+
+use crate::MethodRecord;
+
+/// Population filters (Table 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Filter {
+    /// Every method.
+    All,
+    /// `10 < instructions < 1000` — methods worth an Anchor and small
+    /// enough for a ≤10K-node fabric.
+    Filter1,
+    /// The dynamic-90% hot methods, with the Filter 1 size limits.
+    Filter2,
+}
+
+impl Filter {
+    /// All filters in Table 16 order.
+    pub const ALL: &'static [Filter] = &[Filter::All, Filter::Filter1, Filter::Filter2];
+
+    /// Display label matching the dissertation.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Filter::All => "Filter All",
+            Filter::Filter1 => "Filter 1",
+            Filter::Filter2 => "Filter 2",
+        }
+    }
+
+    /// Whether a record passes this filter.
+    #[must_use]
+    pub fn matches(self, record: &MethodRecord) -> bool {
+        let size_ok = record.len() > 10 && record.len() < 1000;
+        match self {
+            Filter::All => true,
+            Filter::Filter1 => size_ok,
+            Filter::Filter2 => size_ok && record.is_hot(),
+        }
+    }
+}
+
+impl std::fmt::Display for Filter {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javaflow_bytecode::{Insn, Method, Opcode};
+
+    fn record(len: usize, hot: bool) -> MethodRecord {
+        let mut m = Method::new("t", 0, false);
+        for _ in 0..len.saturating_sub(1) {
+            m.code.push(Insn::simple(Opcode::Nop));
+        }
+        m.code.push(Insn::simple(Opcode::ReturnVoid));
+        MethodRecord {
+            name: "t".into(),
+            benchmark: None,
+            suite: None,
+            hot_rank: hot.then_some(0),
+            method: m,
+        }
+    }
+
+    #[test]
+    fn filter_semantics() {
+        let tiny = record(5, true);
+        let mid = record(100, false);
+        let mid_hot = record(100, true);
+        let huge = record(1500, true);
+        assert!(Filter::All.matches(&tiny) && Filter::All.matches(&huge));
+        assert!(!Filter::Filter1.matches(&tiny));
+        assert!(Filter::Filter1.matches(&mid));
+        assert!(!Filter::Filter1.matches(&huge));
+        assert!(!Filter::Filter2.matches(&mid));
+        assert!(Filter::Filter2.matches(&mid_hot));
+        assert!(!Filter::Filter2.matches(&huge));
+    }
+}

@@ -1,0 +1,491 @@
+//! The Chapter 7 measurement harness.
+//!
+//! [`Evaluation::run`] executes the whole population on every machine
+//! configuration under both branch-predictor scripts (BP-1/BP-2), exactly
+//! as the dissertation's simulation runs did, and exposes accessors that
+//! regenerate each results table: raw IPC and Figure-of-Merit summaries
+//! under the Table 16 filters, coverage, node-span ratios, parallelism,
+//! correlations, and the per-benchmark hot-method breakdowns of
+//! Tables 27/28.
+
+use javaflow_analysis::{pearson, Summary};
+use javaflow_bytecode::{verify, Cfg};
+use javaflow_fabric::{
+    execute, place, resolve, BranchMode, ExecParams, ExecReport, FabricConfig, LoadedMethod,
+    Outcome, ResolveStats,
+};
+use javaflow_workloads::SuiteKind;
+
+use crate::{population, Filter, MethodRecord};
+
+/// Evaluation parameters.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Synthetic-population size added to the suite methods.
+    pub synthetic_count: usize,
+    /// Per-run mesh-cycle budget (the dissertation's timeout filter).
+    pub max_mesh_cycles: u64,
+    /// Machine configurations to evaluate (defaults to the Table 15 six).
+    pub configs: Vec<FabricConfig>,
+}
+
+impl Default for EvalConfig {
+    fn default() -> EvalConfig {
+        EvalConfig {
+            synthetic_count: 240,
+            max_mesh_cycles: 250_000,
+            configs: FabricConfig::all_six(),
+        }
+    }
+}
+
+/// Static, per-method measurements (configuration-independent parts plus
+/// per-configuration placement).
+#[derive(Debug, Clone)]
+pub struct MethodStatics {
+    /// Static instruction count.
+    pub static_len: usize,
+    /// Register count.
+    pub max_locals: u16,
+    /// Operand-stack depth.
+    pub max_stack: u16,
+    /// Resolution statistics (Tables 7, 10–12).
+    pub resolve: ResolveStats,
+    /// Forward jumps `(count, avg length, max length)` (Table 13).
+    pub fwd_jumps: (usize, f64, u32),
+    /// Backward jumps `(count, avg length, max length)` (Table 14).
+    pub back_jumps: (usize, f64, u32),
+    /// Nodes-spanned / instructions per configuration (Tables 19/20).
+    pub span_ratio: Vec<f64>,
+    /// Whether the method loads on each configuration.
+    pub loadable: Vec<bool>,
+}
+
+/// One scripted execution sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Index into [`Evaluation::records`].
+    pub record: usize,
+    /// Index into [`Evaluation::configs`].
+    pub config: usize,
+    /// Branch script used.
+    pub bp: BranchMode,
+    /// The execution report.
+    pub report: ExecReport,
+    /// Whether the run returned (timeouts/deadlocks are filtered from the
+    /// aggregate statistics, as in the dissertation).
+    pub ok: bool,
+}
+
+/// The complete evaluation data set.
+#[derive(Debug)]
+pub struct Evaluation {
+    /// The population.
+    pub records: Vec<MethodRecord>,
+    /// The machine configurations, index-aligned with sample/config ids.
+    pub configs: Vec<FabricConfig>,
+    /// Per-record static measurements.
+    pub statics: Vec<MethodStatics>,
+    /// All execution samples.
+    pub samples: Vec<Sample>,
+}
+
+/// A per-configuration row of the IPC / Figure-of-Merit tables.
+#[derive(Debug, Clone)]
+pub struct ConfigRow {
+    /// Configuration name.
+    pub name: &'static str,
+    /// Raw IPC summary over samples (Table 21/24/25 left half).
+    pub ipc: Summary,
+    /// Figure of Merit relative to the baseline (right half); the baseline
+    /// row is identically 1.
+    pub fom: Summary,
+}
+
+impl Evaluation {
+    /// Runs the full evaluation.
+    #[must_use]
+    pub fn run(cfg: &EvalConfig) -> Evaluation {
+        let records = population(cfg.synthetic_count);
+        let configs = cfg.configs.clone();
+        let mut statics = Vec::with_capacity(records.len());
+        let mut samples = Vec::new();
+
+        for (ri, rec) in records.iter().enumerate() {
+            let v = verify(&rec.method).expect("population verifies");
+            let r = resolve(&rec.method).expect("population resolves");
+            let g = Cfg::build(&rec.method);
+            let mut span_ratio = Vec::with_capacity(configs.len());
+            let mut loadable = Vec::with_capacity(configs.len());
+            for fc in &configs {
+                match place(&rec.method, fc) {
+                    Ok(p) => {
+                        span_ratio.push(p.span_ratio());
+                        loadable.push(true);
+                    }
+                    Err(_) => {
+                        span_ratio.push(f64::NAN);
+                        loadable.push(false);
+                    }
+                }
+            }
+            statics.push(MethodStatics {
+                static_len: rec.method.len(),
+                max_locals: rec.method.max_locals,
+                max_stack: v.max_stack,
+                resolve: r.stats.clone(),
+                fwd_jumps: g.forward_jump_stats(),
+                back_jumps: g.back_jump_stats(),
+                span_ratio,
+                loadable,
+            });
+
+            for (ci, fc) in configs.iter().enumerate() {
+                if !statics[ri].loadable[ci] {
+                    continue;
+                }
+                let Ok(loaded) = javaflow_fabric::load(&rec.method, fc) else {
+                    continue;
+                };
+                for bp in [BranchMode::Bp1, BranchMode::Bp2] {
+                    let report = run_scripted(&loaded, fc, bp, cfg.max_mesh_cycles);
+                    let ok = matches!(report.outcome, Outcome::Returned(_));
+                    samples.push(Sample { record: ri, config: ci, bp, report, ok });
+                }
+            }
+        }
+        Evaluation { records, configs, statics, samples }
+    }
+
+    fn baseline_index(&self) -> usize {
+        self.configs.iter().position(|c| c.collapsed).unwrap_or(0)
+    }
+
+    /// Record indices passing a filter.
+    pub fn filtered(&self, filter: Filter) -> Vec<usize> {
+        (0..self.records.len()).filter(|i| filter.matches(&self.records[*i])).collect()
+    }
+
+    /// Sample lookup: `(record, config, bp)` → report, when it returned.
+    #[must_use]
+    pub fn sample(&self, record: usize, config: usize, bp: BranchMode) -> Option<&ExecReport> {
+        self.samples
+            .iter()
+            .find(|s| s.record == record && s.config == config && s.bp == bp && s.ok)
+            .map(|s| &s.report)
+    }
+
+    /// IPC and Figure-of-Merit rows per configuration under a filter
+    /// (Tables 21/22/24/25).
+    #[must_use]
+    pub fn config_rows(&self, filter: Filter) -> Vec<ConfigRow> {
+        let base = self.baseline_index();
+        let selected = self.filtered(filter);
+        let mut rows = Vec::new();
+        for (ci, fc) in self.configs.iter().enumerate() {
+            let mut ipcs = Vec::new();
+            let mut foms = Vec::new();
+            for &ri in &selected {
+                for bp in [BranchMode::Bp1, BranchMode::Bp2] {
+                    let Some(rep) = self.sample(ri, ci, bp) else { continue };
+                    ipcs.push(rep.ipc);
+                    if let Some(baseline) = self.sample(ri, base, bp) {
+                        if baseline.ipc > 0.0 {
+                            foms.push(rep.ipc / baseline.ipc);
+                        }
+                    }
+                }
+            }
+            let ipc = Summary::of(&ipcs).unwrap_or(Summary {
+                mean: 0.0,
+                std_dev: 0.0,
+                median: 0.0,
+                max: 0.0,
+                min: 0.0,
+                n: 0,
+            });
+            let fom = Summary::of(&foms).unwrap_or(Summary {
+                mean: 0.0,
+                std_dev: 0.0,
+                median: 0.0,
+                max: 0.0,
+                min: 0.0,
+                n: 0,
+            });
+            rows.push(ConfigRow { name: fc.name, ipc, fom });
+        }
+        rows
+    }
+
+    /// Mean execution coverage per branch script (Table 18).
+    #[must_use]
+    pub fn coverage(&self, bp: BranchMode) -> f64 {
+        let base = self.baseline_index();
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for s in &self.samples {
+            if s.config == base && s.bp == bp && s.ok {
+                total += s.report.coverage;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// Mean nodes-spanned / instructions ratio per configuration
+    /// (Table 19); detail summary for one configuration (Table 20).
+    #[must_use]
+    pub fn span_summary(&self, config: usize, filter: Filter) -> Option<Summary> {
+        let vals: Vec<f64> = self
+            .filtered(filter)
+            .into_iter()
+            .filter_map(|ri| {
+                let v = self.statics[ri].span_ratio[config];
+                v.is_finite().then_some(v)
+            })
+            .collect();
+        Summary::of(&vals)
+    }
+
+    /// Mean fraction of time with ≥2 instructions executing, per
+    /// configuration (Table 26).
+    #[must_use]
+    pub fn parallelism(&self) -> Vec<(&'static str, f64)> {
+        self.configs
+            .iter()
+            .enumerate()
+            .map(|(ci, fc)| {
+                let mut total = 0.0;
+                let mut n = 0usize;
+                for s in &self.samples {
+                    if s.config == ci && s.ok {
+                        total += s.report.frac_cycles_ge2;
+                        n += 1;
+                    }
+                }
+                (fc.name, if n == 0 { 0.0 } else { total / n as f64 })
+            })
+            .collect()
+    }
+
+    /// Correlations of the hetero-configuration Figure of Merit with
+    /// method characteristics (Table 23). Returns
+    /// `(factor name, correlation)` pairs.
+    #[must_use]
+    pub fn correlations(&self, hetero_config: usize, filter: Filter) -> Vec<(&'static str, f64)> {
+        let base = self.baseline_index();
+        let mut fm = Vec::new();
+        let mut total_i = Vec::new();
+        let mut executed = Vec::new();
+        let mut max_node = Vec::new();
+        let mut back_jumps = Vec::new();
+        for ri in self.filtered(filter) {
+            let (Some(h), Some(b)) = (
+                self.sample(ri, hetero_config, BranchMode::Bp1),
+                self.sample(ri, base, BranchMode::Bp1),
+            ) else {
+                continue;
+            };
+            if b.ipc <= 0.0 {
+                continue;
+            }
+            fm.push(h.ipc / b.ipc);
+            total_i.push(self.statics[ri].static_len as f64);
+            executed.push(h.executed as f64);
+            max_node.push(
+                self.statics[ri].span_ratio[hetero_config] * self.statics[ri].static_len as f64,
+            );
+            back_jumps.push(self.statics[ri].back_jumps.0 as f64);
+        }
+        vec![
+            ("Total I", pearson(&fm, &total_i).unwrap_or(0.0)),
+            ("Executed I", pearson(&fm, &executed).unwrap_or(0.0)),
+            ("Max Node", pearson(&fm, &max_node).unwrap_or(0.0)),
+            ("Back Jumps", pearson(&fm, &back_jumps).unwrap_or(0.0)),
+        ]
+    }
+
+    /// Per-hot-method Figures of Merit for a suite generation (Tables
+    /// 27/28). Rows are `(benchmark, method name, total insts, hetero
+    /// nodes spanned, fm per config)`.
+    #[must_use]
+    pub fn hot_method_rows(
+        &self,
+        suite: SuiteKind,
+    ) -> Vec<(&'static str, String, usize, usize, Vec<f64>)> {
+        let base = self.baseline_index();
+        let hetero = self
+            .configs
+            .iter()
+            .position(|c| c.layout == javaflow_fabric::Layout::Heterogeneous)
+            .unwrap_or(self.configs.len() - 1);
+        let mut rows = Vec::new();
+        for (ri, rec) in self.records.iter().enumerate() {
+            if rec.suite != Some(suite) || !rec.is_hot() {
+                continue;
+            }
+            if !Filter::Filter1.matches(rec) {
+                continue;
+            }
+            let mut fms = Vec::new();
+            for ci in 0..self.configs.len() {
+                let fm = match (
+                    self.sample(ri, ci, BranchMode::Bp1),
+                    self.sample(ri, base, BranchMode::Bp1),
+                ) {
+                    (Some(c), Some(b)) if b.ipc > 0.0 => c.ipc / b.ipc,
+                    _ => f64::NAN,
+                };
+                fms.push(fm);
+            }
+            let spanned =
+                (self.statics[ri].span_ratio[hetero] * rec.len() as f64).round() as usize;
+            rows.push((
+                rec.benchmark.unwrap_or("?"),
+                rec.method.name.clone(),
+                rec.len(),
+                spanned,
+                fms,
+            ));
+        }
+        rows.sort_by(|a, b| a.0.cmp(b.0).then(a.1.cmp(&b.1)));
+        rows
+    }
+
+    /// Summaries of per-method dataflow statistics under a filter
+    /// (Tables 9–14): returns named summaries.
+    #[must_use]
+    pub fn dataflow_summaries(&self, filter: Filter) -> Vec<(&'static str, Summary)> {
+        let sel = self.filtered(filter);
+        let grab = |f: &dyn Fn(usize) -> f64| -> Vec<f64> { sel.iter().map(|&i| f(i)).collect() };
+        let mut out = Vec::new();
+        let pairs: Vec<(&'static str, Vec<f64>)> = vec![
+            ("Static Inst", grab(&|i| self.statics[i].static_len as f64)),
+            ("Local Regs", grab(&|i| f64::from(self.statics[i].max_locals))),
+            ("Stack", grab(&|i| f64::from(self.statics[i].max_stack))),
+            ("Back Merge", grab(&|i| f64::from(self.statics[i].resolve.back_merges))),
+            ("FanOut Avg", grab(&|i| self.statics[i].resolve.fanout_avg)),
+            ("FanOut Max", grab(&|i| f64::from(self.statics[i].resolve.fanout_max))),
+            ("Arc Avg", grab(&|i| self.statics[i].resolve.arc_avg)),
+            ("Arc Max", grab(&|i| f64::from(self.statics[i].resolve.arc_max))),
+            ("Max Q Up", grab(&|i| f64::from(self.statics[i].resolve.max_up_queue))),
+            ("Merges", grab(&|i| f64::from(self.statics[i].resolve.merges))),
+            ("Fwd Jumps", grab(&|i| self.statics[i].fwd_jumps.0 as f64)),
+            ("Fwd Avg Len", grab(&|i| self.statics[i].fwd_jumps.1)),
+            ("Fwd Max Len", grab(&|i| f64::from(self.statics[i].fwd_jumps.2))),
+            ("Back Jumps", grab(&|i| self.statics[i].back_jumps.0 as f64)),
+            ("Back Avg Len", grab(&|i| self.statics[i].back_jumps.1)),
+            ("Back Max Len", grab(&|i| f64::from(self.statics[i].back_jumps.2))),
+        ];
+        for (name, vals) in pairs {
+            if let Some(s) = Summary::of(&vals) {
+                out.push((name, s));
+            }
+        }
+        out
+    }
+}
+
+fn run_scripted(
+    loaded: &LoadedMethod<'_>,
+    fc: &FabricConfig,
+    bp: BranchMode,
+    max_mesh_cycles: u64,
+) -> ExecReport {
+    execute(
+        loaded,
+        fc,
+        ExecParams { mode: bp, max_mesh_cycles, ..ExecParams::default() },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_eval() -> Evaluation {
+        Evaluation::run(&EvalConfig {
+            synthetic_count: 12,
+            max_mesh_cycles: 150_000,
+            ..EvalConfig::default()
+        })
+    }
+
+    #[test]
+    fn evaluation_produces_samples_for_all_configs() {
+        let e = small_eval();
+        assert_eq!(e.configs.len(), 6);
+        for ci in 0..6 {
+            let n = e.samples.iter().filter(|s| s.config == ci).count();
+            assert!(n > 0, "config {ci} produced no samples");
+        }
+        // The overwhelming majority of runs must return.
+        let ok = e.samples.iter().filter(|s| s.ok).count();
+        assert!(
+            ok as f64 / e.samples.len() as f64 > 0.9,
+            "only {ok}/{} samples returned",
+            e.samples.len()
+        );
+    }
+
+    #[test]
+    fn fom_ordering_matches_chapter_7() {
+        let e = small_eval();
+        let rows = e.config_rows(Filter::All);
+        let by_name: std::collections::HashMap<&str, f64> =
+            rows.iter().map(|r| (r.name, r.fom.mean)).collect();
+        assert!((by_name["Baseline"] - 1.0).abs() < 1e-9);
+        assert!(by_name["Compact10"] >= by_name["Compact4"]);
+        assert!(by_name["Compact4"] >= by_name["Compact2"]);
+        assert!(by_name["Compact2"] >= by_name["Sparse2"]);
+        assert!(by_name["Sparse2"] >= by_name["Hetero2"] - 0.05);
+        // The headline: Hetero2 lands near 40% of baseline.
+        assert!(
+            (0.15..0.85).contains(&by_name["Hetero2"]),
+            "Hetero2 FoM {} out of plausible range",
+            by_name["Hetero2"]
+        );
+    }
+
+    #[test]
+    fn span_ratios_match_table_19() {
+        let e = small_eval();
+        // Homogeneous compact configurations span exactly 1 node per
+        // instruction, sparse ≈ 2, heterogeneous ≈ 3.
+        let compact = e.span_summary(3, Filter::Filter1).unwrap();
+        assert!((compact.mean - 1.0).abs() < 1e-9);
+        let sparse = e.span_summary(4, Filter::Filter1).unwrap();
+        assert!((sparse.mean - 2.0).abs() < 0.1, "sparse {}", sparse.mean);
+        let hetero = e.span_summary(5, Filter::Filter1).unwrap();
+        assert!((2.2..4.5).contains(&hetero.mean), "hetero {}", hetero.mean);
+    }
+
+    #[test]
+    fn no_back_merges_anywhere() {
+        let e = small_eval();
+        for (s, r) in e.statics.iter().zip(&e.records) {
+            assert_eq!(s.resolve.back_merges, 0, "{} has back merges", r.name);
+        }
+    }
+
+    #[test]
+    fn coverage_in_chapter_7_range() {
+        let e = small_eval();
+        for bp in [BranchMode::Bp1, BranchMode::Bp2] {
+            let c = e.coverage(bp);
+            assert!((0.5..=1.0).contains(&c), "coverage {c} for {bp:?}");
+        }
+    }
+
+    #[test]
+    fn parallelism_decreases_with_distance() {
+        let e = small_eval();
+        let p = e.parallelism();
+        let map: std::collections::HashMap<&str, f64> = p.into_iter().collect();
+        assert!(map["Baseline"] >= map["Hetero2"], "{map:?}");
+    }
+}

@@ -1,0 +1,53 @@
+//! The JavaFlow machine: public API and evaluation harness.
+//!
+//! This crate ties the substrates together into the system the dissertation
+//! describes (Figure 12) and evaluates (Chapter 7):
+//!
+//! * [`Machine`] — deploy and execute Java methods on a DataFlow fabric
+//!   configuration with real data, backed by the GPP interpreter and the
+//!   shared heap;
+//! * [`Evaluation`] — the measurement harness: the whole method population
+//!   (suite + synthetic) × six configurations × two branch scripts, with
+//!   accessors regenerating every results table (IPC, Figure of Merit,
+//!   coverage, span ratios, parallelism, correlations, hot-method rows);
+//! * [`Filter`] — the Table 16 population filters;
+//! * [`population`] — the evaluated method set.
+//!
+//! # Quick start
+//!
+//! ```
+//! use javaflow_bytecode::{asm, Value};
+//! use javaflow_core::Machine;
+//! use javaflow_fabric::FabricConfig;
+//!
+//! let program = asm::assemble(
+//!     ".method fma args=3 returns=true locals=3
+//!        iload 0
+//!        iload 1
+//!        imul
+//!        iload 2
+//!        iadd
+//!        ireturn
+//!      .end",
+//! )
+//! .unwrap();
+//! let mut machine = Machine::new(&program, FabricConfig::hetero2());
+//! let run = machine
+//!     .run_named("fma", &[Value::Int(6), Value::Int(7), Value::Int(0)])
+//!     .unwrap();
+//! assert_eq!(run.value, Some(Value::Int(42)));
+//! println!("{} mesh cycles, IPC {:.2}", run.report.mesh_cycles, run.report.ipc);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod filter;
+mod harness;
+mod machine;
+mod population;
+
+pub use filter::Filter;
+pub use harness::{ConfigRow, EvalConfig, Evaluation, MethodStatics, Sample};
+pub use machine::{Machine, MachineError, MachineRun};
+pub use population::{population, MethodRecord};

@@ -1,0 +1,103 @@
+//! The evaluated method population: every method of the 14-benchmark suite
+//! plus the synthetic population, each tagged with its provenance so the
+//! Table 16 filters and the Tables 27/28 per-benchmark views can select
+//! subsets.
+
+use javaflow_bytecode::Method;
+use javaflow_workloads::{full_suite, synthetic, SuiteKind};
+
+/// One member of the evaluated population.
+#[derive(Debug, Clone)]
+pub struct MethodRecord {
+    /// Method name (unique within the population by construction).
+    pub name: String,
+    /// Owning benchmark, when the method came from the suite.
+    pub benchmark: Option<&'static str>,
+    /// Suite generation of the owning benchmark.
+    pub suite: Option<SuiteKind>,
+    /// Rank in the benchmark's hot list (0 = hottest), when hot.
+    pub hot_rank: Option<usize>,
+    /// The method body (standalone clone; scripted fabric execution does
+    /// not resolve callees).
+    pub method: Method,
+}
+
+impl MethodRecord {
+    /// Whether this record is one of a benchmark's top methods (the
+    /// dynamic-90% set of Filter 2).
+    #[must_use]
+    pub fn is_hot(&self) -> bool {
+        self.hot_rank.is_some()
+    }
+
+    /// Static instruction count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.method.len()
+    }
+
+    /// Whether the method is empty (never true in practice).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.method.is_empty()
+    }
+}
+
+/// Builds the population: all suite methods (hot ones tagged) plus
+/// `synthetic_count` generated methods.
+#[must_use]
+pub fn population(synthetic_count: usize) -> Vec<MethodRecord> {
+    let mut records = Vec::new();
+    for bench in full_suite() {
+        for (id, method) in bench.program.methods() {
+            let hot_rank = bench.hot.iter().position(|h| *h == id);
+            records.push(MethodRecord {
+                name: format!("{}::{}", bench.name, method.name),
+                benchmark: Some(bench.name),
+                suite: Some(bench.suite),
+                hot_rank,
+                method: method.clone(),
+            });
+        }
+    }
+    if synthetic_count > 0 {
+        let cfg = synthetic::GenConfig { count: synthetic_count, ..Default::default() };
+        let (program, ids) = synthetic::generate(&cfg);
+        for id in ids {
+            let method = program.method(id);
+            records.push(MethodRecord {
+                name: method.name.clone(),
+                benchmark: None,
+                suite: None,
+                hot_rank: None,
+                method: method.clone(),
+            });
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_includes_suite_and_synthetic() {
+        let pop = population(25);
+        let hot = pop.iter().filter(|r| r.is_hot()).count();
+        let synth = pop.iter().filter(|r| r.benchmark.is_none()).count();
+        assert_eq!(synth, 25);
+        assert!(hot >= 14 * 2, "at least two hot methods per benchmark, found {hot}");
+        assert!(pop.len() > 80);
+        // The Appendix C case-study method is present.
+        assert!(pop.iter().any(|r| r.name.ends_with("Random.nextDouble")));
+    }
+
+    #[test]
+    fn every_population_method_verifies() {
+        for r in population(10) {
+            javaflow_bytecode::verify(&r.method)
+                .unwrap_or_else(|e| panic!("{} fails verification: {e}", r.name));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Branch decision sources: real data or the Chapter 7 predictor script.
+//!
+//! "The Branch/Jump predictions applied to the simulation was not complex
+//! and used consistently across all 6 configurations. For all forward
+//! jumps, the taken/not-taken ratio was 50%. BP1 started with the first
+//! forward jump taken while BP2 started with the first jump not taken. In
+//! all cases back jumps had a taken percentage of 90%": the first nine
+//! executions of a back jump are taken, the tenth falls through.
+
+use std::collections::HashMap;
+
+/// Where conditional-jump outcomes come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchMode {
+    /// Evaluate the real operand data (co-simulation with the golden model).
+    Data,
+    /// Scripted predictor, first forward jump taken (Chapter 7 "BP-1").
+    Bp1,
+    /// Scripted predictor, first forward jump not taken ("BP-2").
+    Bp2,
+}
+
+impl BranchMode {
+    /// Whether evaluation should be lenient (scripted runs carry dummy
+    /// data).
+    #[must_use]
+    pub fn is_scripted(self) -> bool {
+        !matches!(self, BranchMode::Data)
+    }
+}
+
+/// Per-site branch outcome oracle.
+#[derive(Debug)]
+pub struct BranchOracle {
+    mode: BranchMode,
+    /// Next forward outcome per jump site (alternates).
+    fwd: HashMap<u32, bool>,
+    /// Executions seen per back-jump site.
+    back: HashMap<u32, u32>,
+}
+
+impl BranchOracle {
+    /// A fresh oracle for the given mode.
+    #[must_use]
+    pub fn new(mode: BranchMode) -> BranchOracle {
+        BranchOracle { mode, fwd: HashMap::new(), back: HashMap::new() }
+    }
+
+    /// The oracle's mode.
+    #[must_use]
+    pub fn mode(&self) -> BranchMode {
+        self.mode
+    }
+
+    /// Decides a conditional jump at `site`. In data mode the caller's
+    /// evaluated `data_decision` wins; in scripted modes the script does.
+    pub fn decide(&mut self, site: u32, is_back: bool, data_decision: bool) -> bool {
+        match self.mode {
+            BranchMode::Data => data_decision,
+            BranchMode::Bp1 | BranchMode::Bp2 => {
+                if is_back {
+                    let n = self.back.entry(site).or_insert(0);
+                    let taken = *n % 10 != 9; // 9 of 10 taken
+                    *n += 1;
+                    taken
+                } else {
+                    let first = self.mode == BranchMode::Bp1;
+                    let next = self.fwd.entry(site).or_insert(first);
+                    let taken = *next;
+                    *next = !taken;
+                    taken
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bp1_alternates_starting_taken() {
+        let mut o = BranchOracle::new(BranchMode::Bp1);
+        let seq: Vec<bool> = (0..4).map(|_| o.decide(5, false, false)).collect();
+        assert_eq!(seq, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn bp2_alternates_starting_not_taken() {
+        let mut o = BranchOracle::new(BranchMode::Bp2);
+        let seq: Vec<bool> = (0..4).map(|_| o.decide(5, false, true)).collect();
+        assert_eq!(seq, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn back_jumps_taken_nine_of_ten() {
+        let mut o = BranchOracle::new(BranchMode::Bp1);
+        let seq: Vec<bool> = (0..20).map(|_| o.decide(9, true, false)).collect();
+        assert_eq!(seq.iter().filter(|t| **t).count(), 18);
+        assert!(!seq[9]);
+        assert!(!seq[19]);
+    }
+
+    #[test]
+    fn sites_independent() {
+        let mut o = BranchOracle::new(BranchMode::Bp1);
+        assert!(o.decide(1, false, false));
+        assert!(o.decide(2, false, false)); // fresh site starts taken again
+    }
+
+    #[test]
+    fn data_mode_uses_data() {
+        let mut o = BranchOracle::new(BranchMode::Data);
+        assert!(o.decide(1, false, true));
+        assert!(!o.decide(1, true, false));
+        assert!(!BranchMode::Data.is_scripted());
+        assert!(BranchMode::Bp2.is_scripted());
+    }
+}

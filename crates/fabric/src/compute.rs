@@ -1,0 +1,376 @@
+//! The Instruction Execution Unit: evaluates a fired instruction's
+//! operation on its gathered mesh operands.
+//!
+//! Two evaluation modes mirror the dissertation's two uses of the
+//! simulator:
+//!
+//! * **Data mode** — full Java semantics; type mismatches and arithmetic
+//!   faults raise the Section 6.3 exceptions (the fabric halts and defers
+//!   to the GPP). Used when co-simulating real workloads against the
+//!   interpreter golden model.
+//! * **Scripted mode** — the Chapter 7 measurement methodology, where
+//!   branch outcomes come from a predictor script and operand *values* are
+//!   irrelevant; evaluation is lenient (division by zero yields zero, type
+//!   mismatches yield the zero of the producing opcode) so every
+//!   instruction path can be exercised.
+
+use javaflow_bytecode::{Insn, Opcode, Value};
+use javaflow_interp::{JvmError, JvmErrorKind};
+
+/// Pure evaluation of a non-memory, non-call instruction.
+///
+/// `operands[k]` is side `k+1` (side 1 = deepest). Returns the pushed
+/// values in push order (all pushes of one instruction carry the same
+/// producer; shuffles return multiple).
+///
+/// # Errors
+///
+/// Data-mode type and arithmetic errors ([`JvmErrorKind::TypeError`],
+/// [`JvmErrorKind::DivideByZero`]).
+#[allow(clippy::too_many_lines)]
+pub fn eval_pure(insn: &Insn, operands: &[Value], lenient: bool) -> Result<Vec<Value>, JvmError> {
+    use Opcode as O;
+    let int = |k: usize| -> Result<i32, JvmError> {
+        match operands.get(k) {
+            Some(Value::Int(v)) => Ok(*v),
+            _ if lenient => Ok(coerce_int(operands.get(k))),
+            _ => Err(JvmError::bare(JvmErrorKind::TypeError)),
+        }
+    };
+    let long = |k: usize| -> Result<i64, JvmError> {
+        match operands.get(k) {
+            Some(Value::Long(v)) => Ok(*v),
+            _ if lenient => Ok(i64::from(coerce_int(operands.get(k)))),
+            _ => Err(JvmError::bare(JvmErrorKind::TypeError)),
+        }
+    };
+    let float = |k: usize| -> Result<f32, JvmError> {
+        match operands.get(k) {
+            Some(Value::Float(v)) => Ok(*v),
+            _ if lenient => Ok(coerce_int(operands.get(k)) as f32),
+            _ => Err(JvmError::bare(JvmErrorKind::TypeError)),
+        }
+    };
+    let double = |k: usize| -> Result<f64, JvmError> {
+        match operands.get(k) {
+            Some(Value::Double(v)) => Ok(*v),
+            _ if lenient => Ok(f64::from(coerce_int(operands.get(k)))),
+            _ => Err(JvmError::bare(JvmErrorKind::TypeError)),
+        }
+    };
+    let one = |v: Value| Ok(vec![v]);
+    match insn.op {
+        // Constants.
+        O::AConstNull => one(Value::NULL),
+        O::IConstM1 => one(Value::Int(-1)),
+        O::IConst0 => one(Value::Int(0)),
+        O::IConst1 => one(Value::Int(1)),
+        O::IConst2 => one(Value::Int(2)),
+        O::IConst3 => one(Value::Int(3)),
+        O::IConst4 => one(Value::Int(4)),
+        O::IConst5 => one(Value::Int(5)),
+        O::LConst0 => one(Value::Long(0)),
+        O::LConst1 => one(Value::Long(1)),
+        O::FConst0 => one(Value::Float(0.0)),
+        O::FConst1 => one(Value::Float(1.0)),
+        O::FConst2 => one(Value::Float(2.0)),
+        O::DConst0 => one(Value::Double(0.0)),
+        O::DConst1 => one(Value::Double(1.0)),
+        O::BiPush | O::SiPush => match insn.operand {
+            javaflow_bytecode::Operand::Imm(v) => one(Value::Int(v)),
+            _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
+        },
+        // Stack shuffles: route inputs to outputs.
+        O::Pop | O::Pop2 => Ok(Vec::new()),
+        O::Dup => Ok(vec![operands[0], operands[0]]),
+        O::DupX1 => Ok(vec![operands[1], operands[0], operands[1]]),
+        O::DupX2 => Ok(vec![operands[2], operands[0], operands[1], operands[2]]),
+        O::Dup2 => Ok(vec![operands[0], operands[1], operands[0], operands[1]]),
+        O::Dup2X1 => Ok(vec![operands[1], operands[2], operands[0], operands[1], operands[2]]),
+        O::Dup2X2 => Ok(vec![
+            operands[2], operands[3], operands[0], operands[1], operands[2], operands[3],
+        ]),
+        O::Swap => Ok(vec![operands[1], operands[0]]),
+        // Integer arithmetic.
+        O::IAdd => one(Value::Int(int(0)?.wrapping_add(int(1)?))),
+        O::ISub => one(Value::Int(int(0)?.wrapping_sub(int(1)?))),
+        O::IMul => one(Value::Int(int(0)?.wrapping_mul(int(1)?))),
+        O::IDiv => {
+            let (a, b) = (int(0)?, int(1)?);
+            if b == 0 {
+                if lenient {
+                    return one(Value::Int(0));
+                }
+                return Err(JvmError::bare(JvmErrorKind::DivideByZero));
+            }
+            one(Value::Int(a.wrapping_div(b)))
+        }
+        O::IRem => {
+            let (a, b) = (int(0)?, int(1)?);
+            if b == 0 {
+                if lenient {
+                    return one(Value::Int(0));
+                }
+                return Err(JvmError::bare(JvmErrorKind::DivideByZero));
+            }
+            one(Value::Int(a.wrapping_rem(b)))
+        }
+        O::INeg => one(Value::Int(int(0)?.wrapping_neg())),
+        O::IShl => one(Value::Int(int(0)?.wrapping_shl(int(1)? as u32 & 0x1f))),
+        O::IShr => one(Value::Int(int(0)?.wrapping_shr(int(1)? as u32 & 0x1f))),
+        O::IUShr => one(Value::Int(((int(0)? as u32).wrapping_shr(int(1)? as u32 & 0x1f)) as i32)),
+        O::IAnd => one(Value::Int(int(0)? & int(1)?)),
+        O::IOr => one(Value::Int(int(0)? | int(1)?)),
+        O::IXor => one(Value::Int(int(0)? ^ int(1)?)),
+        // Long arithmetic.
+        O::LAdd => one(Value::Long(long(0)?.wrapping_add(long(1)?))),
+        O::LSub => one(Value::Long(long(0)?.wrapping_sub(long(1)?))),
+        O::LMul => one(Value::Long(long(0)?.wrapping_mul(long(1)?))),
+        O::LDiv => {
+            let (a, b) = (long(0)?, long(1)?);
+            if b == 0 {
+                if lenient {
+                    return one(Value::Long(0));
+                }
+                return Err(JvmError::bare(JvmErrorKind::DivideByZero));
+            }
+            one(Value::Long(a.wrapping_div(b)))
+        }
+        O::LRem => {
+            let (a, b) = (long(0)?, long(1)?);
+            if b == 0 {
+                if lenient {
+                    return one(Value::Long(0));
+                }
+                return Err(JvmError::bare(JvmErrorKind::DivideByZero));
+            }
+            one(Value::Long(a.wrapping_rem(b)))
+        }
+        O::LNeg => one(Value::Long(long(0)?.wrapping_neg())),
+        O::LShl => one(Value::Long(long(0)?.wrapping_shl(int(1)? as u32 & 0x3f))),
+        O::LShr => one(Value::Long(long(0)?.wrapping_shr(int(1)? as u32 & 0x3f))),
+        O::LUShr => one(Value::Long(((long(0)? as u64).wrapping_shr(int(1)? as u32 & 0x3f)) as i64)),
+        O::LAnd => one(Value::Long(long(0)? & long(1)?)),
+        O::LOr => one(Value::Long(long(0)? | long(1)?)),
+        O::LXor => one(Value::Long(long(0)? ^ long(1)?)),
+        // Float/double arithmetic.
+        O::FAdd => one(Value::Float(float(0)? + float(1)?)),
+        O::FSub => one(Value::Float(float(0)? - float(1)?)),
+        O::FMul => one(Value::Float(float(0)? * float(1)?)),
+        O::FDiv => one(Value::Float(float(0)? / float(1)?)),
+        O::FRem => one(Value::Float(float(0)? % float(1)?)),
+        O::FNeg => one(Value::Float(-float(0)?)),
+        O::DAdd => one(Value::Double(double(0)? + double(1)?)),
+        O::DSub => one(Value::Double(double(0)? - double(1)?)),
+        O::DMul => one(Value::Double(double(0)? * double(1)?)),
+        O::DDiv => one(Value::Double(double(0)? / double(1)?)),
+        O::DRem => one(Value::Double(double(0)? % double(1)?)),
+        O::DNeg => one(Value::Double(-double(0)?)),
+        // Conversions.
+        O::I2L => one(Value::Long(i64::from(int(0)?))),
+        O::I2F => one(Value::Float(int(0)? as f32)),
+        O::I2D => one(Value::Double(f64::from(int(0)?))),
+        O::L2I => one(Value::Int(long(0)? as i32)),
+        O::L2F => one(Value::Float(long(0)? as f32)),
+        O::L2D => one(Value::Double(long(0)? as f64)),
+        O::F2I => one(Value::Int(saturate_i32(f64::from(float(0)?)))),
+        O::F2L => one(Value::Long(saturate_i64(f64::from(float(0)?)))),
+        O::F2D => one(Value::Double(f64::from(float(0)?))),
+        O::D2I => one(Value::Int(saturate_i32(double(0)?))),
+        O::D2L => one(Value::Long(saturate_i64(double(0)?))),
+        O::D2F => one(Value::Float(double(0)? as f32)),
+        O::I2B => one(Value::Int(i32::from(int(0)? as i8))),
+        O::I2C => one(Value::Int(i32::from(int(0)? as u16))),
+        O::I2S => one(Value::Int(i32::from(int(0)? as i16))),
+        // Comparisons.
+        O::LCmp => {
+            let (a, b) = (long(0)?, long(1)?);
+            one(Value::Int(match a.cmp(&b) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            }))
+        }
+        O::FCmpL | O::FCmpG => {
+            let (a, b) = (f64::from(float(0)?), f64::from(float(1)?));
+            one(Value::Int(fcmp(a, b, insn.op == O::FCmpG)))
+        }
+        O::DCmpL | O::DCmpG => one(Value::Int(fcmp(double(0)?, double(1)?, insn.op == O::DCmpG))),
+        other => Err(JvmError::bare(JvmErrorKind::Unsupported).at(
+            javaflow_bytecode::MethodId(u32::MAX),
+            0,
+            other,
+        )),
+    }
+}
+
+/// Evaluates a conditional jump's taken/not-taken decision from its data
+/// operands.
+///
+/// # Errors
+///
+/// `TypeError` when operands have the wrong type (never in lenient mode).
+pub fn eval_condition(op: Opcode, operands: &[Value], lenient: bool) -> Result<bool, JvmError> {
+    use Opcode as O;
+    let int = |k: usize| -> Result<i32, JvmError> {
+        match operands.get(k) {
+            Some(Value::Int(v)) => Ok(*v),
+            _ if lenient => Ok(coerce_int(operands.get(k))),
+            _ => Err(JvmError::bare(JvmErrorKind::TypeError)),
+        }
+    };
+    let href = |k: usize| -> Result<Option<u32>, JvmError> {
+        match operands.get(k) {
+            Some(Value::Ref(h)) => Ok(*h),
+            _ if lenient => Ok(None),
+            _ => Err(JvmError::bare(JvmErrorKind::TypeError)),
+        }
+    };
+    Ok(match op {
+        O::IfEq => int(0)? == 0,
+        O::IfNe => int(0)? != 0,
+        O::IfLt => int(0)? < 0,
+        O::IfGe => int(0)? >= 0,
+        O::IfGt => int(0)? > 0,
+        O::IfLe => int(0)? <= 0,
+        O::IfICmpEq => int(0)? == int(1)?,
+        O::IfICmpNe => int(0)? != int(1)?,
+        O::IfICmpLt => int(0)? < int(1)?,
+        O::IfICmpGe => int(0)? >= int(1)?,
+        O::IfICmpGt => int(0)? > int(1)?,
+        O::IfICmpLe => int(0)? <= int(1)?,
+        O::IfACmpEq => href(0)? == href(1)?,
+        O::IfACmpNe => href(0)? != href(1)?,
+        O::IfNull => href(0)?.is_none(),
+        O::IfNonNull => href(0)?.is_some(),
+        _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+    })
+}
+
+fn coerce_int(v: Option<&Value>) -> i32 {
+    match v {
+        Some(Value::Int(x)) => *x,
+        Some(Value::Long(x)) => *x as i32,
+        Some(Value::Float(x)) => *x as i32,
+        Some(Value::Double(x)) => *x as i32,
+        Some(Value::Ref(Some(h))) => *h as i32,
+        _ => 0,
+    }
+}
+
+fn saturate_i32(v: f64) -> i32 {
+    if v.is_nan() {
+        0
+    } else if v >= f64::from(i32::MAX) {
+        i32::MAX
+    } else if v <= f64::from(i32::MIN) {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+fn saturate_i64(v: f64) -> i64 {
+    if v.is_nan() {
+        0
+    } else if v >= i64::MAX as f64 {
+        i64::MAX
+    } else if v <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        v as i64
+    }
+}
+
+fn fcmp(a: f64, b: f64, greater_on_nan: bool) -> i32 {
+    if a.is_nan() || b.is_nan() {
+        if greater_on_nan {
+            1
+        } else {
+            -1
+        }
+    } else if a < b {
+        -1
+    } else if a > b {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javaflow_bytecode::Insn;
+
+    #[test]
+    fn arithmetic_matches_java() {
+        let r = eval_pure(&Insn::simple(Opcode::IAdd), &[Value::Int(i32::MAX), Value::Int(1)], false);
+        assert_eq!(r.unwrap(), vec![Value::Int(i32::MIN)]);
+    }
+
+    #[test]
+    fn strict_mode_traps() {
+        let e = eval_pure(&Insn::simple(Opcode::IDiv), &[Value::Int(1), Value::Int(0)], false);
+        assert_eq!(e.unwrap_err().kind, JvmErrorKind::DivideByZero);
+        let e = eval_pure(&Insn::simple(Opcode::IAdd), &[Value::Int(1), Value::Double(1.0)], false);
+        assert_eq!(e.unwrap_err().kind, JvmErrorKind::TypeError);
+    }
+
+    #[test]
+    fn lenient_mode_never_traps() {
+        let r = eval_pure(&Insn::simple(Opcode::IDiv), &[Value::Int(1), Value::Int(0)], true);
+        assert_eq!(r.unwrap(), vec![Value::Int(0)]);
+        let r = eval_pure(&Insn::simple(Opcode::IAdd), &[Value::Int(1), Value::Double(2.0)], true);
+        assert_eq!(r.unwrap(), vec![Value::Int(3)]);
+    }
+
+    #[test]
+    fn shuffles_route_sides() {
+        let (a, b) = (Value::Int(1), Value::Int(2));
+        let r = eval_pure(&Insn::simple(Opcode::Swap), &[a, b], false).unwrap();
+        assert_eq!(r, vec![b, a]);
+        let r = eval_pure(&Insn::simple(Opcode::Dup), &[a], false).unwrap();
+        assert_eq!(r, vec![a, a]);
+        let r = eval_pure(&Insn::simple(Opcode::DupX1), &[a, b], false).unwrap();
+        assert_eq!(r, vec![b, a, b]);
+    }
+
+    #[test]
+    fn conditions() {
+        assert!(eval_condition(Opcode::IfEq, &[Value::Int(0)], false).unwrap());
+        assert!(!eval_condition(Opcode::IfEq, &[Value::Int(1)], false).unwrap());
+        assert!(eval_condition(Opcode::IfICmpLt, &[Value::Int(1), Value::Int(2)], false).unwrap());
+        assert!(eval_condition(Opcode::IfNull, &[Value::NULL], false).unwrap());
+        assert!(
+            eval_condition(Opcode::IfACmpNe, &[Value::Ref(Some(1)), Value::Ref(Some(2))], false)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn nan_comparisons() {
+        let nan = Value::Double(f64::NAN);
+        let one = Value::Double(1.0);
+        assert_eq!(
+            eval_pure(&Insn::simple(Opcode::DCmpG), &[nan, one], false).unwrap(),
+            vec![Value::Int(1)]
+        );
+        assert_eq!(
+            eval_pure(&Insn::simple(Opcode::DCmpL), &[nan, one], false).unwrap(),
+            vec![Value::Int(-1)]
+        );
+    }
+
+    #[test]
+    fn saturating_conversions() {
+        assert_eq!(
+            eval_pure(&Insn::simple(Opcode::D2I), &[Value::Double(1e300)], false).unwrap(),
+            vec![Value::Int(i32::MAX)]
+        );
+        assert_eq!(
+            eval_pure(&Insn::simple(Opcode::D2L), &[Value::Double(f64::NAN)], false).unwrap(),
+            vec![Value::Long(0)]
+        );
+    }
+}

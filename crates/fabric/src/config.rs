@@ -1,0 +1,172 @@
+//! Machine configurations (Table 15).
+//!
+//! Six configurations are evaluated in the dissertation:
+//!
+//! | id | name | serial clocks / mesh clock | layout |
+//! |----|------|---------------------------|--------|
+//! | 0 | Baseline   | ∞ (collapsed, distance 1) | homogeneous |
+//! | 1 | Compact10  | 10 | homogeneous, 10 wide |
+//! | 2 | Compact4   | 4  | homogeneous, 10 wide |
+//! | 3 | Compact2   | 2  | homogeneous, 10 wide |
+//! | 4 | Sparse2    | 2  | every other node blank |
+//! | 5 | Hetero2    | 2  | Figure 26 static-mix pattern |
+
+use javaflow_bytecode::NodeKind;
+
+use crate::Timing;
+
+/// Node layout of the DataFlow fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Every node executes every instruction group.
+    Homogeneous,
+    /// Each Instruction Node separated by a blank node (Sparse2).
+    Sparse,
+    /// Nodes typed by the Chapter 5 static mix: per 10 nodes, 6 arithmetic,
+    /// 1 floating point, 2 storage, 1 control (Figure 26).
+    Heterogeneous,
+}
+
+/// The Figure 26 repeating row pattern: 6 arith, 1 float, 2 storage,
+/// 1 control per 10 nodes, grouped by kind within the row as the
+/// dissertation's figure draws them (like kinds share circuitry).
+pub const HETERO_PATTERN: [NodeKind; 10] = [
+    NodeKind::Arith,
+    NodeKind::Arith,
+    NodeKind::Arith,
+    NodeKind::Arith,
+    NodeKind::Arith,
+    NodeKind::Arith,
+    NodeKind::Float,
+    NodeKind::Storage,
+    NodeKind::Storage,
+    NodeKind::Control,
+];
+
+/// One machine configuration (a Table 15 row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Display name.
+    pub name: &'static str,
+    /// Mesh width in nodes (the dissertation settled on 10).
+    pub width: u32,
+    /// Serial clocks per mesh clock; `None` = unlimited (collapsed
+    /// Baseline: all serial traffic moves before the next mesh clock).
+    pub serial_per_mesh: Option<u32>,
+    /// Whether mesh distance is collapsed to one hop (Baseline).
+    pub collapsed: bool,
+    /// Node layout.
+    pub layout: Layout,
+    /// Latency model.
+    pub timing: Timing,
+    /// Maximum number of fabric nodes available (the dissertation envisions
+    /// 1,000–10,000).
+    pub max_nodes: u32,
+}
+
+impl FabricConfig {
+    /// Configuration 0: the collapsed baseline.
+    #[must_use]
+    pub fn baseline() -> FabricConfig {
+        FabricConfig {
+            name: "Baseline",
+            width: 10,
+            serial_per_mesh: None,
+            collapsed: true,
+            layout: Layout::Homogeneous,
+            timing: Timing::default(),
+            max_nodes: 10_000,
+        }
+    }
+
+    /// Configuration 1: Compact10.
+    #[must_use]
+    pub fn compact10() -> FabricConfig {
+        FabricConfig {
+            name: "Compact10",
+            serial_per_mesh: Some(10),
+            collapsed: false,
+            ..FabricConfig::baseline()
+        }
+    }
+
+    /// Configuration 2: Compact4.
+    #[must_use]
+    pub fn compact4() -> FabricConfig {
+        FabricConfig { name: "Compact4", serial_per_mesh: Some(4), ..FabricConfig::compact10() }
+    }
+
+    /// Configuration 3: Compact2.
+    #[must_use]
+    pub fn compact2() -> FabricConfig {
+        FabricConfig { name: "Compact2", serial_per_mesh: Some(2), ..FabricConfig::compact10() }
+    }
+
+    /// Configuration 4: Sparse2 — every other node blank, 2 serial clocks.
+    #[must_use]
+    pub fn sparse2() -> FabricConfig {
+        FabricConfig { name: "Sparse2", layout: Layout::Sparse, ..FabricConfig::compact2() }
+    }
+
+    /// Configuration 5: Hetero2 — static-mix node kinds, 2 serial clocks.
+    #[must_use]
+    pub fn hetero2() -> FabricConfig {
+        FabricConfig { name: "Hetero2", layout: Layout::Heterogeneous, ..FabricConfig::compact2() }
+    }
+
+    /// All six Table 15 configurations, in id order.
+    #[must_use]
+    pub fn all_six() -> Vec<FabricConfig> {
+        vec![
+            FabricConfig::baseline(),
+            FabricConfig::compact10(),
+            FabricConfig::compact4(),
+            FabricConfig::compact2(),
+            FabricConfig::sparse2(),
+            FabricConfig::hetero2(),
+        ]
+    }
+
+    /// Serial ticks per mesh cycle in the simulator's base time unit.
+    ///
+    /// The collapsed baseline drains serial traffic for free: one tick per
+    /// mesh cycle and zero-cost serial hops.
+    #[must_use]
+    pub fn mesh_cycle_ticks(&self) -> u64 {
+        self.serial_per_mesh.map_or(1, u64::from)
+    }
+
+    /// Serial ticks per serial network hop (zero when collapsed).
+    #[must_use]
+    pub fn serial_hop_ticks(&self) -> u64 {
+        u64::from(self.serial_per_mesh.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hetero_pattern_matches_static_mix() {
+        let arith = HETERO_PATTERN.iter().filter(|k| **k == NodeKind::Arith).count();
+        let float = HETERO_PATTERN.iter().filter(|k| **k == NodeKind::Float).count();
+        let storage = HETERO_PATTERN.iter().filter(|k| **k == NodeKind::Storage).count();
+        let control = HETERO_PATTERN.iter().filter(|k| **k == NodeKind::Control).count();
+        assert_eq!((arith, float, storage, control), (6, 1, 2, 1));
+    }
+
+    #[test]
+    fn six_configs() {
+        let cs = FabricConfig::all_six();
+        assert_eq!(cs.len(), 6);
+        assert_eq!(cs[0].name, "Baseline");
+        assert!(cs[0].collapsed);
+        assert_eq!(cs[0].mesh_cycle_ticks(), 1);
+        assert_eq!(cs[0].serial_hop_ticks(), 0);
+        assert_eq!(cs[1].mesh_cycle_ticks(), 10);
+        assert_eq!(cs[3].mesh_cycle_ticks(), 2);
+        assert_eq!(cs[4].layout, Layout::Sparse);
+        assert_eq!(cs[5].layout, Layout::Heterogeneous);
+    }
+}

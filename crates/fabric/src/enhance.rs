@@ -1,0 +1,297 @@
+//! The routed dataflow graph, plus the Section 6.4 enhancements evaluated
+//! as ablations: **instruction folding** (pure stack-move nodes declare
+//! themselves void and rewire their producers to their consumers) and the
+//! **TRIPS-style fanout limit** (at most two consumer addresses per
+//! instruction, extra consumers served through inserted move/relay nodes —
+//! the restriction whose cost TRIPS measured at ~20% extra instructions).
+
+use javaflow_bytecode::{Method, Opcode};
+
+use crate::{Placement, Resolved, Sink};
+
+/// A synthetic move/relay node inserted by the fanout limiter.
+#[derive(Debug, Clone)]
+pub struct Relay {
+    /// Mesh coordinates (placed on the producer's node, like TRIPS move
+    /// instructions sharing the producer's frame).
+    pub coords: (u32, u32),
+    /// Downstream sinks; `consumer >= n` addresses another relay.
+    pub sinks: Vec<Sink>,
+}
+
+/// The dataflow routing graph the execution engine follows.
+///
+/// Sink addresses `0..n` are instructions; `n..` address relays
+/// (`consumer - n` indexes [`DataflowGraph::relays`]).
+#[derive(Debug, Clone)]
+pub struct DataflowGraph {
+    /// Number of real instructions.
+    pub n: usize,
+    /// Per-producer target arrays.
+    pub consumers: Vec<Vec<Sink>>,
+    /// Whether each instruction participates in execution (folded nodes
+    /// are inert pass-throughs).
+    pub active: Vec<bool>,
+    /// Inserted relay nodes (fanout ablation).
+    pub relays: Vec<Relay>,
+}
+
+impl DataflowGraph {
+    /// Builds the unmodified graph from a resolution result.
+    #[must_use]
+    pub fn from_resolved(resolved: &Resolved) -> DataflowGraph {
+        let n = resolved.consumers.len();
+        DataflowGraph {
+            n,
+            consumers: resolved.consumers.clone(),
+            active: vec![true; n],
+            relays: Vec::new(),
+        }
+    }
+
+    /// Number of folded (inactive) instructions.
+    #[must_use]
+    pub fn folded(&self) -> usize {
+        self.active.iter().filter(|a| !**a).count()
+    }
+
+    /// For a shuffle opcode, maps each push index (bottom-based) to the
+    /// operand index it routes; `None` for non-foldable opcodes.
+    fn shuffle_routing(op: Opcode) -> Option<&'static [usize]> {
+        match op {
+            Opcode::Pop | Opcode::Pop2 => Some(&[]),
+            Opcode::Dup => Some(&[0, 0]),
+            Opcode::DupX1 => Some(&[1, 0, 1]),
+            Opcode::DupX2 => Some(&[2, 0, 1, 2]),
+            Opcode::Dup2 => Some(&[0, 1, 0, 1]),
+            Opcode::Dup2X1 => Some(&[1, 2, 0, 1, 2]),
+            Opcode::Dup2X2 => Some(&[2, 3, 0, 1, 2, 3]),
+            Opcode::Swap => Some(&[1, 0]),
+            _ => None,
+        }
+    }
+
+    /// Folds pure stack-move instructions (Section 6.4): each foldable node
+    /// sends "messages up to their producer nodes to change the producer
+    /// node targets to the targets of the redundant nodes", then frees its
+    /// Instruction Node. Returns the number of nodes folded.
+    pub fn fold_moves(&mut self, method: &Method) -> usize {
+        let mut folded = 0;
+        // Iterate to a fixpoint so chains of shuffles fold through.
+        loop {
+            let mut changed = false;
+            for m in 0..self.n {
+                if !self.active[m] {
+                    continue;
+                }
+                let Some(routing) = DataflowGraph::shuffle_routing(method.code[m].op) else {
+                    continue;
+                };
+                // Producers feeding node m, per operand side (1-based).
+                let mut feeders: Vec<Vec<(usize, u16)>> =
+                    vec![Vec::new(); usize::from(method.code[m].pops())];
+                for p in 0..self.consumers.len() {
+                    for s in &self.consumers[p] {
+                        if s.consumer as usize == m {
+                            feeders[usize::from(s.side) - 1].push((p, s.out));
+                        }
+                    }
+                }
+                // Rewire: every sink of m moves to the producers of the
+                // operand that m would have routed there.
+                let sinks = self.consumers[m].clone();
+                for sink in &sinks {
+                    let src_side = routing[usize::from(sink.out)];
+                    for &(p, p_out) in &feeders[src_side] {
+                        let new = Sink { consumer: sink.consumer, side: sink.side, out: p_out };
+                        if !self.consumers[p].contains(&new) {
+                            self.consumers[p].push(new);
+                        }
+                    }
+                }
+                // Drop all edges into and out of m.
+                self.consumers[m].clear();
+                for p in 0..self.consumers.len() {
+                    self.consumers[p].retain(|s| s.consumer as usize != m);
+                }
+                self.active[m] = false;
+                folded += 1;
+                changed = true;
+            }
+            if !changed {
+                break;
+            }
+        }
+        folded
+    }
+
+    /// Imposes a TRIPS-style fanout limit: any output of a producer with
+    /// more than `limit` sinks is served through a chain of relay (move)
+    /// nodes. Returns the number of relays inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit < 2` (a chain needs one forward slot plus one
+    /// relay slot).
+    pub fn limit_fanout(&mut self, limit: usize, placement: &Placement) -> usize {
+        assert!(limit >= 2, "fanout limit must be at least 2");
+        let before = self.relays.len();
+        for p in 0..self.n {
+            if self.consumers[p].is_empty() {
+                continue;
+            }
+            let coords = placement.coords[p];
+            // Group the producer's sinks by push index; each group fans out
+            // independently.
+            let mut groups: std::collections::BTreeMap<u16, Vec<Sink>> =
+                std::collections::BTreeMap::new();
+            for s in &self.consumers[p] {
+                groups.entry(s.out).or_default().push(*s);
+            }
+            let mut new_sinks = Vec::new();
+            for (out, mut group) in groups {
+                while group.len() > limit {
+                    // Keep `limit - 1` direct sinks; push the rest behind a
+                    // relay that becomes the `limit`-th target.
+                    let rest: Vec<Sink> = group.split_off(limit - 1);
+                    let relay_id = (self.n + self.relays.len()) as u32;
+                    self.relays.push(Relay {
+                        coords,
+                        sinks: rest.into_iter().map(|s| Sink { out: 0, ..s }).collect(),
+                    });
+                    group.push(Sink { consumer: relay_id, side: 0, out });
+                }
+                new_sinks.extend(group);
+            }
+            self.consumers[p] = new_sinks;
+        }
+        // Relays themselves may exceed the limit; chain them too.
+        let mut r = 0;
+        while r < self.relays.len() {
+            while self.relays[r].sinks.len() > limit {
+                let rest: Vec<Sink> = self.relays[r].sinks.split_off(limit - 1);
+                let relay_id = (self.n + self.relays.len()) as u32;
+                let coords = self.relays[r].coords;
+                self.relays.push(Relay { coords, sinks: rest });
+                self.relays[r].sinks.push(Sink { consumer: relay_id, side: 0, out: 0 });
+            }
+            r += 1;
+        }
+        self.relays.len() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{place, resolve, FabricConfig};
+    use javaflow_bytecode::asm::assemble;
+
+    fn graph_of(src: &str) -> (Method, DataflowGraph, Placement) {
+        let p = assemble(src).unwrap();
+        let (_, m) = p.methods().next().map(|(i, mm)| (i, mm.clone())).unwrap();
+        let r = resolve(&m).unwrap();
+        let pl = place(&m, &FabricConfig::compact2()).unwrap();
+        (m, DataflowGraph::from_resolved(&r), pl)
+    }
+
+    use javaflow_bytecode::Method;
+
+    #[test]
+    fn fold_dup_rewires_producer() {
+        let (m, mut g, _) = graph_of(
+            ".method f args=0 returns=true locals=0
+               iconst_3
+               dup
+               imul
+               ireturn
+             .end",
+        );
+        let folded = g.fold_moves(&m);
+        assert_eq!(folded, 1);
+        assert!(!g.active[1]);
+        // iconst_3 now feeds both imul sides directly.
+        let sinks: Vec<(u32, u16)> =
+            g.consumers[0].iter().map(|s| (s.consumer, s.side)).collect();
+        assert!(sinks.contains(&(2, 1)));
+        assert!(sinks.contains(&(2, 2)));
+        assert!(g.consumers[1].is_empty());
+    }
+
+    #[test]
+    fn fold_swap_crosses_sides() {
+        let (m, mut g, _) = graph_of(
+            ".method f args=0 returns=true locals=0
+               iconst_1
+               iconst_2
+               swap
+               isub
+               ireturn
+             .end",
+        );
+        g.fold_moves(&m);
+        // After swap folds: iconst_1 (@0) feeds isub side 2, iconst_2 (@1)
+        // feeds isub side 1 (operands crossed).
+        assert!(g.consumers[0].iter().any(|s| s.consumer == 3 && s.side == 2));
+        assert!(g.consumers[1].iter().any(|s| s.consumer == 3 && s.side == 1));
+    }
+
+    #[test]
+    fn fold_pop_drops_edge() {
+        let (m, mut g, _) = graph_of(
+            ".method f args=0 returns=false locals=0
+               iconst_1
+               pop
+               return
+             .end",
+        );
+        g.fold_moves(&m);
+        assert!(g.consumers[0].is_empty());
+        assert!(!g.active[1]);
+    }
+
+    #[test]
+    fn fanout_limit_inserts_relays() {
+        // iconst feeds dup; after folding dup+dup2 chains the constant has
+        // fanout 4; limiting to 2 must insert relays.
+        let (m, mut g, pl) = graph_of(
+            ".method f args=0 returns=true locals=0
+               iconst_3
+               dup
+               dup2
+               iadd
+               iadd
+               iadd
+               ireturn
+             .end",
+        );
+        g.fold_moves(&m);
+        let fan: usize = g.consumers[0].len();
+        assert!(fan > 2, "folded constant fanout {fan}");
+        let relays = g.limit_fanout(2, &pl);
+        assert!(relays >= 1);
+        assert!(g.consumers[0].len() <= 2);
+        for r in &g.relays {
+            assert!(r.sinks.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn chain_of_shuffles_folds_through() {
+        let (m, mut g, _) = graph_of(
+            ".method f args=0 returns=true locals=0
+               iconst_1
+               iconst_2
+               swap
+               swap
+               isub
+               ireturn
+             .end",
+        );
+        let folded = g.fold_moves(&m);
+        assert_eq!(folded, 2);
+        // Double swap restores order: @0 → side 1, @1 → side 2.
+        assert!(g.consumers[0].iter().any(|s| s.consumer == 4 && s.side == 1));
+        assert!(g.consumers[1].iter().any(|s| s.consumer == 4 && s.side == 2));
+    }
+}

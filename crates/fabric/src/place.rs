@@ -1,0 +1,230 @@
+//! Method loading and placement (Section 6.2, Figure 20).
+//!
+//! Instructions stream down the serial network from an Anchor node; each
+//! free, type-compatible Instruction Node greedily claims the head
+//! instruction and forwards the rest. The serial chain snakes boustrophedon
+//! through a `width`-wide mesh so consecutive chain positions are
+//! mesh-adjacent ("The goal is to compress the linear method into x-y
+//! coordinates that minimize the overall arc length", Section 7.2).
+
+use javaflow_bytecode::{Method, NodeKind};
+
+use crate::{FabricConfig, Layout, HETERO_PATTERN};
+
+/// What a fabric slot can execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// Homogeneous node: accepts every instruction.
+    Any,
+    /// Blank spacer node (Sparse layout): routes but never executes.
+    Blank,
+    /// Heterogeneous node of a single kind.
+    Kind(NodeKind),
+}
+
+impl SlotKind {
+    /// Whether an instruction of `kind` can be housed here.
+    #[must_use]
+    pub fn accepts(self, kind: NodeKind) -> bool {
+        match self {
+            SlotKind::Any => true,
+            SlotKind::Blank => false,
+            SlotKind::Kind(k) => k == kind,
+        }
+    }
+}
+
+/// The slot kind at a serial-chain position for a layout.
+#[must_use]
+pub fn slot_kind(layout: Layout, position: u32) -> SlotKind {
+    match layout {
+        Layout::Homogeneous => SlotKind::Any,
+        Layout::Sparse => {
+            if position.is_multiple_of(2) {
+                SlotKind::Any
+            } else {
+                SlotKind::Blank
+            }
+        }
+        Layout::Heterogeneous => {
+            SlotKind::Kind(HETERO_PATTERN[(position % HETERO_PATTERN.len() as u32) as usize])
+        }
+    }
+}
+
+/// Mesh `(x, y)` coordinates of a chain position under boustrophedon
+/// placement in a `width`-wide fabric.
+#[must_use]
+pub fn snake_coords(position: u32, width: u32) -> (u32, u32) {
+    let row = position / width;
+    let col = position % width;
+    let x = if row.is_multiple_of(2) { col } else { width - 1 - col };
+    (x, row)
+}
+
+/// Failure to place a method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlaceError {
+    /// The method needs more nodes than the fabric provides.
+    FabricFull {
+        /// Instructions placed before running out.
+        placed: u32,
+        /// Fabric capacity in nodes.
+        capacity: u32,
+    },
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::FabricFull { placed, capacity } => {
+                write!(fm, "fabric full after {placed} instructions (capacity {capacity} nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// A placed method: one slot per instruction plus span statistics.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Serial-chain position of each instruction (monotonically increasing).
+    pub slots: Vec<u32>,
+    /// Mesh coordinates of each instruction.
+    pub coords: Vec<(u32, u32)>,
+    /// Number of fabric nodes spanned (last slot + 1), including skipped
+    /// incompatible/blank nodes — the "Max Node" of Tables 19/20.
+    pub max_node: u32,
+    /// Serial ticks consumed streaming the method in (load pipeline:
+    /// one instruction enters per tick, the last travels to the last slot).
+    pub load_ticks: u64,
+}
+
+impl Placement {
+    /// Nodes-spanned-per-instruction ratio (1.0 compact, 2.0 sparse,
+    /// ≈3.1 heterogeneous — Tables 19/20).
+    #[must_use]
+    pub fn span_ratio(&self) -> f64 {
+        if self.slots.is_empty() {
+            0.0
+        } else {
+            f64::from(self.max_node) / self.slots.len() as f64
+        }
+    }
+
+    /// Manhattan distance between two placed instructions.
+    #[must_use]
+    pub fn mesh_distance(&self, a: u32, b: u32) -> u64 {
+        let (ax, ay) = self.coords[a as usize];
+        let (bx, by) = self.coords[b as usize];
+        u64::from(ax.abs_diff(bx)) + u64::from(ay.abs_diff(by))
+    }
+
+    /// Serial-chain distance (slots) between two placed instructions.
+    #[must_use]
+    pub fn serial_distance(&self, a: u32, b: u32) -> u64 {
+        u64::from(self.slots[a as usize].abs_diff(self.slots[b as usize]))
+    }
+}
+
+/// Places a method into a fabric configuration using the greedy
+/// load protocol of Figure 20.
+///
+/// # Errors
+///
+/// [`PlaceError::FabricFull`] when the method does not fit.
+pub fn place(method: &Method, config: &FabricConfig) -> Result<Placement, PlaceError> {
+    let mut slots = Vec::with_capacity(method.code.len());
+    let mut coords = Vec::with_capacity(method.code.len());
+    let mut pos: u32 = 0;
+    for (i, insn) in method.code.iter().enumerate() {
+        let kind = insn.group().node_kind();
+        while pos < config.max_nodes && !slot_kind(config.layout, pos).accepts(kind) {
+            pos += 1;
+        }
+        if pos >= config.max_nodes {
+            return Err(PlaceError::FabricFull { placed: i as u32, capacity: config.max_nodes });
+        }
+        slots.push(pos);
+        coords.push(snake_coords(pos, config.width));
+        pos += 1;
+    }
+    let max_node = slots.last().map_or(0, |s| s + 1);
+    let load_ticks = method.code.len() as u64 + u64::from(max_node);
+    Ok(Placement { slots, coords, max_node, load_ticks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javaflow_bytecode::{Insn, Opcode, Operand};
+
+    fn method_of(ops: &[Opcode]) -> Method {
+        let mut m = Method::new("t", 0, false);
+        m.max_locals = 4;
+        for op in ops {
+            let operand = match op {
+                Opcode::ILoad => Operand::Local(0),
+                _ => Operand::None,
+            };
+            m.code.push(Insn::new(*op, operand));
+        }
+        m
+    }
+
+    #[test]
+    fn homogeneous_is_dense() {
+        let m = method_of(&[Opcode::IConst0, Opcode::IConst1, Opcode::IAdd, Opcode::IReturn]);
+        let p = place(&m, &FabricConfig::compact2()).unwrap();
+        assert_eq!(p.slots, vec![0, 1, 2, 3]);
+        assert!((p.span_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_doubles_span() {
+        let m = method_of(&[Opcode::IConst0, Opcode::IConst1, Opcode::IAdd, Opcode::IReturn]);
+        let p = place(&m, &FabricConfig::sparse2()).unwrap();
+        assert_eq!(p.slots, vec![0, 2, 4, 6]);
+        assert!((p.span_ratio() - 7.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hetero_skips_incompatible_nodes() {
+        // Two control-flow ops in a row must each find a Control slot
+        // (positions 6, 16, ... in the pattern).
+        let m = method_of(&[Opcode::IConst0, Opcode::IReturn, Opcode::IReturn]);
+        let p = place(&m, &FabricConfig::hetero2()).unwrap();
+        assert_eq!(p.slots[0], 0); // arith slot
+        assert_eq!(p.slots[1], 9); // first control slot in the row
+        assert_eq!(p.slots[2], 19); // next row's control slot
+        assert!(p.span_ratio() > 3.0);
+    }
+
+    #[test]
+    fn snake_adjacency() {
+        // End of row 0 and start of row 1 are mesh-adjacent.
+        assert_eq!(snake_coords(9, 10), (9, 0));
+        assert_eq!(snake_coords(10, 10), (9, 1));
+        assert_eq!(snake_coords(19, 10), (0, 1));
+        assert_eq!(snake_coords(20, 10), (0, 2));
+    }
+
+    #[test]
+    fn fabric_full_detected() {
+        let m = method_of(&[Opcode::IConst0; 32]);
+        let mut cfg = FabricConfig::compact2();
+        cfg.max_nodes = 16;
+        assert!(matches!(place(&m, &cfg), Err(PlaceError::FabricFull { placed: 16, .. })));
+    }
+
+    #[test]
+    fn distances() {
+        let m = method_of(&[Opcode::IConst0; 25]);
+        let p = place(&m, &FabricConfig::compact2()).unwrap();
+        // Instructions 0 (0,0) and 24 (4,2).
+        assert_eq!(p.mesh_distance(0, 24), 6);
+        assert_eq!(p.serial_distance(0, 24), 24);
+    }
+}

@@ -1,0 +1,1077 @@
+//! The token-bundle execution engine (Section 6.3).
+//!
+//! Execution of a loaded method starts a bundle of serial tokens —
+//! `HEAD`, `MEMORY`, one `REGISTER` per local, `TAIL` (Figure 23) — down
+//! the serial network from the Anchor. Instruction Nodes fire under the
+//! dataflow rule (*HEAD received ∧ popsReceived == pops*, plus
+//! group-specific conditions), results travel the mesh to the resolved
+//! consumers, and control-flow nodes translate taken branches back into
+//! token routing: forward jumps route the bundle with explicit addresses;
+//! backward jumps buffer everything until `TAIL`, then re-inject the bundle
+//! at the loop head through the reverse network, resetting the loop body.
+//!
+//! The simulator is event-driven over **serial ticks**; one mesh cycle is
+//! `FabricConfig::mesh_cycle_ticks` ticks, reproducing the Table 15 clock
+//! ratios (the collapsed Baseline drains serial traffic for free).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use javaflow_bytecode::{InstructionGroup, Method, Opcode, Operand, Value};
+use javaflow_interp::{Interp, JvmError, JvmErrorKind};
+
+use crate::{
+    compute::{eval_condition, eval_pure},
+    place, resolve, BranchMode, BranchOracle, DataflowGraph, FabricConfig, PlaceError, Placement,
+    Resolved, ResolveError, Token,
+};
+
+/// A method loaded into the fabric: placement plus resolved dataflow.
+#[derive(Debug)]
+pub struct LoadedMethod<'m> {
+    /// The method.
+    pub method: &'m Method,
+    /// Node placement (Figure 20).
+    pub placement: Placement,
+    /// Address-resolution result (Section 6.2).
+    pub resolved: Resolved,
+    /// The routing graph the engine follows (possibly transformed by the
+    /// Section 6.4 enhancements).
+    pub graph: DataflowGraph,
+}
+
+/// Loading failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LoadError {
+    /// Placement failed.
+    Place(PlaceError),
+    /// Resolution failed.
+    Resolve(ResolveError),
+    /// The method uses instructions the fabric does not execute
+    /// (`jsr`/`ret`/switches — delegated to the GPP in the dissertation
+    /// and excluded from its simulation).
+    Unsupported {
+        /// The offending opcode.
+        op: Opcode,
+        /// Its linear address.
+        addr: u32,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Place(e) => write!(fm, "placement: {e}"),
+            LoadError::Resolve(e) => write!(fm, "resolution: {e}"),
+            LoadError::Unsupported { op, addr } => {
+                write!(fm, "fabric cannot execute `{op}` at @{addr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Loads a method: checks fabric-executability, places it, and resolves
+/// dataflow addresses.
+///
+/// # Errors
+///
+/// See [`LoadError`].
+pub fn load<'m>(method: &'m Method, config: &FabricConfig) -> Result<LoadedMethod<'m>, LoadError> {
+    for (addr, insn) in method.iter() {
+        if matches!(
+            insn.op,
+            Opcode::Jsr | Opcode::JsrW | Opcode::Ret | Opcode::TableSwitch | Opcode::LookupSwitch
+        ) {
+            return Err(LoadError::Unsupported { op: insn.op, addr });
+        }
+    }
+    let placement = place(method, config).map_err(LoadError::Place)?;
+    let resolved = resolve(method).map_err(LoadError::Resolve)?;
+    let graph = DataflowGraph::from_resolved(&resolved);
+    Ok(LoadedMethod { method, placement, resolved, graph })
+}
+
+/// How the method run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A return instruction fired; the value (if the method returns one)
+    /// was passed back to the GPP.
+    Returned(Option<Value>),
+    /// The mesh-cycle budget was exhausted (the dissertation's timeout
+    /// filter).
+    Timeout,
+    /// No event remained but no return fired (an invalid dataflow).
+    Deadlock,
+    /// A Section 6.3 exception was raised and delegated to the GPP.
+    Exception(JvmError),
+}
+
+/// Execution measurements for one run.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Elapsed mesh cycles.
+    pub mesh_cycles: u64,
+    /// Dynamic instructions fired (loop iterations re-fire).
+    pub executed: u64,
+    /// Relay (inserted move) firings, counted separately.
+    pub relay_fires: u64,
+    /// Distinct static instructions that fired at least once.
+    pub static_covered: usize,
+    /// `static_covered / method length` (Table 18).
+    pub coverage: f64,
+    /// Instructions per mesh cycle (Table 21).
+    pub ipc: f64,
+    /// Fraction of busy time with ≥ 2 instructions executing (Table 26).
+    pub frac_cycles_ge2: f64,
+    /// Fraction of elapsed time with ≥ 1 instruction executing.
+    pub frac_cycles_ge1: f64,
+    /// Serial messages delivered.
+    pub serial_msgs: u64,
+    /// Mesh messages delivered.
+    pub mesh_msgs: u64,
+}
+
+/// Execution parameters.
+#[derive(Debug)]
+pub struct ExecParams<'g, 'p> {
+    /// Branch decision source.
+    pub mode: BranchMode,
+    /// Mesh-cycle budget before declaring [`Outcome::Timeout`].
+    pub max_mesh_cycles: u64,
+    /// The GPP servicing calls, specials, and real memory (data mode).
+    pub gpp: Gpp<'g, 'p>,
+    /// Argument values placed in the initial register tokens.
+    pub args: Vec<Value>,
+}
+
+impl Default for ExecParams<'_, '_> {
+    fn default() -> Self {
+        ExecParams {
+            mode: BranchMode::Bp1,
+            max_mesh_cycles: 1_000_000,
+            gpp: Gpp::Stub,
+            args: Vec::new(),
+        }
+    }
+}
+
+/// The General Purpose Processor attachment.
+#[derive(Debug)]
+pub enum Gpp<'g, 'p> {
+    /// Real co-simulation: calls run on the interpreter, memory operations
+    /// hit the shared heap/method area.
+    Interp(&'g mut Interp<'p>),
+    /// Scripted runs: constant service times, dummy results.
+    Stub,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    Serial,
+    Mesh,
+    ExecDone,
+    ServiceDone,
+}
+
+#[derive(Debug)]
+struct Ev {
+    at: u64,
+    seq: u64,
+    kind: EvKind,
+    node: u32,
+    token: Option<Token>,
+    side: u16,
+    value: Option<Value>,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct NState {
+    head: bool,
+    fired: bool,
+    completed: bool,
+    tail_buffered: bool,
+    operands: Vec<Option<Value>>,
+    reg_captured: Option<Value>,
+    mem_token: Option<u64>,
+    /// Tokens buffered at control-flow nodes (in arrival order).
+    buffer: Vec<Token>,
+    /// After a taken forward jump: explicit-route subsequent tokens here.
+    redirect: Option<u32>,
+    /// Decided back-jump target awaiting TAIL.
+    pending_back: Option<u32>,
+    /// Cached conditional decision (the oracle must be consulted once).
+    decision: Option<bool>,
+    /// Values to dispatch when execution/service completes.
+    outputs: Vec<Value>,
+    /// Memory-token order number to forward at fire time.
+    mem_forward: Option<u64>,
+}
+
+/// Runs a loaded method on a fabric configuration.
+pub fn execute(
+    lm: &LoadedMethod<'_>,
+    config: &FabricConfig,
+    params: ExecParams<'_, '_>,
+) -> ExecReport {
+    Sim::new(lm, config, params).run()
+}
+
+struct Sim<'a, 'm, 'g, 'p> {
+    lm: &'a LoadedMethod<'m>,
+    cfg: &'a FabricConfig,
+    oracle: BranchOracle,
+    gpp: Gpp<'g, 'p>,
+    args: Vec<Value>,
+    lenient: bool,
+    n: usize,
+    nodes: Vec<NState>,
+    queue: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    now: u64,
+    max_ticks: u64,
+    // stats
+    executed: u64,
+    relay_fires: u64,
+    covered: Vec<bool>,
+    serial_msgs: u64,
+    mesh_msgs: u64,
+    busy: u32,
+    last_busy_change: u64,
+    acc_ge1: u64,
+    acc_ge2: u64,
+    outcome: Option<Outcome>,
+}
+
+impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
+    fn new(lm: &'a LoadedMethod<'m>, cfg: &'a FabricConfig, params: ExecParams<'g, 'p>) -> Self {
+        let n = lm.method.code.len();
+        let mut nodes = vec![NState::default(); n];
+        for (i, st) in nodes.iter_mut().enumerate() {
+            st.operands = vec![None; usize::from(lm.method.code[i].pops())];
+        }
+        let max_ticks = params.max_mesh_cycles.saturating_mul(cfg.mesh_cycle_ticks());
+        Sim {
+            lm,
+            cfg,
+            oracle: BranchOracle::new(params.mode),
+            gpp: params.gpp,
+            args: params.args,
+            lenient: params.mode.is_scripted(),
+            n,
+            nodes,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            max_ticks,
+            executed: 0,
+            relay_fires: 0,
+            covered: vec![false; n],
+            serial_msgs: 0,
+            mesh_msgs: 0,
+            busy: 0,
+            last_busy_change: 0,
+            acc_ge1: 0,
+            acc_ge2: 0,
+            outcome: None,
+        }
+    }
+
+    fn mesh_ticks(&self) -> u64 {
+        self.cfg.mesh_cycle_ticks()
+    }
+
+    fn serial_hop(&self) -> u64 {
+        self.cfg.serial_hop_ticks()
+    }
+
+    /// Serial transit ticks between two instructions (chain distance).
+    fn serial_transit(&self, from: u32, to: u32) -> u64 {
+        self.lm.placement.serial_distance(from, to) * self.serial_hop()
+    }
+
+    /// Mesh transit ticks between two placed points.
+    fn mesh_transit_coords(&self, a: (u32, u32), b: (u32, u32)) -> u64 {
+        let dist = if self.cfg.collapsed {
+            1
+        } else {
+            (u64::from(a.0.abs_diff(b.0)) + u64::from(a.1.abs_diff(b.1))).max(1)
+        };
+        dist * self.cfg.timing.mesh_hop_cycles * self.mesh_ticks()
+    }
+
+    fn coords_of(&self, id: u32) -> (u32, u32) {
+        if (id as usize) < self.n {
+            self.lm.placement.coords[id as usize]
+        } else {
+            self.lm.graph.relays[id as usize - self.n].coords
+        }
+    }
+
+    fn push_ev(&mut self, at: u64, kind: EvKind, node: u32, token: Option<Token>, side: u16, value: Option<Value>) {
+        self.seq += 1;
+        self.queue.push(Reverse(Ev { at, seq: self.seq, kind, node, token, side, value }));
+    }
+
+    fn send_serial(&mut self, from: u32, to: u32, token: Token) {
+        let delay = self.serial_transit(from, to).max(self.serial_hop());
+        self.serial_msgs += 1;
+        self.push_ev(self.now + delay, EvKind::Serial, to, Some(token), 0, None);
+    }
+
+    fn send_mesh(&mut self, from_coords: (u32, u32), sink: crate::Sink, value: Value) {
+        let delay = self.mesh_transit_coords(from_coords, self.coords_of(sink.consumer));
+        self.mesh_msgs += 1;
+        self.push_ev(self.now + delay, EvKind::Mesh, sink.consumer, None, sink.side, Some(value));
+    }
+
+    fn set_busy(&mut self, delta: i32) {
+        let dt = self.now - self.last_busy_change;
+        if self.busy >= 1 {
+            self.acc_ge1 += dt;
+        }
+        if self.busy >= 2 {
+            self.acc_ge2 += dt;
+        }
+        self.last_busy_change = self.now;
+        self.busy = self.busy.wrapping_add_signed(delta);
+    }
+
+    fn fail(&mut self, e: JvmError) {
+        if self.outcome.is_none() {
+            self.outcome = Some(Outcome::Exception(e));
+        }
+    }
+
+    fn run(mut self) -> ExecReport {
+        self.inject_bundle();
+        while self.outcome.is_none() {
+            let Some(Reverse(ev)) = self.queue.pop() else {
+                self.outcome = Some(Outcome::Deadlock);
+                break;
+            };
+            if ev.at > self.max_ticks {
+                self.outcome = Some(Outcome::Timeout);
+                break;
+            }
+            self.now = ev.at;
+            match ev.kind {
+                EvKind::Serial => {
+                    if let Some(t) = ev.token {
+                        self.on_serial(ev.node, t);
+                    }
+                }
+                EvKind::Mesh => {
+                    if let Some(v) = ev.value {
+                        self.on_mesh(ev.node, ev.side, v);
+                    }
+                }
+                EvKind::ExecDone => self.on_exec_done(ev.node),
+                EvKind::ServiceDone => self.on_service_done(ev.node),
+            }
+        }
+        let end = self.now.max(1);
+        let mesh_cycles = end.div_ceil(self.mesh_ticks());
+        let static_covered = self.covered.iter().filter(|c| **c).count();
+        let active_static = self.lm.graph.active.iter().filter(|a| **a).count().max(1);
+        ExecReport {
+            outcome: self.outcome.clone().unwrap_or(Outcome::Deadlock),
+            mesh_cycles,
+            executed: self.executed,
+            relay_fires: self.relay_fires,
+            static_covered,
+            coverage: static_covered as f64 / active_static as f64,
+            ipc: self.executed as f64 / mesh_cycles as f64,
+            frac_cycles_ge2: self.acc_ge2 as f64 / end as f64,
+            frac_cycles_ge1: self.acc_ge1 as f64 / end as f64,
+            serial_msgs: self.serial_msgs,
+            mesh_msgs: self.mesh_msgs,
+        }
+    }
+
+    /// The Anchor injects the token bundle at instruction 0.
+    fn inject_bundle(&mut self) {
+        let mut tokens = vec![Token::Head, Token::Memory(0)];
+        let locals = usize::from(self.lm.method.max_locals);
+        for r in 0..locals {
+            let value = self.args.get(r).copied().unwrap_or(Value::Int(0));
+            tokens.push(Token::Register { reg: r as u16, value });
+        }
+        tokens.push(Token::Tail);
+        let hop = self.serial_hop();
+        for (i, t) in tokens.into_iter().enumerate() {
+            self.serial_msgs += 1;
+            self.push_ev((i as u64 + 1) * hop, EvKind::Serial, 0, Some(t), 0, None);
+        }
+    }
+
+    /// Forwards a token from node `i` to its successor in the bundle's
+    /// current route (next linear instruction, or the redirect target).
+    fn forward(&mut self, i: u32, token: Token) {
+        let to = match self.nodes[i as usize].redirect {
+            Some(t) => t,
+            None => i + 1,
+        };
+        if (to as usize) < self.n {
+            self.send_serial(i, to, token);
+        }
+        // Tokens running past the last instruction return to the Anchor.
+    }
+
+    fn on_serial(&mut self, i: u32, token: Token) {
+        let insn = &self.lm.method.code[i as usize];
+        let group = insn.group();
+        let st = &mut self.nodes[i as usize];
+
+        // Folded nodes are inert pass-throughs.
+        if !self.lm.graph.active[i as usize] {
+            match token {
+                Token::Tail => {
+                    self.forward(i, Token::Tail);
+                }
+                t => self.forward(i, t),
+            }
+            return;
+        }
+
+        // Control-flow nodes buffer every token until they fire
+        // (returns and gotos too).
+        let buffers_all = matches!(
+            group,
+            InstructionGroup::ControlFlow | InstructionGroup::Return
+        );
+
+        match token {
+            Token::Head => {
+                st.head = true;
+                if buffers_all && !st.completed {
+                    st.buffer.push(Token::Head);
+                } else if !buffers_all {
+                    self.forward(i, Token::Head);
+                } else {
+                    // completed control node: pass through along its route.
+                    self.forward(i, Token::Head);
+                }
+                self.try_fire(i);
+            }
+            Token::Memory(order) => {
+                if buffers_all && !st.completed {
+                    st.buffer.push(Token::Memory(order));
+                } else if insn.op.is_ordered_memory() && !st.fired {
+                    // Ordered storage holds the memory token until it fires.
+                    st.mem_token = Some(order);
+                    self.try_fire(i);
+                } else {
+                    self.forward(i, Token::Memory(order));
+                }
+            }
+            Token::Register { reg, value } => {
+                if std::env::var_os("JAVAFLOW_TRACE_REG").is_some() {
+                    eprintln!(
+                        "[reg] t={} @{i} {} sees r{reg}={value} (fired={} completed={})",
+                        self.now, insn.op, st.fired, st.completed
+                    );
+                }
+                let interested = match (&insn.operand, group) {
+                    (Operand::Local(r), InstructionGroup::LocalRead | InstructionGroup::LocalWrite) => *r == reg,
+                    (Operand::Inc { local, .. }, InstructionGroup::LocalInc) => *local == reg,
+                    _ => match (insn.op, group) {
+                        // Compact register forms encode the register in the opcode.
+                        (op, InstructionGroup::LocalRead | InstructionGroup::LocalWrite) => {
+                            compact_register(op) == Some(reg)
+                        }
+                        _ => false,
+                    },
+                };
+                if buffers_all && !st.completed {
+                    st.buffer.push(Token::Register { reg, value });
+                } else if interested && group == InstructionGroup::LocalWrite {
+                    // The write kills the register: absorb the stale token
+                    // unconditionally. The write may already have fired and
+                    // emitted the fresh token — "this can result in the
+                    // re-ordering of the REGISTER_TOKEN messages"
+                    // (Section 6.3) — but the killed value must never pass.
+                    self.try_fire(i);
+                } else if interested && !st.fired {
+                    match group {
+                        InstructionGroup::LocalRead | InstructionGroup::LocalInc => {
+                            st.reg_captured = Some(value);
+                            self.try_fire(i);
+                        }
+                        _ => self.forward(i, Token::Register { reg, value }),
+                    }
+                } else {
+                    self.forward(i, Token::Register { reg, value });
+                }
+            }
+            Token::Tail => {
+                if buffers_all && !st.completed {
+                    st.tail_buffered = true;
+                    st.buffer.push(Token::Tail);
+                    self.try_fire(i);
+                    self.maybe_reinject(i);
+                } else if st.completed || !st.head {
+                    // Pass: the node has finished (or was bypassed and the
+                    // tail is explicitly routed past it — cannot happen on
+                    // the ordered network; completed is the normal case).
+                    self.forward(i, Token::Tail);
+                } else {
+                    st.tail_buffered = true;
+                    self.try_fire(i);
+                }
+            }
+        }
+    }
+
+    fn on_mesh(&mut self, id: u32, side: u16, value: Value) {
+        if (id as usize) >= self.n {
+            // Relay: one move-latency hop, then fan out.
+            let r = &self.lm.graph.relays[id as usize - self.n];
+            let coords = r.coords;
+            let sinks = r.sinks.clone();
+            self.relay_fires += 1;
+            let move_ticks = self.cfg.timing.move_cycles * self.mesh_ticks();
+            let saved_now = self.now;
+            self.now += move_ticks;
+            for s in sinks {
+                self.send_mesh(coords, s, value);
+            }
+            self.now = saved_now;
+            return;
+        }
+        let st = &mut self.nodes[id as usize];
+        let k = usize::from(side).saturating_sub(1);
+        if k < st.operands.len() {
+            st.operands[k] = Some(value);
+        }
+        self.try_fire(id);
+    }
+
+    /// Fire-condition check and firing (Section 6.3 per-group rules).
+    #[allow(clippy::too_many_lines)]
+    fn try_fire(&mut self, i: u32) {
+        let insn = self.lm.method.code[i as usize].clone();
+        let group = insn.group();
+        {
+            let st = &self.nodes[i as usize];
+            if st.fired || !st.head || self.outcome.is_some() {
+                return;
+            }
+            if st.operands.iter().any(Option::is_none) {
+                return;
+            }
+            match group {
+                InstructionGroup::LocalRead | InstructionGroup::LocalInc
+                    if st.reg_captured.is_none() => {
+                        return;
+                    }
+                InstructionGroup::MemRead | InstructionGroup::MemWrite
+                    if st.mem_token.is_none() => {
+                        return;
+                    }
+                InstructionGroup::Return
+                    if !st.tail_buffered => {
+                        return;
+                    }
+                InstructionGroup::ControlFlow
+                    // Unconditional backward goto needs the tail.
+                    if insn.op.is_goto()
+                        && self.lm.method.is_back_branch(i)
+                        && !st.tail_buffered
+                    => {
+                        return;
+                    }
+                _ => {}
+            }
+        }
+
+        // All conditions met: fire.
+        let operands: Vec<Value> = self.nodes[i as usize]
+            .operands
+            .iter()
+            .map(|o| o.expect("checked"))
+            .collect();
+        self.nodes[i as usize].fired = true;
+        self.covered[i as usize] = true;
+        self.executed += 1;
+        self.set_busy(1);
+
+        let exec_ticks = self.cfg.timing.exec_cycles(group) * self.mesh_ticks();
+
+        match group {
+            InstructionGroup::ControlFlow => {
+                let taken = if insn.op.is_goto() {
+                    true
+                } else {
+                    let data = eval_condition(insn.op, &operands, self.lenient)
+                        .unwrap_or_else(|e| {
+                            self.fail(e.at(javaflow_bytecode::MethodId(0), i, insn.op));
+                            false
+                        });
+                    let is_back = self.lm.method.is_back_branch(i);
+                    self.oracle.decide(i, is_back, data)
+                };
+                self.nodes[i as usize].decision = Some(taken);
+                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
+            }
+            InstructionGroup::Return => {
+                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
+            }
+            InstructionGroup::LocalRead => {
+                let v = self.nodes[i as usize].reg_captured.expect("checked");
+                self.nodes[i as usize].outputs = vec![v];
+                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
+            }
+            InstructionGroup::LocalInc => {
+                let v = self.nodes[i as usize].reg_captured.expect("checked");
+                let delta = match insn.operand {
+                    Operand::Inc { delta, .. } => delta,
+                    _ => 0,
+                };
+                let new = match v {
+                    Value::Int(x) => Value::Int(x.wrapping_add(delta)),
+                    other if self.lenient => other,
+                    _ => {
+                        self.fail(
+                            JvmError::bare(JvmErrorKind::TypeError)
+                                .at(javaflow_bytecode::MethodId(0), i, insn.op),
+                        );
+                        return;
+                    }
+                };
+                self.nodes[i as usize].outputs = vec![new];
+                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
+            }
+            InstructionGroup::LocalWrite => {
+                self.nodes[i as usize].outputs = operands;
+                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
+            }
+            InstructionGroup::MemRead | InstructionGroup::MemWrite => {
+                let order = self.nodes[i as usize].mem_token.take().expect("checked");
+                self.nodes[i as usize].mem_forward = Some(order + 1);
+                let result = self.memory_op(&insn, &operands, i);
+                match result {
+                    Ok(vals) => self.nodes[i as usize].outputs = vals,
+                    Err(e) => {
+                        self.fail(e.at(javaflow_bytecode::MethodId(0), i, insn.op));
+                        return;
+                    }
+                }
+                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
+            }
+            InstructionGroup::Call | InstructionGroup::Special => {
+                let result = self.gpp_service(&insn, &operands, i);
+                match result {
+                    Ok(vals) => self.nodes[i as usize].outputs = vals,
+                    Err(e) => {
+                        self.fail(e.at(javaflow_bytecode::MethodId(0), i, insn.op));
+                        return;
+                    }
+                }
+                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
+            }
+            InstructionGroup::MemConst => {
+                let v = match insn.operand {
+                    Operand::Cp(idx) => self.lm.method.cpool[usize::from(idx)],
+                    _ => Value::Int(0),
+                };
+                self.nodes[i as usize].outputs = vec![v];
+                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
+            }
+            _ => {
+                // Pure arithmetic / logic / move / conversion.
+                match eval_pure(&insn, &operands, self.lenient) {
+                    Ok(vals) => self.nodes[i as usize].outputs = vals,
+                    Err(e) => {
+                        self.fail(e.at(javaflow_bytecode::MethodId(0), i, insn.op));
+                        return;
+                    }
+                }
+                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
+            }
+        }
+    }
+
+    /// Completion of the execution stage.
+    #[allow(clippy::too_many_lines)]
+    fn on_exec_done(&mut self, i: u32) {
+        self.set_busy(-1);
+        let insn = self.lm.method.code[i as usize].clone();
+        let group = insn.group();
+
+        match group {
+            InstructionGroup::ControlFlow => {
+                let taken = self.nodes[i as usize].decision.unwrap_or(false);
+                let target = insn.branch_target().unwrap_or(i + 1);
+                if !taken {
+                    // Release the bundle to the next instruction.
+                    self.release_buffer(i, i + 1);
+                    self.nodes[i as usize].completed = true;
+                } else if target > i {
+                    // Forward jump: explicit routing to the target.
+                    self.nodes[i as usize].redirect = Some(target);
+                    self.release_buffer(i, target);
+                    self.nodes[i as usize].completed = true;
+                } else {
+                    // Backward jump: hold everything until TAIL, then
+                    // re-inject the bundle at the loop head.
+                    self.nodes[i as usize].pending_back = Some(target);
+                    self.maybe_reinject(i);
+                }
+                return;
+            }
+            InstructionGroup::Return => {
+                let method_returns = self.lm.method.returns;
+                let value = if method_returns {
+                    self.nodes[i as usize].operands.first().copied().flatten()
+                } else {
+                    None
+                };
+                if insn.op == Opcode::AThrow && !self.lenient {
+                    self.fail(
+                        JvmError::bare(JvmErrorKind::Thrown)
+                            .at(javaflow_bytecode::MethodId(0), i, insn.op),
+                    );
+                } else {
+                    self.outcome = Some(Outcome::Returned(value));
+                }
+                return;
+            }
+            InstructionGroup::MemRead => {
+                // Request sent; results arrive after the memory service.
+                if let Some(order) = self.nodes[i as usize].mem_forward.take() {
+                    self.forward(i, Token::Memory(order));
+                }
+                let service = self.cfg.timing.memory_service * self.mesh_ticks();
+                self.push_ev(self.now + service, EvKind::ServiceDone, i, None, 0, None);
+                return;
+            }
+            InstructionGroup::Call | InstructionGroup::Special => {
+                let service = self.cfg.timing.gpp_service * self.mesh_ticks();
+                self.push_ev(self.now + service, EvKind::ServiceDone, i, None, 0, None);
+                return;
+            }
+            InstructionGroup::MemWrite => {
+                if let Some(order) = self.nodes[i as usize].mem_forward.take() {
+                    self.forward(i, Token::Memory(order));
+                }
+                // Writes proceed without waiting for the service.
+            }
+            InstructionGroup::LocalWrite => {
+                // Emit the updated register token.
+                let reg = register_of(&insn).unwrap_or(0);
+                let value = self.nodes[i as usize].outputs.first().copied().unwrap_or(Value::Int(0));
+                self.forward(i, Token::Register { reg, value });
+                self.finish_node(i);
+                return;
+            }
+            InstructionGroup::LocalRead => {
+                // Re-send the register token, then results to the mesh.
+                let reg = register_of(&insn).unwrap_or(0);
+                let value = self.nodes[i as usize].reg_captured.unwrap_or(Value::Int(0));
+                self.forward(i, Token::Register { reg, value });
+            }
+            InstructionGroup::LocalInc => {
+                let reg = register_of(&insn).unwrap_or(0);
+                let value = self.nodes[i as usize].outputs.first().copied().unwrap_or(Value::Int(0));
+                self.forward(i, Token::Register { reg, value });
+                self.finish_node(i);
+                return;
+            }
+            _ => {}
+        }
+        self.dispatch_outputs(i);
+        self.finish_node(i);
+    }
+
+    /// Completion of a memory/GPP service: outputs go to the mesh.
+    fn on_service_done(&mut self, i: u32) {
+        self.dispatch_outputs(i);
+        self.finish_node(i);
+    }
+
+    /// Sends the node's computed outputs to its resolved consumers.
+    fn dispatch_outputs(&mut self, i: u32) {
+        let outputs = std::mem::take(&mut self.nodes[i as usize].outputs);
+        let coords = self.lm.placement.coords[i as usize];
+        let sinks = self.lm.graph.consumers[i as usize].clone();
+        for s in sinks {
+            let v = outputs.get(usize::from(s.out)).copied().unwrap_or(Value::Int(0));
+            self.send_mesh(coords, s, v);
+        }
+    }
+
+    /// Marks a node complete and forwards a buffered TAIL.
+    fn finish_node(&mut self, i: u32) {
+        self.nodes[i as usize].completed = true;
+        if self.nodes[i as usize].tail_buffered {
+            self.nodes[i as usize].tail_buffered = false;
+            self.forward(i, Token::Tail);
+        }
+    }
+
+    /// Releases a control-flow node's buffered tokens toward `to`.
+    fn release_buffer(&mut self, i: u32, to: u32) {
+        let tokens = std::mem::take(&mut self.nodes[i as usize].buffer);
+        self.nodes[i as usize].tail_buffered = false;
+        if (to as usize) >= self.n {
+            return;
+        }
+        let base = self.serial_transit(i, to).max(self.serial_hop());
+        for (k, t) in tokens.into_iter().enumerate() {
+            self.serial_msgs += 1;
+            self.push_ev(
+                self.now + base + k as u64 * self.serial_hop(),
+                EvKind::Serial,
+                to,
+                Some(t),
+                0,
+                None,
+            );
+        }
+    }
+
+    /// If a decided backward jump has executed and holds the TAIL,
+    /// re-inject the bundle at the loop head and reset the loop body.
+    fn maybe_reinject(&mut self, i: u32) {
+        let Some(target) = self.nodes[i as usize].pending_back else {
+            return;
+        };
+        if !self.nodes[i as usize].tail_buffered {
+            return;
+        }
+        let tokens = std::mem::take(&mut self.nodes[i as usize].buffer);
+        // Reset the loop body [target ..= i] — "each instruction from the
+        // same thread/class/method must also reset to the stateReady".
+        for a in target..=i {
+            let pops = usize::from(self.lm.method.code[a as usize].pops());
+            self.nodes[a as usize] = NState { operands: vec![None; pops], ..NState::default() };
+        }
+        // Reverse-network transit to the loop head.
+        let base = self.serial_transit(i, target).max(self.serial_hop());
+        for (k, t) in tokens.into_iter().enumerate() {
+            self.serial_msgs += 1;
+            self.push_ev(
+                self.now + base + k as u64 * self.serial_hop(),
+                EvKind::Serial,
+                target,
+                Some(t),
+                0,
+                None,
+            );
+        }
+    }
+
+    /// Ordered memory operations against the shared JVM state (or dummy
+    /// values for scripted runs).
+    fn memory_op(
+        &mut self,
+        insn: &javaflow_bytecode::Insn,
+        operands: &[Value],
+        _i: u32,
+    ) -> Result<Vec<Value>, JvmError> {
+        let Gpp::Interp(gpp) = &mut self.gpp else {
+            // Scripted: reads produce a dummy; writes produce nothing.
+            return Ok(if insn.pushes() > 0 { vec![Value::Int(0)] } else { Vec::new() });
+        };
+        use Opcode as O;
+        let get_ref = |v: &Value| -> Result<Option<u32>, JvmError> {
+            v.as_ref_handle().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))
+        };
+        let get_int = |v: &Value| -> Result<i32, JvmError> {
+            v.as_int().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))
+        };
+        match insn.op {
+            O::IALoad | O::LALoad | O::FALoad | O::DALoad | O::AALoad | O::BALoad | O::CALoad
+            | O::SALoad => {
+                let arr = get_ref(&operands[0])?;
+                let idx = get_int(&operands[1])?;
+                Ok(vec![gpp.state.heap.array_get(arr, idx)?])
+            }
+            O::IAStore | O::LAStore | O::FAStore | O::DAStore | O::AAStore | O::BAStore
+            | O::CAStore | O::SAStore => {
+                if std::env::var_os("JAVAFLOW_TRACE_MEM").is_some() {
+                    eprintln!("[mem] @{_i} {} operands {:?}", insn.op, operands);
+                }
+                let arr = get_ref(&operands[0])?;
+                let idx = get_int(&operands[1])?;
+                let v = match insn.op {
+                    O::BAStore => Value::Int(get_int(&operands[2])? as i8 as i32),
+                    O::CAStore => Value::Int(get_int(&operands[2])? as u16 as i32),
+                    O::SAStore => Value::Int(get_int(&operands[2])? as i16 as i32),
+                    _ => operands[2],
+                };
+                gpp.state.heap.array_set(arr, idx, v)?;
+                Ok(Vec::new())
+            }
+            O::GetField => match insn.operand {
+                Operand::Field(f) => {
+                    let obj = get_ref(&operands[0])?;
+                    Ok(vec![gpp.state.heap.get_field(obj, f.slot)?])
+                }
+                _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::PutField => match insn.operand {
+                Operand::Field(f) => {
+                    let obj = get_ref(&operands[0])?;
+                    gpp.state.heap.put_field(obj, f.slot, operands[1])?;
+                    Ok(Vec::new())
+                }
+                _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::GetStatic => match insn.operand {
+                Operand::Field(f) => Ok(vec![gpp.state.get_static(f.class, f.slot)?]),
+                _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::PutStatic => match insn.operand {
+                Operand::Field(f) => {
+                    gpp.state.put_static(f.class, f.slot, operands[0])?;
+                    Ok(Vec::new())
+                }
+                _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
+        }
+    }
+
+    /// Call and `Special` service on the GPP.
+    fn gpp_service(
+        &mut self,
+        insn: &javaflow_bytecode::Insn,
+        operands: &[Value],
+        _i: u32,
+    ) -> Result<Vec<Value>, JvmError> {
+        let Gpp::Interp(gpp) = &mut self.gpp else {
+            return Ok(if insn.pushes() > 0 { vec![Value::Int(0)] } else { Vec::new() });
+        };
+        use Opcode as O;
+        match insn.op {
+            O::InvokeVirtual | O::InvokeSpecial | O::InvokeStatic | O::InvokeInterface
+            | O::InvokeDynamic => match insn.operand {
+                Operand::Call(c) => {
+                    let r = gpp.run(c.method, operands)?;
+                    Ok(r.map(|v| vec![v]).unwrap_or_default())
+                }
+                _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::New => match insn.operand {
+                Operand::ClassId(cid) => {
+                    let fields = gpp.program().class(cid).instance_fields;
+                    let h = gpp.state.heap.alloc_object(cid, fields);
+                    Ok(vec![Value::Ref(Some(h))])
+                }
+                _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::NewArray => match insn.operand {
+                Operand::ArrayType(k) => {
+                    let len = operands[0]
+                        .as_int()
+                        .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                    let h = gpp.state.heap.alloc_array(k, len)?;
+                    Ok(vec![Value::Ref(Some(h))])
+                }
+                _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::ANewArray => match insn.operand {
+                Operand::ClassId(cid) => {
+                    let len = operands[0]
+                        .as_int()
+                        .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                    let h = gpp.state.heap.alloc_ref_array(cid, len)?;
+                    Ok(vec![Value::Ref(Some(h))])
+                }
+                _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::ArrayLength => {
+                let arr = operands[0]
+                    .as_ref_handle()
+                    .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                Ok(vec![Value::Int(gpp.state.heap.array_len(arr)?)])
+            }
+            O::InstanceOf => match insn.operand {
+                Operand::ClassId(cid) => {
+                    let h = operands[0]
+                        .as_ref_handle()
+                        .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                    let yes = match h {
+                        None => false,
+                        Some(hh) => gpp.state.heap.object_class(Some(hh))? == cid,
+                    };
+                    Ok(vec![Value::Int(i32::from(yes))])
+                }
+                _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::CheckCast => match insn.operand {
+                Operand::ClassId(cid) => {
+                    let h = operands[0]
+                        .as_ref_handle()
+                        .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                    if let Some(hh) = h {
+                        if gpp.state.heap.object_class(Some(hh))? != cid {
+                            return Err(JvmError::bare(JvmErrorKind::ClassCast));
+                        }
+                    }
+                    Ok(vec![Value::Ref(h)])
+                }
+                _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::MonitorEnter | O::MonitorExit => {
+                let h = operands[0]
+                    .as_ref_handle()
+                    .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                if h.is_none() {
+                    return Err(JvmError::bare(JvmErrorKind::NullPointer));
+                }
+                Ok(Vec::new())
+            }
+            O::Nop => Ok(Vec::new()),
+            _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
+        }
+    }
+}
+
+/// Register index encoded in the compact `*load_N`/`*store_N` forms.
+fn compact_register(op: Opcode) -> Option<u16> {
+    use Opcode as O;
+    Some(match op {
+        O::ILoad0 | O::LLoad0 | O::FLoad0 | O::DLoad0 | O::ALoad0 | O::IStore0 | O::LStore0
+        | O::FStore0 | O::DStore0 | O::AStore0 => 0,
+        O::ILoad1 | O::LLoad1 | O::FLoad1 | O::DLoad1 | O::ALoad1 | O::IStore1 | O::LStore1
+        | O::FStore1 | O::DStore1 | O::AStore1 => 1,
+        O::ILoad2 | O::LLoad2 | O::FLoad2 | O::DLoad2 | O::ALoad2 | O::IStore2 | O::LStore2
+        | O::FStore2 | O::DStore2 | O::AStore2 => 2,
+        O::ILoad3 | O::LLoad3 | O::FLoad3 | O::DLoad3 | O::ALoad3 | O::IStore3 | O::LStore3
+        | O::FStore3 | O::DStore3 | O::AStore3 => 3,
+        _ => return None,
+    })
+}
+
+/// Register operand of a local read/write/inc instruction.
+fn register_of(insn: &javaflow_bytecode::Insn) -> Option<u16> {
+    match insn.operand {
+        Operand::Local(r) => Some(r),
+        Operand::Inc { local, .. } => Some(local),
+        _ => compact_register(insn.op),
+    }
+}

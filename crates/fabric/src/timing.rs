@@ -1,0 +1,74 @@
+//! Timing model: execution latencies (Table 17) and network transit times
+//! (Figure 25).
+//!
+//! The simulator's base time unit is one **serial clock tick**. One mesh
+//! cycle spans `serial_per_mesh` ticks ("up to N serial clocks between each
+//! mesh clock", Table 15). The collapsed Baseline uses zero-cost serial hops
+//! and one tick per mesh cycle, reproducing the dissertation's "allow all
+//! serial clocks to proceed until there are no more serial messages queued".
+
+use javaflow_bytecode::InstructionGroup;
+
+/// Execution and transit latencies, all in *mesh cycles* unless noted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    /// Move instructions (Table 17: 1).
+    pub move_cycles: u64,
+    /// Floating-point arithmetic (Table 17: 10).
+    pub float_cycles: u64,
+    /// Integer↔float conversion (Table 17: 5).
+    pub convert_cycles: u64,
+    /// Special, logical, register, memory instructions (Table 17: 2).
+    pub other_cycles: u64,
+    /// Memory subsystem service time for ordered accesses (Figure 25).
+    pub memory_service: u64,
+    /// GPP service time for calls and `Special` operations (Figure 25).
+    pub gpp_service: u64,
+    /// Mesh cycles per Manhattan-distance hop.
+    pub mesh_hop_cycles: u64,
+}
+
+impl Default for Timing {
+    fn default() -> Timing {
+        Timing {
+            move_cycles: 1,
+            float_cycles: 10,
+            convert_cycles: 5,
+            other_cycles: 2,
+            memory_service: 10,
+            gpp_service: 20,
+            mesh_hop_cycles: 1,
+        }
+    }
+}
+
+impl Timing {
+    /// Execution latency in mesh cycles for an instruction group
+    /// (Table 17).
+    #[must_use]
+    pub fn exec_cycles(&self, group: InstructionGroup) -> u64 {
+        match group {
+            InstructionGroup::ArithMove => self.move_cycles,
+            InstructionGroup::FloatArith => self.float_cycles,
+            InstructionGroup::FloatConversion => self.convert_cycles,
+            _ => self.other_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_17_values() {
+        let t = Timing::default();
+        assert_eq!(t.exec_cycles(InstructionGroup::ArithMove), 1);
+        assert_eq!(t.exec_cycles(InstructionGroup::FloatArith), 10);
+        assert_eq!(t.exec_cycles(InstructionGroup::FloatConversion), 5);
+        assert_eq!(t.exec_cycles(InstructionGroup::ArithInteger), 2);
+        assert_eq!(t.exec_cycles(InstructionGroup::MemRead), 2);
+        assert_eq!(t.exec_cycles(InstructionGroup::LocalRead), 2);
+        assert_eq!(t.exec_cycles(InstructionGroup::ControlFlow), 2);
+    }
+}

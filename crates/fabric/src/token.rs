@@ -1,0 +1,110 @@
+//! Serial-network messages: commands (Figure 14) and tokens (Figure 23).
+
+use javaflow_bytecode::{MethodId, Value};
+
+/// The execution tokens of the serial token bundle (Figure 23).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Token {
+    /// The "rabbit" that leads the bundle and translates dataflow execution
+    /// back to control-flow order.
+    Head,
+    /// Memory-ordering token; the payload is the sequential order number
+    /// incremented by each ordered storage operation.
+    Memory(u64),
+    /// A local register's current value, propagated down the method.
+    Register {
+        /// Register number.
+        reg: u16,
+        /// Current value.
+        value: Value,
+    },
+    /// Ends the bundle; never passes an unfired instruction and acts as the
+    /// barrier for back jumps and returns.
+    Tail,
+}
+
+/// Serial message destinations. Most traffic addresses `Next`/`Previous`;
+/// control-flow changes use explicit linear addresses that intervening
+/// nodes ignore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SerialDest {
+    /// The next instruction in linear order.
+    Next,
+    /// The previous instruction (reverse ordered network).
+    Previous,
+    /// An explicit linear address (taken jumps, re-injection).
+    Linear(u32),
+}
+
+/// The network command set (Figure 14), carried by serial messages.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Command {
+    /// Load an instruction into the first matching free node (Figure 20).
+    LoadInstruction,
+    /// Free all nodes of a method.
+    UnloadInstruction,
+    /// Phase-1 resolution: teach nodes their control-flow sources.
+    SendAddressesDown,
+    /// Phase-2 resolution: emit one need per pop up the network.
+    SendNeedsUp,
+    /// An execution token.
+    Token(Token),
+    /// Exception notification to the GPP.
+    Exception,
+    /// Stop execution for garbage collection or management.
+    Quiesce,
+    /// Re-resolve constant-pool pointers after garbage collection.
+    ResetAddress,
+    /// Continuation of a payload wider than one transfer.
+    SubsequentMessage,
+}
+
+/// Thread/class/method/instance tag carried by every message so only the
+/// owning method's nodes react (Section 6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstanceId {
+    /// Executing thread.
+    pub thread: u16,
+    /// Deployed method.
+    pub method: MethodId,
+}
+
+/// A serial-network message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SerialMessage {
+    /// Destination.
+    pub to: SerialDest,
+    /// Command payload.
+    pub command: Command,
+    /// Owning instance.
+    pub instance: InstanceId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_carry_typed_payloads() {
+        let t = Token::Register { reg: 3, value: Value::Double(1.5) };
+        match t {
+            Token::Register { reg, value } => {
+                assert_eq!(reg, 3);
+                assert_eq!(value, Value::Double(1.5));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn message_construction() {
+        let m = SerialMessage {
+            to: SerialDest::Linear(7),
+            command: Command::Token(Token::Head),
+            instance: InstanceId { thread: 0, method: MethodId(4) },
+        };
+        assert_eq!(m.to, SerialDest::Linear(7));
+        assert!(matches!(m.command, Command::Token(Token::Head)));
+    }
+}

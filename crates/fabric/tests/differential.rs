@@ -1,0 +1,408 @@
+//! Differential tests: data-mode fabric execution must bit-match the
+//! interpreter golden model, and the resolver must match the verifier, on
+//! methods exercising loops, merges, memory, and calls.
+
+use javaflow_bytecode::{asm::assemble, verify, Program, Value};
+use javaflow_fabric::{
+    execute, load, resolve, BranchMode, ExecParams, FabricConfig, Gpp, Outcome,
+};
+use javaflow_interp::Interp;
+
+/// Runs `entry` on both engines and asserts identical results.
+fn differential(program: &Program, entry: &str, args: &[Value], config: &FabricConfig) {
+    let (id, method) = program.method_by_name(entry).unwrap();
+    program.validate().unwrap();
+
+    // Golden model.
+    let mut golden = Interp::new(program);
+    let expect = golden.run(id, args).unwrap();
+
+    // Resolver vs verifier.
+    let v = verify(method).unwrap();
+    let r = resolve(method).unwrap();
+    let verifier_edges: Vec<(u32, u32, u16)> =
+        v.edges.iter().map(|e| (e.producer, e.consumer, e.side)).collect();
+    assert_eq!(r.edges(), verifier_edges, "resolver/verifier divergence in {entry}");
+
+    // Fabric execution with a fresh GPP state.
+    let loaded = load(method, config).unwrap();
+    let mut gpp = Interp::new(program);
+    let report = execute(
+        &loaded,
+        config,
+        ExecParams {
+            mode: BranchMode::Data,
+            gpp: Gpp::Interp(&mut gpp),
+            args: args.to_vec(),
+            ..ExecParams::default()
+        },
+    );
+    match (&report.outcome, &expect) {
+        (Outcome::Returned(got), want) => {
+            match (got, want) {
+                (Some(g), Some(w)) => assert!(
+                    g.bits_eq(w),
+                    "{entry} on {}: fabric {g:?} != interp {w:?}",
+                    config.name
+                ),
+                (None, None) => {}
+                other => panic!("{entry} on {}: mismatch {other:?}", config.name),
+            }
+        }
+        other => panic!("{entry} on {}: unexpected outcome {other:?}", config.name),
+    }
+    assert!(report.mesh_cycles > 0);
+    assert!(report.executed >= method.code.len() as u64 / 2);
+}
+
+fn all_configs() -> Vec<FabricConfig> {
+    FabricConfig::all_six()
+}
+
+const SUM_LOOP: &str = ".method sum args=1 returns=true locals=3
+   iconst_0
+   istore 1
+ top:
+   iload 1
+   iload 0
+   iadd
+   istore 1
+   iinc 0 -1
+   iload 0
+   ifgt @top
+   iload 1
+   ireturn
+ .end";
+
+#[test]
+fn loop_sum_matches_on_every_config() {
+    let p = assemble(SUM_LOOP).unwrap();
+    for config in all_configs() {
+        differential(&p, "sum", &[Value::Int(10)], &config);
+    }
+}
+
+#[test]
+fn single_iteration_loop() {
+    let p = assemble(SUM_LOOP).unwrap();
+    differential(&p, "sum", &[Value::Int(1)], &FabricConfig::compact2());
+}
+
+#[test]
+fn many_iterations_loop() {
+    let p = assemble(SUM_LOOP).unwrap();
+    differential(&p, "sum", &[Value::Int(100)], &FabricConfig::hetero2());
+}
+
+#[test]
+fn branch_merge_dataflow() {
+    // max(a, b) via a forward conditional and a dataflow merge at ireturn.
+    let p = assemble(
+        ".method max args=2 returns=true locals=2
+           iload 0
+           iload 1
+           if_icmplt @second
+           iload 0
+           ireturn
+         second:
+           iload 1
+           ireturn
+         .end",
+    )
+    .unwrap();
+    for config in all_configs() {
+        differential(&p, "max", &[Value::Int(3), Value::Int(9)], &config);
+        differential(&p, "max", &[Value::Int(9), Value::Int(3)], &config);
+    }
+}
+
+#[test]
+fn floating_point_kernel() {
+    // Horner evaluation of a small polynomial with double arithmetic.
+    let p = assemble(
+        ".method horner args=1 returns=true locals=3
+         .const double 1.5
+         .const double -2.25
+         .const double 0.5
+           ldc2_w #0
+           dload 0
+           dmul
+           ldc2_w #1
+           dadd
+           dload 0
+           dmul
+           ldc2_w #2
+           dadd
+           dreturn
+         .end",
+    )
+    .unwrap();
+    for config in all_configs() {
+        differential(&p, "horner", &[Value::Double(3.75)], &config);
+    }
+}
+
+#[test]
+fn array_memory_ordering() {
+    // Write then read the same array slot: MEMORY_TOKEN ordering must make
+    // the read observe the write.
+    let p = assemble(
+        ".method rw args=0 returns=true locals=1
+           iconst_4
+           newarray int
+           astore 0
+           aload 0
+           iconst_2
+           bipush 77
+           iastore
+           aload 0
+           iconst_2
+           iaload
+           ireturn
+         .end",
+    )
+    .unwrap();
+    for config in all_configs() {
+        differential(&p, "rw", &[], &config);
+    }
+}
+
+#[test]
+fn fields_and_statics() {
+    let p = assemble(
+        ".class Acc fields=1 statics=1
+         .method m args=1 returns=true locals=2
+           new Acc
+           astore 1
+           aload 1
+           iload 0
+           putfield Acc 0
+           aload 1
+           getfield Acc 0
+           iconst_2
+           imul
+           putstatic Acc 0
+           getstatic Acc 0
+           ireturn
+         .end",
+    )
+    .unwrap();
+    differential(&p, "m", &[Value::Int(21)], &FabricConfig::compact4());
+    differential(&p, "m", &[Value::Int(21)], &FabricConfig::hetero2());
+}
+
+#[test]
+fn nested_call_through_gpp() {
+    let p = assemble(
+        ".method helper args=2 returns=true locals=2
+           iload 0
+           iload 1
+           imul
+           ireturn
+         .end
+         .method m args=1 returns=true locals=1
+           iload 0
+           iconst_3
+           invokestatic helper
+           iload 0
+           iadd
+           ireturn
+         .end",
+    )
+    .unwrap();
+    for config in all_configs() {
+        differential(&p, "m", &[Value::Int(5)], &config);
+    }
+}
+
+#[test]
+fn nested_loops() {
+    // Multiplication by repeated addition: two nested back jumps.
+    let p = assemble(
+        ".method mul args=2 returns=true locals=5
+           iconst_0
+           istore 2
+           iload 0
+           istore 3
+         outer:
+           iload 3
+           ifle @done
+           iload 1
+           istore 4
+         inner:
+           iload 4
+           ifle @outer_step
+           iinc 2 1
+           iinc 4 -1
+           goto @inner
+         outer_step:
+           iinc 3 -1
+           goto @outer
+         done:
+           iload 2
+           ireturn
+         .end",
+    )
+    .unwrap();
+    for config in [FabricConfig::baseline(), FabricConfig::compact2(), FabricConfig::hetero2()] {
+        differential(&p, "mul", &[Value::Int(4), Value::Int(5)], &config);
+    }
+}
+
+#[test]
+fn loop_with_internal_branch() {
+    // Sum of even numbers up to n: conditional inside a loop body.
+    let p = assemble(
+        ".method evens args=1 returns=true locals=2
+           iconst_0
+           istore 1
+         top:
+           iload 0
+           ifle @done
+           iload 0
+           iconst_2
+           irem
+           ifne @skip
+           iload 1
+           iload 0
+           iadd
+           istore 1
+         skip:
+           iinc 0 -1
+           goto @top
+         done:
+           iload 1
+           ireturn
+         .end",
+    )
+    .unwrap();
+    for config in all_configs() {
+        differential(&p, "evens", &[Value::Int(9)], &config);
+    }
+}
+
+#[test]
+fn exception_propagates_to_gpp() {
+    let p = assemble(
+        ".method div args=2 returns=true locals=2
+           iload 0
+           iload 1
+           idiv
+           ireturn
+         .end",
+    )
+    .unwrap();
+    let (_, m) = p.method_by_name("div").unwrap();
+    let config = FabricConfig::compact2();
+    let loaded = load(m, &config).unwrap();
+    let mut gpp = Interp::new(&p);
+    let report = execute(
+        &loaded,
+        &config,
+        ExecParams {
+            mode: BranchMode::Data,
+            gpp: Gpp::Interp(&mut gpp),
+            args: vec![Value::Int(1), Value::Int(0)],
+            ..ExecParams::default()
+        },
+    );
+    assert!(matches!(report.outcome, Outcome::Exception(_)), "got {:?}", report.outcome);
+}
+
+#[test]
+fn scripted_mode_terminates_and_covers() {
+    let p = assemble(SUM_LOOP).unwrap();
+    let (_, m) = p.method_by_name("sum").unwrap();
+    for config in all_configs() {
+        let loaded = load(m, &config).unwrap();
+        for mode in [BranchMode::Bp1, BranchMode::Bp2] {
+            let report = execute(
+                &loaded,
+                &config,
+                ExecParams { mode, ..ExecParams::default() },
+            );
+            assert!(
+                matches!(report.outcome, Outcome::Returned(_)),
+                "{} {mode:?}: {:?}",
+                config.name,
+                report.outcome
+            );
+            assert!(report.coverage > 0.5, "{}: coverage {}", config.name, report.coverage);
+            // Back jumps are taken 9 of 10 times, so the loop body fires
+            // repeatedly.
+            assert!(report.executed > m.code.len() as u64);
+        }
+    }
+}
+
+#[test]
+fn baseline_is_fastest_config() {
+    // The collapsed baseline must beat every distance-paying configuration
+    // on the same method (the premise of the Figure-of-Merit normalization).
+    let p = assemble(SUM_LOOP).unwrap();
+    let (_, m) = p.method_by_name("sum").unwrap();
+    let mut cycles = Vec::new();
+    for config in all_configs() {
+        let loaded = load(m, &config).unwrap();
+        let report = execute(
+            &loaded,
+            &config,
+            ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() },
+        );
+        cycles.push((config.name, report.mesh_cycles, report.ipc));
+    }
+    let base = cycles[0];
+    for c in &cycles[1..] {
+        assert!(
+            c.1 >= base.1,
+            "{} ({} cycles) beat the baseline ({} cycles)",
+            c.0,
+            c.1,
+            base.1
+        );
+    }
+    // And the serial-clock ratio must order the compact configurations.
+    let by_name: std::collections::HashMap<&str, f64> =
+        cycles.iter().map(|(n, _, ipc)| (*n, *ipc)).collect();
+    assert!(by_name["Compact10"] >= by_name["Compact4"]);
+    assert!(by_name["Compact4"] >= by_name["Compact2"]);
+    assert!(by_name["Compact2"] >= by_name["Sparse2"]);
+}
+
+#[test]
+fn folding_reduces_executed_instructions() {
+    let p = assemble(
+        ".method sq args=1 returns=true locals=1
+           iload 0
+           dup
+           imul
+           ireturn
+         .end",
+    )
+    .unwrap();
+    let (_, m) = p.method_by_name("sq").unwrap();
+    let config = FabricConfig::compact2();
+    let plain = load(m, &config).unwrap();
+    let mut folded = load(m, &config).unwrap();
+    let n = folded.graph.fold_moves(m);
+    assert_eq!(n, 1);
+
+    let run = |lm: &javaflow_fabric::LoadedMethod<'_>| {
+        let mut gpp = Interp::new(&p);
+        execute(
+            lm,
+            &config,
+            ExecParams {
+                mode: BranchMode::Data,
+                gpp: Gpp::Interp(&mut gpp),
+                args: vec![Value::Int(9)],
+                ..ExecParams::default()
+            },
+        )
+    };
+    let r0 = run(&plain);
+    let r1 = run(&folded);
+    assert_eq!(r0.outcome, Outcome::Returned(Some(Value::Int(81))));
+    assert_eq!(r1.outcome, Outcome::Returned(Some(Value::Int(81))));
+    assert_eq!(r1.executed, r0.executed - 1, "folded dup must not fire");
+}

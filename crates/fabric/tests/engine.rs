@@ -1,0 +1,369 @@
+//! Execution-engine edge cases: timeouts, configuration cost ordering,
+//! memory-ordering stress, graph transformations under loops, and token
+//! barrier behavior with service instructions.
+
+use javaflow_bytecode::{asm::assemble, Program, Value};
+use javaflow_fabric::{
+    execute, load, BranchMode, ExecParams, FabricConfig, Gpp, Outcome, Timing,
+};
+use javaflow_interp::Interp;
+
+fn program(src: &str) -> Program {
+    let p = assemble(src).unwrap();
+    p.validate().unwrap();
+    p
+}
+
+fn data_run(
+    p: &Program,
+    name: &str,
+    args: &[Value],
+    config: &FabricConfig,
+) -> (Outcome, javaflow_fabric::ExecReport) {
+    let (_, m) = p.method_by_name(name).unwrap();
+    let loaded = load(m, config).unwrap();
+    let mut gpp = Interp::new(p);
+    let report = execute(
+        &loaded,
+        config,
+        ExecParams {
+            mode: BranchMode::Data,
+            gpp: Gpp::Interp(&mut gpp),
+            args: args.to_vec(),
+            ..ExecParams::default()
+        },
+    );
+    (report.outcome.clone(), report)
+}
+
+#[test]
+fn timeout_is_reported() {
+    // An infinite data-mode loop must hit the cycle budget.
+    let p = program(
+        ".method spin args=0 returns=false locals=0
+         top:
+           goto @top
+         .end",
+    );
+    let (_, m) = p.method_by_name("spin").unwrap();
+    let config = FabricConfig::compact2();
+    let loaded = load(m, &config).unwrap();
+    let mut gpp = Interp::new(&p);
+    let report = execute(
+        &loaded,
+        &config,
+        ExecParams {
+            mode: BranchMode::Data,
+            gpp: Gpp::Interp(&mut gpp),
+            max_mesh_cycles: 2_000,
+            ..ExecParams::default()
+        },
+    );
+    assert_eq!(report.outcome, Outcome::Timeout);
+    assert!(report.mesh_cycles <= 2_100);
+}
+
+#[test]
+fn sparse_costs_more_cycles_than_compact() {
+    let p = program(
+        ".method sum args=1 returns=true locals=2
+           iconst_0
+           istore 1
+         top:
+           iload 1
+           iload 0
+           iadd
+           istore 1
+           iinc 0 -1
+           iload 0
+           ifgt @top
+           iload 1
+           ireturn
+         .end",
+    );
+    let (_, compact) = data_run(&p, "sum", &[Value::Int(20)], &FabricConfig::compact2());
+    let (_, sparse) = data_run(&p, "sum", &[Value::Int(20)], &FabricConfig::sparse2());
+    assert!(
+        sparse.mesh_cycles > compact.mesh_cycles,
+        "sparse {} vs compact {}",
+        sparse.mesh_cycles,
+        compact.mesh_cycles
+    );
+}
+
+#[test]
+fn serial_ratio_is_monotone() {
+    let p = program(
+        ".method sum args=1 returns=true locals=2
+           iconst_0
+           istore 1
+         top:
+           iload 1
+           iload 0
+           iadd
+           istore 1
+           iinc 0 -1
+           iload 0
+           ifgt @top
+           iload 1
+           ireturn
+         .end",
+    );
+    let mut last_ipc = 0.0;
+    for ratio in [1u32, 2, 4, 8, 16] {
+        let config = FabricConfig {
+            name: "Sweep",
+            serial_per_mesh: Some(ratio),
+            collapsed: false,
+            ..FabricConfig::baseline()
+        };
+        let (outcome, report) = data_run(&p, "sum", &[Value::Int(10)], &config);
+        assert_eq!(outcome, Outcome::Returned(Some(Value::Int(55))));
+        assert!(
+            report.ipc >= last_ipc,
+            "ratio {ratio}: IPC {} regressed below {last_ipc}",
+            report.ipc
+        );
+        last_ipc = report.ipc;
+    }
+}
+
+#[test]
+fn memory_ordering_read_after_write_chain() {
+    // Repeatedly increment a single array slot through memory: every read
+    // must observe the previous write (MEMORY_TOKEN ordering).
+    let p = program(
+        ".method chain args=1 returns=true locals=2
+           iconst_1
+           newarray int
+           astore 1
+         top:
+           aload 1
+           iconst_0
+           aload 1
+           iconst_0
+           iaload
+           iconst_1
+           iadd
+           iastore
+           iinc 0 -1
+           iload 0
+           ifgt @top
+           aload 1
+           iconst_0
+           iaload
+           ireturn
+         .end",
+    );
+    for config in FabricConfig::all_six() {
+        let (outcome, _) = data_run(&p, "chain", &[Value::Int(25)], &config);
+        assert_eq!(outcome, Outcome::Returned(Some(Value::Int(25))), "{}", config.name);
+    }
+}
+
+#[test]
+fn write_after_write_last_wins() {
+    let p = program(
+        ".method waw args=0 returns=true locals=1
+           iconst_1
+           newarray int
+           astore 0
+           aload 0
+           iconst_0
+           bipush 11
+           iastore
+           aload 0
+           iconst_0
+           bipush 22
+           iastore
+           aload 0
+           iconst_0
+           iaload
+           ireturn
+         .end",
+    );
+    for config in FabricConfig::all_six() {
+        let (outcome, _) = data_run(&p, "waw", &[], &config);
+        assert_eq!(outcome, Outcome::Returned(Some(Value::Int(22))), "{}", config.name);
+    }
+}
+
+#[test]
+fn folding_preserves_loop_semantics() {
+    // A loop whose body uses dup: folding must not change the result.
+    let p = program(
+        ".method m args=1 returns=true locals=2
+           iconst_1
+           istore 1
+         top:
+           iload 1
+           dup
+           iadd
+           istore 1
+           iinc 0 -1
+           iload 0
+           ifgt @top
+           iload 1
+           ireturn
+         .end",
+    );
+    let (_, m) = p.method_by_name("m").unwrap();
+    let config = FabricConfig::compact4();
+    let mut folded = load(m, &config).unwrap();
+    let n = folded.graph.fold_moves(m);
+    assert_eq!(n, 1);
+    let mut gpp = Interp::new(&p);
+    let report = execute(
+        &folded,
+        &config,
+        ExecParams {
+            mode: BranchMode::Data,
+            gpp: Gpp::Interp(&mut gpp),
+            args: vec![Value::Int(5)],
+            ..ExecParams::default()
+        },
+    );
+    // 1 doubled 5 times = 32.
+    assert_eq!(report.outcome, Outcome::Returned(Some(Value::Int(32))));
+}
+
+#[test]
+fn fanout_relays_preserve_semantics() {
+    // After folding, a constant fans out to several consumers; limiting the
+    // fanout must not change the value.
+    let p = program(
+        ".method m args=0 returns=true locals=0
+           iconst_3
+           dup
+           dup2
+           iadd
+           iadd
+           iadd
+           ireturn
+         .end",
+    );
+    let (_, m) = p.method_by_name("m").unwrap();
+    let config = FabricConfig::compact2();
+    let mut limited = load(m, &config).unwrap();
+    limited.graph.fold_moves(m);
+    let relays = limited.graph.limit_fanout(2, &limited.placement);
+    assert!(relays > 0);
+    let mut gpp = Interp::new(&p);
+    let report = execute(
+        &limited,
+        &config,
+        ExecParams {
+            mode: BranchMode::Data,
+            gpp: Gpp::Interp(&mut gpp),
+            ..ExecParams::default()
+        },
+    );
+    assert_eq!(report.outcome, Outcome::Returned(Some(Value::Int(12))));
+    assert!(report.relay_fires > 0);
+}
+
+#[test]
+fn call_at_method_tail_releases_tail_token() {
+    // A call as the second-to-last instruction: the TAIL must wait for the
+    // GPP service to finish, then reach the return.
+    let p = program(
+        ".method f args=1 returns=true locals=1
+           iload 0
+           iconst_1
+           iadd
+           ireturn
+         .end
+         .method m args=1 returns=true locals=1
+           iload 0
+           invokestatic f
+           ireturn
+         .end",
+    );
+    for config in FabricConfig::all_six() {
+        let (outcome, _) = data_run(&p, "m", &[Value::Int(41)], &config);
+        assert_eq!(outcome, Outcome::Returned(Some(Value::Int(42))), "{}", config.name);
+    }
+}
+
+#[test]
+fn coverage_reflects_untaken_paths() {
+    // One branch arm never executes: coverage must be below 100%.
+    let p = program(
+        ".method m args=1 returns=true locals=1
+           iload 0
+           ifne @taken
+           bipush 10
+           ireturn
+         taken:
+           bipush 20
+           bipush 30
+           iadd
+           ireturn
+         .end",
+    );
+    let (_, report) = data_run(&p, "m", &[Value::Int(0)], &FabricConfig::compact2());
+    assert!(report.coverage < 1.0);
+    assert!(report.static_covered >= 4);
+}
+
+#[test]
+fn custom_timing_scales_cycles() {
+    // Doubling every latency must not change results and must slow the run.
+    let p = program(
+        ".method m args=2 returns=true locals=2
+           dload 0
+           dload 1
+           dmul
+           dload 0
+           dadd
+           dreturn
+         .end",
+    );
+    let base = FabricConfig::compact2();
+    let slow = FabricConfig {
+        timing: Timing {
+            move_cycles: 2,
+            float_cycles: 20,
+            convert_cycles: 10,
+            other_cycles: 4,
+            memory_service: 20,
+            gpp_service: 40,
+            mesh_hop_cycles: 2,
+        },
+        ..FabricConfig::compact2()
+    };
+    let args = [Value::Double(1.5), Value::Double(2.0)];
+    let (o1, r1) = data_run(&p, "m", &args, &base);
+    let (o2, r2) = data_run(&p, "m", &args, &slow);
+    assert_eq!(o1, Outcome::Returned(Some(Value::Double(4.5))));
+    assert_eq!(o1, o2);
+    assert!(r2.mesh_cycles > r1.mesh_cycles);
+}
+
+#[test]
+fn report_counters_are_consistent() {
+    let p = program(
+        ".method m args=1 returns=true locals=2
+           iconst_0
+           istore 1
+         top:
+           iload 1
+           iload 0
+           iadd
+           istore 1
+           iinc 0 -1
+           iload 0
+           ifgt @top
+           iload 1
+           ireturn
+         .end",
+    );
+    let (_, report) = data_run(&p, "m", &[Value::Int(5)], &FabricConfig::compact10());
+    // 5 iterations × 7 loop instructions + prologue 2 + epilogue 2.
+    assert!(report.executed >= 30, "executed {}", report.executed);
+    assert_eq!(report.static_covered, 11); // every instruction fired
+    assert!(report.serial_msgs > report.executed, "tokens dominate traffic");
+    assert!(report.mesh_msgs > 0);
+    assert!(report.ipc > 0.0 && report.ipc < 16.0);
+    assert!(report.frac_cycles_ge1 >= report.frac_cycles_ge2);
+}

@@ -1,0 +1,127 @@
+//! JVM runtime errors (the exception conditions of Section 6.3).
+
+use javaflow_bytecode::{MethodId, Opcode};
+
+/// The kind of a runtime failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JvmErrorKind {
+    /// Integer division or remainder by zero (`ArithmeticException`).
+    DivideByZero,
+    /// Dereference of a null reference (`NullPointerException`).
+    NullPointer,
+    /// Array index outside bounds (`ArrayIndexOutOfBoundsException`).
+    IndexOutOfBounds,
+    /// Negative array allocation size.
+    NegativeArraySize,
+    /// A reference handle no longer names a heap cell (internal).
+    DanglingHandle,
+    /// Operand of the wrong runtime type (JavaFlow's typed-network check).
+    TypeError,
+    /// Field slot outside the object layout.
+    FieldOutOfRange,
+    /// `checkcast` failure (`ClassCastException`).
+    ClassCast,
+    /// `athrow` of a user throwable.
+    Thrown,
+    /// Static field slot outside the class layout.
+    StaticOutOfRange,
+    /// The opcode is not executable (e.g. `wide` in the IR).
+    Unsupported,
+    /// Step budget exhausted (runaway guard, mirrors the dissertation's
+    /// simulation timeouts).
+    StepLimit,
+    /// Call stack exceeded its limit (recursion guard).
+    StackDepthExceeded,
+}
+
+impl JvmErrorKind {
+    /// Human-readable description.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            JvmErrorKind::DivideByZero => "division by zero",
+            JvmErrorKind::NullPointer => "null pointer dereference",
+            JvmErrorKind::IndexOutOfBounds => "array index out of bounds",
+            JvmErrorKind::NegativeArraySize => "negative array size",
+            JvmErrorKind::DanglingHandle => "dangling heap handle",
+            JvmErrorKind::TypeError => "operand type error",
+            JvmErrorKind::FieldOutOfRange => "field slot out of range",
+            JvmErrorKind::ClassCast => "class cast failure",
+            JvmErrorKind::Thrown => "user exception thrown",
+            JvmErrorKind::StaticOutOfRange => "static slot out of range",
+            JvmErrorKind::Unsupported => "unsupported instruction",
+            JvmErrorKind::StepLimit => "step limit exhausted",
+            JvmErrorKind::StackDepthExceeded => "call stack depth exceeded",
+        }
+    }
+}
+
+/// A runtime failure, with source location when known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JvmError {
+    /// What failed.
+    pub kind: JvmErrorKind,
+    /// Method in which the failure occurred, when known.
+    pub method: Option<MethodId>,
+    /// Linear address of the failing instruction, when known.
+    pub pc: Option<u32>,
+    /// The failing opcode, when known.
+    pub op: Option<Opcode>,
+}
+
+impl JvmError {
+    /// An error without location context (heap-level failures).
+    #[must_use]
+    pub fn bare(kind: JvmErrorKind) -> JvmError {
+        JvmError { kind, method: None, pc: None, op: None }
+    }
+
+    /// Attaches location context if not already present.
+    #[must_use]
+    pub fn at(mut self, method: MethodId, pc: u32, op: Opcode) -> JvmError {
+        self.method.get_or_insert(method);
+        self.pc.get_or_insert(pc);
+        self.op.get_or_insert(op);
+        self
+    }
+}
+
+impl std::fmt::Display for JvmError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(fm, "{}", self.kind.describe())?;
+        if let (Some(m), Some(pc)) = (self.method, self.pc) {
+            write!(fm, " in {m} at @{pc}")?;
+        }
+        if let Some(op) = self.op {
+            write!(fm, " ({op})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for JvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_attachment_is_idempotent() {
+        let e = JvmError::bare(JvmErrorKind::DivideByZero)
+            .at(MethodId(1), 5, Opcode::IDiv)
+            .at(MethodId(9), 99, Opcode::IAdd);
+        assert_eq!(e.method, Some(MethodId(1)));
+        assert_eq!(e.pc, Some(5));
+        assert_eq!(e.op, Some(Opcode::IDiv));
+    }
+
+    #[test]
+    fn display_mentions_location() {
+        let e = JvmError::bare(JvmErrorKind::NullPointer).at(MethodId(2), 7, Opcode::GetField);
+        let s = e.to_string();
+        assert!(s.contains("m2"));
+        assert!(s.contains("@7"));
+        assert!(s.contains("getfield"));
+    }
+}

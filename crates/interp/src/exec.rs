@@ -1,0 +1,1020 @@
+//! The ByteCode interpreter — JavaFlow's General Purpose Processor.
+//!
+//! The dissertation assumes a conventional GPP that (a) runs methods before
+//! they are judged hot enough for fabric deployment, (b) services `Special`
+//! and `Call` instructions on behalf of the fabric, and (c) was instrumented
+//! (as JAMVM was) to produce the Chapter 5 dynamic-mix data. This
+//! interpreter plays all three roles: it is a faithful value-semantics JVM
+//! over [`javaflow_bytecode::Program`], it exposes [`Interp::run`] for
+//! whole-method execution against a shared [`JvmState`], and it drives an
+//! optional [`crate::Profiler`].
+
+use javaflow_bytecode::{
+    Insn, MethodId, Opcode, Operand, Program, Value,
+};
+
+use crate::{Heap, JvmError, JvmErrorKind, Profiler};
+
+/// Mutable machine state shared between the interpreter and (during
+/// fabric/GPP co-simulation) the DataFlow fabric: the heap plus the method
+/// area's static class data (Figure 10).
+#[derive(Debug)]
+pub struct JvmState {
+    /// The object heap.
+    pub heap: Heap,
+    /// Per-class static field slots.
+    pub statics: Vec<Vec<Value>>,
+}
+
+impl JvmState {
+    /// Fresh state for a program (statics zeroed).
+    #[must_use]
+    pub fn new(program: &Program) -> JvmState {
+        JvmState {
+            heap: Heap::new(),
+            statics: program
+                .classes()
+                .iter()
+                .map(|c| vec![Value::Int(0); usize::from(c.static_fields)])
+                .collect(),
+        }
+    }
+
+    /// Reads a static field.
+    ///
+    /// # Errors
+    ///
+    /// `StaticOutOfRange` when class or slot is unknown.
+    pub fn get_static(&self, class: u16, slot: u16) -> Result<Value, JvmError> {
+        self.statics
+            .get(usize::from(class))
+            .and_then(|c| c.get(usize::from(slot)))
+            .copied()
+            .ok_or_else(|| JvmError::bare(JvmErrorKind::StaticOutOfRange))
+    }
+
+    /// Writes a static field.
+    ///
+    /// # Errors
+    ///
+    /// `StaticOutOfRange` when class or slot is unknown.
+    pub fn put_static(&mut self, class: u16, slot: u16, v: Value) -> Result<(), JvmError> {
+        let f = self
+            .statics
+            .get_mut(usize::from(class))
+            .and_then(|c| c.get_mut(usize::from(slot)))
+            .ok_or_else(|| JvmError::bare(JvmErrorKind::StaticOutOfRange))?;
+        *f = v;
+        Ok(())
+    }
+}
+
+/// Execution limits (runaway guards).
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum ByteCode instructions executed per [`Interp::run`].
+    pub max_steps: u64,
+    /// Maximum call-frame depth.
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits { max_steps: 500_000_000, max_depth: 1_024 }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    method: MethodId,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+    pc: u32,
+}
+
+/// The interpreter.
+#[derive(Debug)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    /// Shared machine state.
+    pub state: JvmState,
+    /// Execution limits.
+    pub limits: Limits,
+    /// Optional dynamic-mix profiler.
+    pub profiler: Option<Profiler>,
+    steps: u64,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with fresh state.
+    #[must_use]
+    pub fn new(program: &'p Program) -> Interp<'p> {
+        Interp {
+            program,
+            state: JvmState::new(program),
+            limits: Limits::default(),
+            profiler: None,
+            steps: 0,
+        }
+    }
+
+    /// Enables profiling (dynamic mix, Tables 1–5).
+    #[must_use]
+    pub fn with_profiler(mut self) -> Interp<'p> {
+        self.profiler = Some(Profiler::new());
+        self
+    }
+
+    /// The program being executed.
+    #[must_use]
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Total instructions executed so far across all `run` calls.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs `method` with `args`, returning its result value (if any).
+    ///
+    /// # Errors
+    ///
+    /// Any [`JvmError`] raised during execution, located at the failing
+    /// instruction.
+    pub fn run(&mut self, method: MethodId, args: &[Value]) -> Result<Option<Value>, JvmError> {
+        let mut frames = vec![self.push_frame(method, args)?];
+        loop {
+            let outcome = self.step(frames.last_mut().expect("non-empty"))?;
+            match outcome {
+                Step::Continue => {}
+                Step::Call { callee, argv } => {
+                    if frames.len() >= self.limits.max_depth {
+                        return Err(JvmError::bare(JvmErrorKind::StackDepthExceeded));
+                    }
+                    frames.push(self.push_frame(callee, &argv)?);
+                }
+                Step::Return(v) => {
+                    let finished = frames.pop().expect("non-empty");
+                    let returns = self.program.method(finished.method).returns;
+                    match frames.last_mut() {
+                        None => return Ok(if returns { v } else { None }),
+                        Some(caller) => {
+                            // Resume after the call instruction.
+                            caller.pc += 1;
+                            if returns {
+                                caller.stack.push(v.expect("typed return"));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_frame(&mut self, method: MethodId, args: &[Value]) -> Result<Frame, JvmError> {
+        let m = self.program.method(method);
+        debug_assert_eq!(args.len(), usize::from(m.num_args), "arity for {}", m.name);
+        let mut locals = vec![Value::Int(0); usize::from(m.max_locals)];
+        locals[..args.len()].copy_from_slice(args);
+        if let Some(p) = self.profiler.as_mut() {
+            p.record_invocation(method);
+        }
+        Ok(Frame { method, locals, stack: Vec::with_capacity(8), pc: 0 })
+    }
+}
+
+enum Step {
+    Continue,
+    Call { callee: MethodId, argv: Vec<Value> },
+    Return(Option<Value>),
+}
+
+macro_rules! arith2 {
+    ($f:expr, $insn:expr, $stack:expr, $pat:path, $out:path, $op:expr) => {{
+        let b = pop($stack)?;
+        let a = pop($stack)?;
+        match (a, b) {
+            ($pat(x), $pat(y)) => $stack.push($out($op(x, y))),
+            _ => return Err(JvmError::bare(JvmErrorKind::TypeError)),
+        }
+    }};
+}
+
+fn pop(stack: &mut Vec<Value>) -> Result<Value, JvmError> {
+    stack.pop().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))
+}
+
+fn pop_int(stack: &mut Vec<Value>) -> Result<i32, JvmError> {
+    pop(stack)?.as_int().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))
+}
+
+fn pop_ref(stack: &mut Vec<Value>) -> Result<Option<u32>, JvmError> {
+    pop(stack)?.as_ref_handle().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))
+}
+
+impl Interp<'_> {
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self, fr: &mut Frame) -> Result<Step, JvmError> {
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            return Err(JvmError::bare(JvmErrorKind::StepLimit));
+        }
+        let method = self.program.method(fr.method);
+        let insn: &Insn = method.insn(fr.pc);
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(fr.method, fr.pc, insn);
+        }
+        let r = self.exec_insn(fr, insn);
+        match r {
+            Err(e) => Err(e.at(fr.method, fr.pc, insn.op)),
+            ok => ok,
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_insn(&mut self, fr: &mut Frame, insn: &Insn) -> Result<Step, JvmError> {
+        use Opcode as O;
+        let stack = &mut fr.stack;
+        let mut next_pc = fr.pc + 1;
+        match insn.op {
+            O::Nop => {}
+            // ---- constants ------------------------------------------------
+            O::AConstNull => stack.push(Value::NULL),
+            O::IConstM1 => stack.push(Value::Int(-1)),
+            O::IConst0 => stack.push(Value::Int(0)),
+            O::IConst1 => stack.push(Value::Int(1)),
+            O::IConst2 => stack.push(Value::Int(2)),
+            O::IConst3 => stack.push(Value::Int(3)),
+            O::IConst4 => stack.push(Value::Int(4)),
+            O::IConst5 => stack.push(Value::Int(5)),
+            O::LConst0 => stack.push(Value::Long(0)),
+            O::LConst1 => stack.push(Value::Long(1)),
+            O::FConst0 => stack.push(Value::Float(0.0)),
+            O::FConst1 => stack.push(Value::Float(1.0)),
+            O::FConst2 => stack.push(Value::Float(2.0)),
+            O::DConst0 => stack.push(Value::Double(0.0)),
+            O::DConst1 => stack.push(Value::Double(1.0)),
+            O::BiPush | O::SiPush => match insn.operand {
+                Operand::Imm(v) => stack.push(Value::Int(v)),
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::Ldc | O::LdcW | O::Ldc2W => match insn.operand {
+                Operand::Cp(i) => {
+                    let m = self.program.method(fr.method);
+                    stack.push(m.cpool[usize::from(i)]);
+                }
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            // ---- locals ---------------------------------------------------
+            O::ILoad | O::LLoad | O::FLoad | O::DLoad | O::ALoad => match insn.operand {
+                Operand::Local(r) => stack.push(fr.locals[usize::from(r)]),
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::ILoad0 | O::LLoad0 | O::FLoad0 | O::DLoad0 | O::ALoad0 => {
+                stack.push(fr.locals[0]);
+            }
+            O::ILoad1 | O::LLoad1 | O::FLoad1 | O::DLoad1 | O::ALoad1 => {
+                stack.push(fr.locals[1]);
+            }
+            O::ILoad2 | O::LLoad2 | O::FLoad2 | O::DLoad2 | O::ALoad2 => {
+                stack.push(fr.locals[2]);
+            }
+            O::ILoad3 | O::LLoad3 | O::FLoad3 | O::DLoad3 | O::ALoad3 => {
+                stack.push(fr.locals[3]);
+            }
+            O::IStore | O::LStore | O::FStore | O::DStore | O::AStore => match insn.operand {
+                Operand::Local(r) => fr.locals[usize::from(r)] = pop(stack)?,
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::IStore0 | O::LStore0 | O::FStore0 | O::DStore0 | O::AStore0 => {
+                fr.locals[0] = pop(stack)?;
+            }
+            O::IStore1 | O::LStore1 | O::FStore1 | O::DStore1 | O::AStore1 => {
+                fr.locals[1] = pop(stack)?;
+            }
+            O::IStore2 | O::LStore2 | O::FStore2 | O::DStore2 | O::AStore2 => {
+                fr.locals[2] = pop(stack)?;
+            }
+            O::IStore3 | O::LStore3 | O::FStore3 | O::DStore3 | O::AStore3 => {
+                fr.locals[3] = pop(stack)?;
+            }
+            O::IInc => match insn.operand {
+                Operand::Inc { local, delta } => {
+                    let r = usize::from(local);
+                    let v = fr.locals[r]
+                        .as_int()
+                        .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                    fr.locals[r] = Value::Int(v.wrapping_add(delta));
+                }
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            // ---- arrays ---------------------------------------------------
+            O::IALoad | O::LALoad | O::FALoad | O::DALoad | O::AALoad | O::BALoad | O::CALoad
+            | O::SALoad => {
+                let idx = pop_int(stack)?;
+                let arr = pop_ref(stack)?;
+                stack.push(self.state.heap.array_get(arr, idx)?);
+            }
+            O::IAStore | O::LAStore | O::FAStore | O::DAStore | O::AAStore | O::BAStore
+            | O::CAStore | O::SAStore => {
+                let v = pop(stack)?;
+                let idx = pop_int(stack)?;
+                let arr = pop_ref(stack)?;
+                let v = match insn.op {
+                    // Narrowing stores truncate like the JVM.
+                    O::BAStore => Value::Int(v.as_int().unwrap_or(0) as i8 as i32),
+                    O::CAStore => Value::Int(v.as_int().unwrap_or(0) as u16 as i32),
+                    O::SAStore => Value::Int(v.as_int().unwrap_or(0) as i16 as i32),
+                    _ => v,
+                };
+                self.state.heap.array_set(arr, idx, v)?;
+            }
+            // ---- stack shuffles ------------------------------------------
+            O::Pop => {
+                pop(stack)?;
+            }
+            O::Pop2 => {
+                pop(stack)?;
+                pop(stack)?;
+            }
+            O::Dup => {
+                let v = *stack.last().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                stack.push(v);
+            }
+            O::DupX1 => {
+                let v1 = pop(stack)?;
+                let v2 = pop(stack)?;
+                stack.extend([v1, v2, v1]);
+            }
+            O::DupX2 => {
+                let v1 = pop(stack)?;
+                let v2 = pop(stack)?;
+                let v3 = pop(stack)?;
+                stack.extend([v1, v3, v2, v1]);
+            }
+            O::Dup2 => {
+                let v1 = pop(stack)?;
+                let v2 = pop(stack)?;
+                stack.extend([v2, v1, v2, v1]);
+            }
+            O::Dup2X1 => {
+                let v1 = pop(stack)?;
+                let v2 = pop(stack)?;
+                let v3 = pop(stack)?;
+                stack.extend([v2, v1, v3, v2, v1]);
+            }
+            O::Dup2X2 => {
+                let v1 = pop(stack)?;
+                let v2 = pop(stack)?;
+                let v3 = pop(stack)?;
+                let v4 = pop(stack)?;
+                stack.extend([v2, v1, v4, v3, v2, v1]);
+            }
+            O::Swap => {
+                let v1 = pop(stack)?;
+                let v2 = pop(stack)?;
+                stack.extend([v1, v2]);
+            }
+            // ---- integer arithmetic --------------------------------------
+            O::IAdd => arith2!(f, insn, stack, Value::Int, Value::Int, i32::wrapping_add),
+            O::ISub => arith2!(f, insn, stack, Value::Int, Value::Int, i32::wrapping_sub),
+            O::IMul => arith2!(f, insn, stack, Value::Int, Value::Int, i32::wrapping_mul),
+            O::IDiv => {
+                let b = pop_int(stack)?;
+                let a = pop_int(stack)?;
+                if b == 0 {
+                    return Err(JvmError::bare(JvmErrorKind::DivideByZero));
+                }
+                stack.push(Value::Int(a.wrapping_div(b)));
+            }
+            O::IRem => {
+                let b = pop_int(stack)?;
+                let a = pop_int(stack)?;
+                if b == 0 {
+                    return Err(JvmError::bare(JvmErrorKind::DivideByZero));
+                }
+                stack.push(Value::Int(a.wrapping_rem(b)));
+            }
+            O::INeg => {
+                let a = pop_int(stack)?;
+                stack.push(Value::Int(a.wrapping_neg()));
+            }
+            O::IShl => arith2!(f, insn, stack, Value::Int, Value::Int, |a: i32, b: i32| a
+                .wrapping_shl(b as u32 & 0x1f)),
+            O::IShr => arith2!(f, insn, stack, Value::Int, Value::Int, |a: i32, b: i32| a
+                .wrapping_shr(b as u32 & 0x1f)),
+            O::IUShr => arith2!(f, insn, stack, Value::Int, Value::Int, |a: i32, b: i32| {
+                ((a as u32).wrapping_shr(b as u32 & 0x1f)) as i32
+            }),
+            O::IAnd => arith2!(f, insn, stack, Value::Int, Value::Int, |a, b| a & b),
+            O::IOr => arith2!(f, insn, stack, Value::Int, Value::Int, |a, b| a | b),
+            O::IXor => arith2!(f, insn, stack, Value::Int, Value::Int, |a, b| a ^ b),
+            // ---- long arithmetic -----------------------------------------
+            O::LAdd => arith2!(f, insn, stack, Value::Long, Value::Long, i64::wrapping_add),
+            O::LSub => arith2!(f, insn, stack, Value::Long, Value::Long, i64::wrapping_sub),
+            O::LMul => arith2!(f, insn, stack, Value::Long, Value::Long, i64::wrapping_mul),
+            O::LDiv => {
+                let b = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let a = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                if b == 0 {
+                    return Err(JvmError::bare(JvmErrorKind::DivideByZero));
+                }
+                stack.push(Value::Long(a.wrapping_div(b)));
+            }
+            O::LRem => {
+                let b = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let a = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                if b == 0 {
+                    return Err(JvmError::bare(JvmErrorKind::DivideByZero));
+                }
+                stack.push(Value::Long(a.wrapping_rem(b)));
+            }
+            O::LNeg => {
+                let a = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                stack.push(Value::Long(a.wrapping_neg()));
+            }
+            O::LShl | O::LShr | O::LUShr => {
+                let b = pop_int(stack)?;
+                let a = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let s = b as u32 & 0x3f;
+                let r = match insn.op {
+                    O::LShl => a.wrapping_shl(s),
+                    O::LShr => a.wrapping_shr(s),
+                    _ => ((a as u64).wrapping_shr(s)) as i64,
+                };
+                stack.push(Value::Long(r));
+            }
+            O::LAnd => arith2!(f, insn, stack, Value::Long, Value::Long, |a, b| a & b),
+            O::LOr => arith2!(f, insn, stack, Value::Long, Value::Long, |a, b| a | b),
+            O::LXor => arith2!(f, insn, stack, Value::Long, Value::Long, |a, b| a ^ b),
+            // ---- float/double arithmetic ---------------------------------
+            O::FAdd => arith2!(f, insn, stack, Value::Float, Value::Float, |a, b| a + b),
+            O::FSub => arith2!(f, insn, stack, Value::Float, Value::Float, |a, b| a - b),
+            O::FMul => arith2!(f, insn, stack, Value::Float, Value::Float, |a, b| a * b),
+            O::FDiv => arith2!(f, insn, stack, Value::Float, Value::Float, |a, b| a / b),
+            O::FRem => arith2!(f, insn, stack, Value::Float, Value::Float, |a: f32, b: f32| a % b),
+            O::FNeg => {
+                let a = pop(stack)?.as_float().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                stack.push(Value::Float(-a));
+            }
+            O::DAdd => arith2!(f, insn, stack, Value::Double, Value::Double, |a, b| a + b),
+            O::DSub => arith2!(f, insn, stack, Value::Double, Value::Double, |a, b| a - b),
+            O::DMul => arith2!(f, insn, stack, Value::Double, Value::Double, |a, b| a * b),
+            O::DDiv => arith2!(f, insn, stack, Value::Double, Value::Double, |a, b| a / b),
+            O::DRem => arith2!(f, insn, stack, Value::Double, Value::Double, |a: f64, b: f64| a % b),
+            O::DNeg => {
+                let a = pop(stack)?.as_double().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                stack.push(Value::Double(-a));
+            }
+            // ---- conversions ---------------------------------------------
+            O::I2L => conv(stack, |v| Some(Value::Long(i64::from(v.as_int()?))))?,
+            O::I2F => conv(stack, |v| Some(Value::Float(v.as_int()? as f32)))?,
+            O::I2D => conv(stack, |v| Some(Value::Double(f64::from(v.as_int()?))))?,
+            O::L2I => conv(stack, |v| Some(Value::Int(v.as_long()? as i32)))?,
+            O::L2F => conv(stack, |v| Some(Value::Float(v.as_long()? as f32)))?,
+            O::L2D => conv(stack, |v| Some(Value::Double(v.as_long()? as f64)))?,
+            O::F2I => conv(stack, |v| Some(Value::Int(java_f2i(v.as_float()?))))?,
+            O::F2L => conv(stack, |v| Some(Value::Long(java_f2l(f64::from(v.as_float()?)))))?,
+            O::F2D => conv(stack, |v| Some(Value::Double(f64::from(v.as_float()?))))?,
+            O::D2I => conv(stack, |v| Some(Value::Int(java_f2i(v.as_double()? as f32))))?,
+            O::D2L => conv(stack, |v| Some(Value::Long(java_f2l(v.as_double()?))))?,
+            O::D2F => conv(stack, |v| Some(Value::Float(v.as_double()? as f32)))?,
+            O::I2B => conv(stack, |v| Some(Value::Int(i32::from(v.as_int()? as i8))))?,
+            O::I2C => conv(stack, |v| Some(Value::Int(i32::from(v.as_int()? as u16))))?,
+            O::I2S => conv(stack, |v| Some(Value::Int(i32::from(v.as_int()? as i16))))?,
+            // ---- comparisons ---------------------------------------------
+            O::LCmp => {
+                let b = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let a = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                stack.push(Value::Int(match a.cmp(&b) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                }));
+            }
+            O::FCmpL | O::FCmpG => {
+                let b = pop(stack)?.as_float().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let a = pop(stack)?.as_float().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                stack.push(Value::Int(fcmp(f64::from(a), f64::from(b), insn.op == O::FCmpG)));
+            }
+            O::DCmpL | O::DCmpG => {
+                let b = pop(stack)?.as_double().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let a = pop(stack)?.as_double().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                stack.push(Value::Int(fcmp(a, b, insn.op == O::DCmpG)));
+            }
+            // ---- control flow --------------------------------------------
+            O::IfEq | O::IfNe | O::IfLt | O::IfGe | O::IfGt | O::IfLe => {
+                let v = pop_int(stack)?;
+                let taken = match insn.op {
+                    O::IfEq => v == 0,
+                    O::IfNe => v != 0,
+                    O::IfLt => v < 0,
+                    O::IfGe => v >= 0,
+                    O::IfGt => v > 0,
+                    _ => v <= 0,
+                };
+                if taken {
+                    next_pc = insn.branch_target().expect("validated");
+                }
+            }
+            O::IfICmpEq | O::IfICmpNe | O::IfICmpLt | O::IfICmpGe | O::IfICmpGt | O::IfICmpLe => {
+                let b = pop_int(stack)?;
+                let a = pop_int(stack)?;
+                let taken = match insn.op {
+                    O::IfICmpEq => a == b,
+                    O::IfICmpNe => a != b,
+                    O::IfICmpLt => a < b,
+                    O::IfICmpGe => a >= b,
+                    O::IfICmpGt => a > b,
+                    _ => a <= b,
+                };
+                if taken {
+                    next_pc = insn.branch_target().expect("validated");
+                }
+            }
+            O::IfACmpEq | O::IfACmpNe => {
+                let b = pop_ref(stack)?;
+                let a = pop_ref(stack)?;
+                let taken = (a == b) == (insn.op == O::IfACmpEq);
+                if taken {
+                    next_pc = insn.branch_target().expect("validated");
+                }
+            }
+            O::IfNull | O::IfNonNull => {
+                let a = pop_ref(stack)?;
+                let taken = a.is_none() == (insn.op == O::IfNull);
+                if taken {
+                    next_pc = insn.branch_target().expect("validated");
+                }
+            }
+            O::Goto | O::GotoW => next_pc = insn.branch_target().expect("validated"),
+            O::Jsr | O::JsrW => {
+                stack.push(Value::RetAddr(fr.pc + 1));
+                next_pc = insn.branch_target().expect("validated");
+            }
+            O::Ret => match insn.operand {
+                Operand::Local(r) => match fr.locals[usize::from(r)] {
+                    Value::RetAddr(a) => next_pc = a,
+                    _ => return Err(JvmError::bare(JvmErrorKind::TypeError)),
+                },
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::TableSwitch | O::LookupSwitch => {
+                let key = pop_int(stack)?;
+                match &insn.operand {
+                    Operand::Switch(t) => {
+                        next_pc = t
+                            .arms
+                            .iter()
+                            .find(|(k, _)| *k == key)
+                            .map_or(t.default, |(_, tgt)| *tgt);
+                    }
+                    _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+                }
+            }
+            // ---- returns --------------------------------------------------
+            O::IReturn | O::LReturn | O::FReturn | O::DReturn | O::AReturn => {
+                let v = pop(stack)?;
+                return Ok(Step::Return(Some(v)));
+            }
+            O::ReturnVoid => return Ok(Step::Return(None)),
+            O::AThrow => {
+                let _exc = pop_ref(stack)?;
+                return Err(JvmError::bare(JvmErrorKind::Thrown));
+            }
+            // ---- fields ---------------------------------------------------
+            O::GetStatic => match insn.operand {
+                Operand::Field(f) => stack.push(self.state.get_static(f.class, f.slot)?),
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::PutStatic => match insn.operand {
+                Operand::Field(f) => {
+                    let v = pop(stack)?;
+                    self.state.put_static(f.class, f.slot, v)?;
+                }
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::GetField => match insn.operand {
+                Operand::Field(f) => {
+                    let obj = pop_ref(stack)?;
+                    stack.push(self.state.heap.get_field(obj, f.slot)?);
+                }
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::PutField => match insn.operand {
+                Operand::Field(f) => {
+                    let v = pop(stack)?;
+                    let obj = pop_ref(stack)?;
+                    self.state.heap.put_field(obj, f.slot, v)?;
+                }
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            // ---- calls ----------------------------------------------------
+            O::InvokeVirtual | O::InvokeSpecial | O::InvokeStatic | O::InvokeInterface
+            | O::InvokeDynamic => match insn.operand {
+                Operand::Call(c) => {
+                    let n = usize::from(c.argc);
+                    if stack.len() < n {
+                        return Err(JvmError::bare(JvmErrorKind::TypeError));
+                    }
+                    let argv = stack.split_off(stack.len() - n);
+                    // Do not advance the pc: `run` resumes at pc+1 when the
+                    // callee returns.
+                    return Ok(Step::Call { callee: c.method, argv });
+                }
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            // ---- object services ------------------------------------------
+            O::New => match insn.operand {
+                Operand::ClassId(c) => {
+                    let fields = self.program.class(c).instance_fields;
+                    let h = self.state.heap.alloc_object(c, fields);
+                    stack.push(Value::Ref(Some(h)));
+                }
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::NewArray => match insn.operand {
+                Operand::ArrayType(k) => {
+                    let len = pop_int(stack)?;
+                    let h = self.state.heap.alloc_array(k, len)?;
+                    stack.push(Value::Ref(Some(h)));
+                }
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::ANewArray => match insn.operand {
+                Operand::ClassId(c) => {
+                    let len = pop_int(stack)?;
+                    let h = self.state.heap.alloc_ref_array(c, len)?;
+                    stack.push(Value::Ref(Some(h)));
+                }
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::ArrayLength => {
+                let a = pop_ref(stack)?;
+                stack.push(Value::Int(self.state.heap.array_len(a)?));
+            }
+            O::CheckCast => match insn.operand {
+                Operand::ClassId(c) => {
+                    let h = pop_ref(stack)?;
+                    if let Some(handle) = h {
+                        if self.state.heap.object_class(Some(handle))? != c {
+                            return Err(JvmError::bare(JvmErrorKind::ClassCast));
+                        }
+                    }
+                    stack.push(Value::Ref(h));
+                }
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::InstanceOf => match insn.operand {
+                Operand::ClassId(c) => {
+                    let h = pop_ref(stack)?;
+                    let yes = match h {
+                        None => false,
+                        Some(handle) => self.state.heap.object_class(Some(handle))? == c,
+                    };
+                    stack.push(Value::Int(i32::from(yes)));
+                }
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::MonitorEnter | O::MonitorExit => {
+                // Single-threaded simulation: the monitor op is a null-check.
+                let h = pop_ref(stack)?;
+                if h.is_none() {
+                    return Err(JvmError::bare(JvmErrorKind::NullPointer));
+                }
+            }
+            O::MultiANewArray => match insn.operand {
+                Operand::Dims { class, dims } => {
+                    let mut sizes = Vec::with_capacity(usize::from(dims));
+                    for _ in 0..dims {
+                        sizes.push(pop_int(stack)?);
+                    }
+                    sizes.reverse();
+                    let h = self.alloc_multi(class, &sizes)?;
+                    stack.push(Value::Ref(Some(h)));
+                }
+                _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+            },
+            O::Wide => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
+        }
+        fr.pc = next_pc;
+        Ok(Step::Continue)
+    }
+
+    fn alloc_multi(&mut self, class: u16, sizes: &[i32]) -> Result<u32, JvmError> {
+        let (first, rest) = sizes.split_first().expect("dims >= 1");
+        if rest.is_empty() {
+            return self.state.heap.alloc_ref_array(class, *first);
+        }
+        let outer = self.state.heap.alloc_ref_array(class, *first)?;
+        for i in 0..*first {
+            let inner = self.alloc_multi(class, rest)?;
+            self.state.heap.array_set(Some(outer), i, Value::Ref(Some(inner)))?;
+        }
+        Ok(outer)
+    }
+}
+
+fn conv(
+    stack: &mut Vec<Value>,
+    f: impl FnOnce(Value) -> Option<Value>,
+) -> Result<(), JvmError> {
+    let v = pop(stack)?;
+    let out = f(v).ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+    stack.push(out);
+    Ok(())
+}
+
+/// Java `f2i`/`d2i` saturating conversion.
+fn java_f2i(v: f32) -> i32 {
+    if v.is_nan() {
+        0
+    } else if v >= i32::MAX as f32 {
+        i32::MAX
+    } else if v <= i32::MIN as f32 {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+/// Java `f2l`/`d2l` saturating conversion.
+fn java_f2l(v: f64) -> i64 {
+    if v.is_nan() {
+        0
+    } else if v >= i64::MAX as f64 {
+        i64::MAX
+    } else if v <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        v as i64
+    }
+}
+
+/// Java `fcmpl`/`fcmpg` semantics: NaN compares as +1 for `*cmpg`, −1 for
+/// `*cmpl`.
+fn fcmp(a: f64, b: f64, greater_on_nan: bool) -> i32 {
+    if a.is_nan() || b.is_nan() {
+        if greater_on_nan {
+            1
+        } else {
+            -1
+        }
+    } else if a < b {
+        -1
+    } else if a > b {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javaflow_bytecode::asm::assemble;
+
+    fn run_src(src: &str, entry: &str, args: &[Value]) -> Result<Option<Value>, JvmError> {
+        let p = assemble(src).unwrap();
+        p.validate().unwrap();
+        let (id, _) = p.method_by_name(entry).unwrap();
+        let mut i = Interp::new(&p);
+        i.run(id, args)
+    }
+
+    #[test]
+    fn add_two_ints() {
+        let r = run_src(
+            ".method add args=2 returns=true locals=2
+               iload 0
+               iload 1
+               iadd
+               ireturn
+             .end",
+            "add",
+            &[Value::Int(30), Value::Int(12)],
+        );
+        assert_eq!(r.unwrap(), Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn loop_sums() {
+        // sum 1..=n via a back branch
+        let r = run_src(
+            ".method sum args=1 returns=true locals=3
+               iconst_0
+               istore 1
+             top:
+               iload 1
+               iload 0
+               iadd
+               istore 1
+               iinc 0 -1
+               iload 0
+               ifgt @top
+               iload 1
+               ireturn
+             .end",
+            "sum",
+            &[Value::Int(10)],
+        );
+        assert_eq!(r.unwrap(), Some(Value::Int(55)));
+    }
+
+    #[test]
+    fn calls_nest() {
+        let r = run_src(
+            ".method double args=1 returns=true locals=1
+               iload 0
+               iconst_2
+               imul
+               ireturn
+             .end
+             .method main args=1 returns=true locals=1
+               iload 0
+               invokestatic double
+               invokestatic double
+               ireturn
+             .end",
+            "main",
+            &[Value::Int(5)],
+        );
+        assert_eq!(r.unwrap(), Some(Value::Int(20)));
+    }
+
+    #[test]
+    fn divide_by_zero_raises() {
+        let e = run_src(
+            ".method d args=2 returns=true locals=2
+               iload 0
+               iload 1
+               idiv
+               ireturn
+             .end",
+            "d",
+            &[Value::Int(1), Value::Int(0)],
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, JvmErrorKind::DivideByZero);
+        assert_eq!(e.pc, Some(2));
+    }
+
+    #[test]
+    fn overflow_wraps_like_java() {
+        let r = run_src(
+            ".method m args=2 returns=true locals=2
+               iload 0
+               iload 1
+               iadd
+               ireturn
+             .end",
+            "m",
+            &[Value::Int(i32::MAX), Value::Int(1)],
+        );
+        assert_eq!(r.unwrap(), Some(Value::Int(i32::MIN)));
+    }
+
+    #[test]
+    fn min_div_minus_one_wraps() {
+        let r = run_src(
+            ".method m args=2 returns=true locals=2
+               iload 0
+               iload 1
+               idiv
+               ireturn
+             .end",
+            "m",
+            &[Value::Int(i32::MIN), Value::Int(-1)],
+        );
+        assert_eq!(r.unwrap(), Some(Value::Int(i32::MIN)));
+    }
+
+    #[test]
+    fn nan_comparison_semantics() {
+        // dcmpg with a NaN pushes +1 → ifle falls through
+        let src = ".method m args=2 returns=true locals=2
+               dload 0
+               dload 1
+               dcmpg
+               ireturn
+             .end";
+        let r = run_src(src, "m", &[Value::Double(f64::NAN), Value::Double(1.0)]);
+        assert_eq!(r.unwrap(), Some(Value::Int(1)));
+        let p = assemble(&src.replace("dcmpg", "dcmpl")).unwrap();
+        let (id, _) = p.method_by_name("m").unwrap();
+        let mut i = Interp::new(&p);
+        let r = i.run(id, &[Value::Double(f64::NAN), Value::Double(1.0)]);
+        assert_eq!(r.unwrap(), Some(Value::Int(-1)));
+    }
+
+    #[test]
+    fn saturating_d2i() {
+        let r = run_src(
+            ".method m args=1 returns=true locals=1
+               dload 0
+               d2i
+               ireturn
+             .end",
+            "m",
+            &[Value::Double(1e300)],
+        );
+        assert_eq!(r.unwrap(), Some(Value::Int(i32::MAX)));
+    }
+
+    #[test]
+    fn arrays_and_fields() {
+        let r = run_src(
+            ".class Box fields=1 statics=1
+             .method m args=0 returns=true locals=2
+               new Box
+               astore 0
+               aload 0
+               bipush 7
+               putfield Box 0
+               iconst_3
+               newarray int
+               astore 1
+               aload 1
+               iconst_1
+               aload 0
+               getfield Box 0
+               iastore
+               aload 1
+               iconst_1
+               iaload
+               ireturn
+             .end",
+            "m",
+            &[],
+        );
+        assert_eq!(r.unwrap(), Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn statics_round_trip() {
+        let r = run_src(
+            ".class G fields=0 statics=2
+             .method m args=0 returns=true locals=0
+               bipush 9
+               putstatic G 1
+               getstatic G 1
+               ireturn
+             .end",
+            "m",
+            &[],
+        );
+        assert_eq!(r.unwrap(), Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn switch_dispatch() {
+        let src = ".method m args=1 returns=true locals=1
+               iload 0
+               tableswitch 0:@zero 5:@five default:@other
+             zero:
+               bipush 100
+               ireturn
+             five:
+               bipush 105
+               ireturn
+             other:
+               iconst_m1
+               ireturn
+             .end";
+        assert_eq!(run_src(src, "m", &[Value::Int(0)]).unwrap(), Some(Value::Int(100)));
+        assert_eq!(run_src(src, "m", &[Value::Int(5)]).unwrap(), Some(Value::Int(105)));
+        assert_eq!(run_src(src, "m", &[Value::Int(3)]).unwrap(), Some(Value::Int(-1)));
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_loops() {
+        let p = assemble(
+            ".method m args=0 returns=false locals=0
+             top:
+               goto @top
+             .end",
+        )
+        .unwrap();
+        let (id, _) = p.method_by_name("m").unwrap();
+        let mut i = Interp::new(&p);
+        i.limits.max_steps = 1_000;
+        assert_eq!(i.run(id, &[]).unwrap_err().kind, JvmErrorKind::StepLimit);
+    }
+
+    #[test]
+    fn shift_masking() {
+        let r = run_src(
+            ".method m args=2 returns=true locals=2
+               iload 0
+               iload 1
+               ishl
+               ireturn
+             .end",
+            "m",
+            &[Value::Int(1), Value::Int(33)], // 33 & 31 == 1
+        );
+        assert_eq!(r.unwrap(), Some(Value::Int(2)));
+    }
+}

@@ -1,0 +1,288 @@
+//! The Java heap: objects and arrays addressed by opaque handles.
+//!
+//! The dissertation's Figure 10 memory organization splits Java memory into
+//! the constant pool (per method, read-only), the method area (class/static
+//! data), and the heap (object instances and arrays). This module implements
+//! the heap; the method area lives in [`crate::JvmState`].
+
+use javaflow_bytecode::{ArrayKind, Value};
+
+use crate::{JvmError, JvmErrorKind};
+
+/// A heap cell: an object instance or an array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeapCell {
+    /// An object: its class id and instance field slots.
+    Object {
+        /// Class id in the program's class table.
+        class: u16,
+        /// Field slot values.
+        fields: Vec<Value>,
+    },
+    /// A primitive or reference array.
+    Array {
+        /// Element kind (`ArrayKind::Long` etc.); reference arrays use
+        /// [`Heap::alloc_ref_array`].
+        kind: ArrayElem,
+        /// Element values.
+        data: Vec<Value>,
+    },
+}
+
+/// Element kind of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayElem {
+    /// Primitive elements.
+    Prim(ArrayKind),
+    /// Reference elements of the given class id.
+    Ref(u16),
+}
+
+impl ArrayElem {
+    /// The default (zero) element for this kind.
+    #[must_use]
+    pub fn default_value(self) -> Value {
+        match self {
+            ArrayElem::Prim(ArrayKind::Long) => Value::Long(0),
+            ArrayElem::Prim(ArrayKind::Float) => Value::Float(0.0),
+            ArrayElem::Prim(ArrayKind::Double) => Value::Double(0.0),
+            ArrayElem::Prim(_) => Value::Int(0),
+            ArrayElem::Ref(_) => Value::NULL,
+        }
+    }
+}
+
+/// The garbage-collected heap (allocation-only; collection is excluded from
+/// the dissertation's scope and from ours).
+#[derive(Debug, Default)]
+pub struct Heap {
+    cells: Vec<HeapCell>,
+}
+
+impl Heap {
+    /// An empty heap.
+    #[must_use]
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Number of live cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the heap is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    fn push(&mut self, cell: HeapCell) -> u32 {
+        self.cells.push(cell);
+        (self.cells.len() - 1) as u32
+    }
+
+    /// Allocates an object with `fields` zeroed slots.
+    pub fn alloc_object(&mut self, class: u16, fields: u16) -> u32 {
+        self.push(HeapCell::Object { class, fields: vec![Value::Int(0); usize::from(fields)] })
+    }
+
+    /// Allocates a primitive array.
+    ///
+    /// # Errors
+    ///
+    /// `NegativeArraySize` when `len < 0`.
+    pub fn alloc_array(&mut self, kind: ArrayKind, len: i32) -> Result<u32, JvmError> {
+        self.alloc_elem_array(ArrayElem::Prim(kind), len)
+    }
+
+    /// Allocates a reference array.
+    ///
+    /// # Errors
+    ///
+    /// `NegativeArraySize` when `len < 0`.
+    pub fn alloc_ref_array(&mut self, class: u16, len: i32) -> Result<u32, JvmError> {
+        self.alloc_elem_array(ArrayElem::Ref(class), len)
+    }
+
+    fn alloc_elem_array(&mut self, kind: ArrayElem, len: i32) -> Result<u32, JvmError> {
+        if len < 0 {
+            return Err(JvmError::bare(JvmErrorKind::NegativeArraySize));
+        }
+        let data = vec![kind.default_value(); len as usize];
+        Ok(self.push(HeapCell::Array { kind, data }))
+    }
+
+    fn cell(&self, handle: Option<u32>) -> Result<&HeapCell, JvmError> {
+        let h = handle.ok_or_else(|| JvmError::bare(JvmErrorKind::NullPointer))?;
+        self.cells.get(h as usize).ok_or_else(|| JvmError::bare(JvmErrorKind::DanglingHandle))
+    }
+
+    fn cell_mut(&mut self, handle: Option<u32>) -> Result<&mut HeapCell, JvmError> {
+        let h = handle.ok_or_else(|| JvmError::bare(JvmErrorKind::NullPointer))?;
+        self.cells.get_mut(h as usize).ok_or_else(|| JvmError::bare(JvmErrorKind::DanglingHandle))
+    }
+
+    /// The class id of an object.
+    ///
+    /// # Errors
+    ///
+    /// `NullPointer` for null, `TypeError` for arrays.
+    pub fn object_class(&self, handle: Option<u32>) -> Result<u16, JvmError> {
+        match self.cell(handle)? {
+            HeapCell::Object { class, .. } => Ok(*class),
+            HeapCell::Array { .. } => Err(JvmError::bare(JvmErrorKind::TypeError)),
+        }
+    }
+
+    /// Reads an instance field.
+    ///
+    /// # Errors
+    ///
+    /// `NullPointer`, `TypeError`, or `FieldOutOfRange`.
+    pub fn get_field(&self, handle: Option<u32>, slot: u16) -> Result<Value, JvmError> {
+        match self.cell(handle)? {
+            HeapCell::Object { fields, .. } => fields
+                .get(usize::from(slot))
+                .copied()
+                .ok_or_else(|| JvmError::bare(JvmErrorKind::FieldOutOfRange)),
+            HeapCell::Array { .. } => Err(JvmError::bare(JvmErrorKind::TypeError)),
+        }
+    }
+
+    /// Writes an instance field.
+    ///
+    /// # Errors
+    ///
+    /// `NullPointer`, `TypeError`, or `FieldOutOfRange`.
+    pub fn put_field(&mut self, handle: Option<u32>, slot: u16, v: Value) -> Result<(), JvmError> {
+        match self.cell_mut(handle)? {
+            HeapCell::Object { fields, .. } => {
+                let f = fields
+                    .get_mut(usize::from(slot))
+                    .ok_or_else(|| JvmError::bare(JvmErrorKind::FieldOutOfRange))?;
+                *f = v;
+                Ok(())
+            }
+            HeapCell::Array { .. } => Err(JvmError::bare(JvmErrorKind::TypeError)),
+        }
+    }
+
+    /// The length of an array.
+    ///
+    /// # Errors
+    ///
+    /// `NullPointer` or `TypeError`.
+    pub fn array_len(&self, handle: Option<u32>) -> Result<i32, JvmError> {
+        match self.cell(handle)? {
+            HeapCell::Array { data, .. } => Ok(data.len() as i32),
+            HeapCell::Object { .. } => Err(JvmError::bare(JvmErrorKind::TypeError)),
+        }
+    }
+
+    /// Reads an array element. Array bounds are checked exactly as the
+    /// fabric's storage nodes check them (Section 6.3 exceptions).
+    ///
+    /// # Errors
+    ///
+    /// `NullPointer`, `TypeError`, or `IndexOutOfBounds`.
+    pub fn array_get(&self, handle: Option<u32>, index: i32) -> Result<Value, JvmError> {
+        match self.cell(handle)? {
+            HeapCell::Array { data, .. } => {
+                if index < 0 || index as usize >= data.len() {
+                    Err(JvmError::bare(JvmErrorKind::IndexOutOfBounds))
+                } else {
+                    Ok(data[index as usize])
+                }
+            }
+            HeapCell::Object { .. } => Err(JvmError::bare(JvmErrorKind::TypeError)),
+        }
+    }
+
+    /// Writes an array element.
+    ///
+    /// # Errors
+    ///
+    /// `NullPointer`, `TypeError`, or `IndexOutOfBounds`.
+    pub fn array_set(&mut self, handle: Option<u32>, index: i32, v: Value) -> Result<(), JvmError> {
+        match self.cell_mut(handle)? {
+            HeapCell::Array { data, .. } => {
+                if index < 0 || index as usize >= data.len() {
+                    Err(JvmError::bare(JvmErrorKind::IndexOutOfBounds))
+                } else {
+                    data[index as usize] = v;
+                    Ok(())
+                }
+            }
+            HeapCell::Object { .. } => Err(JvmError::bare(JvmErrorKind::TypeError)),
+        }
+    }
+
+    /// Direct read-only access to a cell (used by tests and the workload
+    /// drivers to inspect results).
+    ///
+    /// # Errors
+    ///
+    /// `NullPointer` or `DanglingHandle`.
+    pub fn inspect(&self, handle: Option<u32>) -> Result<&HeapCell, JvmError> {
+        self.cell(handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_fields_round_trip() {
+        let mut h = Heap::new();
+        let o = h.alloc_object(0, 3);
+        h.put_field(Some(o), 1, Value::Double(2.5)).unwrap();
+        assert_eq!(h.get_field(Some(o), 1).unwrap(), Value::Double(2.5));
+        assert_eq!(h.get_field(Some(o), 0).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn null_pointer_checked() {
+        let h = Heap::new();
+        let e = h.get_field(None, 0).unwrap_err();
+        assert_eq!(e.kind, JvmErrorKind::NullPointer);
+    }
+
+    #[test]
+    fn array_bounds_checked() {
+        let mut h = Heap::new();
+        let a = h.alloc_array(ArrayKind::Int, 4).unwrap();
+        h.array_set(Some(a), 3, Value::Int(9)).unwrap();
+        assert_eq!(h.array_get(Some(a), 3).unwrap(), Value::Int(9));
+        assert_eq!(h.array_len(Some(a)).unwrap(), 4);
+        assert_eq!(h.array_get(Some(a), 4).unwrap_err().kind, JvmErrorKind::IndexOutOfBounds);
+        assert_eq!(h.array_get(Some(a), -1).unwrap_err().kind, JvmErrorKind::IndexOutOfBounds);
+    }
+
+    #[test]
+    fn negative_array_size_rejected() {
+        let mut h = Heap::new();
+        assert_eq!(
+            h.alloc_array(ArrayKind::Int, -1).unwrap_err().kind,
+            JvmErrorKind::NegativeArraySize
+        );
+    }
+
+    #[test]
+    fn type_confusion_rejected() {
+        let mut h = Heap::new();
+        let o = h.alloc_object(0, 1);
+        assert_eq!(h.array_len(Some(o)).unwrap_err().kind, JvmErrorKind::TypeError);
+        let a = h.alloc_array(ArrayKind::Int, 1).unwrap();
+        assert_eq!(h.get_field(Some(a), 0).unwrap_err().kind, JvmErrorKind::TypeError);
+    }
+
+    #[test]
+    fn ref_arrays_default_null() {
+        let mut h = Heap::new();
+        let a = h.alloc_ref_array(2, 2).unwrap();
+        assert_eq!(h.array_get(Some(a), 0).unwrap(), Value::NULL);
+    }
+}

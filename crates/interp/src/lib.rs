@@ -1,0 +1,46 @@
+//! A JVM-lite interpreter: JavaFlow's General Purpose Processor and the
+//! instrumented-JVM substitute used for the Chapter 5 dynamic analysis.
+//!
+//! * [`Interp`] executes [`javaflow_bytecode::Program`]s with faithful Java
+//!   semantics (wrapping integer arithmetic, saturating float→int
+//!   conversions, NaN-aware comparisons, array bounds and null checks);
+//! * [`JvmState`] holds the heap and static class data and can be shared
+//!   with the fabric simulator during co-simulation (the fabric's `Service`
+//!   and `Call` instructions are executed here, as in the dissertation);
+//! * [`Profiler`] reproduces the per-method 256-counter dynamic-mix
+//!   instrument.
+//!
+//! # Example
+//!
+//! ```
+//! use javaflow_bytecode::asm;
+//! use javaflow_interp::Interp;
+//! use javaflow_bytecode::Value;
+//!
+//! let program = asm::assemble(
+//!     ".method square args=1 returns=true locals=1
+//!        iload 0
+//!        iload 0
+//!        imul
+//!        ireturn
+//!      .end",
+//! )
+//! .unwrap();
+//! let (id, _) = program.method_by_name("square").unwrap();
+//! let mut jvm = Interp::new(&program).with_profiler();
+//! assert_eq!(jvm.run(id, &[Value::Int(12)]).unwrap(), Some(Value::Int(144)));
+//! assert_eq!(jvm.profiler.unwrap().total_ops(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod exec;
+mod heap;
+mod profile;
+
+pub use error::{JvmError, JvmErrorKind};
+pub use exec::{Interp, JvmState, Limits};
+pub use heap::{ArrayElem, Heap, HeapCell};
+pub use profile::{MethodProfile, Profiler};

@@ -1,0 +1,243 @@
+//! Dynamic-mix profiling — the instrumented-JAMVM substitute.
+//!
+//! Chapter 5's methodology: "establish a 256 element array for each method
+//! signature which was executed. Each element in the array is a counter for
+//! the corresponding ByteCode instruction." This module reproduces that
+//! instrument, plus the `_Quick` storage-instruction accounting of Table 5:
+//! the *first* execution of each storage site pays the constant-pool
+//! resolution (the "base" instruction) and every subsequent execution runs
+//! quickened.
+
+use std::collections::{HashMap, HashSet};
+
+use javaflow_bytecode::{Insn, InstructionGroup, MethodId, Opcode};
+
+/// Per-method dynamic counters.
+#[derive(Debug, Clone)]
+pub struct MethodProfile {
+    /// One counter per opcode byte (the dissertation's 256-element array).
+    pub counts: Box<[u64; 256]>,
+    /// Number of invocations of the method.
+    pub invocations: u64,
+}
+
+impl Default for MethodProfile {
+    fn default() -> MethodProfile {
+        MethodProfile { counts: Box::new([0; 256]), invocations: 0 }
+    }
+}
+
+impl MethodProfile {
+    /// Total dynamic instructions executed in this method.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Dynamic count for one opcode.
+    #[must_use]
+    pub fn count(&self, op: Opcode) -> u64 {
+        self.counts[usize::from(op.byte())]
+    }
+
+    /// Dynamic count aggregated by instruction group.
+    #[must_use]
+    pub fn by_group(&self) -> HashMap<InstructionGroup, u64> {
+        let mut m = HashMap::new();
+        for op in Opcode::ALL {
+            let c = self.count(*op);
+            if c > 0 {
+                *m.entry(op.group()).or_insert(0) += c;
+            }
+        }
+        m
+    }
+}
+
+/// The dynamic-mix profiler.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    methods: HashMap<MethodId, MethodProfile>,
+    /// Storage sites already resolved (quickened).
+    quickened: HashSet<(MethodId, u32)>,
+    /// Dynamic storage ops still carrying resolution work.
+    pub base_storage: u64,
+    /// Dynamic storage ops executed in `_Quick` form.
+    pub quick_storage: u64,
+}
+
+impl Profiler {
+    /// A fresh profiler.
+    #[must_use]
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Records one executed instruction.
+    pub fn record(&mut self, method: MethodId, pc: u32, insn: &Insn) {
+        let p = self.methods.entry(method).or_default();
+        p.counts[usize::from(insn.op.byte())] += 1;
+        if insn.op.is_ordered_memory() {
+            if self.quickened.insert((method, pc)) {
+                self.base_storage += 1;
+            } else {
+                self.quick_storage += 1;
+            }
+        }
+    }
+
+    /// Records a method invocation.
+    pub fn record_invocation(&mut self, method: MethodId) {
+        self.methods.entry(method).or_default().invocations += 1;
+    }
+
+    /// Per-method profiles.
+    #[must_use]
+    pub fn methods(&self) -> &HashMap<MethodId, MethodProfile> {
+        &self.methods
+    }
+
+    /// Total dynamic instructions across all methods.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.methods.values().map(MethodProfile::total).sum()
+    }
+
+    /// Number of distinct methods executed.
+    #[must_use]
+    pub fn methods_executed(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Methods sorted by descending dynamic instruction count.
+    #[must_use]
+    pub fn ranked(&self) -> Vec<(MethodId, u64)> {
+        let mut v: Vec<(MethodId, u64)> =
+            self.methods.iter().map(|(id, p)| (*id, p.total())).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The smallest prefix of [`Profiler::ranked`] covering `fraction` of
+    /// all dynamic instructions (the dissertation's "90% methods").
+    #[must_use]
+    pub fn top_fraction(&self, fraction: f64) -> Vec<(MethodId, u64)> {
+        let total = self.total_ops() as f64;
+        let mut acc = 0u64;
+        let mut out = Vec::new();
+        for (id, n) in self.ranked() {
+            if total > 0.0 && acc as f64 / total >= fraction {
+                break;
+            }
+            acc += n;
+            out.push((id, n));
+        }
+        out
+    }
+
+    /// Fraction of dynamic storage accesses that ran quickened (Table 5).
+    #[must_use]
+    pub fn quick_fraction(&self) -> f64 {
+        let total = self.base_storage + self.quick_storage;
+        if total == 0 {
+            0.0
+        } else {
+            self.quick_storage as f64 / total as f64
+        }
+    }
+
+    /// Merges another profiler's counts into this one (used when several
+    /// benchmark iterations run on separate interpreters).
+    pub fn merge(&mut self, other: &Profiler) {
+        for (id, p) in &other.methods {
+            let dst = self.methods.entry(*id).or_default();
+            for (d, s) in dst.counts.iter_mut().zip(p.counts.iter()) {
+                *d += s;
+            }
+            dst.invocations += p.invocations;
+        }
+        self.base_storage += other.base_storage;
+        self.quick_storage += other.quick_storage;
+        self.quickened.extend(other.quickened.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javaflow_bytecode::Operand;
+
+    fn insn(op: Opcode) -> Insn {
+        Insn::simple(op)
+    }
+
+    #[test]
+    fn counts_by_opcode() {
+        let mut p = Profiler::new();
+        let m = MethodId(0);
+        p.record(m, 0, &insn(Opcode::IAdd));
+        p.record(m, 0, &insn(Opcode::IAdd));
+        p.record(m, 1, &insn(Opcode::IMul));
+        let mp = &p.methods()[&m];
+        assert_eq!(mp.count(Opcode::IAdd), 2);
+        assert_eq!(mp.count(Opcode::IMul), 1);
+        assert_eq!(mp.total(), 3);
+        assert_eq!(p.total_ops(), 3);
+    }
+
+    #[test]
+    fn quick_fraction_matches_site_model() {
+        let mut p = Profiler::new();
+        let m = MethodId(0);
+        let ld = Insn::new(
+            Opcode::GetField,
+            Operand::Field(javaflow_bytecode::FieldRef { class: 0, slot: 0 }),
+        );
+        for _ in 0..100 {
+            p.record(m, 7, &ld);
+        }
+        // 1 base execution + 99 quick.
+        assert_eq!(p.base_storage, 1);
+        assert_eq!(p.quick_storage, 99);
+        assert!((p.quick_fraction() - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_fraction_selects_hot_methods() {
+        let mut p = Profiler::new();
+        for _ in 0..90 {
+            p.record(MethodId(0), 0, &insn(Opcode::IAdd));
+        }
+        for _ in 0..9 {
+            p.record(MethodId(1), 0, &insn(Opcode::IAdd));
+        }
+        p.record(MethodId(2), 0, &insn(Opcode::IAdd));
+        let top = p.top_fraction(0.9);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, MethodId(0));
+        let all = p.top_fraction(1.0);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Profiler::new();
+        let mut b = Profiler::new();
+        a.record(MethodId(0), 0, &insn(Opcode::IAdd));
+        b.record(MethodId(0), 0, &insn(Opcode::IAdd));
+        b.record_invocation(MethodId(0));
+        a.merge(&b);
+        assert_eq!(a.methods()[&MethodId(0)].count(Opcode::IAdd), 2);
+        assert_eq!(a.methods()[&MethodId(0)].invocations, 1);
+    }
+
+    #[test]
+    fn group_aggregation() {
+        let mut p = Profiler::new();
+        p.record(MethodId(0), 0, &insn(Opcode::IAdd));
+        p.record(MethodId(0), 1, &insn(Opcode::DMul));
+        let g = p.methods()[&MethodId(0)].by_group();
+        assert_eq!(g[&InstructionGroup::ArithInteger], 1);
+        assert_eq!(g[&InstructionGroup::FloatArith], 1);
+    }
+}

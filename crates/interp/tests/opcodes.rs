@@ -1,0 +1,458 @@
+//! Opcode-level behavior tests for the interpreter: Java semantics for
+//! every conversion, comparison, shuffle, and service instruction family,
+//! including the edge cases (NaN ordering, saturation, wrapping, narrowing
+//! stores, subroutines, cast failures).
+
+use javaflow_bytecode::asm::assemble;
+use javaflow_bytecode::Value;
+use javaflow_interp::{Interp, JvmErrorKind};
+
+fn run1(body: &str, args: &[Value]) -> Result<Option<Value>, javaflow_interp::JvmError> {
+    let p = assemble(body).unwrap();
+    p.validate().unwrap();
+    let (id, _) = p.methods().next().map(|(i, m)| (i, m.name.clone())).map(|(i, _)| (i, ())).unwrap();
+    let mut jvm = Interp::new(&p);
+    jvm.run(id, args)
+}
+
+fn eval(src: &str, args: &[Value]) -> Value {
+    run1(src, args).unwrap().unwrap()
+}
+
+#[test]
+fn long_arithmetic_and_shifts() {
+    let src = ".method m args=2 returns=true locals=2
+       lload 0
+       lload 1
+       lmul
+       lload 0
+       ladd
+       bipush 63
+       lshl
+       lreturn
+     .end";
+    let got = eval(src, &[Value::Long(3), Value::Long(5)]).as_long().unwrap();
+    assert_eq!(got, (3i64 * 5 + 3).wrapping_shl(63));
+}
+
+#[test]
+fn lushr_is_logical() {
+    let src = ".method m args=1 returns=true locals=1
+       lload 0
+       iconst_1
+       lushr
+       lreturn
+     .end";
+    assert_eq!(eval(src, &[Value::Long(-2)]), Value::Long(((-2i64) as u64 >> 1) as i64));
+}
+
+#[test]
+fn lcmp_all_orderings() {
+    let src = ".method m args=2 returns=true locals=2
+       lload 0
+       lload 1
+       lcmp
+       ireturn
+     .end";
+    assert_eq!(eval(src, &[Value::Long(1), Value::Long(2)]), Value::Int(-1));
+    assert_eq!(eval(src, &[Value::Long(2), Value::Long(2)]), Value::Int(0));
+    assert_eq!(eval(src, &[Value::Long(3), Value::Long(2)]), Value::Int(1));
+}
+
+#[test]
+fn remainder_semantics() {
+    // Java % keeps the dividend's sign.
+    let src = ".method m args=2 returns=true locals=2
+       iload 0
+       iload 1
+       irem
+       ireturn
+     .end";
+    assert_eq!(eval(src, &[Value::Int(-7), Value::Int(3)]), Value::Int(-1));
+    assert_eq!(eval(src, &[Value::Int(7), Value::Int(-3)]), Value::Int(1));
+    let fsrc = ".method m args=2 returns=true locals=2
+       dload 0
+       dload 1
+       drem
+       dreturn
+     .end";
+    let r = eval(fsrc, &[Value::Double(-7.5), Value::Double(2.0)]).as_double().unwrap();
+    assert_eq!(r, -1.5);
+}
+
+#[test]
+fn conversion_matrix() {
+    let cases: &[(&str, Value, Value)] = &[
+        ("i2l", Value::Int(-5), Value::Long(-5)),
+        ("i2f", Value::Int(3), Value::Float(3.0)),
+        ("i2d", Value::Int(3), Value::Double(3.0)),
+        ("i2b", Value::Int(0x1FF), Value::Int(-1)),
+        ("i2c", Value::Int(-1), Value::Int(0xFFFF)),
+        ("i2s", Value::Int(0x18000), Value::Int(-0x8000)),
+        ("l2i", Value::Long(0x1_0000_0003), Value::Int(3)),
+        ("l2f", Value::Long(1), Value::Float(1.0)),
+        ("l2d", Value::Long(-2), Value::Double(-2.0)),
+        ("f2i", Value::Float(-3.99), Value::Int(-3)),
+        ("f2l", Value::Float(1e30), Value::Long(i64::MAX)),
+        ("f2d", Value::Float(0.5), Value::Double(0.5)),
+        ("d2i", Value::Double(f64::NEG_INFINITY), Value::Int(i32::MIN)),
+        ("d2l", Value::Double(2.9), Value::Long(2)),
+        ("d2f", Value::Double(0.25), Value::Float(0.25)),
+    ];
+    for (op, input, want) in cases {
+        let load = match input {
+            Value::Int(_) => "iload 0",
+            Value::Long(_) => "lload 0",
+            Value::Float(_) => "fload 0",
+            Value::Double(_) => "dload 0",
+            _ => unreachable!(),
+        };
+        let ret = match want {
+            Value::Int(_) => "ireturn",
+            Value::Long(_) => "lreturn",
+            Value::Float(_) => "freturn",
+            Value::Double(_) => "dreturn",
+            _ => unreachable!(),
+        };
+        let src = format!(
+            ".method m args=1 returns=true locals=1\n  {load}\n  {op}\n  {ret}\n.end"
+        );
+        let got = eval(&src, &[*input]);
+        assert!(got.bits_eq(want), "{op}({input}) = {got}, want {want}");
+    }
+}
+
+#[test]
+fn dup_x_variants_route_correctly() {
+    // dup_x1: a b → b a b ; summing with weights distinguishes orders.
+    let src = ".method m args=2 returns=true locals=2
+       iload 0
+       iload 1
+       dup_x1
+       iadd
+       iconst_3
+       imul
+       iadd
+       ireturn
+     .end";
+    // stack: a b → (dup_x1) b a b → iadd: b (a+b) → *3 → b + 3(a+b)
+    assert_eq!(eval(src, &[Value::Int(10), Value::Int(1)]), Value::Int(1 + 3 * 11));
+
+    let src = ".method m args=3 returns=true locals=3
+       iload 0
+       iload 1
+       iload 2
+       dup_x2
+       iadd
+       iadd
+       iadd
+       ireturn
+     .end";
+    // a b c → c a b c → a+b+2c
+    assert_eq!(
+        eval(src, &[Value::Int(1), Value::Int(2), Value::Int(4)]),
+        Value::Int(1 + 2 + 8)
+    );
+}
+
+#[test]
+fn dup2_variants() {
+    let src = ".method m args=2 returns=true locals=2
+       iload 0
+       iload 1
+       dup2
+       iadd
+       iadd
+       iadd
+       ireturn
+     .end";
+    // a b → a b a b → 2a+2b
+    assert_eq!(eval(src, &[Value::Int(3), Value::Int(5)]), Value::Int(16));
+
+    let src = ".method m args=3 returns=true locals=3
+       iload 0
+       iload 1
+       iload 2
+       dup2_x1
+       iadd
+       iadd
+       iadd
+       iadd
+       ireturn
+     .end";
+    // a b c → b c a b c → a+2b+2c
+    assert_eq!(
+        eval(src, &[Value::Int(1), Value::Int(10), Value::Int(100)]),
+        Value::Int(1 + 20 + 200)
+    );
+}
+
+#[test]
+fn pop2_and_swap() {
+    let src = ".method m args=0 returns=true locals=0
+       iconst_1
+       iconst_2
+       iconst_3
+       pop2
+       ireturn
+     .end";
+    assert_eq!(eval(src, &[]), Value::Int(1));
+}
+
+#[test]
+fn reference_comparisons() {
+    let src = ".class C fields=0 statics=0
+     .method m args=0 returns=true locals=2
+       new C
+       astore 0
+       aload 0
+       astore 1
+       aload 0
+       aload 1
+       if_acmpeq @same
+       iconst_0
+       ireturn
+     same:
+       new C
+       aload 0
+       if_acmpne @diff
+       iconst_m1
+       ireturn
+     diff:
+       iconst_1
+       ireturn
+     .end";
+    assert_eq!(eval(src, &[]), Value::Int(1));
+}
+
+#[test]
+fn null_checks() {
+    let src = ".method m args=1 returns=true locals=1
+       aload 0
+       ifnull @isnull
+       iconst_0
+       ireturn
+     isnull:
+       iconst_1
+       ireturn
+     .end";
+    assert_eq!(eval(src, &[Value::NULL]), Value::Int(1));
+    assert_eq!(eval(src, &[Value::Ref(Some(0))]), Value::Int(0));
+}
+
+#[test]
+fn instanceof_and_checkcast() {
+    let src = ".class A fields=0 statics=0
+     .class B fields=0 statics=0
+     .method m args=0 returns=true locals=1
+       new A
+       astore 0
+       aload 0
+       instanceof B
+       ifne @bad
+       aload 0
+       instanceof A
+       ifeq @bad
+       aconst_null
+       instanceof A
+       ifne @bad
+       aload 0
+       checkcast A
+       pop
+       aconst_null
+       checkcast B
+       pop
+       iconst_1
+       ireturn
+     bad:
+       iconst_0
+       ireturn
+     .end";
+    assert_eq!(eval(src, &[]), Value::Int(1));
+}
+
+#[test]
+fn checkcast_failure_raises() {
+    let src = ".class A fields=0 statics=0
+     .class B fields=0 statics=0
+     .method m args=0 returns=true locals=0
+       new A
+       checkcast B
+       areturn
+     .end";
+    assert_eq!(run1(src, &[]).unwrap_err().kind, JvmErrorKind::ClassCast);
+}
+
+#[test]
+fn monitor_null_raises() {
+    let src = ".method m args=0 returns=false locals=0
+       aconst_null
+       monitorenter
+       return
+     .end";
+    assert_eq!(run1(src, &[]).unwrap_err().kind, JvmErrorKind::NullPointer);
+}
+
+#[test]
+fn athrow_raises() {
+    let src = ".class E fields=0 statics=0
+     .method m args=0 returns=false locals=0
+       new E
+       athrow
+     .end";
+    assert_eq!(run1(src, &[]).unwrap_err().kind, JvmErrorKind::Thrown);
+}
+
+#[test]
+fn multianewarray_builds_nested() {
+    let src = ".class Arr fields=0 statics=0
+     .method m args=0 returns=true locals=1
+       iconst_3
+       iconst_4
+       multianewarray Arr 2
+       astore 0
+       aload 0
+       iconst_2
+       aaload
+       arraylength
+       aload 0
+       arraylength
+       imul
+       ireturn
+     .end";
+    assert_eq!(eval(src, &[]), Value::Int(12));
+}
+
+#[test]
+fn narrowing_array_stores() {
+    let src = ".method m args=0 returns=true locals=1
+       iconst_2
+       newarray byte
+       astore 0
+       aload 0
+       iconst_0
+       sipush 511
+       bastore
+       aload 0
+       iconst_0
+       baload
+       ireturn
+     .end";
+    assert_eq!(eval(src, &[]), Value::Int(-1)); // 0x1FF as i8 = -1
+}
+
+#[test]
+fn jsr_ret_subroutine() {
+    // A finally-style subroutine entered from two call sites.
+    let src = ".method m args=0 returns=true locals=2
+       iconst_0
+       istore 0
+       jsr @sub
+       jsr @sub
+       iload 0
+       ireturn
+     sub:
+       astore 1
+       iinc 0 10
+       ret 1
+     .end";
+    assert_eq!(eval(src, &[]), Value::Int(20));
+}
+
+#[test]
+fn fneg_preserves_nan_and_zero_sign() {
+    let src = ".method m args=1 returns=true locals=1
+       fload 0
+       fneg
+       freturn
+     .end";
+    let r = eval(src, &[Value::Float(0.0)]).as_float().unwrap();
+    assert!(r == 0.0 && r.is_sign_negative());
+    let r = eval(src, &[Value::Float(f32::NAN)]).as_float().unwrap();
+    assert!(r.is_nan());
+}
+
+#[test]
+fn float_comparison_branching() {
+    // if (a > b) 1 else 0 via fcmpl + ifle (javac's shape)
+    let src = ".method m args=2 returns=true locals=2
+       fload 0
+       fload 1
+       fcmpl
+       ifle @no
+       iconst_1
+       ireturn
+     no:
+       iconst_0
+       ireturn
+     .end";
+    assert_eq!(eval(src, &[Value::Float(2.0), Value::Float(1.0)]), Value::Int(1));
+    assert_eq!(eval(src, &[Value::Float(1.0), Value::Float(2.0)]), Value::Int(0));
+    // NaN must take the "not greater" path with fcmpl.
+    assert_eq!(eval(src, &[Value::Float(f32::NAN), Value::Float(1.0)]), Value::Int(0));
+}
+
+#[test]
+fn deep_call_chain_hits_depth_limit() {
+    let src = ".method m args=1 returns=true locals=1
+       iload 0
+       iconst_1
+       iadd
+       invokestatic m
+       ireturn
+     .end";
+    let p = assemble(src).unwrap();
+    let (id, _) = p.method_by_name("m").unwrap();
+    let mut jvm = Interp::new(&p);
+    jvm.limits.max_depth = 64;
+    assert_eq!(jvm.run(id, &[Value::Int(0)]).unwrap_err().kind, JvmErrorKind::StackDepthExceeded);
+}
+
+#[test]
+fn profiler_counts_invocations_across_calls() {
+    let src = ".method callee args=0 returns=true locals=0
+       iconst_1
+       ireturn
+     .end
+     .method m args=0 returns=true locals=0
+       invokestatic callee
+       invokestatic callee
+       iadd
+       ireturn
+     .end";
+    let p = assemble(src).unwrap();
+    let (m, _) = p.method_by_name("m").unwrap();
+    let (callee, _) = p.method_by_name("callee").unwrap();
+    let mut jvm = Interp::new(&p).with_profiler();
+    assert_eq!(jvm.run(m, &[]).unwrap(), Some(Value::Int(2)));
+    let prof = jvm.profiler.take().unwrap();
+    assert_eq!(prof.methods()[&callee].invocations, 2);
+    assert_eq!(prof.methods()[&m].invocations, 1);
+    // m executed 4 instructions, callee 2 each.
+    assert_eq!(prof.methods()[&m].total(), 4);
+    assert_eq!(prof.methods()[&callee].total(), 4);
+}
+
+#[test]
+fn lookupswitch_sparse_keys() {
+    let src = ".method m args=1 returns=true locals=1
+       iload 0
+       lookupswitch -100:@neg 0:@zero 1000:@big default:@other
+     neg:
+       iconst_1
+       ireturn
+     zero:
+       iconst_2
+       ireturn
+     big:
+       iconst_3
+       ireturn
+     other:
+       iconst_4
+       ireturn
+     .end";
+    assert_eq!(eval(src, &[Value::Int(-100)]), Value::Int(1));
+    assert_eq!(eval(src, &[Value::Int(0)]), Value::Int(2));
+    assert_eq!(eval(src, &[Value::Int(1000)]), Value::Int(3));
+    assert_eq!(eval(src, &[Value::Int(7)]), Value::Int(4));
+}

@@ -1,0 +1,398 @@
+//! The `mpegaudio` benchmark family (SpecJVM2008 `mpegaudio` and SpecJVM98
+//! `_222_mpegaudio`): MP3-decoder-shaped kernels — sample dequantization,
+//! inverse MDCT, Huffman decoding from a bit reservoir, the hybrid filter
+//! bank, and the `q.l`/`lb.read` polyphase filter and buffered read of the
+//! JVM98 variant.
+
+use javaflow_bytecode::{ArrayKind, MethodBuilder, MethodId, Opcode, Program, Value};
+
+use crate::util::{for_up, Src};
+use crate::{Benchmark, SuiteKind};
+
+/// Adds `LayerIIIDecoder.dequantize_sample(xr, sign, gain)`:
+/// `xr[i] = ±|s|·2^(gain/4)`-shaped power scaling over a sample block.
+pub fn build_dequantize(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("LayerIIIDecoder.dequantize_sample", 3, false);
+    // args: 0 xr (double[]), 1 samples (int[]), 2 gain
+    // locals: 3 i, 4 n, 5 s, 6 v(d), 7 scale(d), 8 g
+    b.aload(0).op(Opcode::ArrayLength).istore(4);
+    // scale = 2^(gain/4) by repeated multiplication (gain small)
+    b.dconst(1.0).dstore(7);
+    b.iload(2).iconst(4).op(Opcode::IDiv).istore(8);
+    {
+        let top = b.new_label();
+        let end = b.new_label();
+        b.bind(top);
+        b.iload(8);
+        b.branch(Opcode::IfLe, end);
+        b.dload(7).dconst(2.0).op(Opcode::DMul).dstore(7);
+        b.iinc(8, -1);
+        b.branch(Opcode::Goto, top);
+        b.bind(end);
+    }
+    for_up(&mut b, 3, Src::Const(0), Src::Reg(4), 1, |b| {
+        b.aload(1).iload(3).op(Opcode::IALoad).istore(5);
+        // v = s * |s|^(1/3)-ish: v = s * sqrt-free cube via s*s*s / (1+|s|)
+        b.iload(5).op(Opcode::I2D);
+        b.iload(5).op(Opcode::I2D).op(Opcode::DMul);
+        b.iload(5).op(Opcode::I2D).op(Opcode::DMul);
+        b.dconst(1.0);
+        b.iload(5).op(Opcode::I2D);
+        crate::util::dabs(b);
+        b.op(Opcode::DAdd);
+        b.op(Opcode::DDiv);
+        b.dstore(6);
+        // sign restore and scale
+        let pos = b.new_label();
+        b.iload(5);
+        b.branch(Opcode::IfGe, pos);
+        b.dload(6).op(Opcode::DNeg).dstore(6);
+        b.bind(pos);
+        b.aload(0).iload(3);
+        b.dload(6).dload(7).op(Opcode::DMul);
+        b.op(Opcode::DAStore);
+    });
+    b.op(Opcode::ReturnVoid);
+    p.add_method(b.finish().expect("dequantize"))
+}
+
+/// Adds `LayerIIIDecoder.inv_mdct(input, output, win)` — the windowed
+/// inverse MDCT inner product loops.
+pub fn build_inv_mdct(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("LayerIIIDecoder.inv_mdct", 3, false);
+    // args: 0 in (double[]), 1 out (double[]), 2 win (double[])
+    // locals: 3 i, 4 k, 5 sum(d), 6 n, 7 m
+    b.aload(1).op(Opcode::ArrayLength).istore(6);
+    b.aload(0).op(Opcode::ArrayLength).istore(7);
+    for_up(&mut b, 3, Src::Const(0), Src::Reg(6), 1, |b| {
+        b.dconst(0.0).dstore(5);
+        for_up(b, 4, Src::Const(0), Src::Reg(7), 1, |b| {
+            b.dload(5);
+            b.aload(0).iload(4).op(Opcode::DALoad);
+            // win[(i + k) % win.length]
+            b.aload(2);
+            b.iload(3).iload(4).op(Opcode::IAdd);
+            b.aload(2).op(Opcode::ArrayLength);
+            b.op(Opcode::IRem);
+            b.op(Opcode::DALoad);
+            b.op(Opcode::DMul);
+            b.op(Opcode::DAdd);
+            b.dstore(5);
+        });
+        b.aload(1).iload(3).dload(5).op(Opcode::DAStore);
+    });
+    b.op(Opcode::ReturnVoid);
+    p.add_method(b.finish().expect("inv_mdct"))
+}
+
+/// Adds `huffcodetab.huffman_decoder(bits, tree, state)` — walks a binary
+/// code tree stored as `tree[2*node + bit]`, consuming bits from a packed
+/// reservoir; returns the decoded symbol.
+pub fn build_huffman(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("huffcodetab.huffman_decoder", 3, true);
+    // args: 0 bits (int[]), 1 tree (int[]), 2 state (int[]; [0] = bitpos)
+    // locals: 3 node, 4 bitpos, 5 word, 6 bit, 7 child
+    b.iconst(0).istore(3);
+    b.aload(2).iconst(0).op(Opcode::IALoad).istore(4);
+    {
+        let top = b.new_label();
+        let end = b.new_label();
+        b.bind(top);
+        // bit = (bits[bitpos >> 5] >>> (bitpos & 31)) & 1
+        b.aload(0).iload(4).iconst(5).op(Opcode::IShr).op(Opcode::IALoad).istore(5);
+        b.iload(5).iload(4).iconst(31).op(Opcode::IAnd).op(Opcode::IUShr);
+        b.iconst(1).op(Opcode::IAnd);
+        b.istore(6);
+        b.iinc(4, 1);
+        // child = tree[2*node + bit]; negative = leaf symbol
+        b.aload(1);
+        b.iload(3).iconst(2).op(Opcode::IMul).iload(6).op(Opcode::IAdd);
+        b.op(Opcode::IALoad);
+        b.istore(7);
+        b.iload(7);
+        b.branch(Opcode::IfLt, end);
+        b.iload(7).istore(3);
+        b.branch(Opcode::Goto, top);
+        b.bind(end);
+    }
+    b.aload(2).iconst(0).iload(4).op(Opcode::IAStore);
+    // symbol = -child - 1
+    b.iload(7).op(Opcode::INeg).iconst(1).op(Opcode::ISub);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("huffman"))
+}
+
+/// Adds `LayerIIIDecoder.hybrid(prev, cur, win)` — overlap-add filter bank.
+pub fn build_hybrid(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("LayerIIIDecoder.hybrid", 3, false);
+    // args: 0 prev (double[]), 1 cur (double[]), 2 win (double[])
+    // locals: 3 i, 4 n, 5 t(d)
+    b.aload(1).op(Opcode::ArrayLength).istore(4);
+    for_up(&mut b, 3, Src::Const(0), Src::Reg(4), 1, |b| {
+        b.aload(1).iload(3).op(Opcode::DALoad).dstore(5);
+        // cur[i] = cur[i]*win[i] + prev[i]
+        b.aload(1).iload(3);
+        b.dload(5);
+        b.aload(2).iload(3).op(Opcode::DALoad);
+        b.op(Opcode::DMul);
+        b.aload(0).iload(3).op(Opcode::DALoad);
+        b.op(Opcode::DAdd);
+        b.op(Opcode::DAStore);
+        // prev[i] = t
+        b.aload(0).iload(3).dload(5).op(Opcode::DAStore);
+    });
+    b.op(Opcode::ReturnVoid);
+    p.add_method(b.finish().expect("hybrid"))
+}
+
+/// Adds `q.l(s, u)` — the JVM98 polyphase filter inner product on 16-bit
+/// samples with saturation, returning the accumulated output.
+pub fn build_ql(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("q.l", 2, true);
+    // args: 0 s (int[] samples), 1 u (int[] coefficients)
+    // locals: 2 i, 3 acc, 4 n, 5 t
+    b.iconst(0).istore(3);
+    b.aload(0).op(Opcode::ArrayLength).istore(4);
+    for_up(&mut b, 2, Src::Const(0), Src::Reg(4), 1, |b| {
+        // t = (s[i] * u[i % u.length]) >> 15
+        b.aload(0).iload(2).op(Opcode::IALoad);
+        b.aload(1);
+        b.iload(2);
+        b.aload(1).op(Opcode::ArrayLength);
+        b.op(Opcode::IRem);
+        b.op(Opcode::IALoad);
+        b.op(Opcode::IMul);
+        b.iconst(15).op(Opcode::IShr);
+        b.istore(5);
+        // saturate to 16 bits
+        let no_hi = b.new_label();
+        b.iload(5).iconst(32_767);
+        b.branch(Opcode::IfICmpLe, no_hi);
+        b.iconst(32_767).istore(5);
+        b.bind(no_hi);
+        let no_lo = b.new_label();
+        b.iload(5).iconst(-32_768);
+        b.branch(Opcode::IfICmpGe, no_lo);
+        b.iconst(-32_768).istore(5);
+        b.bind(no_lo);
+        b.iload(3).iload(5).op(Opcode::IAdd).istore(3);
+    });
+    b.iload(3);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("q.l"))
+}
+
+/// Adds `lb.read(dst, src, state)` — buffered block copy with wraparound,
+/// returning the number of values copied.
+pub fn build_lb_read(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("lb.read", 3, true);
+    // args: 0 dst, 1 src, 2 state ([0] = read position)
+    // locals: 3 i, 4 n, 5 pos, 6 m
+    b.aload(0).op(Opcode::ArrayLength).istore(4);
+    b.aload(1).op(Opcode::ArrayLength).istore(6);
+    b.aload(2).iconst(0).op(Opcode::IALoad).istore(5);
+    for_up(&mut b, 3, Src::Const(0), Src::Reg(4), 1, |b| {
+        let no_wrap = b.new_label();
+        b.iload(5).iload(6);
+        b.branch(Opcode::IfICmpLt, no_wrap);
+        b.iconst(0).istore(5);
+        b.bind(no_wrap);
+        b.aload(0).iload(3);
+        b.aload(1).iload(5).op(Opcode::IALoad);
+        b.op(Opcode::IAStore);
+        b.iinc(5, 1);
+    });
+    b.aload(2).iconst(0).iload(5).op(Opcode::IAStore);
+    b.iload(4);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("lb.read"))
+}
+
+/// Builds an `mpegaudio` benchmark for either suite generation.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn mpegaudio_benchmark(suite: SuiteKind, frames: i32) -> Benchmark {
+    let mut p = Program::new();
+    let dequantize = build_dequantize(&mut p);
+    let inv_mdct = build_inv_mdct(&mut p);
+    let huffman = build_huffman(&mut p);
+    let hybrid = build_hybrid(&mut p);
+    let ql = build_ql(&mut p);
+    let lb_read = build_lb_read(&mut p);
+
+    let mut b = MethodBuilder::new("mpegaudio.driver", 1, true);
+    // locals: 0 frames, 1 samples, 2 xr, 3 out, 4 win, 5 prev, 6 bits,
+    //         7 tree, 8 state, 9 i, 10 acc, 11 coeffs, 12 pcm, 13 rdstate
+    let nsamp = 32;
+    b.iconst(nsamp);
+    b.newarray(ArrayKind::Int);
+    b.astore(1);
+    b.iconst(nsamp);
+    b.newarray(ArrayKind::Double);
+    b.astore(2);
+    b.iconst(16);
+    b.newarray(ArrayKind::Double);
+    b.astore(3);
+    b.iconst(8);
+    b.newarray(ArrayKind::Double);
+    b.astore(4);
+    b.iconst(16);
+    b.newarray(ArrayKind::Double);
+    b.astore(5);
+    b.iconst(4);
+    b.newarray(ArrayKind::Int);
+    b.astore(6);
+    // window coefficients
+    for_up(&mut b, 9, Src::Const(0), Src::Const(8), 1, |b| {
+        b.aload(4).iload(9);
+        b.iload(9).op(Opcode::I2D).dconst(0.125).op(Opcode::DMul).dconst(0.5).op(Opcode::DAdd);
+        b.op(Opcode::DAStore);
+    });
+    // a small complete code tree: internal nodes 0..3, leaves negative.
+    // tree[2i], tree[2i+1] = children; negative entry = -(symbol+1)
+    b.iconst(8);
+    b.newarray(ArrayKind::Int);
+    b.astore(7);
+    let tree = [1i32, 2, -1, 3, -2, -3, -4, -5];
+    for (i, v) in tree.iter().enumerate() {
+        b.aload(7).iconst(i as i32).iconst(*v).op(Opcode::IAStore);
+    }
+    b.iconst(1);
+    b.newarray(ArrayKind::Int);
+    b.astore(8);
+    b.iconst(0).istore(10);
+    b.iconst(16);
+    b.newarray(ArrayKind::Int);
+    b.astore(11);
+    for_up(&mut b, 9, Src::Const(0), Src::Const(16), 1, |b| {
+        b.aload(11).iload(9);
+        b.iload(9).iconst(3).op(Opcode::IMul).iconst(8_192).op(Opcode::IAdd);
+        b.op(Opcode::IAStore);
+    });
+    b.iconst(64);
+    b.newarray(ArrayKind::Int);
+    b.astore(12);
+    b.iconst(1);
+    b.newarray(ArrayKind::Int);
+    b.astore(13);
+    // frame loop
+    for_up(&mut b, 9, Src::Const(0), Src::Reg(0), 1, |b| {
+        // bit reservoir content varies per frame
+        for_up(b, 10, Src::Const(0), Src::Const(4), 1, |b| {
+            b.aload(6).iload(10);
+            b.iload(10).iload(9).op(Opcode::IAdd).iconst(0x5DEE_CE66).op(Opcode::IMul);
+            b.op(Opcode::IAStore);
+        });
+        b.aload(8).iconst(0).iconst(0).op(Opcode::IAStore);
+        // decode a run of symbols into samples
+        for_up(b, 10, Src::Const(0), Src::Const(nsamp), 1, |b| {
+            b.aload(1).iload(10);
+            b.aload(6).aload(7).aload(8);
+            b.invoke(Opcode::InvokeStatic, huffman, 3, true);
+            b.iload(9).op(Opcode::IAdd).iconst(7).op(Opcode::ISub);
+            b.op(Opcode::IAStore);
+        });
+        b.aload(2).aload(1).iconst(8);
+        b.invoke(Opcode::InvokeStatic, dequantize, 3, false);
+        b.aload(2).aload(3).aload(4);
+        b.invoke(Opcode::InvokeStatic, inv_mdct, 3, false);
+        b.aload(5).aload(3).aload(4);
+        // hybrid(prev=5, cur=3, win=4): win must cover cur length — reuse
+        // the 16-long prev as window by passing prev twice? Keep shapes:
+        // win is 8 long; hybrid indexes win by i < cur.len (16) — use cur
+        // as its own window to stay in bounds.
+        b.op(Opcode::Pop);
+        b.op(Opcode::Pop);
+        b.op(Opcode::Pop);
+        b.aload(5).aload(3).aload(3);
+        b.invoke(Opcode::InvokeStatic, hybrid, 3, false);
+        // polyphase + buffered read
+        b.aload(12).aload(1).aload(13);
+        b.invoke(Opcode::InvokeStatic, lb_read, 3, true);
+        b.op(Opcode::Pop);
+        b.aload(12).aload(11);
+        b.invoke(Opcode::InvokeStatic, ql, 2, true);
+        b.istore(10);
+    });
+    b.iload(10);
+    b.op(Opcode::IReturn);
+    let driver = p.add_method(b.finish().expect("mpegaudio.driver"));
+
+    p.validate().expect("mpegaudio benchmark valid");
+    let (name, hot) = match suite {
+        SuiteKind::Jvm2008 => {
+            ("mpegaudio", vec![dequantize, inv_mdct, huffman, hybrid])
+        }
+        SuiteKind::Jvm98 => ("_222_mpegaudio", vec![ql, lb_read, dequantize, inv_mdct]),
+    };
+    Benchmark {
+        name,
+        suite,
+        program: p,
+        driver,
+        driver_args: vec![Value::Int(frames)],
+        hot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn huffman_decodes_tree_symbols() {
+        let mut p = Program::new();
+        let huff = build_huffman(&mut p);
+        p.validate().unwrap();
+        let mut jvm = javaflow_interp::Interp::new(&p);
+        // bits = 0b...0110 → first bit 0 → node1; tree[2*1+?]. Walk by hand:
+        // tree: n0=[1,2], n1=[-1,3], n2=[-2,-3], n3=[-4,-5]
+        let tree_vals = [1i32, 2, -1, 3, -2, -3, -4, -5];
+        let tree = jvm.state.heap.alloc_array(ArrayKind::Int, 8).unwrap();
+        for (i, v) in tree_vals.iter().enumerate() {
+            jvm.state.heap.array_set(Some(tree), i as i32, Value::Int(*v)).unwrap();
+        }
+        let bits = jvm.state.heap.alloc_array(ArrayKind::Int, 1).unwrap();
+        jvm.state.heap.array_set(Some(bits), 0, Value::Int(0b10)).unwrap();
+        let state = jvm.state.heap.alloc_array(ArrayKind::Int, 1).unwrap();
+        // bit sequence: 0 then 1 → n0 --0--> n1 --1--> n3? n1's children are
+        // tree[2]= -1 (bit 0, leaf sym 0) and tree[3] = 3 (bit 1 → n3).
+        // n3 children tree[6] = -4 (bit 0 → leaf sym 3).
+        let sym = jvm
+            .run(huff, &[Value::Ref(Some(bits)), Value::Ref(Some(tree)), Value::Ref(Some(state))])
+            .unwrap()
+            .unwrap();
+        assert_eq!(sym, Value::Int(3));
+        // three bits consumed
+        assert_eq!(jvm.state.heap.array_get(Some(state), 0).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn driver_runs_both_suites() {
+        for suite in [SuiteKind::Jvm2008, SuiteKind::Jvm98] {
+            let bench = mpegaudio_benchmark(suite, 3);
+            let v = bench.run().unwrap().unwrap();
+            assert!(v.as_int().is_some());
+        }
+    }
+
+    #[test]
+    fn ql_saturates() {
+        let mut p = Program::new();
+        let ql = build_ql(&mut p);
+        p.validate().unwrap();
+        let mut jvm = javaflow_interp::Interp::new(&p);
+        let s = jvm.state.heap.alloc_array(ArrayKind::Int, 2).unwrap();
+        jvm.state.heap.array_set(Some(s), 0, Value::Int(1 << 18)).unwrap();
+        jvm.state.heap.array_set(Some(s), 1, Value::Int(-(1 << 18))).unwrap();
+        let u = jvm.state.heap.alloc_array(ArrayKind::Int, 1).unwrap();
+        jvm.state.heap.array_set(Some(u), 0, Value::Int(1 << 12)).unwrap();
+        let r = jvm
+            .run(ql, &[Value::Ref(Some(s)), Value::Ref(Some(u))])
+            .unwrap()
+            .unwrap();
+        // (2^30 >> 15) = 32768 saturates to 32767; the negative side floors
+        // at -32768: 32767 - 32768 = -1.
+        assert_eq!(r, Value::Int(-1));
+    }
+}

@@ -1,0 +1,451 @@
+//! The `compress` benchmark family (SpecJVM98 `_201_compress` and
+//! SpecJVM2008 `compress`): LZW compression/decompression with hash-table
+//! probing, 12-bit output packing, buffered input, and `CRC32.update`.
+//!
+//! The hot methods mirror Tables 3–4: `Compressor.compress`,
+//! `Compressor.output`, `Decompressor.decompress`, `Input_Buffer.getbyte`,
+//! and `CRC32.update`. The driver compresses a repetitive buffer,
+//! decompresses it, and returns the number of round-trip mismatches (zero
+//! for a correct implementation — asserted by the tests).
+
+use javaflow_bytecode::{ArrayKind, ClassDef, MethodBuilder, MethodId, Opcode, Program, Value};
+
+use crate::util::{for_up, Src};
+use crate::{Benchmark, SuiteKind};
+
+const HBITS: i32 = 13;
+const HSIZE: i32 = 1 << HBITS;
+
+/// Adds `CRC32.make_table` and `CRC32.update`; returns their ids.
+pub fn build_crc32(p: &mut Program) -> (MethodId, MethodId) {
+    // CRC32.make_table() -> int[]
+    let mut b = MethodBuilder::new("CRC32.make_table", 0, true);
+    // locals: 0 table, 1 n, 2 c, 3 k
+    b.iconst(256);
+    b.newarray(ArrayKind::Int);
+    b.astore(0);
+    for_up(&mut b, 1, Src::Const(0), Src::Const(256), 1, |b| {
+        b.iload(1).istore(2);
+        for_up(b, 3, Src::Const(0), Src::Const(8), 1, |b| {
+            let even = b.new_label();
+            let done = b.new_label();
+            b.iload(2).iconst(1).op(Opcode::IAnd);
+            b.branch(Opcode::IfEq, even);
+            b.iconst(0xEDB8_8320_u32 as i32);
+            b.iload(2).iconst(1).op(Opcode::IUShr);
+            b.op(Opcode::IXor);
+            b.istore(2);
+            b.branch(Opcode::Goto, done);
+            b.bind(even);
+            b.iload(2).iconst(1).op(Opcode::IUShr).istore(2);
+            b.bind(done);
+        });
+        b.aload(0).iload(1).iload(2).op(Opcode::IAStore);
+    });
+    b.aload(0);
+    b.op(Opcode::AReturn);
+    let make_table = p.add_method(b.finish().expect("make_table"));
+
+    // CRC32.update(crc, buf, table) -> int
+    let mut b = MethodBuilder::new("CRC32.update", 3, true);
+    // locals: 0 crc, 1 buf, 2 table, 3 i, 4 n
+    b.iload(0).iconst(-1).op(Opcode::IXor).istore(0);
+    b.aload(1).op(Opcode::ArrayLength).istore(4);
+    for_up(&mut b, 3, Src::Const(0), Src::Reg(4), 1, |b| {
+        b.aload(2);
+        b.iload(0);
+        b.aload(1).iload(3).op(Opcode::IALoad);
+        b.op(Opcode::IXor);
+        b.iconst(0xFF).op(Opcode::IAnd);
+        b.op(Opcode::IALoad);
+        b.iload(0).iconst(8).op(Opcode::IUShr);
+        b.op(Opcode::IXor);
+        b.istore(0);
+    });
+    b.iload(0).iconst(-1).op(Opcode::IXor);
+    b.op(Opcode::IReturn);
+    let update = p.add_method(b.finish().expect("update"));
+
+    (make_table, update)
+}
+
+/// Adds `Compressor.compress`; returns its id.
+///
+/// LZW with linear-probe hashing: codes for the input are appended to
+/// `out`; the return value is the number of codes emitted.
+pub fn build_compress(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("Compressor.compress", 4, true);
+    // args: 0 input, 1 out, 2 htab, 3 codetab
+    // locals: 4 free_ent, 5 ent, 6 outpos, 7 i, 8 c, 9 fcode, 10 h,
+    //         11 found, 12 n
+    b.iconst(257).istore(4);
+    b.aload(0).iconst(0).op(Opcode::IALoad).istore(5);
+    b.iconst(0).istore(6);
+    b.aload(0).op(Opcode::ArrayLength).istore(12);
+    for_up(&mut b, 7, Src::Const(1), Src::Reg(12), 1, |b| {
+        b.aload(0).iload(7).op(Opcode::IALoad).istore(8);
+        // fcode = (c << 16) + ent
+        b.iload(8).iconst(16).op(Opcode::IShl).iload(5).op(Opcode::IAdd).istore(9);
+        // h = ((c << 8) ^ ent) & (HSIZE - 1)
+        b.iload(8).iconst(8).op(Opcode::IShl).iload(5).op(Opcode::IXor);
+        b.iconst(HSIZE - 1).op(Opcode::IAnd);
+        b.istore(10);
+        b.iconst(0).istore(11);
+        // linear probe
+        {
+            let top = b.new_label();
+            let end = b.new_label();
+            b.bind(top);
+            b.aload(2).iload(10).op(Opcode::IALoad).iconst(-1);
+            b.branch(Opcode::IfICmpEq, end);
+            let miss = b.new_label();
+            b.aload(2).iload(10).op(Opcode::IALoad).iload(9);
+            b.branch(Opcode::IfICmpNe, miss);
+            b.iconst(1).istore(11);
+            b.branch(Opcode::Goto, end);
+            b.bind(miss);
+            b.iload(10).iconst(1).op(Opcode::IAdd).iconst(HSIZE - 1).op(Opcode::IAnd).istore(10);
+            b.branch(Opcode::Goto, top);
+            b.bind(end);
+        }
+        let add_entry = b.new_label();
+        let next = b.new_label();
+        b.iload(11);
+        b.branch(Opcode::IfEq, add_entry);
+        // hit: ent = codetab[h]
+        b.aload(3).iload(10).op(Opcode::IALoad).istore(5);
+        b.branch(Opcode::Goto, next);
+        b.bind(add_entry);
+        // miss: install entry, emit ent, restart from c
+        b.aload(2).iload(10).iload(9).op(Opcode::IAStore);
+        b.aload(3).iload(10).iload(4).op(Opcode::IAStore);
+        b.iinc(4, 1);
+        b.aload(1).iload(6).iload(5).op(Opcode::IAStore);
+        b.iinc(6, 1);
+        b.iload(8).istore(5);
+        b.bind(next);
+    });
+    b.aload(1).iload(6).iload(5).op(Opcode::IAStore);
+    b.iinc(6, 1);
+    b.iload(6);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("compress"))
+}
+
+/// Adds `Compressor.output` (12-bit code packing); returns its id.
+pub fn build_output(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("Compressor.output", 3, false);
+    // args: 0 code, 1 buf, 2 state (state[0] = bit offset, state[1] = index)
+    // locals: 3 r_off, 4 idx
+    b.aload(2).iconst(0).op(Opcode::IALoad).istore(3);
+    b.aload(2).iconst(1).op(Opcode::IALoad).istore(4);
+    // buf[idx] |= (code << r_off) & 0xff
+    b.aload(1).iload(4);
+    b.aload(1).iload(4).op(Opcode::IALoad);
+    b.iload(0).iload(3).op(Opcode::IShl).iconst(0xFF).op(Opcode::IAnd);
+    b.op(Opcode::IOr);
+    b.op(Opcode::IAStore);
+    // buf[idx+1] = (code >>> (8 - r_off)) & 0xff
+    b.aload(1).iload(4).iconst(1).op(Opcode::IAdd);
+    b.iload(0).iconst(8).iload(3).op(Opcode::ISub).op(Opcode::IUShr);
+    b.iconst(0xFF).op(Opcode::IAnd);
+    b.op(Opcode::IAStore);
+    // buf[idx+2] = (code >>> (16 - r_off)) & 0xff
+    b.aload(1).iload(4).iconst(2).op(Opcode::IAdd);
+    b.iload(0).iconst(16).iload(3).op(Opcode::ISub).op(Opcode::IUShr);
+    b.iconst(0xFF).op(Opcode::IAnd);
+    b.op(Opcode::IAStore);
+    // advance: r_off += 12; idx += r_off >> 3; r_off &= 7
+    b.iload(3).iconst(12).op(Opcode::IAdd).istore(3);
+    b.iload(4).iload(3).iconst(3).op(Opcode::IShr).op(Opcode::IAdd).istore(4);
+    b.iload(3).iconst(7).op(Opcode::IAnd).istore(3);
+    b.aload(2).iconst(0).iload(3).op(Opcode::IAStore);
+    b.aload(2).iconst(1).iload(4).op(Opcode::IAStore);
+    b.op(Opcode::ReturnVoid);
+    p.add_method(b.finish().expect("output"))
+}
+
+/// Adds `Decompressor.decompress`; returns its id.
+pub fn build_decompress(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("Decompressor.decompress", 6, true);
+    // args: 0 codes, 1 ncodes, 2 out, 3 prefix, 4 suffix, 5 destack
+    // locals: 6 free_ent, 7 outpos, 8 oldcode, 9 finchar, 10 i, 11 code,
+    //         12 incode, 13 sp
+    b.iconst(257).istore(6);
+    b.iconst(0).istore(7);
+    b.aload(0).iconst(0).op(Opcode::IALoad).istore(8);
+    b.iload(8).istore(9);
+    b.aload(2).iload(7).iload(8).op(Opcode::IAStore);
+    b.iinc(7, 1);
+    for_up(&mut b, 10, Src::Const(1), Src::Reg(1), 1, |b| {
+        b.aload(0).iload(10).op(Opcode::IALoad).istore(11);
+        b.iload(11).istore(12);
+        b.iconst(0).istore(13);
+        // KwKwK: code not yet in the table
+        let known = b.new_label();
+        b.iload(11).iload(6);
+        b.branch(Opcode::IfICmpLt, known);
+        b.aload(5).iload(13).iload(9).op(Opcode::IAStore);
+        b.iinc(13, 1);
+        b.iload(8).istore(11);
+        b.bind(known);
+        // walk the prefix chain
+        {
+            let top = b.new_label();
+            let end = b.new_label();
+            b.bind(top);
+            b.iload(11).iconst(255);
+            b.branch(Opcode::IfICmpLe, end);
+            b.aload(5).iload(13);
+            b.aload(4).iload(11).op(Opcode::IALoad);
+            b.op(Opcode::IAStore);
+            b.iinc(13, 1);
+            b.aload(3).iload(11).op(Opcode::IALoad).istore(11);
+            b.branch(Opcode::Goto, top);
+            b.bind(end);
+        }
+        b.iload(11).istore(9);
+        b.aload(5).iload(13).iload(9).op(Opcode::IAStore);
+        b.iinc(13, 1);
+        // emit the reversed stack
+        {
+            let top = b.new_label();
+            let end = b.new_label();
+            b.bind(top);
+            b.iload(13);
+            b.branch(Opcode::IfLe, end);
+            b.iinc(13, -1);
+            b.aload(2).iload(7);
+            b.aload(5).iload(13).op(Opcode::IALoad);
+            b.op(Opcode::IAStore);
+            b.iinc(7, 1);
+            b.branch(Opcode::Goto, top);
+            b.bind(end);
+        }
+        // grow the table
+        b.aload(3).iload(6).iload(8).op(Opcode::IAStore);
+        b.aload(4).iload(6).iload(9).op(Opcode::IAStore);
+        b.iinc(6, 1);
+        b.iload(12).istore(8);
+    });
+    b.iload(7);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("decompress"))
+}
+
+/// Adds the `Input_Buffer` class and `Input_Buffer.getbyte`; returns
+/// `(class, getbyte)`.
+pub fn build_input_buffer(p: &mut Program) -> (u16, MethodId) {
+    // Fields: 0 buf, 1 pos, 2 count.
+    let class = p.add_class(ClassDef {
+        name: "Input_Buffer".into(),
+        instance_fields: 3,
+        static_fields: 0,
+    });
+    let mut b = MethodBuilder::new("Input_Buffer.getbyte", 1, true);
+    let eof = b.new_label();
+    b.aload(0);
+    b.field(Opcode::GetField, class, 1);
+    b.aload(0);
+    b.field(Opcode::GetField, class, 2);
+    b.branch(Opcode::IfICmpGe, eof);
+    // return buf[pos++]
+    b.aload(0);
+    b.field(Opcode::GetField, class, 0);
+    b.aload(0);
+    b.field(Opcode::GetField, class, 1);
+    b.op(Opcode::IALoad);
+    b.aload(0);
+    b.aload(0);
+    b.field(Opcode::GetField, class, 1);
+    b.iconst(1).op(Opcode::IAdd);
+    b.field(Opcode::PutField, class, 1);
+    b.op(Opcode::IReturn);
+    b.bind(eof);
+    b.iconst(-1);
+    b.op(Opcode::IReturn);
+    let getbyte = p.add_method(b.finish().expect("getbyte"));
+    (class, getbyte)
+}
+
+/// Builds a `compress` benchmark for either suite generation.
+#[must_use]
+pub fn compress_benchmark(suite: SuiteKind, input_len: i32) -> Benchmark {
+    let mut p = Program::new();
+    let (ib_class, getbyte) = build_input_buffer(&mut p);
+    let (make_table, crc_update) = build_crc32(&mut p);
+    let compress = build_compress(&mut p);
+    let output = build_output(&mut p);
+    let decompress = build_decompress(&mut p);
+
+    // driver(len): fill input via Input_Buffer reads of a generated buffer,
+    // compress, pack, decompress, count mismatches (+ CRC to exercise it).
+    let mut b = MethodBuilder::new("compress.driver", 1, true);
+    // locals: 0 len, 1 raw, 2 input, 3 ib, 4 i, 5 htab, 6 codetab,
+    //         7 codes, 8 ncodes, 9 packed, 10 state, 11 outbuf, 12 prefix,
+    //         13 suffix, 14 destack, 15 nout, 16 mismatches, 17 table
+    b.iload(0);
+    b.newarray(ArrayKind::Int);
+    b.astore(1);
+    // repetitive-but-mixed content: raw[i] = (i*7 & 63) | ((i >> 4) & 3)
+    for_up(&mut b, 4, Src::Const(0), Src::Reg(0), 1, |b| {
+        b.aload(1).iload(4);
+        b.iload(4).iconst(7).op(Opcode::IMul).iconst(63).op(Opcode::IAnd);
+        b.iload(4).iconst(4).op(Opcode::IShr).iconst(3).op(Opcode::IAnd);
+        b.op(Opcode::IOr);
+        b.op(Opcode::IAStore);
+    });
+    // Input_Buffer wrapping raw, drained through getbyte into input.
+    b.emit(Opcode::New, javaflow_bytecode::Operand::ClassId(ib_class));
+    b.astore(3);
+    b.aload(3).aload(1);
+    b.field(Opcode::PutField, ib_class, 0);
+    b.aload(3).iconst(0);
+    b.field(Opcode::PutField, ib_class, 1);
+    b.aload(3).iload(0);
+    b.field(Opcode::PutField, ib_class, 2);
+    b.iload(0);
+    b.newarray(ArrayKind::Int);
+    b.astore(2);
+    for_up(&mut b, 4, Src::Const(0), Src::Reg(0), 1, |b| {
+        b.aload(2).iload(4);
+        b.aload(3);
+        b.invoke(Opcode::InvokeVirtual, getbyte, 1, true);
+        b.op(Opcode::IAStore);
+    });
+    // hash tables
+    b.iconst(HSIZE);
+    b.newarray(ArrayKind::Int);
+    b.astore(5);
+    for_up(&mut b, 4, Src::Const(0), Src::Const(HSIZE), 1, |b| {
+        b.aload(5).iload(4).iconst(-1).op(Opcode::IAStore);
+    });
+    b.iconst(HSIZE);
+    b.newarray(ArrayKind::Int);
+    b.astore(6);
+    b.iload(0).iconst(2).op(Opcode::IAdd);
+    b.newarray(ArrayKind::Int);
+    b.astore(7);
+    // compress
+    b.aload(2).aload(7).aload(5).aload(6);
+    b.invoke(Opcode::InvokeStatic, compress, 4, true);
+    b.istore(8);
+    // pack every code through output()
+    b.iload(0).iconst(2).op(Opcode::IMul).iconst(16).op(Opcode::IAdd);
+    b.newarray(ArrayKind::Int);
+    b.astore(9);
+    b.iconst(2);
+    b.newarray(ArrayKind::Int);
+    b.astore(10);
+    for_up(&mut b, 4, Src::Const(0), Src::Reg(8), 1, |b| {
+        b.aload(7).iload(4).op(Opcode::IALoad);
+        b.aload(9).aload(10);
+        b.invoke(Opcode::InvokeStatic, output, 3, false);
+    });
+    // decompress
+    b.iload(0).iconst(16).op(Opcode::IAdd);
+    b.newarray(ArrayKind::Int);
+    b.astore(11);
+    b.iconst(HSIZE);
+    b.newarray(ArrayKind::Int);
+    b.astore(12);
+    b.iconst(HSIZE);
+    b.newarray(ArrayKind::Int);
+    b.astore(13);
+    b.iconst(HSIZE);
+    b.newarray(ArrayKind::Int);
+    b.astore(14);
+    b.aload(7).iload(8).aload(11).aload(12).aload(13).aload(14);
+    b.invoke(Opcode::InvokeStatic, decompress, 6, true);
+    b.istore(15);
+    // verify round trip
+    b.iconst(0).istore(16);
+    let lengths_ok = b.new_label();
+    b.iload(15).iload(0);
+    b.branch(Opcode::IfICmpEq, lengths_ok);
+    b.iinc(16, 1);
+    b.bind(lengths_ok);
+    for_up(&mut b, 4, Src::Const(0), Src::Reg(0), 1, |b| {
+        let same = b.new_label();
+        b.aload(2).iload(4).op(Opcode::IALoad);
+        b.aload(11).iload(4).op(Opcode::IALoad);
+        b.branch(Opcode::IfICmpEq, same);
+        b.iinc(16, 1);
+        b.bind(same);
+    });
+    // exercise CRC32 (result folded in so it cannot be optimized away)
+    b.invoke(Opcode::InvokeStatic, make_table, 0, true);
+    b.astore(17);
+    b.iconst(0).aload(2).aload(17);
+    b.invoke(Opcode::InvokeStatic, crc_update, 3, true);
+    let crc_nonzero = b.new_label();
+    b.branch(Opcode::IfNe, crc_nonzero);
+    b.iinc(16, 1_000_000); // a zero CRC over this input means a broken CRC
+    b.bind(crc_nonzero);
+    b.iload(16);
+    b.op(Opcode::IReturn);
+    let driver = p.add_method(b.finish().expect("compress.driver"));
+
+    p.validate().expect("compress benchmark valid");
+    let name = match suite {
+        SuiteKind::Jvm2008 => "compress",
+        SuiteKind::Jvm98 => "_201_compress",
+    };
+    Benchmark {
+        name,
+        suite,
+        program: p,
+        driver,
+        driver_args: vec![Value::Int(input_len)],
+        hot: vec![compress, decompress, output, getbyte],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lzw_round_trip_is_lossless() {
+        let bench = compress_benchmark(SuiteKind::Jvm2008, 512);
+        let mismatches = bench.run().unwrap().unwrap().as_int().unwrap();
+        assert_eq!(mismatches, 0);
+    }
+
+    #[test]
+    fn crc32_matches_reference() {
+        let mut p = Program::new();
+        let (make_table, update) = build_crc32(&mut p);
+        p.validate().unwrap();
+        let mut jvm = javaflow_interp::Interp::new(&p);
+        let table = jvm.run(make_table, &[]).unwrap().unwrap();
+        // buf = [1, 2, 3, 4]
+        let buf = jvm.state.heap.alloc_array(ArrayKind::Int, 4).unwrap();
+        for (i, v) in [1, 2, 3, 4].into_iter().enumerate() {
+            jvm.state.heap.array_set(Some(buf), i as i32, Value::Int(v)).unwrap();
+        }
+        let got = jvm
+            .run(update, &[Value::Int(0), Value::Ref(Some(buf)), table])
+            .unwrap()
+            .unwrap()
+            .as_int()
+            .unwrap() as u32;
+        // Rust reference CRC32 over the same bytes.
+        let mut crc: u32 = !0;
+        for byte in [1u8, 2, 3, 4] {
+            crc ^= u32::from(byte);
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { 0xEDB8_8320 ^ (crc >> 1) } else { crc >> 1 };
+            }
+        }
+        assert_eq!(got, !crc);
+    }
+
+    #[test]
+    fn both_suite_variants_build() {
+        for suite in [SuiteKind::Jvm2008, SuiteKind::Jvm98] {
+            let bench = compress_benchmark(suite, 128);
+            assert_eq!(bench.run().unwrap().unwrap().as_int(), Some(0));
+        }
+    }
+}

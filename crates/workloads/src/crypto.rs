@@ -1,0 +1,606 @@
+//! The `crypto.signverify` benchmark: GNU-Classpath-style multiword
+//! arithmetic (`MPN.submul_1`, `MPN.mul`) and real SHA-1 / SHA-256 block
+//! compression (`Sha160.sha`, `Sha256.sha`) — the four hot methods of
+//! Table 3. The SHA kernels use the standard constants and are verified
+//! against independent Rust implementations in the tests.
+
+use javaflow_bytecode::{ArrayKind, MethodBuilder, MethodId, Opcode, Program, Value};
+
+use crate::util::{for_up, Src};
+use crate::{Benchmark, SuiteKind};
+
+const MASK32: i64 = 0xFFFF_FFFF;
+
+/// Adds `MPN.submul_1(dest, x, len, y) -> borrow` — multiword
+/// subtract-with-multiply, the workhorse of modular reduction.
+pub fn build_submul_1(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("MPN.submul_1", 4, true);
+    // args: 0 dest, 1 x, 2 len, 3 y
+    // locals: 4 yl(l), 5 carry(l), 6 i, 7 prod(l), 8 diff(l)
+    b.iload(3).op(Opcode::I2L).lconst(MASK32).op(Opcode::LAnd).lstore(4);
+    b.lconst(0).lstore(5);
+    for_up(&mut b, 6, Src::Const(0), Src::Reg(2), 1, |b| {
+        // prod = (x[i] & MASK) * yl + carry
+        b.aload(1).iload(6).op(Opcode::IALoad);
+        b.op(Opcode::I2L).lconst(MASK32).op(Opcode::LAnd);
+        b.lload(4).op(Opcode::LMul);
+        b.lload(5).op(Opcode::LAdd);
+        b.lstore(7);
+        // carry = prod >>> 32
+        b.lload(7).iconst(32).op(Opcode::LUShr).lstore(5);
+        // diff = (dest[i] & MASK) - (prod & MASK)
+        b.aload(0).iload(6).op(Opcode::IALoad);
+        b.op(Opcode::I2L).lconst(MASK32).op(Opcode::LAnd);
+        b.lload(7).lconst(MASK32).op(Opcode::LAnd);
+        b.op(Opcode::LSub);
+        b.lstore(8);
+        // dest[i] = (int) diff
+        b.aload(0).iload(6);
+        b.lload(8).op(Opcode::L2I);
+        b.op(Opcode::IAStore);
+        // borrow propagation: carry += (diff >> 63) & 1
+        b.lload(5);
+        b.lload(8).iconst(63).op(Opcode::LShr).lconst(1).op(Opcode::LAnd);
+        b.op(Opcode::LAdd);
+        b.lstore(5);
+    });
+    b.lload(5).op(Opcode::L2I);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("submul_1"))
+}
+
+/// Adds `MPN.mul(dest, x, xlen, y, ylen)` — schoolbook multiword multiply.
+pub fn build_mpn_mul(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("MPN.mul", 5, false);
+    // args: 0 dest, 1 x, 2 xlen, 3 y, 4 ylen
+    // locals: 5 j, 6 yw(l), 7 carry(l), 8 i, 9 t(l)
+    for_up(&mut b, 5, Src::Const(0), Src::Reg(4), 1, |b| {
+        b.aload(3).iload(5).op(Opcode::IALoad);
+        b.op(Opcode::I2L).lconst(MASK32).op(Opcode::LAnd);
+        b.lstore(6);
+        b.lconst(0).lstore(7);
+        for_up(b, 8, Src::Const(0), Src::Reg(2), 1, |b| {
+            // t = (x[i]&MASK)*yw + (dest[i+j]&MASK) + carry
+            b.aload(1).iload(8).op(Opcode::IALoad);
+            b.op(Opcode::I2L).lconst(MASK32).op(Opcode::LAnd);
+            b.lload(6).op(Opcode::LMul);
+            b.aload(0).iload(8).iload(5).op(Opcode::IAdd).op(Opcode::IALoad);
+            b.op(Opcode::I2L).lconst(MASK32).op(Opcode::LAnd);
+            b.op(Opcode::LAdd);
+            b.lload(7).op(Opcode::LAdd);
+            b.lstore(9);
+            b.aload(0).iload(8).iload(5).op(Opcode::IAdd);
+            b.lload(9).op(Opcode::L2I);
+            b.op(Opcode::IAStore);
+            b.lload(9).iconst(32).op(Opcode::LUShr).lstore(7);
+        });
+        b.aload(0).iload(2).iload(5).op(Opcode::IAdd);
+        b.lload(7).op(Opcode::L2I);
+        b.op(Opcode::IAStore);
+    });
+    b.op(Opcode::ReturnVoid);
+    p.add_method(b.finish().expect("MPN.mul"))
+}
+
+/// Emits `rotl(value-on-stack, n)` for ints.
+fn rotl(b: &mut MethodBuilder, tmp: u16, n: i32) {
+    b.istore(tmp);
+    b.iload(tmp).iconst(n).op(Opcode::IShl);
+    b.iload(tmp).iconst(32 - n).op(Opcode::IUShr);
+    b.op(Opcode::IOr);
+}
+
+/// Adds `Sha160.sha(state, w)` — one real SHA-1 block compression over the
+/// 80-entry schedule array `w` (first 16 filled by the caller).
+pub fn build_sha160(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("Sha160.sha", 2, false);
+    // args: 0 state (5 ints), 1 w (80 ints)
+    // locals: 2 a, 3 bb, 4 c, 5 d, 6 e, 7 t, 8 f, 9 k, 10 tmp
+    // schedule expansion
+    for_up(&mut b, 7, Src::Const(16), Src::Const(80), 1, |b| {
+        b.aload(1).iload(7);
+        b.aload(1).iload(7).iconst(3).op(Opcode::ISub).op(Opcode::IALoad);
+        b.aload(1).iload(7).iconst(8).op(Opcode::ISub).op(Opcode::IALoad);
+        b.op(Opcode::IXor);
+        b.aload(1).iload(7).iconst(14).op(Opcode::ISub).op(Opcode::IALoad);
+        b.op(Opcode::IXor);
+        b.aload(1).iload(7).iconst(16).op(Opcode::ISub).op(Opcode::IALoad);
+        b.op(Opcode::IXor);
+        rotl(b, 10, 1);
+        b.op(Opcode::IAStore);
+    });
+    // load working registers
+    for (reg, slot) in [(2u16, 0i32), (3, 1), (4, 2), (5, 3), (6, 4)] {
+        b.aload(0).iconst(slot).op(Opcode::IALoad).istore(reg);
+    }
+    // 80 rounds, phase selected by round index
+    for_up(&mut b, 7, Src::Const(0), Src::Const(80), 1, |b| {
+        let phase2 = b.new_label();
+        let phase3 = b.new_label();
+        let phase4 = b.new_label();
+        let rounds_done = b.new_label();
+        b.iload(7).iconst(20);
+        b.branch(Opcode::IfICmpGe, phase2);
+        // f = (b & c) | (~b & d); k = 0x5a827999
+        b.iload(3).iload(4).op(Opcode::IAnd);
+        b.iload(3).iconst(-1).op(Opcode::IXor).iload(5).op(Opcode::IAnd);
+        b.op(Opcode::IOr);
+        b.istore(8);
+        b.iconst(0x5A82_7999).istore(9);
+        b.branch(Opcode::Goto, rounds_done);
+        b.bind(phase2);
+        b.iload(7).iconst(40);
+        b.branch(Opcode::IfICmpGe, phase3);
+        b.iload(3).iload(4).op(Opcode::IXor).iload(5).op(Opcode::IXor).istore(8);
+        b.iconst(0x6ED9_EBA1).istore(9);
+        b.branch(Opcode::Goto, rounds_done);
+        b.bind(phase3);
+        b.iload(7).iconst(60);
+        b.branch(Opcode::IfICmpGe, phase4);
+        b.iload(3).iload(4).op(Opcode::IAnd);
+        b.iload(3).iload(5).op(Opcode::IAnd);
+        b.op(Opcode::IOr);
+        b.iload(4).iload(5).op(Opcode::IAnd);
+        b.op(Opcode::IOr);
+        b.istore(8);
+        b.iconst(0x8F1B_BCDC_u32 as i32).istore(9);
+        b.branch(Opcode::Goto, rounds_done);
+        b.bind(phase4);
+        b.iload(3).iload(4).op(Opcode::IXor).iload(5).op(Opcode::IXor).istore(8);
+        b.iconst(0xCA62_C1D6_u32 as i32).istore(9);
+        b.bind(rounds_done);
+        // t = rotl(a,5) + f + e + k + w[i]
+        b.iload(2);
+        rotl(b, 10, 5);
+        b.iload(8).op(Opcode::IAdd);
+        b.iload(6).op(Opcode::IAdd);
+        b.iload(9).op(Opcode::IAdd);
+        b.aload(1).iload(7).op(Opcode::IALoad).op(Opcode::IAdd);
+        b.istore(10);
+        // e=d; d=c; c=rotl(b,30); b=a; a=t
+        b.iload(5).istore(6);
+        b.iload(4).istore(5);
+        b.iload(3);
+        rotl(b, 11, 30);
+        b.istore(4);
+        b.iload(2).istore(3);
+        b.iload(10).istore(2);
+    });
+    // add back
+    for (reg, slot) in [(2u16, 0i32), (3, 1), (4, 2), (5, 3), (6, 4)] {
+        b.aload(0).iconst(slot);
+        b.aload(0).iconst(slot).op(Opcode::IALoad);
+        b.iload(reg).op(Opcode::IAdd);
+        b.op(Opcode::IAStore);
+    }
+    b.op(Opcode::ReturnVoid);
+    p.add_method(b.finish().expect("Sha160.sha"))
+}
+
+/// Adds `Sha256.sha(state, w, k)` — one real SHA-256 block compression;
+/// `k` is the 64-entry round-constant table (filled by the driver).
+pub fn build_sha256(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("Sha256.sha", 3, false);
+    // args: 0 state (8 ints), 1 w (64 ints), 2 k (64 ints)
+    // locals: 3 a..10 h, 11 i, 12 t1, 13 t2, 14 tmp, 15 s
+    // schedule expansion: w[i] = w[i-16] + s0(w[i-15]) + w[i-7] + s1(w[i-2])
+    let rotr = |b: &mut MethodBuilder, tmp: u16, n: i32| {
+        b.istore(tmp);
+        b.iload(tmp).iconst(n).op(Opcode::IUShr);
+        b.iload(tmp).iconst(32 - n).op(Opcode::IShl);
+        b.op(Opcode::IOr);
+    };
+    for_up(&mut b, 11, Src::Const(16), Src::Const(64), 1, |b| {
+        b.aload(1).iload(11);
+        // s0 = rotr(x,7) ^ rotr(x,18) ^ (x >>> 3), x = w[i-15]
+        b.aload(1).iload(11).iconst(15).op(Opcode::ISub).op(Opcode::IALoad).istore(15);
+        b.iload(15);
+        rotr(b, 14, 7);
+        b.iload(15);
+        rotr(b, 14, 18);
+        b.op(Opcode::IXor);
+        b.iload(15).iconst(3).op(Opcode::IUShr);
+        b.op(Opcode::IXor);
+        // + w[i-16]
+        b.aload(1).iload(11).iconst(16).op(Opcode::ISub).op(Opcode::IALoad);
+        b.op(Opcode::IAdd);
+        // + w[i-7]
+        b.aload(1).iload(11).iconst(7).op(Opcode::ISub).op(Opcode::IALoad);
+        b.op(Opcode::IAdd);
+        // + s1 = rotr(x,17) ^ rotr(x,19) ^ (x >>> 10), x = w[i-2]
+        b.aload(1).iload(11).iconst(2).op(Opcode::ISub).op(Opcode::IALoad).istore(15);
+        b.iload(15);
+        rotr(b, 14, 17);
+        b.iload(15);
+        rotr(b, 14, 19);
+        b.op(Opcode::IXor);
+        b.iload(15).iconst(10).op(Opcode::IUShr);
+        b.op(Opcode::IXor);
+        b.op(Opcode::IAdd);
+        b.op(Opcode::IAStore);
+    });
+    for (reg, slot) in (3u16..=10).zip(0i32..8) {
+        b.aload(0).iconst(slot).op(Opcode::IALoad).istore(reg);
+    }
+    for_up(&mut b, 11, Src::Const(0), Src::Const(64), 1, |b| {
+        // t1 = h + S1(e) + ch(e,f,g) + k[i] + w[i]
+        b.iload(10);
+        b.iload(7);
+        rotr(b, 14, 6);
+        b.iload(7);
+        rotr(b, 14, 11);
+        b.op(Opcode::IXor);
+        b.iload(7);
+        rotr(b, 14, 25);
+        b.op(Opcode::IXor);
+        b.op(Opcode::IAdd);
+        b.iload(7).iload(8).op(Opcode::IAnd);
+        b.iload(7).iconst(-1).op(Opcode::IXor).iload(9).op(Opcode::IAnd);
+        b.op(Opcode::IXor);
+        b.op(Opcode::IAdd);
+        b.aload(2).iload(11).op(Opcode::IALoad).op(Opcode::IAdd);
+        b.aload(1).iload(11).op(Opcode::IALoad).op(Opcode::IAdd);
+        b.istore(12);
+        // t2 = S0(a) + maj(a,b,c)
+        b.iload(3);
+        rotr(b, 14, 2);
+        b.iload(3);
+        rotr(b, 14, 13);
+        b.op(Opcode::IXor);
+        b.iload(3);
+        rotr(b, 14, 22);
+        b.op(Opcode::IXor);
+        b.iload(3).iload(4).op(Opcode::IAnd);
+        b.iload(3).iload(5).op(Opcode::IAnd);
+        b.op(Opcode::IXor);
+        b.iload(4).iload(5).op(Opcode::IAnd);
+        b.op(Opcode::IXor);
+        b.op(Opcode::IAdd);
+        b.istore(13);
+        // rotate registers
+        b.iload(9).istore(10);
+        b.iload(8).istore(9);
+        b.iload(7).istore(8);
+        b.iload(6).iload(12).op(Opcode::IAdd).istore(7);
+        b.iload(5).istore(6);
+        b.iload(4).istore(5);
+        b.iload(3).istore(4);
+        b.iload(12).iload(13).op(Opcode::IAdd).istore(3);
+    });
+    for (reg, slot) in (3u16..=10).zip(0i32..8) {
+        b.aload(0).iconst(slot);
+        b.aload(0).iconst(slot).op(Opcode::IALoad);
+        b.iload(reg).op(Opcode::IAdd);
+        b.op(Opcode::IAStore);
+    }
+    b.op(Opcode::ReturnVoid);
+    p.add_method(b.finish().expect("Sha256.sha"))
+}
+
+/// SHA-256 round constants.
+pub const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+/// Builds the `crypto.signverify` benchmark.
+#[must_use]
+pub fn crypto_benchmark(blocks: i32) -> Benchmark {
+    let mut p = Program::new();
+    let submul = build_submul_1(&mut p);
+    let mul = build_mpn_mul(&mut p);
+    let sha160 = build_sha160(&mut p);
+    let sha256 = build_sha256(&mut p);
+
+    let mut b = MethodBuilder::new("crypto.driver", 1, true);
+    // locals: 0 blocks, 1 st1, 2 w1, 3 st2, 4 w2, 5 k, 6 i, 7 dest, 8 x,
+    //         9 y, 10 acc
+    // SHA-1 state
+    b.iconst(5);
+    b.newarray(ArrayKind::Int);
+    b.astore(1);
+    for (i, v) in
+        [0x6745_2301u32, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0].iter().enumerate()
+    {
+        b.aload(1).iconst(i as i32).iconst(*v as i32).op(Opcode::IAStore);
+    }
+    b.iconst(80);
+    b.newarray(ArrayKind::Int);
+    b.astore(2);
+    // SHA-256 state
+    b.iconst(8);
+    b.newarray(ArrayKind::Int);
+    b.astore(3);
+    for (i, v) in [
+        0x6a09_e667u32,
+        0xbb67_ae85,
+        0x3c6e_f372,
+        0xa54f_f53a,
+        0x510e_527f,
+        0x9b05_688c,
+        0x1f83_d9ab,
+        0x5be0_cd19,
+    ]
+    .iter()
+    .enumerate()
+    {
+        b.aload(3).iconst(i as i32).iconst(*v as i32).op(Opcode::IAStore);
+    }
+    b.iconst(64);
+    b.newarray(ArrayKind::Int);
+    b.astore(4);
+    b.iconst(64);
+    b.newarray(ArrayKind::Int);
+    b.astore(5);
+    for (i, v) in SHA256_K.iter().enumerate() {
+        b.aload(5).iconst(i as i32).iconst(*v as i32).op(Opcode::IAStore);
+    }
+    // bignum buffers
+    b.iconst(24);
+    b.newarray(ArrayKind::Int);
+    b.astore(7);
+    b.iconst(8);
+    b.newarray(ArrayKind::Int);
+    b.astore(8);
+    b.iconst(8);
+    b.newarray(ArrayKind::Int);
+    b.astore(9);
+    for_up(&mut b, 6, Src::Const(0), Src::Const(8), 1, |b| {
+        b.aload(8).iload(6);
+        b.iload(6).iconst(0x1234_5671).op(Opcode::IMul).iconst(7).op(Opcode::IAdd);
+        b.op(Opcode::IAStore);
+        b.aload(9).iload(6);
+        b.iload(6).iconst(0x0BAD_CAFE).op(Opcode::IXor);
+        b.op(Opcode::IAStore);
+        b.aload(7).iload(6).iconst(-1).op(Opcode::IAStore);
+    });
+    // main loop: refill message words from block index, hash, bignum ops
+    for_up(&mut b, 6, Src::Const(0), Src::Reg(0), 1, |b| {
+        // w1[j] = w2[j%64... fill first 16 words of both schedules
+        for_up(b, 10, Src::Const(0), Src::Const(16), 1, |b| {
+            b.aload(2).iload(10);
+            b.iload(10).iload(6).op(Opcode::IAdd).iconst(0x9E37_79B9_u32 as i32)
+                .op(Opcode::IMul);
+            b.op(Opcode::IAStore);
+            b.aload(4).iload(10);
+            b.iload(10).iload(6).op(Opcode::IXor).iconst(0x85EB_CA6B_u32 as i32)
+                .op(Opcode::IMul);
+            b.op(Opcode::IAStore);
+        });
+        b.aload(1).aload(2);
+        b.invoke(Opcode::InvokeStatic, sha160, 2, false);
+        b.aload(3).aload(4).aload(5);
+        b.invoke(Opcode::InvokeStatic, sha256, 3, false);
+        b.aload(7).aload(8).iconst(8).aload(9).iconst(8);
+        b.invoke(Opcode::InvokeStatic, mul, 5, false);
+        b.aload(7).aload(8).iconst(8).iconst(0x7FFF_FFFF);
+        b.invoke(Opcode::InvokeStatic, submul, 4, true);
+        b.op(Opcode::Pop);
+    });
+    // fold a checksum
+    b.aload(1).iconst(0).op(Opcode::IALoad);
+    b.aload(3).iconst(0).op(Opcode::IALoad);
+    b.op(Opcode::IXor);
+    b.aload(7).iconst(3).op(Opcode::IALoad);
+    b.op(Opcode::IXor);
+    b.op(Opcode::IReturn);
+    let driver = p.add_method(b.finish().expect("crypto.driver"));
+
+    p.validate().expect("crypto benchmark valid");
+    Benchmark {
+        name: "crypto.signverify",
+        suite: SuiteKind::Jvm2008,
+        program: p,
+        driver,
+        driver_args: vec![Value::Int(blocks)],
+        hot: vec![submul, sha160, sha256, mul],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javaflow_interp::Interp;
+
+    fn int_array(jvm: &mut Interp<'_>, vals: &[u32]) -> Value {
+        let h = jvm.state.heap.alloc_array(ArrayKind::Int, vals.len() as i32).unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            jvm.state.heap.array_set(Some(h), i as i32, Value::Int(*v as i32)).unwrap();
+        }
+        Value::Ref(Some(h))
+    }
+
+    fn read_ints(jvm: &Interp<'_>, arr: Value, n: usize) -> Vec<u32> {
+        let h = arr.as_ref_handle().unwrap();
+        (0..n)
+            .map(|i| jvm.state.heap.array_get(h, i as i32).unwrap().as_int().unwrap() as u32)
+            .collect()
+    }
+
+    #[test]
+    fn sha1_matches_reference() {
+        let mut p = Program::new();
+        let sha = build_sha160(&mut p);
+        p.validate().unwrap();
+        let mut jvm = Interp::new(&p);
+        let mut w = vec![0u32; 80];
+        for (i, wv) in w.iter_mut().enumerate().take(16) {
+            *wv = (i as u32).wrapping_mul(0x9E37_79B9) ^ 0x1357_9BDF;
+        }
+        let state = int_array(
+            &mut jvm,
+            &[0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+        );
+        let warr = int_array(&mut jvm, &w);
+        jvm.run(sha, &[state, warr]).unwrap();
+        let got = read_ints(&jvm, state, 5);
+
+        // Independent Rust SHA-1 compression.
+        let mut we = w.clone();
+        for i in 16..80 {
+            we[i] = (we[i - 3] ^ we[i - 8] ^ we[i - 14] ^ we[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut bb, mut c, mut d, mut e) =
+            (0x6745_2301u32, 0xEFCD_AB89u32, 0x98BA_DCFEu32, 0x1032_5476u32, 0xC3D2_E1F0u32);
+        for (i, wi) in we.iter().enumerate() {
+            let (f, k) = match i / 20 {
+                0 => ((bb & c) | (!bb & d), 0x5A82_7999u32),
+                1 => (bb ^ c ^ d, 0x6ED9_EBA1),
+                2 => ((bb & c) | (bb & d) | (c & d), 0x8F1B_BCDC),
+                _ => (bb ^ c ^ d, 0xCA62_C1D6),
+            };
+            let t = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(*wi);
+            e = d;
+            d = c;
+            c = bb.rotate_left(30);
+            bb = a;
+            a = t;
+        }
+        let expect = [
+            0x6745_2301u32.wrapping_add(a),
+            0xEFCD_AB89u32.wrapping_add(bb),
+            0x98BA_DCFEu32.wrapping_add(c),
+            0x1032_5476u32.wrapping_add(d),
+            0xC3D2_E1F0u32.wrapping_add(e),
+        ];
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sha256_matches_reference() {
+        let mut p = Program::new();
+        let sha = build_sha256(&mut p);
+        p.validate().unwrap();
+        let mut jvm = Interp::new(&p);
+        let mut w = vec![0u32; 64];
+        for (i, wv) in w.iter_mut().enumerate().take(16) {
+            *wv = (i as u32).wrapping_mul(0x85EB_CA6B) ^ 0x0F0F_1234;
+        }
+        let init = [
+            0x6a09_e667u32,
+            0xbb67_ae85,
+            0x3c6e_f372,
+            0xa54f_f53a,
+            0x510e_527f,
+            0x9b05_688c,
+            0x1f83_d9ab,
+            0x5be0_cd19,
+        ];
+        let state = int_array(&mut jvm, &init);
+        let warr = int_array(&mut jvm, &w);
+        let karr = int_array(&mut jvm, &SHA256_K);
+        jvm.run(sha, &[state, warr, karr]).unwrap();
+        let got = read_ints(&jvm, state, 8);
+
+        // Independent Rust SHA-256 compression.
+        let mut we = w.clone();
+        for i in 16..64 {
+            let s0 = we[i - 15].rotate_right(7) ^ we[i - 15].rotate_right(18) ^ (we[i - 15] >> 3);
+            let s1 = we[i - 2].rotate_right(17) ^ we[i - 2].rotate_right(19) ^ (we[i - 2] >> 10);
+            we[i] = we[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(we[i - 7])
+                .wrapping_add(s1);
+        }
+        let mut h = init;
+        let (mut a, mut bb, mut c, mut d, mut e, mut f, mut g, mut hh) =
+            (h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7]);
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(SHA256_K[i])
+                .wrapping_add(we[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & bb) ^ (a & c) ^ (bb & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = bb;
+            bb = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (hs, v) in h.iter_mut().zip([a, bb, c, d, e, f, g, hh]) {
+            *hs = hs.wrapping_add(v);
+        }
+        assert_eq!(got, h);
+    }
+
+    #[test]
+    fn mpn_mul_matches_u128_reference() {
+        let mut p = Program::new();
+        let mul = build_mpn_mul(&mut p);
+        p.validate().unwrap();
+        let mut jvm = Interp::new(&p);
+        // x = 0xDEADBEEF_00112233, y = 0xCAFEBABE (little-endian words)
+        let x_words = [0x0011_2233u32, 0xDEAD_BEEF];
+        let y_words = [0xCAFE_BABEu32];
+        let dest = int_array(&mut jvm, &[0, 0, 0]);
+        let x = int_array(&mut jvm, &x_words);
+        let y = int_array(&mut jvm, &y_words);
+        jvm.run(mul, &[dest, x, Value::Int(2), y, Value::Int(1)]).unwrap();
+        let got = read_ints(&jvm, dest, 3);
+        let product = 0xDEAD_BEEF_0011_2233u128 * 0xCAFE_BABEu128;
+        let expect = [
+            (product & 0xFFFF_FFFF) as u32,
+            ((product >> 32) & 0xFFFF_FFFF) as u32,
+            ((product >> 64) & 0xFFFF_FFFF) as u32,
+        ];
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn submul_matches_reference() {
+        let mut p = Program::new();
+        let submul = build_submul_1(&mut p);
+        p.validate().unwrap();
+        let mut jvm = Interp::new(&p);
+        let d_words = [0x8000_0001u32, 0x0000_0002];
+        let x_words = [0x0000_0003u32, 0x0000_0004];
+        let y = 0x0001_0001u32;
+        let dest = int_array(&mut jvm, &d_words);
+        let x = int_array(&mut jvm, &x_words);
+        jvm.run(submul, &[dest, x, Value::Int(2), Value::Int(y as i32)]).unwrap();
+        let got = read_ints(&jvm, dest, 2);
+        // Reference: dest -= x*y word-wise with borrow, as the kernel does.
+        let mut carry: u64 = 0;
+        let mut expect = [0u32; 2];
+        for i in 0..2 {
+            let prod = u64::from(x_words[i]) * u64::from(y) + carry;
+            carry = prod >> 32;
+            let diff = i64::from(d_words[i]) - i64::from((prod & 0xFFFF_FFFF) as u32);
+            expect[i] = diff as u32;
+            if diff < 0 {
+                carry += 1;
+            }
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn crypto_driver_is_deterministic() {
+        let bench = crypto_benchmark(4);
+        let a = bench.run().unwrap();
+        let b = bench.run().unwrap();
+        assert_eq!(a, b);
+        assert!(a.unwrap().as_int().is_some());
+    }
+}

@@ -1,0 +1,236 @@
+//! The `_209_db` benchmark: `String.compareTo` over char arrays,
+//! `Database.shell_sort` sorting an address table through `compareTo`
+//! calls, and the bounds-checked `Vector.elementAt` (the Table 4 hot set).
+
+use javaflow_bytecode::{ArrayKind, ClassDef, MethodBuilder, MethodId, Opcode, Program, Value};
+
+use crate::util::{for_up, Src};
+use crate::{Benchmark, SuiteKind};
+
+/// Adds `String.compareTo(a, b)` — lexicographic comparison of two char
+/// arrays, exactly the JDK shape: compare up to the common length, then by
+/// length difference.
+pub fn build_compare_to(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("String.compareTo", 2, true);
+    // args: 0 a (int[]), 1 b (int[])
+    // locals: 2 la, 3 lb, 4 n, 5 i, 6 d
+    b.aload(0).op(Opcode::ArrayLength).istore(2);
+    b.aload(1).op(Opcode::ArrayLength).istore(3);
+    // n = min(la, lb)
+    b.iload(2).istore(4);
+    let no_min = b.new_label();
+    b.iload(3).iload(2);
+    b.branch(Opcode::IfICmpGe, no_min);
+    b.iload(3).istore(4);
+    b.bind(no_min);
+    for_up(&mut b, 5, Src::Const(0), Src::Reg(4), 1, |b| {
+        b.aload(0).iload(5).op(Opcode::IALoad);
+        b.aload(1).iload(5).op(Opcode::IALoad);
+        b.op(Opcode::ISub);
+        b.istore(6);
+        let equal = b.new_label();
+        b.iload(6);
+        b.branch(Opcode::IfEq, equal);
+        b.iload(6);
+        b.op(Opcode::IReturn);
+        b.bind(equal);
+    });
+    b.iload(2).iload(3).op(Opcode::ISub);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("compareTo"))
+}
+
+/// Adds `Database.shell_sort(index, keys)` — the SPEC `_209_db` shell sort
+/// over an index array, comparing records via `String.compareTo`.
+pub fn build_shell_sort(p: &mut Program, compare_to: MethodId) -> MethodId {
+    let mut b = MethodBuilder::new("Database.shell_sort", 2, false);
+    // args: 0 index (int[]), 1 keys (ref[] of int[])
+    // locals: 2 n, 3 gap, 4 i, 5 j, 6 tmp, 7 cmp
+    b.aload(0).op(Opcode::ArrayLength).istore(2);
+    // for (gap = n/2; gap > 0; gap /= 2)
+    b.iload(2).iconst(2).op(Opcode::IDiv).istore(3);
+    let gap_top = b.new_label();
+    let gap_end = b.new_label();
+    b.bind(gap_top);
+    b.iload(3);
+    b.branch(Opcode::IfLe, gap_end);
+    // for (i = gap; i < n; i++)
+    for_up(&mut b, 4, Src::Reg(3), Src::Reg(2), 1, |b| {
+        // for (j = i - gap; j >= 0 && keys[index[j]] > keys[index[j+gap]]; j -= gap)
+        b.iload(4).iload(3).op(Opcode::ISub).istore(5);
+        let j_top = b.new_label();
+        let j_end = b.new_label();
+        b.bind(j_top);
+        b.iload(5);
+        b.branch(Opcode::IfLt, j_end);
+        // cmp = compareTo(keys[index[j]], keys[index[j+gap]])
+        b.aload(1);
+        b.aload(0).iload(5).op(Opcode::IALoad);
+        b.op(Opcode::AALoad);
+        b.aload(1);
+        b.aload(0).iload(5).iload(3).op(Opcode::IAdd).op(Opcode::IALoad);
+        b.op(Opcode::AALoad);
+        b.invoke(Opcode::InvokeStatic, compare_to, 2, true);
+        b.istore(7);
+        b.iload(7);
+        b.branch(Opcode::IfLe, j_end);
+        // swap index[j] and index[j+gap]
+        b.aload(0).iload(5).op(Opcode::IALoad).istore(6);
+        b.aload(0).iload(5);
+        b.aload(0).iload(5).iload(3).op(Opcode::IAdd).op(Opcode::IALoad);
+        b.op(Opcode::IAStore);
+        b.aload(0).iload(5).iload(3).op(Opcode::IAdd).iload(6).op(Opcode::IAStore);
+        b.iload(5).iload(3).op(Opcode::ISub).istore(5);
+        b.branch(Opcode::Goto, j_top);
+        b.bind(j_end);
+    });
+    b.iload(3).iconst(2).op(Opcode::IDiv).istore(3);
+    b.branch(Opcode::Goto, gap_top);
+    b.bind(gap_end);
+    b.op(Opcode::ReturnVoid);
+    p.add_method(b.finish().expect("shell_sort"))
+}
+
+/// Adds the `Vector` class and `Vector.elementAt` with its JDK-style
+/// explicit bounds check; returns `(class, elementAt)`.
+pub fn build_element_at(p: &mut Program) -> (u16, MethodId) {
+    // Fields: 0 data (ref[]), 1 count.
+    let class = p.add_class(ClassDef {
+        name: "Vector".into(),
+        instance_fields: 2,
+        static_fields: 0,
+    });
+    let mut b = MethodBuilder::new("Vector.elementAt", 2, true);
+    // args: 0 this, 1 i
+    let ok = b.new_label();
+    b.iload(1);
+    b.aload(0);
+    b.field(Opcode::GetField, class, 1);
+    b.branch(Opcode::IfICmpLt, ok);
+    b.op(Opcode::AConstNull);
+    b.op(Opcode::AReturn);
+    b.bind(ok);
+    b.aload(0);
+    b.field(Opcode::GetField, class, 0);
+    b.iload(1);
+    b.op(Opcode::AALoad);
+    b.op(Opcode::AReturn);
+    let element_at = p.add_method(b.finish().expect("elementAt"));
+    (class, element_at)
+}
+
+/// Builds the `_209_db` benchmark.
+#[must_use]
+pub fn db_benchmark(records: i32, key_len: i32) -> Benchmark {
+    let mut p = Program::new();
+    let arr = p.add_class(ClassDef { name: "Arr".into(), instance_fields: 0, static_fields: 0 });
+    let compare_to = build_compare_to(&mut p);
+    let shell_sort = build_shell_sort(&mut p, compare_to);
+    let (vec_class, element_at) = build_element_at(&mut p);
+
+    let mut b = MethodBuilder::new("db.driver", 2, true);
+    // args: 0 records, 1 key_len
+    // locals: 2 keys, 3 index, 4 i, 5 j, 6 key, 7 v, 8 acc, 9 seed
+    b.iload(0);
+    b.emit(Opcode::ANewArray, javaflow_bytecode::Operand::ClassId(arr));
+    b.astore(2);
+    b.iload(0);
+    b.newarray(ArrayKind::Int);
+    b.astore(3);
+    b.iconst(12_345).istore(9);
+    for_up(&mut b, 4, Src::Const(0), Src::Reg(0), 1, |b| {
+        b.iload(1);
+        b.newarray(ArrayKind::Int);
+        b.astore(6);
+        for_up(b, 5, Src::Const(0), Src::Reg(1), 1, |b| {
+            // seed = seed * 31 + 17; key[j] = 'a' + (seed >>> 8) % 26
+            b.iload(9).iconst(31).op(Opcode::IMul).iconst(17).op(Opcode::IAdd).istore(9);
+            b.aload(6).iload(5);
+            b.iload(9).iconst(8).op(Opcode::IUShr).iconst(26).op(Opcode::IRem);
+            b.iconst(97).op(Opcode::IAdd);
+            b.op(Opcode::IAStore);
+        });
+        b.aload(2).iload(4).aload(6).op(Opcode::AAStore);
+        b.aload(3).iload(4).iload(4).op(Opcode::IAStore);
+    });
+    b.aload(3).aload(2);
+    b.invoke(Opcode::InvokeStatic, shell_sort, 2, false);
+    // wrap keys in a Vector and walk it via elementAt, verifying order
+    b.emit(Opcode::New, javaflow_bytecode::Operand::ClassId(vec_class));
+    b.astore(7);
+    b.aload(7).aload(2);
+    b.field(Opcode::PutField, vec_class, 0);
+    b.aload(7).iload(0);
+    b.field(Opcode::PutField, vec_class, 1);
+    b.iconst(0).istore(8);
+    b.iload(0).iconst(1).op(Opcode::ISub).istore(9);
+    for_up(&mut b, 4, Src::Const(0), Src::Reg(9), 1, |b| {
+        // acc += (compareTo(keys[index[i]], keys[index[i+1]]) > 0) — counts
+        // sort violations; elementAt exercises the bounds-checked read.
+        b.aload(7);
+        b.aload(3).iload(4).op(Opcode::IALoad);
+        b.invoke(Opcode::InvokeVirtual, element_at, 2, true);
+        b.op(Opcode::Pop);
+        let ok = b.new_label();
+        b.aload(2);
+        b.aload(3).iload(4).op(Opcode::IALoad);
+        b.op(Opcode::AALoad);
+        b.aload(2);
+        b.aload(3).iload(4).iconst(1).op(Opcode::IAdd).op(Opcode::IALoad);
+        b.op(Opcode::AALoad);
+        b.invoke(Opcode::InvokeStatic, compare_to, 2, true);
+        b.branch(Opcode::IfLe, ok);
+        b.iinc(8, 1);
+        b.bind(ok);
+    });
+    b.iload(8);
+    b.op(Opcode::IReturn);
+    let driver = p.add_method(b.finish().expect("db.driver"));
+
+    p.validate().expect("db benchmark valid");
+    Benchmark {
+        name: "_209_db",
+        suite: SuiteKind::Jvm98,
+        program: p,
+        driver,
+        driver_args: vec![Value::Int(records), Value::Int(key_len)],
+        hot: vec![compare_to, shell_sort, element_at],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shell_sort_produces_sorted_order() {
+        // The driver returns the number of adjacent out-of-order pairs —
+        // zero iff the sort worked.
+        let bench = db_benchmark(50, 8);
+        assert_eq!(bench.run().unwrap().unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn compare_to_is_lexicographic() {
+        let mut p = Program::new();
+        let cmp = build_compare_to(&mut p);
+        p.validate().unwrap();
+        let mut jvm = javaflow_interp::Interp::new(&p);
+        let make = |jvm: &mut javaflow_interp::Interp<'_>, s: &str| {
+            let h = jvm.state.heap.alloc_array(ArrayKind::Int, s.len() as i32).unwrap();
+            for (i, c) in s.chars().enumerate() {
+                jvm.state.heap.array_set(Some(h), i as i32, Value::Int(c as i32)).unwrap();
+            }
+            Value::Ref(Some(h))
+        };
+        let ab = make(&mut jvm, "ab");
+        let abc = make(&mut jvm, "abc");
+        let abd = make(&mut jvm, "abd");
+        let r = jvm.run(cmp, &[ab, abc]).unwrap().unwrap().as_int().unwrap();
+        assert!(r < 0, "prefix sorts first");
+        let r = jvm.run(cmp, &[abd, abc]).unwrap().unwrap().as_int().unwrap();
+        assert!(r > 0);
+        let r = jvm.run(cmp, &[abc, abc]).unwrap().unwrap().as_int().unwrap();
+        assert_eq!(r, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! The SPEC-JVM-substitute workload suite for JavaFlow.
+//!
+//! SPEC JVM98/JVM2008 class files are proprietary, so every hot method the
+//! dissertation's Tables 3–4 name is re-implemented from scratch against
+//! the [`javaflow_bytecode::MethodBuilder`], preserving the algorithmic
+//! structure (loop nests, arithmetic mix, array traffic, call shape) that
+//! the Chapter 5/7 measurements depend on:
+//!
+//! * [`compress`] — LZW compress/decompress, bit packing, CRC32 (verified
+//!   lossless round trip and against a reference CRC);
+//! * [`crypto`] — multiword arithmetic and real SHA-1 / SHA-256 compression
+//!   (verified against independent Rust implementations);
+//! * [`audio`] — MP3-decoder-shaped kernels (dequantize, inverse MDCT,
+//!   Huffman decode, hybrid filter bank, polyphase filter);
+//! * [`scimark`] — FFT (exact round trip), LU (matches a Rust reference),
+//!   SOR, sparse matmult, Monte Carlo, and `Random.nextDouble` — the
+//!   dissertation's Appendix C case study;
+//! * [`db`], [`misc98`] — string compare/sort, expert-system comparisons,
+//!   ray/octree geometry, NFA tokenization;
+//! * [`synthetic`] — a deterministic generator for the ~1600-method
+//!   population of the Chapter 7 sweeps.
+//!
+//! [`full_suite`] assembles the complete 14-benchmark set with drivers that
+//! allocate and initialize real heap state, so every benchmark runs
+//! end-to-end on the interpreter and co-simulates on the fabric.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod audio;
+pub mod compress;
+pub mod crypto;
+pub mod db;
+pub mod misc98;
+pub mod scimark;
+mod suite;
+pub mod synthetic;
+pub mod util;
+
+pub use suite::{full_suite, Benchmark, SuiteKind};

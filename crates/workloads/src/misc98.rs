@@ -1,0 +1,806 @@
+//! The remaining SpecJVM98 families: `_202_jess` (expert-system value
+//! comparisons), `_227_mtrt` (ray-tracer geometry), and `_228_jack`
+//! (parser-generator NFA simulation and tokenization).
+
+use javaflow_bytecode::{ArrayKind, ClassDef, MethodBuilder, MethodId, Opcode, Program, Value};
+
+use crate::util::{for_up, Src};
+use crate::{Benchmark, SuiteKind};
+
+// ---------------------------------------------------------------- jess --
+
+/// Adds `Value.equals(a, b)` — tagged-value comparison (`[tag, payload]`
+/// int pairs, branching on the tag like jess's `Value.equals`).
+pub fn build_value_equals(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("Value.equals", 2, true);
+    // args: 0 a (int[2]), 1 b (int[2])
+    let tags_match = b.new_label();
+    b.aload(0).iconst(0).op(Opcode::IALoad);
+    b.aload(1).iconst(0).op(Opcode::IALoad);
+    b.branch(Opcode::IfICmpEq, tags_match);
+    b.iconst(0);
+    b.op(Opcode::IReturn);
+    b.bind(tags_match);
+    let payload_match = b.new_label();
+    b.aload(0).iconst(1).op(Opcode::IALoad);
+    b.aload(1).iconst(1).op(Opcode::IALoad);
+    b.branch(Opcode::IfICmpEq, payload_match);
+    b.iconst(0);
+    b.op(Opcode::IReturn);
+    b.bind(payload_match);
+    b.iconst(1);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("Value.equals"))
+}
+
+/// Adds `ValueVector.equals(a, b)` — element-wise vector comparison via
+/// `Value.equals` calls.
+pub fn build_vector_equals(p: &mut Program, value_equals: MethodId) -> MethodId {
+    let mut b = MethodBuilder::new("ValueVector.equals", 2, true);
+    // args: 0 a (ref[] of int[2]), 1 b
+    // locals: 2 n, 3 i
+    let len_match = b.new_label();
+    b.aload(0).op(Opcode::ArrayLength);
+    b.aload(1).op(Opcode::ArrayLength);
+    b.branch(Opcode::IfICmpEq, len_match);
+    b.iconst(0);
+    b.op(Opcode::IReturn);
+    b.bind(len_match);
+    b.aload(0).op(Opcode::ArrayLength).istore(2);
+    for_up(&mut b, 3, Src::Const(0), Src::Reg(2), 1, |b| {
+        let elem_ok = b.new_label();
+        b.aload(0).iload(3).op(Opcode::AALoad);
+        b.aload(1).iload(3).op(Opcode::AALoad);
+        b.invoke(Opcode::InvokeStatic, value_equals, 2, true);
+        b.branch(Opcode::IfNe, elem_ok);
+        b.iconst(0);
+        b.op(Opcode::IReturn);
+        b.bind(elem_ok);
+    });
+    b.iconst(1);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("ValueVector.equals"))
+}
+
+/// Adds `Token.data_equals(a, b)` — token payload comparison: sort code
+/// then fact vectors (jess's `Token.data_equals`).
+pub fn build_data_equals(p: &mut Program, vector_equals: MethodId) -> MethodId {
+    let mut b = MethodBuilder::new("Token.data_equals", 3, true);
+    // args: 0 sortcode_a, 1 a (ref[] vectors), 2 b
+    // locals: 3 i, 4 n
+    b.aload(1).op(Opcode::ArrayLength).istore(4);
+    let len_ok = b.new_label();
+    b.aload(2).op(Opcode::ArrayLength).iload(4);
+    b.branch(Opcode::IfICmpEq, len_ok);
+    b.iconst(0);
+    b.op(Opcode::IReturn);
+    b.bind(len_ok);
+    for_up(&mut b, 3, Src::Const(0), Src::Reg(4), 1, |b| {
+        let ok = b.new_label();
+        b.aload(1).iload(3).op(Opcode::AALoad);
+        b.aload(2).iload(3).op(Opcode::AALoad);
+        b.invoke(Opcode::InvokeStatic, vector_equals, 2, true);
+        b.branch(Opcode::IfNe, ok);
+        b.iconst(0);
+        b.op(Opcode::IReturn);
+        b.bind(ok);
+    });
+    // sort codes must also agree; a negative sort code never matches
+    let code_ok = b.new_label();
+    b.iload(0);
+    b.branch(Opcode::IfGe, code_ok);
+    b.iconst(0);
+    b.op(Opcode::IReturn);
+    b.bind(code_ok);
+    b.iconst(1);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("data_equals"))
+}
+
+/// Adds `Node2.runTests(tokens_a, tokens_b)` — pairwise token comparisons,
+/// counting matches (the join-node test loop of jess).
+pub fn build_run_tests(p: &mut Program, data_equals: MethodId) -> MethodId {
+    let mut b = MethodBuilder::new("Node2.runTests", 2, true);
+    // args: 0 a (ref[] of ref[] of int[2]), 1 b
+    // locals: 2 i, 3 n, 4 hits
+    b.aload(0).op(Opcode::ArrayLength).istore(3);
+    b.iconst(0).istore(4);
+    for_up(&mut b, 2, Src::Const(0), Src::Reg(3), 1, |b| {
+        let miss = b.new_label();
+        b.iload(2);
+        b.aload(0).iload(2).op(Opcode::AALoad);
+        b.aload(1).iload(2).op(Opcode::AALoad);
+        b.invoke(Opcode::InvokeStatic, data_equals, 3, true);
+        b.branch(Opcode::IfEq, miss);
+        b.iinc(4, 1);
+        b.bind(miss);
+    });
+    b.iload(4);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("runTests"))
+}
+
+/// Builds the `_202_jess` benchmark.
+#[must_use]
+pub fn jess_benchmark(tokens: i32, vec_len: i32) -> Benchmark {
+    let mut p = Program::new();
+    let arr = p.add_class(ClassDef { name: "Arr".into(), instance_fields: 0, static_fields: 0 });
+    let value_equals = build_value_equals(&mut p);
+    let vector_equals = build_vector_equals(&mut p, value_equals);
+    let data_equals = build_data_equals(&mut p, vector_equals);
+    let run_tests = build_run_tests(&mut p, data_equals);
+
+    let mut b = MethodBuilder::new("jess.driver", 2, true);
+    // args: 0 tokens, 1 vec_len
+    // locals: 2 a, 3 b, 4 i, 5 j, 6 vecs, 7 vec, 8 val, 9 seed
+    b.iconst(99).istore(9);
+    // build two mostly-equal token lists
+    for slot in [2u16, 3] {
+        b.iload(0);
+        b.emit(Opcode::ANewArray, javaflow_bytecode::Operand::ClassId(arr));
+        b.astore(slot);
+        for_up(&mut b, 4, Src::Const(0), Src::Reg(0), 1, |b| {
+            b.iconst(2);
+            b.emit(Opcode::ANewArray, javaflow_bytecode::Operand::ClassId(arr));
+            b.astore(6);
+            for_up(b, 5, Src::Const(0), Src::Const(2), 1, |b| {
+                b.iload(1);
+                b.emit(Opcode::ANewArray, javaflow_bytecode::Operand::ClassId(arr));
+                b.astore(7);
+                // fill the vector with values
+                let k = 10u16;
+                for_up(b, k, Src::Const(0), Src::Reg(1), 1, |b| {
+                    b.iconst(2);
+                    b.newarray(ArrayKind::Int);
+                    b.astore(8);
+                    b.aload(8).iconst(0);
+                    b.iload(k).iconst(3).op(Opcode::IRem);
+                    b.op(Opcode::IAStore);
+                    b.aload(8).iconst(1);
+                    // every 7th token of list b differs
+                    b.iload(4).iload(k).op(Opcode::IAdd);
+                    if slot == 3 {
+                        b.iload(4).iconst(7).op(Opcode::IRem);
+                        let same = b.new_label();
+                        b.branch(Opcode::IfNe, same);
+                        b.iconst(1).op(Opcode::IAdd);
+                        b.bind(same);
+                    }
+                    b.op(Opcode::IAStore);
+                    b.aload(7).iload(k).aload(8).op(Opcode::AAStore);
+                });
+                b.aload(6).iload(5).aload(7).op(Opcode::AAStore);
+            });
+            b.aload(slot).iload(4).aload(6).op(Opcode::AAStore);
+        });
+    }
+    b.aload(2).aload(3);
+    b.invoke(Opcode::InvokeStatic, run_tests, 2, true);
+    b.op(Opcode::IReturn);
+    let driver = p.add_method(b.finish().expect("jess.driver"));
+
+    p.validate().expect("jess benchmark valid");
+    Benchmark {
+        name: "_202_jess",
+        suite: SuiteKind::Jvm98,
+        program: p,
+        driver,
+        driver_args: vec![Value::Int(tokens), Value::Int(vec_len)],
+        hot: vec![run_tests, vector_equals, value_equals, data_equals],
+    }
+}
+
+// ---------------------------------------------------------------- mtrt --
+
+/// Adds the `Point` class and `Point.Combine(point, vector, f1, f2)` —
+/// allocates the combined point like the SPEC ray tracer.
+pub fn build_point_combine(p: &mut Program) -> (u16, MethodId) {
+    // Fields: 0 x, 1 y, 2 z.
+    let class =
+        p.add_class(ClassDef { name: "Point".into(), instance_fields: 3, static_fields: 0 });
+    let mut b = MethodBuilder::new("Point.Combine", 4, true);
+    // args: 0 pt (Point), 1 vec (Point), 2 f1(d), 3 f2(d)
+    // locals: 4 out
+    b.emit(Opcode::New, javaflow_bytecode::Operand::ClassId(class));
+    b.astore(4);
+    for slot in 0..3i32 {
+        let slot = slot as u16;
+        b.aload(4);
+        b.aload(0);
+        b.field(Opcode::GetField, class, slot);
+        b.dload(2).op(Opcode::DMul);
+        b.aload(1);
+        b.field(Opcode::GetField, class, slot);
+        b.dload(3).op(Opcode::DMul);
+        b.op(Opcode::DAdd);
+        b.field(Opcode::PutField, class, slot);
+    }
+    b.aload(4);
+    b.op(Opcode::AReturn);
+    let combine = p.add_method(b.finish().expect("Combine"));
+    (class, combine)
+}
+
+/// Adds the `OctNode` class and `OctNode.FindTreeNode(node, x, y, z)` —
+/// descends the octree to the leaf containing a point.
+pub fn build_find_tree_node(p: &mut Program) -> (u16, MethodId) {
+    // Fields: 0..5 bounds (minx maxx miny maxy minz maxz), 6 children
+    // (ref[] of OctNode or null), 7 depth.
+    let class =
+        p.add_class(ClassDef { name: "OctNode".into(), instance_fields: 8, static_fields: 0 });
+    let mut b = MethodBuilder::new("OctNode.FindTreeNode", 4, true);
+    // args: 0 node, 1 x(d), 2 y(d), 3 z(d)
+    // locals: 4 children, 5 i, 6 child, 7 n
+    let top = b.new_label();
+    b.bind(top);
+    b.aload(0);
+    b.field(Opcode::GetField, class, 6);
+    b.astore(4);
+    let leaf = b.new_label();
+    b.aload(4);
+    b.branch(Opcode::IfNull, leaf);
+    b.aload(4).op(Opcode::ArrayLength).istore(7);
+    // find the child whose bounds contain (x, y, z)
+    let descend = b.new_label();
+    for_up(&mut b, 5, Src::Const(0), Src::Reg(7), 1, |b| {
+        b.aload(4).iload(5).op(Opcode::AALoad).astore(6);
+        let next = b.new_label();
+        b.aload(6);
+        b.branch(Opcode::IfNull, next);
+        // containment test on all three axes
+        for (axis, lo, hi) in [(1u16, 0u16, 1u16), (2, 2, 3), (3, 4, 5)] {
+            b.dload(axis);
+            b.aload(6);
+            b.field(Opcode::GetField, class, lo);
+            b.op(Opcode::DCmpL);
+            b.branch(Opcode::IfLt, next);
+            b.dload(axis);
+            b.aload(6);
+            b.field(Opcode::GetField, class, hi);
+            b.op(Opcode::DCmpG);
+            b.branch(Opcode::IfGt, next);
+        }
+        b.aload(6).astore(0);
+        b.branch(Opcode::Goto, descend);
+        b.bind(next);
+    });
+    // no child contains the point: this is the node
+    b.aload(0);
+    b.op(Opcode::AReturn);
+    b.bind(descend);
+    b.branch(Opcode::Goto, top);
+    b.bind(leaf);
+    b.aload(0);
+    b.op(Opcode::AReturn);
+    let find = p.add_method(b.finish().expect("FindTreeNode"));
+    (class, find)
+}
+
+/// Adds `OctNode.Intersect(node, ox, oy, oz, dx, dy, dz)` — slab-test ray /
+/// box intersection returning the entry parameter `t` (or −1).
+pub fn build_intersect(p: &mut Program, class: u16) -> MethodId {
+    let mut b = MethodBuilder::new("OctNode.Intersect", 7, true);
+    // args: 0 node, 1 ox, 2 oy, 3 oz, 4 dx, 5 dy, 6 dz
+    // locals: 7 tmin, 8 tmax, 9 t1, 10 t2, 11 tswap
+    b.dconst(-1e30).dstore(7);
+    b.dconst(1e30).dstore(8);
+    for (axis, (o, d, lo, hi)) in
+        [(1u16, 4u16, 0u16, 1u16), (2, 5, 2, 3), (3, 6, 4, 5)].into_iter().enumerate()
+    {
+        let _ = axis;
+        let parallel = b.new_label();
+        let axis_done = b.new_label();
+        // if |d| very small, skip the axis (ray parallel to slab)
+        b.dload(d);
+        crate::util::dabs(&mut b);
+        b.dconst(1e-12);
+        b.op(Opcode::DCmpG);
+        b.branch(Opcode::IfLt, parallel);
+        // t1 = (lo - o)/d ; t2 = (hi - o)/d
+        b.aload(0);
+        b.field(Opcode::GetField, class, lo);
+        b.dload(o).op(Opcode::DSub);
+        b.dload(d).op(Opcode::DDiv);
+        b.dstore(9);
+        b.aload(0);
+        b.field(Opcode::GetField, class, hi);
+        b.dload(o).op(Opcode::DSub);
+        b.dload(d).op(Opcode::DDiv);
+        b.dstore(10);
+        // order t1 <= t2
+        let ordered = b.new_label();
+        b.dload(9).dload(10).op(Opcode::DCmpL);
+        b.branch(Opcode::IfLe, ordered);
+        b.dload(9).dstore(11);
+        b.dload(10).dstore(9);
+        b.dload(11).dstore(10);
+        b.bind(ordered);
+        // tmin = max(tmin, t1); tmax = min(tmax, t2)
+        let no_min = b.new_label();
+        b.dload(9).dload(7).op(Opcode::DCmpL);
+        b.branch(Opcode::IfLe, no_min);
+        b.dload(9).dstore(7);
+        b.bind(no_min);
+        let no_max = b.new_label();
+        b.dload(10).dload(8).op(Opcode::DCmpG);
+        b.branch(Opcode::IfGe, no_max);
+        b.dload(10).dstore(8);
+        b.bind(no_max);
+        b.branch(Opcode::Goto, axis_done);
+        b.bind(parallel);
+        // Ray parallel to this slab: miss unless the origin lies inside.
+        let inside = b.new_label();
+        b.dload(o);
+        b.aload(0);
+        b.field(Opcode::GetField, class, lo);
+        b.op(Opcode::DCmpL);
+        b.branch(Opcode::IfLt, inside);
+        b.dload(o);
+        b.aload(0);
+        b.field(Opcode::GetField, class, hi);
+        b.op(Opcode::DCmpG);
+        b.branch(Opcode::IfLe, axis_done);
+        b.bind(inside);
+        b.dconst(-1.0);
+        b.op(Opcode::DReturn);
+        b.bind(axis_done);
+    }
+    // hit iff tmin <= tmax and tmax >= 0
+    let miss = b.new_label();
+    b.dload(7).dload(8).op(Opcode::DCmpG);
+    b.branch(Opcode::IfGt, miss);
+    b.dload(8).dconst(0.0).op(Opcode::DCmpL);
+    b.branch(Opcode::IfLt, miss);
+    b.dload(7);
+    b.op(Opcode::DReturn);
+    b.bind(miss);
+    b.dconst(-1.0);
+    b.op(Opcode::DReturn);
+    p.add_method(b.finish().expect("Intersect"))
+}
+
+/// Builds the `_227_mtrt` benchmark.
+#[must_use]
+pub fn mtrt_benchmark(rays: i32) -> Benchmark {
+    let mut p = Program::new();
+    let arr = p.add_class(ClassDef { name: "Arr".into(), instance_fields: 0, static_fields: 0 });
+    let (point_class, combine) = build_point_combine(&mut p);
+    let (oct_class, find) = build_find_tree_node(&mut p);
+    let intersect = build_intersect(&mut p, oct_class);
+
+    // helper: make_node(minx, maxx, miny, maxy, minz, maxz) -> OctNode
+    let mut b = MethodBuilder::new("OctNode.make", 6, true);
+    b.emit(Opcode::New, javaflow_bytecode::Operand::ClassId(oct_class));
+    b.astore(6);
+    for slot in 0..6u16 {
+        b.aload(6);
+        b.dload(slot);
+        b.field(Opcode::PutField, oct_class, slot);
+    }
+    // reference fields must be initialized explicitly (fields are untyped
+    // in this IR, so the zero default is not a null reference)
+    b.aload(6);
+    b.op(Opcode::AConstNull);
+    b.field(Opcode::PutField, oct_class, 6);
+    b.aload(6);
+    b.op(Opcode::AReturn);
+    let make_node = p.add_method(b.finish().expect("make_node"));
+
+    let mut b = MethodBuilder::new("mtrt.driver", 1, true);
+    // locals: 0 rays, 1 root, 2 kids, 3 i, 4 hits, 5 t(d), 6 child,
+    //         7 ox(d), 8 p1, 9 p2, 10 leaf
+    // root box [0,8]^3 with two children
+    b.dconst(0.0).dconst(8.0).dconst(0.0).dconst(8.0).dconst(0.0).dconst(8.0);
+    b.invoke(Opcode::InvokeStatic, make_node, 6, true);
+    b.astore(1);
+    b.iconst(2);
+    b.emit(Opcode::ANewArray, javaflow_bytecode::Operand::ClassId(arr));
+    b.astore(2);
+    b.dconst(0.0).dconst(4.0).dconst(0.0).dconst(8.0).dconst(0.0).dconst(8.0);
+    b.invoke(Opcode::InvokeStatic, make_node, 6, true);
+    b.astore(6);
+    b.aload(2).iconst(0).aload(6).op(Opcode::AAStore);
+    b.dconst(4.0).dconst(8.0).dconst(0.0).dconst(8.0).dconst(0.0).dconst(8.0);
+    b.invoke(Opcode::InvokeStatic, make_node, 6, true);
+    b.astore(6);
+    b.aload(2).iconst(1).aload(6).op(Opcode::AAStore);
+    b.aload(1).aload(2);
+    b.field(Opcode::PutField, oct_class, 6);
+    // two points for Combine
+    b.emit(Opcode::New, javaflow_bytecode::Operand::ClassId(point_class));
+    b.astore(8);
+    b.aload(8).dconst(1.0);
+    b.field(Opcode::PutField, point_class, 0);
+    b.aload(8).dconst(2.0);
+    b.field(Opcode::PutField, point_class, 1);
+    b.aload(8).dconst(3.0);
+    b.field(Opcode::PutField, point_class, 2);
+    b.emit(Opcode::New, javaflow_bytecode::Operand::ClassId(point_class));
+    b.astore(9);
+    b.aload(9).dconst(0.5);
+    b.field(Opcode::PutField, point_class, 0);
+    b.aload(9).dconst(-0.25);
+    b.field(Opcode::PutField, point_class, 1);
+    b.aload(9).dconst(0.125);
+    b.field(Opcode::PutField, point_class, 2);
+    b.iconst(0).istore(4);
+    for_up(&mut b, 3, Src::Const(0), Src::Reg(0), 1, |b| {
+        // ox sweeps across the box; rays point +x
+        b.iload(3).op(Opcode::I2D).dconst(0.37).op(Opcode::DMul).dconst(-2.0).op(Opcode::DAdd);
+        b.dstore(7);
+        b.aload(1);
+        b.dload(7).dconst(1.0).dconst(1.0);
+        b.dconst(1.0).dconst(0.1).dconst(0.05);
+        b.invoke(Opcode::InvokeStatic, intersect, 7, true);
+        b.dstore(5);
+        let miss = b.new_label();
+        b.dload(5).dconst(0.0).op(Opcode::DCmpL);
+        b.branch(Opcode::IfLt, miss);
+        b.iinc(4, 1);
+        b.bind(miss);
+        // octree descent for a point derived from the ray
+        b.aload(1);
+        b.dload(7).dconst(2.0).op(Opcode::DAdd);
+        b.dconst(1.5).dconst(2.5);
+        b.invoke(Opcode::InvokeStatic, find, 4, true);
+        b.astore(10);
+        // Combine exercises allocation + float math
+        b.aload(8).aload(9).dconst(0.9).dload(5);
+        b.invoke(Opcode::InvokeStatic, combine, 4, true);
+        b.op(Opcode::Pop);
+    });
+    b.iload(4);
+    b.op(Opcode::IReturn);
+    let driver = p.add_method(b.finish().expect("mtrt.driver"));
+
+    p.validate().expect("mtrt benchmark valid");
+    Benchmark {
+        name: "_227_mtrt",
+        suite: SuiteKind::Jvm98,
+        program: p,
+        driver,
+        driver_args: vec![Value::Int(rays)],
+        hot: vec![intersect, combine, find],
+    }
+}
+
+// ---------------------------------------------------------------- jack --
+
+/// Adds `RunTimeNfaState.Move(states, c)` — advances an NFA state set on an
+/// input character using range tests, returning the live-state count.
+pub fn build_nfa_move(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("RunTimeNfaState.Move", 3, true);
+    // args: 0 states (int[]), 1 trans (int[] of lo,hi,target triples), 2 c
+    // locals: 3 i, 4 n, 5 live, 6 s, 7 t, 8 m
+    b.aload(0).op(Opcode::ArrayLength).istore(4);
+    b.aload(1).op(Opcode::ArrayLength).iconst(3).op(Opcode::IDiv).istore(8);
+    b.iconst(0).istore(5);
+    for_up(&mut b, 3, Src::Const(0), Src::Reg(4), 1, |b| {
+        b.aload(0).iload(3).op(Opcode::IALoad).istore(6);
+        let dead = b.new_label();
+        b.iload(6);
+        b.branch(Opcode::IfLt, dead);
+        // t = s % m transition triple
+        b.iload(6).iload(8).op(Opcode::IRem).iconst(3).op(Opcode::IMul).istore(7);
+        // in range?
+        let no = b.new_label();
+        b.iload(2);
+        b.aload(1).iload(7).op(Opcode::IALoad);
+        b.branch(Opcode::IfICmpLt, no);
+        b.iload(2);
+        b.aload(1).iload(7).iconst(1).op(Opcode::IAdd).op(Opcode::IALoad);
+        b.branch(Opcode::IfICmpGt, no);
+        b.aload(0).iload(3);
+        b.aload(1).iload(7).iconst(2).op(Opcode::IAdd).op(Opcode::IALoad);
+        b.op(Opcode::IAStore);
+        b.iinc(5, 1);
+        b.branch(Opcode::Goto, dead);
+        b.bind(no);
+        b.aload(0).iload(3).iconst(-1).op(Opcode::IAStore);
+        b.bind(dead);
+    });
+    b.iload(5);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("Move"))
+}
+
+/// Adds `TokenEngine.getNextTokenFromStream(buf, pos, out)` — classifies a
+/// run of characters (identifier / number / space / punctuation) returning
+/// the token kind, with `pos[0]` advanced.
+pub fn build_next_token(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("TokenEngine.getNextTokenFromStream", 3, true);
+    // args: 0 buf (int[]), 1 pos (int[1]), 2 out (int[])
+    // locals: 3 i, 4 n, 5 c, 6 kind, 7 outpos
+    b.aload(1).iconst(0).op(Opcode::IALoad).istore(3);
+    b.aload(0).op(Opcode::ArrayLength).istore(4);
+    b.iconst(0).istore(7);
+    // EOF?
+    let not_eof = b.new_label();
+    b.iload(3).iload(4);
+    b.branch(Opcode::IfICmpLt, not_eof);
+    b.iconst(-1);
+    b.op(Opcode::IReturn);
+    b.bind(not_eof);
+    // skip spaces
+    {
+        let top = b.new_label();
+        let end = b.new_label();
+        b.bind(top);
+        b.iload(3).iload(4);
+        b.branch(Opcode::IfICmpGe, end);
+        b.aload(0).iload(3).op(Opcode::IALoad).iconst(32);
+        b.branch(Opcode::IfICmpNe, end);
+        b.iinc(3, 1);
+        b.branch(Opcode::Goto, top);
+        b.bind(end);
+    }
+    let at_eof = b.new_label();
+    b.iload(3).iload(4);
+    b.branch(Opcode::IfICmpGe, at_eof);
+    b.aload(0).iload(3).op(Opcode::IALoad).istore(5);
+    // classify: letter → 1, digit → 2, other → 3
+    let letter = b.new_label();
+    let digit = b.new_label();
+    let other = b.new_label();
+    let scan = b.new_label();
+    b.iload(5).iconst(97);
+    b.branch(Opcode::IfICmpLt, digit);
+    b.iload(5).iconst(122);
+    b.branch(Opcode::IfICmpGt, digit);
+    b.branch(Opcode::Goto, letter);
+    b.bind(letter);
+    b.iconst(1).istore(6);
+    b.branch(Opcode::Goto, scan);
+    b.bind(digit);
+    let not_digit = b.new_label();
+    b.iload(5).iconst(48);
+    b.branch(Opcode::IfICmpLt, not_digit);
+    b.iload(5).iconst(57);
+    b.branch(Opcode::IfICmpGt, not_digit);
+    b.iconst(2).istore(6);
+    b.branch(Opcode::Goto, scan);
+    b.bind(not_digit);
+    b.branch(Opcode::Goto, other);
+    b.bind(other);
+    b.iconst(3).istore(6);
+    b.iinc(3, 1);
+    b.aload(2).iconst(0).iload(5).op(Opcode::IAStore);
+    b.aload(1).iconst(0).iload(3).op(Opcode::IAStore);
+    b.iconst(3);
+    b.op(Opcode::IReturn);
+    // scan a run of the same class into out
+    b.bind(scan);
+    {
+        let top = b.new_label();
+        let end = b.new_label();
+        b.bind(top);
+        b.iload(3).iload(4);
+        b.branch(Opcode::IfICmpGe, end);
+        b.aload(0).iload(3).op(Opcode::IALoad).istore(5);
+        // same class?
+        let cont = b.new_label();
+        if true {
+            // letters when kind == 1, digits when kind == 2
+            let is_letter = b.new_label();
+            let is_digit = b.new_label();
+            b.iload(6).iconst(1);
+            b.branch(Opcode::IfICmpEq, is_letter);
+            b.branch(Opcode::Goto, is_digit);
+            b.bind(is_letter);
+            b.iload(5).iconst(97);
+            b.branch(Opcode::IfICmpLt, end);
+            b.iload(5).iconst(122);
+            b.branch(Opcode::IfICmpGt, end);
+            b.branch(Opcode::Goto, cont);
+            b.bind(is_digit);
+            b.iload(5).iconst(48);
+            b.branch(Opcode::IfICmpLt, end);
+            b.iload(5).iconst(57);
+            b.branch(Opcode::IfICmpGt, end);
+            b.branch(Opcode::Goto, cont);
+        }
+        b.bind(cont);
+        b.aload(2).iload(7).iload(5).op(Opcode::IAStore);
+        b.iinc(7, 1);
+        b.iinc(3, 1);
+        b.branch(Opcode::Goto, top);
+        b.bind(end);
+    }
+    b.aload(1).iconst(0).iload(3).op(Opcode::IAStore);
+    b.iload(6);
+    b.op(Opcode::IReturn);
+    b.bind(at_eof);
+    b.aload(1).iconst(0).iload(3).op(Opcode::IAStore);
+    b.iconst(-1);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("getNextTokenFromStream"))
+}
+
+/// Adds `String.init(dst, src)` — the `String.<init>([C)V` copy loop.
+pub fn build_string_init(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("String.init", 2, true);
+    // locals: 2 i, 3 n
+    b.aload(1).op(Opcode::ArrayLength).istore(3);
+    for_up(&mut b, 2, Src::Const(0), Src::Reg(3), 1, |b| {
+        b.aload(0).iload(2);
+        b.aload(1).iload(2).op(Opcode::IALoad);
+        b.op(Opcode::IAStore);
+    });
+    b.iload(3);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("String.init"))
+}
+
+/// Builds the `_228_jack` benchmark.
+#[must_use]
+pub fn jack_benchmark(input_len: i32) -> Benchmark {
+    let mut p = Program::new();
+    let nfa_move = build_nfa_move(&mut p);
+    let next_token = build_next_token(&mut p);
+    let string_init = build_string_init(&mut p);
+
+    let mut b = MethodBuilder::new("jack.driver", 1, true);
+    // locals: 0 len, 1 buf, 2 pos, 3 out, 4 i, 5 kindsum, 6 states,
+    //         7 trans, 8 copy, 9 k
+    b.iload(0);
+    b.newarray(ArrayKind::Int);
+    b.astore(1);
+    // synthetic source text: words, numbers, spaces, punctuation
+    for_up(&mut b, 4, Src::Const(0), Src::Reg(0), 1, |b| {
+        b.aload(1).iload(4);
+        // pattern of period 11 mixing classes
+        b.iload(4).iconst(11).op(Opcode::IRem).istore(9);
+        let digit = b.new_label();
+        let space = b.new_label();
+        let store = b.new_label();
+        b.iload(9).iconst(5);
+        b.branch(Opcode::IfICmpGe, digit);
+        b.iload(9).iconst(97).op(Opcode::IAdd);
+        b.branch(Opcode::Goto, store);
+        b.bind(digit);
+        b.iload(9).iconst(9);
+        b.branch(Opcode::IfICmpGe, space);
+        b.iload(9).iconst(43).op(Opcode::IAdd); // '0'-ish digits 48..51
+        b.branch(Opcode::Goto, store);
+        b.bind(space);
+        b.iconst(32);
+        b.bind(store);
+        b.op(Opcode::IAStore);
+    });
+    b.iconst(1);
+    b.newarray(ArrayKind::Int);
+    b.astore(2);
+    b.iload(0);
+    b.newarray(ArrayKind::Int);
+    b.astore(3);
+    b.iconst(0).istore(5);
+    // tokenize everything
+    {
+        let top = b.new_label();
+        let end = b.new_label();
+        b.bind(top);
+        b.aload(1).aload(2).aload(3);
+        b.invoke(Opcode::InvokeStatic, next_token, 3, true);
+        b.istore(9);
+        b.iload(9);
+        b.branch(Opcode::IfLt, end);
+        b.iload(5).iload(9).op(Opcode::IAdd).istore(5);
+        b.branch(Opcode::Goto, top);
+        b.bind(end);
+    }
+    // NFA simulation over the same text
+    b.iconst(16);
+    b.newarray(ArrayKind::Int);
+    b.astore(6);
+    for_up(&mut b, 4, Src::Const(0), Src::Const(16), 1, |b| {
+        b.aload(6).iload(4).iload(4).op(Opcode::IAStore);
+    });
+    b.iconst(12);
+    b.newarray(ArrayKind::Int);
+    b.astore(7);
+    for (i, v) in [97, 122, 1, 48, 57, 2, 32, 32, 3, 0, 127, 4].iter().enumerate() {
+        b.aload(7).iconst(i as i32).iconst(*v).op(Opcode::IAStore);
+    }
+    for_up(&mut b, 4, Src::Const(0), Src::Reg(0), 1, |b| {
+        b.aload(6).aload(7);
+        b.aload(1).iload(4).op(Opcode::IALoad);
+        b.invoke(Opcode::InvokeStatic, nfa_move, 3, true);
+        b.iload(5).op(Opcode::IAdd).istore(5);
+        // revive the state set every 16 characters
+        let skip = b.new_label();
+        b.iload(4).iconst(15).op(Opcode::IAnd);
+        b.branch(Opcode::IfNe, skip);
+        for_up(b, 9, Src::Const(0), Src::Const(16), 1, |b| {
+            b.aload(6).iload(9).iload(9).op(Opcode::IAStore);
+        });
+        b.bind(skip);
+    });
+    // String.init copy
+    b.iload(0);
+    b.newarray(ArrayKind::Int);
+    b.astore(8);
+    b.aload(8).aload(1);
+    b.invoke(Opcode::InvokeStatic, string_init, 2, true);
+    b.iload(5).op(Opcode::IAdd);
+    b.op(Opcode::IReturn);
+    let driver = p.add_method(b.finish().expect("jack.driver"));
+
+    p.validate().expect("jack benchmark valid");
+    Benchmark {
+        name: "_228_jack",
+        suite: SuiteKind::Jvm98,
+        program: p,
+        driver,
+        driver_args: vec![Value::Int(input_len)],
+        hot: vec![nfa_move, next_token, string_init],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jess_counts_differing_tokens() {
+        let bench = jess_benchmark(21, 4);
+        let hits = bench.run().unwrap().unwrap().as_int().unwrap();
+        // every 7th token differs → 21 - 3 = 18 matches
+        assert_eq!(hits, 18);
+    }
+
+    #[test]
+    fn mtrt_hits_are_plausible() {
+        let bench = mtrt_benchmark(40);
+        let hits = bench.run().unwrap().unwrap().as_int().unwrap();
+        assert!(hits > 0 && hits <= 40, "hits = {hits}");
+    }
+
+    #[test]
+    fn jack_tokenizes() {
+        let bench = jack_benchmark(256);
+        let v = bench.run().unwrap().unwrap().as_int().unwrap();
+        assert!(v > 0);
+    }
+
+    #[test]
+    fn intersect_agrees_with_rust_slab_test() {
+        let mut p = Program::new();
+        let (class, _combine) = build_point_combine(&mut p);
+        let _ = class;
+        let (oct_class, _find) = build_find_tree_node(&mut p);
+        let intersect = build_intersect(&mut p, oct_class);
+        p.validate().unwrap();
+        let mut jvm = javaflow_interp::Interp::new(&p);
+        let node = jvm.state.heap.alloc_object(oct_class, 8);
+        for (slot, v) in [(0, 0.0), (1, 4.0), (2, 0.0), (3, 4.0), (4, 0.0), (5, 4.0)] {
+            jvm.state.heap.put_field(Some(node), slot, Value::Double(v)).unwrap();
+        }
+        let run = |jvm: &mut javaflow_interp::Interp<'_>, o: [f64; 3], d: [f64; 3]| {
+            jvm.run(
+                intersect,
+                &[
+                    Value::Ref(Some(node)),
+                    Value::Double(o[0]),
+                    Value::Double(o[1]),
+                    Value::Double(o[2]),
+                    Value::Double(d[0]),
+                    Value::Double(d[1]),
+                    Value::Double(d[2]),
+                ],
+            )
+            .unwrap()
+            .unwrap()
+            .as_double()
+            .unwrap()
+        };
+        // straight-through hit from outside
+        let t = run(&mut jvm, [-1.0, 2.0, 2.0], [1.0, 0.0, 0.0]);
+        assert!((t - 1.0).abs() < 1e-9, "entry at t=1, got {t}");
+        // miss
+        let t = run(&mut jvm, [-1.0, 9.0, 2.0], [1.0, 0.0, 0.0]);
+        assert!(t < 0.0);
+        // origin inside the box → entry t ≤ 0 but hit
+        let t = run(&mut jvm, [2.0, 2.0, 2.0], [0.0, 1.0, 0.0]);
+        assert!(t <= 0.0);
+    }
+}

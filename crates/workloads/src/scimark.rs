@@ -1,0 +1,1108 @@
+//! SciMark-style kernels: FFT, LU, SOR, sparse matmult, Monte Carlo, and
+//! the `Random.nextDouble` generator that is the dissertation's Appendix C
+//! case study (Figures 27–31).
+//!
+//! Each kernel is a faithful re-implementation of the SciMark 2.0 hot
+//! method against the ByteCode builder, preserving the loop nests, the
+//! arithmetic mix, and the register/stack discipline javac produces. The
+//! drivers allocate and initialize real heap state so every benchmark runs
+//! end-to-end on the interpreter and can be co-simulated on the fabric.
+
+use javaflow_bytecode::{
+    ArrayKind, ClassDef, MethodBuilder, MethodId, Opcode, Program, Value,
+};
+
+use crate::util::{countdown, dabs, for_up, Src};
+use crate::{Benchmark, SuiteKind};
+
+const M1: i32 = 0x3FFF_FFFF;
+const DM1: f64 = 1.0 / (M1 as f64);
+const PI: f64 = std::f64::consts::PI;
+
+/// Adds the `Random` class and its methods; returns
+/// `(class id, Random.make, Random.nextDouble)`.
+pub fn build_random(p: &mut Program) -> (u16, MethodId, MethodId) {
+    // Fields: 0 = m (int[17]), 1 = i, 2 = j, 3 = haveRange, 4 = left,
+    // 5 = width.
+    let class = p.add_class(ClassDef {
+        name: "Random".into(),
+        instance_fields: 6,
+        static_fields: 0,
+    });
+
+    // Reserve the ids before building so the methods can self-reference.
+    let make_id = MethodId(p.num_methods() as u32);
+    let next_id = MethodId(p.num_methods() as u32 + 1);
+
+    // Random.make(seed) — allocates and seeds the generator.
+    let mut b = MethodBuilder::new("Random.make", 1, true);
+    {
+        // locals: 0 seed, 1 r, 2 m, 3 k
+        b.emit(Opcode::New, javaflow_bytecode::Operand::ClassId(class));
+        b.astore(1);
+        b.iconst(17);
+        b.newarray(ArrayKind::Int);
+        b.astore(2);
+        b.aload(1);
+        b.aload(2);
+        b.field(Opcode::PutField, class, 0);
+        for_up(&mut b, 3, Src::Const(0), Src::Const(17), 1, |b| {
+            // seed = seed * 1103515245 + 12345
+            b.iload(0).iconst(1_103_515_245).op(Opcode::IMul).iconst(12_345).op(Opcode::IAdd);
+            b.istore(0);
+            // m[k] = (seed >>> 2) & M1
+            b.aload(2).iload(3);
+            b.iload(0).iconst(2).op(Opcode::IUShr).iconst(M1).op(Opcode::IAnd);
+            b.op(Opcode::IAStore);
+        });
+        b.aload(1).iconst(4);
+        b.field(Opcode::PutField, class, 1);
+        b.aload(1).iconst(16);
+        b.field(Opcode::PutField, class, 2);
+        b.aload(1).iconst(0);
+        b.field(Opcode::PutField, class, 3);
+        b.aload(1).dconst(0.0);
+        b.field(Opcode::PutField, class, 4);
+        b.aload(1).dconst(1.0);
+        b.field(Opcode::PutField, class, 5);
+        b.aload(1);
+        b.op(Opcode::AReturn);
+    }
+    let made = p.add_method(b.finish().expect("Random.make"));
+    assert_eq!(made, make_id);
+
+    // Random.nextDouble(this) — the Appendix C case-study method.
+    let mut b = MethodBuilder::new("Random.nextDouble", 1, true);
+    {
+        // locals: 0 this, 1 k
+        // k = m[i] - m[j]
+        b.aload(0);
+        b.field(Opcode::GetField, class, 0);
+        b.aload(0);
+        b.field(Opcode::GetField, class, 1);
+        b.op(Opcode::IALoad);
+        b.aload(0);
+        b.field(Opcode::GetField, class, 0);
+        b.aload(0);
+        b.field(Opcode::GetField, class, 2);
+        b.op(Opcode::IALoad);
+        b.op(Opcode::ISub);
+        b.istore(1);
+        // if (k < 0) k += m1
+        let nonneg = b.new_label();
+        b.iload(1);
+        b.branch(Opcode::IfGe, nonneg);
+        b.iload(1).iconst(M1).op(Opcode::IAdd).istore(1);
+        b.bind(nonneg);
+        // m[j] = k
+        b.aload(0);
+        b.field(Opcode::GetField, class, 0);
+        b.aload(0);
+        b.field(Opcode::GetField, class, 2);
+        b.iload(1);
+        b.op(Opcode::IAStore);
+        // if (i == 0) i = 16 else i--
+        let else_i = b.new_label();
+        let end_i = b.new_label();
+        b.aload(0);
+        b.field(Opcode::GetField, class, 1);
+        b.branch(Opcode::IfNe, else_i);
+        b.aload(0).iconst(16);
+        b.field(Opcode::PutField, class, 1);
+        b.branch(Opcode::Goto, end_i);
+        b.bind(else_i);
+        b.aload(0);
+        b.aload(0);
+        b.field(Opcode::GetField, class, 1);
+        b.iconst(1).op(Opcode::ISub);
+        b.field(Opcode::PutField, class, 1);
+        b.bind(end_i);
+        // if (j == 0) j = 16 else j--
+        let else_j = b.new_label();
+        let end_j = b.new_label();
+        b.aload(0);
+        b.field(Opcode::GetField, class, 2);
+        b.branch(Opcode::IfNe, else_j);
+        b.aload(0).iconst(16);
+        b.field(Opcode::PutField, class, 2);
+        b.branch(Opcode::Goto, end_j);
+        b.bind(else_j);
+        b.aload(0);
+        b.aload(0);
+        b.field(Opcode::GetField, class, 2);
+        b.iconst(1).op(Opcode::ISub);
+        b.field(Opcode::PutField, class, 2);
+        b.bind(end_j);
+        // if (haveRange) return left + dm1*k*width
+        let simple = b.new_label();
+        b.aload(0);
+        b.field(Opcode::GetField, class, 3);
+        b.branch(Opcode::IfEq, simple);
+        b.aload(0);
+        b.field(Opcode::GetField, class, 4);
+        b.dconst(DM1);
+        b.iload(1).op(Opcode::I2D).op(Opcode::DMul);
+        b.aload(0);
+        b.field(Opcode::GetField, class, 5);
+        b.op(Opcode::DMul);
+        b.op(Opcode::DAdd);
+        b.op(Opcode::DReturn);
+        b.bind(simple);
+        // return dm1 * k
+        b.dconst(DM1);
+        b.iload(1).op(Opcode::I2D).op(Opcode::DMul);
+        b.op(Opcode::DReturn);
+    }
+    let built = p.add_method(b.finish().expect("Random.nextDouble"));
+    assert_eq!(built, next_id);
+
+    (class, make_id, next_id)
+}
+
+/// Adds `MathLib.sin` (range-reduced Taylor series — the Math.sin calls the
+/// real SciMark FFT makes); returns its id.
+pub fn build_sin(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("MathLib.sin", 1, true);
+    // locals: 0 x, 1 term, 2 sum, 3 k, 4 x2
+    // x = x % (2*pi); fold into [-pi, pi]
+    b.dload(0).dconst(2.0 * PI).op(Opcode::DRem).dstore(0);
+    let no_high = b.new_label();
+    b.dload(0).dconst(PI).op(Opcode::DCmpL);
+    b.branch(Opcode::IfLe, no_high);
+    b.dload(0).dconst(2.0 * PI).op(Opcode::DSub).dstore(0);
+    b.bind(no_high);
+    let no_low = b.new_label();
+    b.dload(0).dconst(-PI).op(Opcode::DCmpG);
+    b.branch(Opcode::IfGe, no_low);
+    b.dload(0).dconst(2.0 * PI).op(Opcode::DAdd).dstore(0);
+    b.bind(no_low);
+    // x2 = x*x; term = x; sum = x
+    b.dload(0).dload(0).op(Opcode::DMul).dstore(4);
+    b.dload(0).dstore(1);
+    b.dload(0).dstore(2);
+    for_up(&mut b, 3, Src::Const(1), Src::Const(11), 1, |b| {
+        // term = -term * x2 / ((2k) * (2k+1))
+        b.dload(1).op(Opcode::DNeg).dload(4).op(Opcode::DMul);
+        b.iload(3).iconst(2).op(Opcode::IMul);
+        b.iload(3).iconst(2).op(Opcode::IMul).iconst(1).op(Opcode::IAdd);
+        b.op(Opcode::IMul).op(Opcode::I2D);
+        b.op(Opcode::DDiv);
+        b.dstore(1);
+        // sum += term
+        b.dload(2).dload(1).op(Opcode::DAdd).dstore(2);
+    });
+    b.dload(2);
+    b.op(Opcode::DReturn);
+    
+    p.add_method(b.finish().expect("MathLib.sin"))
+}
+
+/// Helper methods used by several drivers: `kernel.RandomVector`,
+/// `kernel.CopyVector`, `kernel.AllocMatrix`, `kernel.RandomizeMatrix`,
+/// `kernel.matvec`. Returns their ids in that order.
+pub fn build_kernel_helpers(
+    p: &mut Program,
+    arr_class: u16,
+    next_double: MethodId,
+) -> [MethodId; 5] {
+    // kernel.RandomVector(n, r) -> double[]
+    let mut b = MethodBuilder::new("kernel.RandomVector", 2, true);
+    // locals: 0 n, 1 r, 2 a, 3 i
+    b.iload(0);
+    b.newarray(ArrayKind::Double);
+    b.astore(2);
+    for_up(&mut b, 3, Src::Const(0), Src::Reg(0), 1, |b| {
+        b.aload(2).iload(3);
+        b.aload(1);
+        b.invoke(Opcode::InvokeVirtual, next_double, 1, true);
+        b.op(Opcode::DAStore);
+    });
+    b.aload(2);
+    b.op(Opcode::AReturn);
+    let random_vector = p.add_method(b.finish().expect("RandomVector"));
+
+    // kernel.CopyVector(src) -> double[]
+    let mut b = MethodBuilder::new("kernel.CopyVector", 1, true);
+    // locals: 0 src, 1 dst, 2 i, 3 n
+    b.aload(0).op(Opcode::ArrayLength).istore(3);
+    b.iload(3);
+    b.newarray(ArrayKind::Double);
+    b.astore(1);
+    for_up(&mut b, 2, Src::Const(0), Src::Reg(3), 1, |b| {
+        b.aload(1).iload(2);
+        b.aload(0).iload(2).op(Opcode::DALoad);
+        b.op(Opcode::DAStore);
+    });
+    b.aload(1);
+    b.op(Opcode::AReturn);
+    let copy_vector = p.add_method(b.finish().expect("CopyVector"));
+
+    // kernel.AllocMatrix(m, n) -> double[][]
+    let mut b = MethodBuilder::new("kernel.AllocMatrix", 2, true);
+    // locals: 0 m, 1 n, 2 a, 3 i
+    b.iload(0);
+    b.emit(Opcode::ANewArray, javaflow_bytecode::Operand::ClassId(arr_class));
+    b.astore(2);
+    for_up(&mut b, 3, Src::Const(0), Src::Reg(0), 1, |b| {
+        b.aload(2).iload(3);
+        b.iload(1);
+        b.newarray(ArrayKind::Double);
+        b.op(Opcode::AAStore);
+    });
+    b.aload(2);
+    b.op(Opcode::AReturn);
+    let alloc_matrix = p.add_method(b.finish().expect("AllocMatrix"));
+
+    // kernel.RandomizeMatrix(a, r) -> void
+    let mut b = MethodBuilder::new("kernel.RandomizeMatrix", 2, false);
+    // locals: 0 a, 1 r, 2 i, 3 j, 4 row
+    let rows = Src::Reg(5);
+    b.aload(0).op(Opcode::ArrayLength).istore(5);
+    for_up(&mut b, 2, Src::Const(0), rows, 1, |b| {
+        b.aload(0).iload(2).op(Opcode::AALoad).astore(4);
+        b.aload(4).op(Opcode::ArrayLength).istore(6);
+        for_up(b, 3, Src::Const(0), Src::Reg(6), 1, |b| {
+            b.aload(4).iload(3);
+            b.aload(1);
+            b.invoke(Opcode::InvokeVirtual, next_double, 1, true);
+            b.op(Opcode::DAStore);
+        });
+    });
+    b.op(Opcode::ReturnVoid);
+    let randomize_matrix = p.add_method(b.finish().expect("RandomizeMatrix"));
+
+    // kernel.matvec(a, x, y) -> void
+    let mut b = MethodBuilder::new("kernel.matvec", 3, false);
+    // locals: 0 a, 1 x, 2 y, 3 i, 4 j, 5 sum(d), 6 row, 7 n
+    b.aload(0).op(Opcode::ArrayLength).istore(7);
+    for_up(&mut b, 3, Src::Const(0), Src::Reg(7), 1, |b| {
+        b.dconst(0.0).dstore(5);
+        b.aload(0).iload(3).op(Opcode::AALoad).astore(6);
+        b.aload(6).op(Opcode::ArrayLength).istore(8);
+        for_up(b, 4, Src::Const(0), Src::Reg(8), 1, |b| {
+            b.dload(5);
+            b.aload(6).iload(4).op(Opcode::DALoad);
+            b.aload(1).iload(4).op(Opcode::DALoad);
+            b.op(Opcode::DMul).op(Opcode::DAdd).dstore(5);
+        });
+        b.aload(2).iload(3).dload(5).op(Opcode::DAStore);
+    });
+    b.op(Opcode::ReturnVoid);
+    let matvec = p.add_method(b.finish().expect("matvec"));
+
+    [random_vector, copy_vector, alloc_matrix, randomize_matrix, matvec]
+}
+
+/// Adds `FFT.bitreverse`, `FFT.transform_internal`, `FFT.transform`,
+/// `FFT.inverse`; returns `(bitreverse, transform_internal, transform,
+/// inverse)`.
+#[allow(clippy::similar_names)]
+pub fn build_fft(p: &mut Program, sin: MethodId) -> (MethodId, MethodId, MethodId, MethodId) {
+    // FFT.bitreverse(data) -> void
+    let mut b = MethodBuilder::new("FFT.bitreverse", 1, false);
+    // locals: 0 data, 1 n, 2 i, 3 j, 4 k, 5 ii, 6 jj, 7 tmp(d)
+    b.aload(0).op(Opcode::ArrayLength).iconst(2).op(Opcode::IDiv).istore(1);
+    b.iconst(0).istore(3);
+    let nm1 = 8u16; // n - 1
+    b.iload(1).iconst(1).op(Opcode::ISub).istore(nm1);
+    for_up(&mut b, 2, Src::Const(0), Src::Reg(nm1), 1, |b| {
+        // ii = 2i; jj = 2j; k = n/2
+        b.iload(2).iconst(2).op(Opcode::IMul).istore(5);
+        b.iload(3).iconst(2).op(Opcode::IMul).istore(6);
+        b.iload(1).iconst(2).op(Opcode::IDiv).istore(4);
+        // if (i < j) swap the complex pair
+        let noswap = b.new_label();
+        b.iload(2).iload(3);
+        b.branch(Opcode::IfICmpGe, noswap);
+        // tmp = data[ii]; data[ii] = data[jj]; data[jj] = tmp
+        b.aload(0).iload(5).op(Opcode::DALoad).dstore(7);
+        b.aload(0).iload(5);
+        b.aload(0).iload(6).op(Opcode::DALoad);
+        b.op(Opcode::DAStore);
+        b.aload(0).iload(6).dload(7).op(Opcode::DAStore);
+        // and the imaginary halves
+        b.aload(0).iload(5).iconst(1).op(Opcode::IAdd).op(Opcode::DALoad).dstore(7);
+        b.aload(0).iload(5).iconst(1).op(Opcode::IAdd);
+        b.aload(0).iload(6).iconst(1).op(Opcode::IAdd).op(Opcode::DALoad);
+        b.op(Opcode::DAStore);
+        b.aload(0).iload(6).iconst(1).op(Opcode::IAdd).dload(7).op(Opcode::DAStore);
+        b.bind(noswap);
+        // while (k <= j) { j -= k; k /= 2 }
+        let wtop = b.new_label();
+        let wend = b.new_label();
+        b.bind(wtop);
+        b.iload(4).iload(3);
+        b.branch(Opcode::IfICmpGt, wend);
+        b.iload(3).iload(4).op(Opcode::ISub).istore(3);
+        b.iload(4).iconst(2).op(Opcode::IDiv).istore(4);
+        b.branch(Opcode::Goto, wtop);
+        b.bind(wend);
+        // j += k
+        b.iload(3).iload(4).op(Opcode::IAdd).istore(3);
+    });
+    b.op(Opcode::ReturnVoid);
+    let bitreverse = p.add_method(b.finish().expect("bitreverse"));
+
+    // FFT.transform_internal(data, direction) -> void
+    let mut b = MethodBuilder::new("FFT.transform_internal", 2, false);
+    // locals: 0 data, 1 direction, 2 n, 3 logn, 4 bit, 5 dual,
+    //         6 wr, 7 wi, 8 s, 9 s2, 10 a, 11 bb, 12 i, 13 j,
+    //         14 wdr, 15 wdi, 16 theta, 17 t, 18 tmpr, 19 z1r, 20 z1i
+    b.aload(0).op(Opcode::ArrayLength).iconst(2).op(Opcode::IDiv).istore(2);
+    let not_trivial = b.new_label();
+    b.iload(2).iconst(1);
+    b.branch(Opcode::IfICmpNe, not_trivial);
+    b.op(Opcode::ReturnVoid);
+    b.bind(not_trivial);
+    // logn = log2(n)
+    b.iconst(0).istore(3);
+    b.iconst(1).istore(4);
+    {
+        let top = b.new_label();
+        let end = b.new_label();
+        b.bind(top);
+        b.iload(4).iload(2);
+        b.branch(Opcode::IfICmpGe, end);
+        b.iload(4).iconst(1).op(Opcode::IShl).istore(4);
+        b.iinc(3, 1);
+        b.branch(Opcode::Goto, top);
+        b.bind(end);
+    }
+    b.aload(0);
+    b.invoke(Opcode::InvokeStatic, bitreverse, 1, false);
+    // outer loop over bits
+    b.iconst(1).istore(5);
+    for_up(&mut b, 4, Src::Const(0), Src::Reg(3), 1, |b| {
+        b.dconst(1.0).dstore(6);
+        b.dconst(0.0).dstore(7);
+        // theta = 2*direction*PI / (2*dual)
+        b.dconst(2.0);
+        b.iload(1).op(Opcode::I2D).op(Opcode::DMul);
+        b.dconst(PI).op(Opcode::DMul);
+        b.iconst(2).iload(5).op(Opcode::IMul).op(Opcode::I2D);
+        b.op(Opcode::DDiv);
+        b.dstore(16);
+        // s = sin(theta); t = sin(theta/2); s2 = 2*t*t
+        b.dload(16);
+        b.invoke(Opcode::InvokeStatic, sin, 1, true);
+        b.dstore(8);
+        b.dload(16).dconst(2.0).op(Opcode::DDiv);
+        b.invoke(Opcode::InvokeStatic, sin, 1, true);
+        b.dstore(17);
+        b.dconst(2.0).dload(17).op(Opcode::DMul).dload(17).op(Opcode::DMul).dstore(9);
+        // a = 0 butterfly: for (bb = 0; bb < n; bb += 2*dual)
+        b.iconst(0).istore(11);
+        {
+            let top = b.new_label();
+            let end = b.new_label();
+            b.bind(top);
+            b.iload(11).iload(2);
+            b.branch(Opcode::IfICmpGe, end);
+            b.iload(11).iconst(2).op(Opcode::IMul).istore(12);
+            b.iload(11).iload(5).op(Opcode::IAdd).iconst(2).op(Opcode::IMul).istore(13);
+            // wd = data[j..j+1]
+            b.aload(0).iload(13).op(Opcode::DALoad).dstore(14);
+            b.aload(0).iload(13).iconst(1).op(Opcode::IAdd).op(Opcode::DALoad).dstore(15);
+            // data[j] = data[i] - wdr; data[j+1] = data[i+1] - wdi
+            b.aload(0).iload(13);
+            b.aload(0).iload(12).op(Opcode::DALoad).dload(14).op(Opcode::DSub);
+            b.op(Opcode::DAStore);
+            b.aload(0).iload(13).iconst(1).op(Opcode::IAdd);
+            b.aload(0).iload(12).iconst(1).op(Opcode::IAdd).op(Opcode::DALoad);
+            b.dload(15).op(Opcode::DSub);
+            b.op(Opcode::DAStore);
+            // data[i] += wdr; data[i+1] += wdi
+            b.aload(0).iload(12);
+            b.aload(0).iload(12).op(Opcode::DALoad).dload(14).op(Opcode::DAdd);
+            b.op(Opcode::DAStore);
+            b.aload(0).iload(12).iconst(1).op(Opcode::IAdd);
+            b.aload(0).iload(12).iconst(1).op(Opcode::IAdd).op(Opcode::DALoad);
+            b.dload(15).op(Opcode::DAdd);
+            b.op(Opcode::DAStore);
+            b.iload(11).iconst(2).iload(5).op(Opcode::IMul).op(Opcode::IAdd).istore(11);
+            b.branch(Opcode::Goto, top);
+            b.bind(end);
+        }
+        // for (a = 1; a < dual; a++) with the trig recurrence
+        for_up(b, 10, Src::Const(1), Src::Reg(5), 1, |b| {
+            // tmpr = wr - s*wi - s2*wr
+            b.dload(6);
+            b.dload(8).dload(7).op(Opcode::DMul).op(Opcode::DSub);
+            b.dload(9).dload(6).op(Opcode::DMul).op(Opcode::DSub);
+            b.dstore(18);
+            // wi = wi + s*wr - s2*wi
+            b.dload(7);
+            b.dload(8).dload(6).op(Opcode::DMul).op(Opcode::DAdd);
+            b.dload(9).dload(7).op(Opcode::DMul).op(Opcode::DSub);
+            b.dstore(7);
+            b.dload(18).dstore(6);
+            // inner butterflies
+            b.iconst(0).istore(11);
+            let top = b.new_label();
+            let end = b.new_label();
+            b.bind(top);
+            b.iload(11).iload(2);
+            b.branch(Opcode::IfICmpGe, end);
+            b.iload(11).iload(10).op(Opcode::IAdd).iconst(2).op(Opcode::IMul).istore(12);
+            b.iload(11).iload(10).op(Opcode::IAdd).iload(5).op(Opcode::IAdd).iconst(2)
+                .op(Opcode::IMul)
+                .istore(13);
+            b.aload(0).iload(13).op(Opcode::DALoad).dstore(19);
+            b.aload(0).iload(13).iconst(1).op(Opcode::IAdd).op(Opcode::DALoad).dstore(20);
+            // wd = w * z1 (complex)
+            b.dload(6).dload(19).op(Opcode::DMul).dload(7).dload(20).op(Opcode::DMul)
+                .op(Opcode::DSub)
+                .dstore(14);
+            b.dload(6).dload(20).op(Opcode::DMul).dload(7).dload(19).op(Opcode::DMul)
+                .op(Opcode::DAdd)
+                .dstore(15);
+            b.aload(0).iload(13);
+            b.aload(0).iload(12).op(Opcode::DALoad).dload(14).op(Opcode::DSub);
+            b.op(Opcode::DAStore);
+            b.aload(0).iload(13).iconst(1).op(Opcode::IAdd);
+            b.aload(0).iload(12).iconst(1).op(Opcode::IAdd).op(Opcode::DALoad);
+            b.dload(15).op(Opcode::DSub);
+            b.op(Opcode::DAStore);
+            b.aload(0).iload(12);
+            b.aload(0).iload(12).op(Opcode::DALoad).dload(14).op(Opcode::DAdd);
+            b.op(Opcode::DAStore);
+            b.aload(0).iload(12).iconst(1).op(Opcode::IAdd);
+            b.aload(0).iload(12).iconst(1).op(Opcode::IAdd).op(Opcode::DALoad);
+            b.dload(15).op(Opcode::DAdd);
+            b.op(Opcode::DAStore);
+            b.iload(11).iconst(2).iload(5).op(Opcode::IMul).op(Opcode::IAdd).istore(11);
+            b.branch(Opcode::Goto, top);
+            b.bind(end);
+        });
+        // dual *= 2
+        b.iload(5).iconst(2).op(Opcode::IMul).istore(5);
+    });
+    b.op(Opcode::ReturnVoid);
+    let transform_internal = p.add_method(b.finish().expect("transform_internal"));
+
+    // FFT.transform(data)
+    let mut b = MethodBuilder::new("FFT.transform", 1, false);
+    b.aload(0).iconst(1);
+    b.invoke(Opcode::InvokeStatic, transform_internal, 2, false);
+    b.op(Opcode::ReturnVoid);
+    let transform = p.add_method(b.finish().expect("transform"));
+
+    // FFT.inverse(data): transform with direction -1, then scale by 1/n.
+    let mut b = MethodBuilder::new("FFT.inverse", 1, false);
+    // locals: 0 data, 1 n, 2 i, 3 norm(d), 4 nd
+    b.aload(0).iconst(-1);
+    b.invoke(Opcode::InvokeStatic, transform_internal, 2, false);
+    b.aload(0).op(Opcode::ArrayLength).istore(4);
+    b.dconst(1.0);
+    b.iload(4).iconst(2).op(Opcode::IDiv).op(Opcode::I2D);
+    b.op(Opcode::DDiv).dstore(3);
+    for_up(&mut b, 2, Src::Const(0), Src::Reg(4), 1, |b| {
+        b.aload(0).iload(2);
+        b.aload(0).iload(2).op(Opcode::DALoad).dload(3).op(Opcode::DMul);
+        b.op(Opcode::DAStore);
+    });
+    b.op(Opcode::ReturnVoid);
+    let inverse = p.add_method(b.finish().expect("inverse"));
+
+    (bitreverse, transform_internal, transform, inverse)
+}
+
+/// Builds the `scimark.fft` benchmark.
+#[must_use]
+pub fn fft_benchmark(n: i32) -> Benchmark {
+    let mut p = Program::new();
+    let arr = p.add_class(ClassDef { name: "Arr".into(), instance_fields: 0, static_fields: 0 });
+    let (_random_class, make, next_double) = build_random(&mut p);
+    let sin = build_sin(&mut p);
+    let [random_vector, copy_vector, _, _, _] = build_kernel_helpers(&mut p, arr, next_double);
+    let (bitreverse, transform_internal, transform, inverse) = build_fft(&mut p, sin);
+
+    // driver(n): round-trip FFT error accumulation.
+    let mut b = MethodBuilder::new("fft.driver", 1, true);
+    // locals: 0 n, 1 r, 2 data, 3 copy, 4 i, 5 acc(d), 6 len
+    b.iconst(20);
+    b.invoke(Opcode::InvokeStatic, make, 1, true);
+    b.astore(1);
+    // RandomVector(2n, r)
+    b.iload(0).iconst(2).op(Opcode::IMul);
+    b.aload(1);
+    b.invoke(Opcode::InvokeStatic, random_vector, 2, true);
+    b.astore(2);
+    b.aload(2);
+    b.invoke(Opcode::InvokeStatic, copy_vector, 1, true);
+    b.astore(3);
+    b.aload(2);
+    b.invoke(Opcode::InvokeStatic, transform, 1, false);
+    b.aload(2);
+    b.invoke(Opcode::InvokeStatic, inverse, 1, false);
+    b.dconst(0.0).dstore(5);
+    b.aload(2).op(Opcode::ArrayLength).istore(6);
+    for_up(&mut b, 4, Src::Const(0), Src::Reg(6), 1, |b| {
+        b.dload(5);
+        b.aload(2).iload(4).op(Opcode::DALoad);
+        b.aload(3).iload(4).op(Opcode::DALoad);
+        b.op(Opcode::DSub);
+        dabs(b);
+        b.op(Opcode::DAdd);
+        b.dstore(5);
+    });
+    b.dload(5);
+    b.op(Opcode::DReturn);
+    let driver = p.add_method(b.finish().expect("fft.driver"));
+
+    p.validate().expect("fft benchmark valid");
+    Benchmark {
+        name: "scimark.fft",
+        suite: SuiteKind::Jvm2008,
+        program: p,
+        driver,
+        driver_args: vec![Value::Int(n)],
+        hot: vec![transform_internal, bitreverse, next_double, inverse],
+    }
+}
+
+/// Adds `LU.factor` and returns its id.
+pub fn build_lu_factor(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("LU.factor", 2, true);
+    // locals: 0 A, 1 pivot, 2 N, 3 j, 4 jp, 5 t(d), 6 i, 7 recp(d),
+    //         8 k, 9 ab(d), 10 rowj, 11 rowi, 12 Nm1
+    b.aload(0).op(Opcode::ArrayLength).istore(2);
+    b.iload(2).iconst(1).op(Opcode::ISub).istore(12);
+    for_up(&mut b, 3, Src::Const(0), Src::Reg(2), 1, |b| {
+        // partial pivot search
+        b.iload(3).istore(4);
+        b.aload(0).iload(3).op(Opcode::AALoad).iload(3).op(Opcode::DALoad);
+        dabs(b);
+        b.dstore(5);
+        b.iload(3).iconst(1).op(Opcode::IAdd).istore(6);
+        {
+            let top = b.new_label();
+            let end = b.new_label();
+            b.bind(top);
+            b.iload(6).iload(2);
+            b.branch(Opcode::IfICmpGe, end);
+            b.aload(0).iload(6).op(Opcode::AALoad).iload(3).op(Opcode::DALoad);
+            dabs(b);
+            b.dstore(9);
+            let no_better = b.new_label();
+            b.dload(9).dload(5).op(Opcode::DCmpL);
+            b.branch(Opcode::IfLe, no_better);
+            b.iload(6).istore(4);
+            b.dload(9).dstore(5);
+            b.bind(no_better);
+            b.iinc(6, 1);
+            b.branch(Opcode::Goto, top);
+            b.bind(end);
+        }
+        b.aload(1).iload(3).iload(4).op(Opcode::IAStore);
+        // singular check: if (A[jp][j] == 0) return 1
+        let nonsingular = b.new_label();
+        b.aload(0).iload(4).op(Opcode::AALoad).iload(3).op(Opcode::DALoad);
+        b.dconst(0.0).op(Opcode::DCmpL);
+        b.branch(Opcode::IfNe, nonsingular);
+        b.iconst(1);
+        b.op(Opcode::IReturn);
+        b.bind(nonsingular);
+        // row swap if needed
+        let noswap = b.new_label();
+        b.iload(4).iload(3);
+        b.branch(Opcode::IfICmpEq, noswap);
+        b.aload(0).iload(4).op(Opcode::AALoad).astore(10);
+        b.aload(0).iload(4);
+        b.aload(0).iload(3).op(Opcode::AALoad);
+        b.op(Opcode::AAStore);
+        b.aload(0).iload(3).aload(10).op(Opcode::AAStore);
+        b.bind(noswap);
+        // scale below the pivot
+        let no_scale = b.new_label();
+        b.iload(3).iload(12);
+        b.branch(Opcode::IfICmpGe, no_scale);
+        b.dconst(1.0);
+        b.aload(0).iload(3).op(Opcode::AALoad).iload(3).op(Opcode::DALoad);
+        b.op(Opcode::DDiv).dstore(7);
+        b.iload(3).iconst(1).op(Opcode::IAdd).istore(6);
+        {
+            let top = b.new_label();
+            let end = b.new_label();
+            b.bind(top);
+            b.iload(6).iload(2);
+            b.branch(Opcode::IfICmpGe, end);
+            b.aload(0).iload(6).op(Opcode::AALoad).astore(11);
+            b.aload(11).iload(3);
+            b.aload(11).iload(3).op(Opcode::DALoad).dload(7).op(Opcode::DMul);
+            b.op(Opcode::DAStore);
+            b.iinc(6, 1);
+            b.branch(Opcode::Goto, top);
+            b.bind(end);
+        }
+        // trailing update
+        b.aload(0).iload(3).op(Opcode::AALoad).astore(10);
+        b.iload(3).iconst(1).op(Opcode::IAdd).istore(6);
+        {
+            let top = b.new_label();
+            let end = b.new_label();
+            b.bind(top);
+            b.iload(6).iload(2);
+            b.branch(Opcode::IfICmpGe, end);
+            b.aload(0).iload(6).op(Opcode::AALoad).astore(11);
+            b.iload(3).iconst(1).op(Opcode::IAdd).istore(8);
+            {
+                let ktop = b.new_label();
+                let kend = b.new_label();
+                b.bind(ktop);
+                b.iload(8).iload(2);
+                b.branch(Opcode::IfICmpGe, kend);
+                // A[i][k] -= A[i][j] * A[j][k]
+                b.aload(11).iload(8);
+                b.aload(11).iload(8).op(Opcode::DALoad);
+                b.aload(11).iload(3).op(Opcode::DALoad);
+                b.aload(10).iload(8).op(Opcode::DALoad);
+                b.op(Opcode::DMul).op(Opcode::DSub);
+                b.op(Opcode::DAStore);
+                b.iinc(8, 1);
+                b.branch(Opcode::Goto, ktop);
+                b.bind(kend);
+            }
+            b.iinc(6, 1);
+            b.branch(Opcode::Goto, top);
+            b.bind(end);
+        }
+        b.bind(no_scale);
+    });
+    b.iconst(0);
+    b.op(Opcode::IReturn);
+    p.add_method(b.finish().expect("LU.factor"))
+}
+
+/// Builds the `scimark.lu` benchmark.
+#[must_use]
+pub fn lu_benchmark(n: i32) -> Benchmark {
+    let mut p = Program::new();
+    let arr = p.add_class(ClassDef { name: "Arr".into(), instance_fields: 0, static_fields: 0 });
+    let (_rc, make, next_double) = build_random(&mut p);
+    let [random_vector, _, alloc_matrix, randomize_matrix, matvec] =
+        build_kernel_helpers(&mut p, arr, next_double);
+    let factor = build_lu_factor(&mut p);
+
+    // driver(n): randomize, matvec (the residual check SciMark performs),
+    // factor, return A[n-1][n-1] + y[0] + code.
+    let mut b = MethodBuilder::new("lu.driver", 1, true);
+    // locals: 0 n, 1 r, 2 A, 3 pivot, 4 code, 5 x, 6 y
+    b.iconst(7);
+    b.invoke(Opcode::InvokeStatic, make, 1, true);
+    b.astore(1);
+    b.iload(0).iload(0);
+    b.invoke(Opcode::InvokeStatic, alloc_matrix, 2, true);
+    b.astore(2);
+    b.aload(2).aload(1);
+    b.invoke(Opcode::InvokeStatic, randomize_matrix, 2, false);
+    // y = A * x before factorization (kernel.matvec, Table 3's 3rd method)
+    b.iload(0).aload(1);
+    b.invoke(Opcode::InvokeStatic, random_vector, 2, true);
+    b.astore(5);
+    b.iload(0);
+    b.newarray(ArrayKind::Double);
+    b.astore(6);
+    b.aload(2).aload(5).aload(6);
+    b.invoke(Opcode::InvokeStatic, matvec, 3, false);
+    b.iload(0);
+    b.newarray(ArrayKind::Int);
+    b.astore(3);
+    b.aload(2).aload(3);
+    b.invoke(Opcode::InvokeStatic, factor, 2, true);
+    b.istore(4);
+    b.aload(2).iload(0).iconst(1).op(Opcode::ISub).op(Opcode::AALoad);
+    b.iload(0).iconst(1).op(Opcode::ISub).op(Opcode::DALoad);
+    b.iload(4).op(Opcode::I2D).op(Opcode::DAdd);
+    b.aload(6).iconst(0).op(Opcode::DALoad).op(Opcode::DAdd);
+    b.op(Opcode::DReturn);
+    let driver = p.add_method(b.finish().expect("lu.driver"));
+
+    p.validate().expect("lu benchmark valid");
+    Benchmark {
+        name: "scimark.lu",
+        suite: SuiteKind::Jvm2008,
+        program: p,
+        driver,
+        driver_args: vec![Value::Int(n)],
+        hot: vec![factor, next_double, matvec],
+    }
+}
+
+/// Adds `SOR.execute` and returns its id.
+pub fn build_sor_execute(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("SOR.execute", 3, true);
+    // args: 0 omega(d), 1 G, 2 num_iterations
+    // locals: 3 M, 4 N, 5 oof(d), 6 omo(d), 7 pcount, 8 i, 9 j,
+    //         10 Gi, 11 Gim1, 12 Gip1, 13 Mm1, 14 Nm1
+    b.aload(1).op(Opcode::ArrayLength).istore(3);
+    b.aload(1).iconst(0).op(Opcode::AALoad).op(Opcode::ArrayLength).istore(4);
+    b.dload(0).dconst(0.25).op(Opcode::DMul).dstore(5);
+    b.dconst(1.0).dload(0).op(Opcode::DSub).dstore(6);
+    b.iload(3).iconst(1).op(Opcode::ISub).istore(13);
+    b.iload(4).iconst(1).op(Opcode::ISub).istore(14);
+    b.iload(2).istore(7);
+    countdown(&mut b, 7, |b| {
+        for_up(b, 8, Src::Const(1), Src::Reg(13), 1, |b| {
+            b.aload(1).iload(8).op(Opcode::AALoad).astore(10);
+            b.aload(1).iload(8).iconst(1).op(Opcode::ISub).op(Opcode::AALoad).astore(11);
+            b.aload(1).iload(8).iconst(1).op(Opcode::IAdd).op(Opcode::AALoad).astore(12);
+            for_up(b, 9, Src::Const(1), Src::Reg(14), 1, |b| {
+                b.aload(10).iload(9);
+                // omega_over_four * (up + down + left + right)
+                b.dload(5);
+                b.aload(11).iload(9).op(Opcode::DALoad);
+                b.aload(12).iload(9).op(Opcode::DALoad);
+                b.op(Opcode::DAdd);
+                b.aload(10).iload(9).iconst(1).op(Opcode::ISub).op(Opcode::DALoad);
+                b.op(Opcode::DAdd);
+                b.aload(10).iload(9).iconst(1).op(Opcode::IAdd).op(Opcode::DALoad);
+                b.op(Opcode::DAdd);
+                b.op(Opcode::DMul);
+                // + one_minus_omega * Gi[j]
+                b.dload(6);
+                b.aload(10).iload(9).op(Opcode::DALoad);
+                b.op(Opcode::DMul);
+                b.op(Opcode::DAdd);
+                b.op(Opcode::DAStore);
+            });
+        });
+    });
+    b.aload(1).iconst(1).op(Opcode::AALoad).iconst(1).op(Opcode::DALoad);
+    b.op(Opcode::DReturn);
+    p.add_method(b.finish().expect("SOR.execute"))
+}
+
+/// Builds the `scimark.sor` benchmark.
+#[must_use]
+pub fn sor_benchmark(n: i32, iters: i32) -> Benchmark {
+    let mut p = Program::new();
+    let arr = p.add_class(ClassDef { name: "Arr".into(), instance_fields: 0, static_fields: 0 });
+    let (_rc, make, next_double) = build_random(&mut p);
+    let [_, _, alloc_matrix, randomize_matrix, _] = build_kernel_helpers(&mut p, arr, next_double);
+    let execute = build_sor_execute(&mut p);
+
+    let mut b = MethodBuilder::new("sor.driver", 2, true);
+    // locals: 0 n, 1 iters, 2 r, 3 G
+    b.iconst(11);
+    b.invoke(Opcode::InvokeStatic, make, 1, true);
+    b.astore(2);
+    b.iload(0).iload(0);
+    b.invoke(Opcode::InvokeStatic, alloc_matrix, 2, true);
+    b.astore(3);
+    b.aload(3).aload(2);
+    b.invoke(Opcode::InvokeStatic, randomize_matrix, 2, false);
+    b.dconst(1.25).aload(3).iload(1);
+    b.invoke(Opcode::InvokeStatic, execute, 3, true);
+    b.op(Opcode::DReturn);
+    let driver = p.add_method(b.finish().expect("sor.driver"));
+
+    p.validate().expect("sor benchmark valid");
+    Benchmark {
+        name: "scimark.sor",
+        suite: SuiteKind::Jvm2008,
+        program: p,
+        driver,
+        driver_args: vec![Value::Int(n), Value::Int(iters)],
+        hot: vec![execute, next_double],
+    }
+}
+
+/// Adds `SparseCompRow.matmult` and returns its id.
+pub fn build_sparse_matmult(p: &mut Program) -> MethodId {
+    let mut b = MethodBuilder::new("SparseCompRow.matmult", 6, false);
+    // args: 0 y, 1 val, 2 row, 3 col, 4 x, 5 iters
+    // locals: 6 M, 7 reps, 8 r, 9 sum(d), 10 i, 11 rowRp1
+    b.aload(2).op(Opcode::ArrayLength).iconst(1).op(Opcode::ISub).istore(6);
+    b.iload(5).istore(7);
+    countdown(&mut b, 7, |b| {
+        for_up(b, 8, Src::Const(0), Src::Reg(6), 1, |b| {
+            b.dconst(0.0).dstore(9);
+            b.aload(2).iload(8).iconst(1).op(Opcode::IAdd).op(Opcode::IALoad).istore(11);
+            // for (i = row[r]; i < row[r+1]; i++)
+            b.aload(2).iload(8).op(Opcode::IALoad).istore(10);
+            let top = b.new_label();
+            let end = b.new_label();
+            b.bind(top);
+            b.iload(10).iload(11);
+            b.branch(Opcode::IfICmpGe, end);
+            b.dload(9);
+            b.aload(4);
+            b.aload(3).iload(10).op(Opcode::IALoad);
+            b.op(Opcode::DALoad);
+            b.aload(1).iload(10).op(Opcode::DALoad);
+            b.op(Opcode::DMul).op(Opcode::DAdd);
+            b.dstore(9);
+            b.iinc(10, 1);
+            b.branch(Opcode::Goto, top);
+            b.bind(end);
+            b.aload(0).iload(8).dload(9).op(Opcode::DAStore);
+        });
+    });
+    b.op(Opcode::ReturnVoid);
+    p.add_method(b.finish().expect("matmult"))
+}
+
+/// Builds the `scimark.sparse` benchmark.
+#[must_use]
+pub fn sparse_benchmark(n: i32, nz_per_row: i32, iters: i32) -> Benchmark {
+    let mut p = Program::new();
+    let arr = p.add_class(ClassDef { name: "Arr".into(), instance_fields: 0, static_fields: 0 });
+    let (_rc, make, next_double) = build_random(&mut p);
+    let [random_vector, _, _, _, _] = build_kernel_helpers(&mut p, arr, next_double);
+    let matmult = build_sparse_matmult(&mut p);
+
+    let mut b = MethodBuilder::new("sparse.driver", 3, true);
+    // args: 0 n, 1 nz, 2 iters
+    // locals: 3 r, 4 nnz, 5 val, 6 row, 7 col, 8 x, 9 y, 10 i, 11 k
+    b.iconst(101);
+    b.invoke(Opcode::InvokeStatic, make, 1, true);
+    b.astore(3);
+    b.iload(0).iload(1).op(Opcode::IMul).istore(4);
+    b.iload(4).aload(3);
+    b.invoke(Opcode::InvokeStatic, random_vector, 2, true);
+    b.astore(5);
+    b.iload(0).iconst(1).op(Opcode::IAdd);
+    b.newarray(ArrayKind::Int);
+    b.astore(6);
+    b.iload(4);
+    b.newarray(ArrayKind::Int);
+    b.astore(7);
+    b.iload(0).aload(3);
+    b.invoke(Opcode::InvokeStatic, random_vector, 2, true);
+    b.astore(8);
+    b.iload(0);
+    b.newarray(ArrayKind::Double);
+    b.astore(9);
+    // row[i] = i*nz
+    for_up(&mut b, 10, Src::Const(0), Src::Reg(0), 1, |b| {
+        b.aload(6).iload(10).iload(10).iload(1).op(Opcode::IMul).op(Opcode::IAStore);
+    });
+    b.aload(6).iload(0).iload(4).op(Opcode::IAStore);
+    // col[i*nz + k] = (i*5 + k*3) % n
+    for_up(&mut b, 10, Src::Const(0), Src::Reg(0), 1, |b| {
+        for_up(b, 11, Src::Const(0), Src::Reg(1), 1, |b| {
+            b.aload(7);
+            b.iload(10).iload(1).op(Opcode::IMul).iload(11).op(Opcode::IAdd);
+            b.iload(10).iconst(5).op(Opcode::IMul).iload(11).iconst(3).op(Opcode::IMul)
+                .op(Opcode::IAdd)
+                .iload(0)
+                .op(Opcode::IRem);
+            b.op(Opcode::IAStore);
+        });
+    });
+    b.aload(9).aload(5).aload(6).aload(7).aload(8).iload(2);
+    b.invoke(Opcode::InvokeStatic, matmult, 6, false);
+    b.aload(9).iload(0).iconst(1).op(Opcode::ISub).op(Opcode::DALoad);
+    b.op(Opcode::DReturn);
+    let driver = p.add_method(b.finish().expect("sparse.driver"));
+
+    p.validate().expect("sparse benchmark valid");
+    Benchmark {
+        name: "scimark.sparse",
+        suite: SuiteKind::Jvm2008,
+        program: p,
+        driver,
+        driver_args: vec![Value::Int(n), Value::Int(nz_per_row), Value::Int(iters)],
+        hot: vec![matmult, next_double],
+    }
+}
+
+/// Adds `MonteCarlo.integrate` and returns its id.
+pub fn build_integrate(p: &mut Program, make: MethodId, next_double: MethodId) -> MethodId {
+    let mut b = MethodBuilder::new("MonteCarlo.integrate", 1, true);
+    // locals: 0 n, 1 r, 2 under, 3 count, 4 x(d), 5 y(d)
+    b.iconst(113);
+    b.invoke(Opcode::InvokeStatic, make, 1, true);
+    b.astore(1);
+    b.iconst(0).istore(2);
+    for_up(&mut b, 3, Src::Const(0), Src::Reg(0), 1, |b| {
+        b.aload(1);
+        b.invoke(Opcode::InvokeVirtual, next_double, 1, true);
+        b.dstore(4);
+        b.aload(1);
+        b.invoke(Opcode::InvokeVirtual, next_double, 1, true);
+        b.dstore(5);
+        let outside = b.new_label();
+        b.dload(4).dload(4).op(Opcode::DMul);
+        b.dload(5).dload(5).op(Opcode::DMul);
+        b.op(Opcode::DAdd);
+        b.dconst(1.0);
+        b.op(Opcode::DCmpG);
+        b.branch(Opcode::IfGt, outside);
+        b.iinc(2, 1);
+        b.bind(outside);
+    });
+    b.dconst(4.0);
+    b.iload(2).op(Opcode::I2D).op(Opcode::DMul);
+    b.iload(0).op(Opcode::I2D).op(Opcode::DDiv);
+    b.op(Opcode::DReturn);
+    p.add_method(b.finish().expect("integrate"))
+}
+
+/// Builds the `scimark.monte_carlo` benchmark.
+#[must_use]
+pub fn monte_carlo_benchmark(samples: i32) -> Benchmark {
+    let mut p = Program::new();
+    let (_rc, make, next_double) = build_random(&mut p);
+    let integrate = build_integrate(&mut p, make, next_double);
+
+    let mut b = MethodBuilder::new("monte_carlo.driver", 1, true);
+    b.iload(0);
+    b.invoke(Opcode::InvokeStatic, integrate, 1, true);
+    b.op(Opcode::DReturn);
+    let driver = p.add_method(b.finish().expect("mc.driver"));
+
+    p.validate().expect("monte_carlo benchmark valid");
+    Benchmark {
+        name: "scimark.monte_carlo",
+        suite: SuiteKind::Jvm2008,
+        program: p,
+        driver,
+        driver_args: vec![Value::Int(samples)],
+        hot: vec![next_double, integrate],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javaflow_interp::Interp;
+
+    #[test]
+    fn next_double_is_in_unit_interval_and_deterministic() {
+        let mut p = Program::new();
+        let (_c, make, next) = build_random(&mut p);
+        p.validate().unwrap();
+        let mut jvm = Interp::new(&p);
+        let r = jvm.run(make, &[Value::Int(42)]).unwrap().unwrap();
+        let mut last = -1.0;
+        for _ in 0..100 {
+            let v = jvm.run(next, &[r]).unwrap().unwrap().as_double().unwrap();
+            assert!((0.0..=1.0).contains(&v), "out of range: {v}");
+            assert!(v != last, "generator stuck");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn sin_accuracy() {
+        let mut p = Program::new();
+        let sin = build_sin(&mut p);
+        p.validate().unwrap();
+        let mut jvm = Interp::new(&p);
+        for x in [-7.0, -3.0, -1.0, 0.0, 0.5, 1.0, 2.0, 3.15, 6.0, 12.5] {
+            let got =
+                jvm.run(sin, &[Value::Double(x)]).unwrap().unwrap().as_double().unwrap();
+            assert!((got - f64::sin(x)).abs() < 1e-6, "sin({x}) = {got}");
+        }
+    }
+
+    #[test]
+    fn fft_round_trip_is_exact() {
+        let bench = fft_benchmark(32);
+        let acc = bench.run().unwrap().unwrap().as_double().unwrap();
+        assert!(acc < 1e-6, "FFT round-trip error {acc}");
+    }
+
+    #[test]
+    fn lu_factor_runs() {
+        let bench = lu_benchmark(8);
+        let v = bench.run().unwrap().unwrap().as_double().unwrap();
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn lu_factor_matches_rust_reference() {
+        // Factor a small random matrix in the interpreter and compare the
+        // in-place LU against a Rust implementation of the same algorithm.
+        let mut p = Program::new();
+        let arr =
+            p.add_class(ClassDef { name: "Arr".into(), instance_fields: 0, static_fields: 0 });
+        let (_rc, make, next_double) = build_random(&mut p);
+        let [_, _, alloc, randomize, _] = build_kernel_helpers(&mut p, arr, next_double);
+        let factor = build_lu_factor(&mut p);
+        p.validate().unwrap();
+
+        let n = 5usize;
+        let mut jvm = Interp::new(&p);
+        let r = jvm.run(make, &[Value::Int(7)]).unwrap().unwrap();
+        let a = jvm.run(alloc, &[Value::Int(n as i32), Value::Int(n as i32)]).unwrap().unwrap();
+        jvm.run(randomize, &[a, r]).unwrap();
+
+        // Snapshot the matrix before factorization.
+        let read = |jvm: &Interp<'_>, a: Value| -> Vec<Vec<f64>> {
+            let h = a.as_ref_handle().unwrap();
+            (0..n)
+                .map(|i| {
+                    let row = jvm.state.heap.array_get(h, i as i32).unwrap();
+                    let rh = row.as_ref_handle().unwrap();
+                    (0..n)
+                        .map(|j| {
+                            jvm.state.heap.array_get(rh, j as i32).unwrap().as_double().unwrap()
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let mut reference = read(&jvm, a);
+        let pivot_h = jvm.state.heap.alloc_array(ArrayKind::Int, n as i32).unwrap();
+        let code = jvm.run(factor, &[a, Value::Ref(Some(pivot_h))]).unwrap().unwrap();
+        assert_eq!(code, Value::Int(0), "matrix unexpectedly singular");
+        let got = read(&jvm, a);
+
+        // Rust reference: identical partial-pivot in-place LU.
+        for j in 0..n {
+            let mut jp = j;
+            let mut t = reference[j][j].abs();
+            for (i, row) in reference.iter().enumerate().take(n).skip(j + 1) {
+                let ab = row[j].abs();
+                if ab > t {
+                    jp = i;
+                    t = ab;
+                }
+            }
+            if jp != j {
+                reference.swap(jp, j);
+            }
+            assert!(reference[j][j] != 0.0);
+            if j < n - 1 {
+                let recp = 1.0 / reference[j][j];
+                for row in reference.iter_mut().skip(j + 1) {
+                    row[j] *= recp;
+                }
+            }
+            for ii in (j + 1)..n {
+                for kk in (j + 1)..n {
+                    reference[ii][kk] -= reference[ii][j] * reference[j][kk];
+                }
+            }
+        }
+        for (gr, rr) in got.iter().zip(&reference) {
+            for (g, r) in gr.iter().zip(rr) {
+                assert!((g - r).abs() < 1e-12, "LU divergence: {g} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn sor_converges() {
+        let bench = sor_benchmark(8, 10);
+        let v = bench.run().unwrap().unwrap().as_double().unwrap();
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn sparse_matmult_runs() {
+        let bench = sparse_benchmark(20, 4, 3);
+        let v = bench.run().unwrap().unwrap().as_double().unwrap();
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn monte_carlo_approximates_pi() {
+        let bench = monte_carlo_benchmark(2_000);
+        let pi = bench.run().unwrap().unwrap().as_double().unwrap();
+        assert!((pi - std::f64::consts::PI).abs() < 0.15, "π estimate {pi}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Benchmark suite structure: the SPEC JVM98 / JVM2008 substitute.
+//!
+//! Each [`Benchmark`] bundles a linked [`Program`] containing its hot
+//! methods (re-implementations of the methods in the dissertation's
+//! Tables 3–4) plus a *driver* method that allocates and initializes state
+//! and exercises the hot methods, so the whole benchmark runs end-to-end on
+//! the interpreter for the dynamic-mix analysis of Chapter 5.
+
+use javaflow_bytecode::{MethodId, Program, Value};
+use javaflow_interp::{Interp, JvmError, Profiler};
+
+/// Which SPEC generation a benchmark models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteKind {
+    /// SpecJVM2008 analog.
+    Jvm2008,
+    /// SpecJVM98 analog.
+    Jvm98,
+}
+
+impl SuiteKind {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SuiteKind::Jvm2008 => "SpecJvm2008",
+            SuiteKind::Jvm98 => "SpecJvm98",
+        }
+    }
+}
+
+/// One benchmark: a program, its driver, and its hot methods.
+#[derive(Debug)]
+pub struct Benchmark {
+    /// Benchmark name (e.g. `scimark.fft`).
+    pub name: &'static str,
+    /// Suite generation.
+    pub suite: SuiteKind,
+    /// The linked program.
+    pub program: Program,
+    /// Entry point that runs a representative workload.
+    pub driver: MethodId,
+    /// Driver arguments (typically a problem size).
+    pub driver_args: Vec<Value>,
+    /// The hot methods (the "top 4" of Tables 3–4), hottest first.
+    pub hot: Vec<MethodId>,
+}
+
+impl Benchmark {
+    /// Runs the driver on a fresh interpreter with profiling, returning the
+    /// profiler and the driver's result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter failures.
+    pub fn profile(&self) -> Result<(Profiler, Option<Value>), JvmError> {
+        let mut jvm = Interp::new(&self.program).with_profiler();
+        let result = jvm.run(self.driver, &self.driver_args)?;
+        Ok((jvm.profiler.take().expect("profiler attached"), result))
+    }
+
+    /// Runs the driver without profiling and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter failures.
+    pub fn run(&self) -> Result<Option<Value>, JvmError> {
+        let mut jvm = Interp::new(&self.program);
+        jvm.run(self.driver, &self.driver_args)
+    }
+
+    /// Names of the hot methods.
+    #[must_use]
+    pub fn hot_names(&self) -> Vec<&str> {
+        self.hot.iter().map(|id| self.program.method(*id).name.as_str()).collect()
+    }
+}
+
+/// Builds the full 14-benchmark suite the evaluation runs over: the eight
+/// SpecJVM2008 analogs and six SpecJVM98 analogs of Tables 3–4, each sized
+/// so the whole suite profiles on the interpreter in seconds.
+#[must_use]
+pub fn full_suite() -> Vec<Benchmark> {
+    vec![
+        crate::compress::compress_benchmark(SuiteKind::Jvm2008, 2_048),
+        crate::crypto::crypto_benchmark(24),
+        crate::audio::mpegaudio_benchmark(SuiteKind::Jvm2008, 12),
+        crate::scimark::fft_benchmark(64),
+        crate::scimark::lu_benchmark(14),
+        crate::scimark::monte_carlo_benchmark(3_000),
+        crate::scimark::sor_benchmark(14, 12),
+        crate::scimark::sparse_benchmark(48, 4, 6),
+        crate::compress::compress_benchmark(SuiteKind::Jvm98, 1_024),
+        crate::misc98::jess_benchmark(48, 5),
+        crate::db::db_benchmark(96, 8),
+        crate::audio::mpegaudio_benchmark(SuiteKind::Jvm98, 8),
+        crate::misc98::mtrt_benchmark(160),
+        crate::misc98::jack_benchmark(768),
+    ]
+}

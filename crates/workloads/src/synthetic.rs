@@ -1,0 +1,535 @@
+//! Synthetic method population generator.
+//!
+//! Chapter 7 evaluates roughly 1600 methods. The real hot kernels live in
+//! the benchmark modules; this generator produces the surrounding
+//! *population* — javac-shaped methods with sizes and instruction mixes
+//! matched to the Chapter 5 measurements (median ≈ 29 instructions, mean ≈
+//! 56, a long tail toward 1000; static mix ≈ 60% arithmetic / 10% float /
+//! 10% control / 20% storage). Every generated method passes the verifier,
+//! so it loads and resolves on the fabric; execution uses the scripted
+//! branch predictors exactly as the dissertation's population runs did
+//! (no trace data), so loops terminate by predictor schedule, not by data.
+
+use javaflow_bytecode::{ClassDef, Method, MethodBuilder, MethodId, Opcode, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// RNG seed (generation is fully deterministic).
+    pub seed: u64,
+    /// Number of methods to generate.
+    pub count: usize,
+    /// Log-normal size parameter: median instruction count.
+    pub median_size: f64,
+    /// Log-normal size spread (σ of ln size).
+    pub sigma: f64,
+    /// Hard size cap.
+    pub max_size: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig { seed: 0x4a56_4d46, count: 200, median_size: 14.0, sigma: 1.3, max_size: 1_100 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Int,
+    Long,
+    Float,
+    Double,
+}
+
+struct Gen<'b, 'r> {
+    rng: &'r mut StdRng,
+    b: &'b mut MethodBuilder,
+    ints: Vec<u16>,
+    longs: Vec<u16>,
+    floats: Vec<u16>,
+    doubles: Vec<u16>,
+    arr_int: u16,
+    arr_double: u16,
+    next_counter: u16,
+    callee: MethodId,
+    statics_class: u16,
+    budget: usize,
+}
+
+impl Gen<'_, '_> {
+    fn spent(&self) -> usize {
+        self.b.here() as usize
+    }
+
+    fn over_budget(&self) -> bool {
+        self.spent() >= self.budget
+    }
+
+    fn pick_reg(&mut self, pool: &[u16]) -> u16 {
+        pool[self.rng.gen_range(0..pool.len())]
+    }
+
+    /// Emits one value of type `ty` (a leaf: register or constant).
+    fn leaf(&mut self, ty: Ty) {
+        let use_reg = self.rng.gen_bool(0.65);
+        match ty {
+            Ty::Int => {
+                if use_reg {
+                    let r = self.pick_reg(&self.ints.clone());
+                    self.b.iload(r);
+                } else {
+                    let v = self.rng.gen_range(-100..100);
+                    self.b.iconst(v);
+                }
+            }
+            Ty::Long => {
+                if use_reg {
+                    let r = self.pick_reg(&self.longs.clone());
+                    self.b.lload(r);
+                } else {
+                    let v: i64 = self.rng.gen_range(-100..100);
+                    self.b.lconst(v);
+                }
+            }
+            Ty::Float => {
+                if use_reg {
+                    let r = self.pick_reg(&self.floats.clone());
+                    self.b.fload(r);
+                } else {
+                    let v = self.rng.gen_range(-8..8) as f32 * 0.5;
+                    self.b.fconst(v);
+                }
+            }
+            Ty::Double => {
+                if use_reg {
+                    let r = self.pick_reg(&self.doubles.clone());
+                    self.b.dload(r);
+                } else {
+                    let v = self.rng.gen_range(-8..8) as f64 * 0.25;
+                    self.b.dconst(v);
+                }
+            }
+        }
+    }
+
+    /// Emits an expression of type `ty`, leaving one value on the stack.
+    fn expr(&mut self, ty: Ty, depth: u32) {
+        if depth == 0 || self.over_budget() || self.rng.gen_bool(0.3) {
+            self.leaf(ty);
+            return;
+        }
+        let roll: f64 = self.rng.gen();
+        match ty {
+            Ty::Int => {
+                if roll < 0.05 {
+                    // helper call (GPP-serviced on the fabric)
+                    self.expr(Ty::Int, depth - 1);
+                    self.b.invoke(Opcode::InvokeStatic, self.callee, 1, true);
+                } else if roll < 0.15 {
+                    // ordered array read
+                    let arr = self.arr_int;
+                    self.b.aload(arr);
+                    self.leaf(Ty::Int);
+                    self.b.iconst(0xFF).op(Opcode::IAnd);
+                    self.b.op(Opcode::IALoad);
+                } else if roll < 0.20 {
+                    // static field read
+                    let slot = self.rng.gen_range(0..4u16);
+                    self.b.field(Opcode::GetStatic, self.statics_class, slot);
+                } else if roll < 0.28 {
+                    // narrowing conversion
+                    let src = match self.rng.gen_range(0..3) {
+                        0 => Ty::Long,
+                        1 => Ty::Float,
+                        _ => Ty::Double,
+                    };
+                    self.expr(src, depth - 1);
+                    self.b.op(match src {
+                        Ty::Long => Opcode::L2I,
+                        Ty::Float => Opcode::F2I,
+                        Ty::Double => Opcode::D2I,
+                        Ty::Int => unreachable!(),
+                    });
+                } else if roll < 0.34 {
+                    // floating comparison producing an int
+                    self.expr(Ty::Double, depth - 1);
+                    self.expr(Ty::Double, depth - 1);
+                    self.b.op(Opcode::DCmpL);
+                } else {
+                    let op = match self.rng.gen_range(0..8) {
+                        0 => Opcode::IAdd,
+                        1 => Opcode::ISub,
+                        2 => Opcode::IMul,
+                        3 => Opcode::IAnd,
+                        4 => Opcode::IOr,
+                        5 => Opcode::IXor,
+                        6 => Opcode::IShl,
+                        _ => Opcode::IUShr,
+                    };
+                    self.expr(Ty::Int, depth - 1);
+                    self.expr(Ty::Int, depth - 1);
+                    self.b.op(op);
+                }
+            }
+            Ty::Long => {
+                if roll < 0.2 {
+                    self.expr(Ty::Int, depth - 1);
+                    self.b.op(Opcode::I2L);
+                } else {
+                    let op = match self.rng.gen_range(0..6) {
+                        0 => Opcode::LAdd,
+                        1 => Opcode::LSub,
+                        2 => Opcode::LMul,
+                        3 => Opcode::LAnd,
+                        4 => Opcode::LOr,
+                        _ => Opcode::LXor,
+                    };
+                    self.expr(Ty::Long, depth - 1);
+                    self.expr(Ty::Long, depth - 1);
+                    self.b.op(op);
+                }
+            }
+            Ty::Float => {
+                if roll < 0.2 {
+                    self.expr(Ty::Int, depth - 1);
+                    self.b.op(Opcode::I2F);
+                } else {
+                    let op = match self.rng.gen_range(0..4) {
+                        0 => Opcode::FAdd,
+                        1 => Opcode::FSub,
+                        2 => Opcode::FMul,
+                        _ => Opcode::FDiv,
+                    };
+                    self.expr(Ty::Float, depth - 1);
+                    self.expr(Ty::Float, depth - 1);
+                    self.b.op(op);
+                }
+            }
+            Ty::Double => {
+                if roll < 0.12 {
+                    self.expr(Ty::Int, depth - 1);
+                    self.b.op(Opcode::I2D);
+                } else if roll < 0.24 {
+                    let arr = self.arr_double;
+                    self.b.aload(arr);
+                    self.leaf(Ty::Int);
+                    self.b.iconst(0xFF).op(Opcode::IAnd);
+                    self.b.op(Opcode::DALoad);
+                } else {
+                    let op = match self.rng.gen_range(0..4) {
+                        0 => Opcode::DAdd,
+                        1 => Opcode::DSub,
+                        2 => Opcode::DMul,
+                        _ => Opcode::DDiv,
+                    };
+                    self.expr(Ty::Double, depth - 1);
+                    self.expr(Ty::Double, depth - 1);
+                    self.b.op(op);
+                }
+            }
+        }
+    }
+
+    /// Emits one statement (stack-neutral).
+    fn stmt(&mut self, nest: u32) {
+        if self.over_budget() {
+            return;
+        }
+        let roll: f64 = self.rng.gen();
+        if roll < 0.32 {
+            // int assignment
+            self.expr(Ty::Int, 3);
+            let r = self.pick_reg(&self.ints.clone());
+            self.b.istore(r);
+        } else if roll < 0.44 {
+            // double assignment
+            self.expr(Ty::Double, 2);
+            let r = self.pick_reg(&self.doubles.clone());
+            self.b.dstore(r);
+        } else if roll < 0.50 {
+            // long assignment
+            self.expr(Ty::Long, 2);
+            let r = self.pick_reg(&self.longs.clone());
+            self.b.lstore(r);
+        } else if roll < 0.55 {
+            // float assignment
+            self.expr(Ty::Float, 2);
+            let r = self.pick_reg(&self.floats.clone());
+            self.b.fstore(r);
+        } else if roll < 0.63 {
+            // array write
+            if self.rng.gen_bool(0.5) {
+                let arr = self.arr_int;
+                self.b.aload(arr);
+                self.leaf(Ty::Int);
+                self.b.iconst(0xFF).op(Opcode::IAnd);
+                self.expr(Ty::Int, 2);
+                self.b.op(Opcode::IAStore);
+            } else {
+                let arr = self.arr_double;
+                self.b.aload(arr);
+                self.leaf(Ty::Int);
+                self.b.iconst(0xFF).op(Opcode::IAnd);
+                self.expr(Ty::Double, 2);
+                self.b.op(Opcode::DAStore);
+            }
+        } else if roll < 0.68 {
+            // static field write
+            self.expr(Ty::Int, 2);
+            let slot = self.rng.gen_range(0..4u16);
+            self.b.field(Opcode::PutStatic, self.statics_class, slot);
+        } else if roll < 0.71 {
+            // register increment
+            let r = self.pick_reg(&self.ints.clone());
+            let delta = self.rng.gen_range(-3..=3);
+            self.b.iinc(r, if delta == 0 { 1 } else { delta });
+        } else if roll < 0.88 && nest > 0 {
+            // if / if-else
+            self.expr(Ty::Int, 2);
+            let cond = match self.rng.gen_range(0..4) {
+                0 => Opcode::IfEq,
+                1 => Opcode::IfNe,
+                2 => Opcode::IfLt,
+                _ => Opcode::IfGe,
+            };
+            let with_else = self.rng.gen_bool(0.4);
+            let else_l = self.b.new_label();
+            let end_l = self.b.new_label();
+            self.b.branch(cond, else_l);
+            for _ in 0..self.rng.gen_range(1..3) {
+                self.stmt(nest - 1);
+            }
+            if with_else {
+                self.b.branch(Opcode::Goto, end_l);
+                self.b.bind(else_l);
+                for _ in 0..self.rng.gen_range(1..3) {
+                    self.stmt(nest - 1);
+                }
+                self.b.bind(end_l);
+            } else {
+                self.b.bind(else_l);
+                // end_l unbound is fine only if unused — bind it harmlessly.
+                self.b.bind(end_l);
+            }
+        } else if nest > 0 {
+            // countdown loop with a dedicated counter register
+            let counter = self.next_counter;
+            self.next_counter += 1;
+            let n = self.rng.gen_range(2..9);
+            self.b.iconst(n);
+            self.b.istore(counter);
+            let top = self.b.new_label();
+            let exit = self.b.new_label();
+            self.b.bind(top);
+            for _ in 0..self.rng.gen_range(1..3) {
+                self.stmt(nest - 1);
+            }
+            self.b.iinc(counter, -1);
+            self.b.iload(counter);
+            self.b.branch(Opcode::IfGt, top);
+            self.b.bind(exit);
+        } else {
+            // fall back to a simple assignment at max nesting
+            self.expr(Ty::Int, 2);
+            let r = self.pick_reg(&self.ints.clone());
+            self.b.istore(r);
+        }
+    }
+}
+
+/// Generates the synthetic population; returns the program and the ids of
+/// the generated methods (excluding the shared helper).
+#[must_use]
+pub fn generate(config: &GenConfig) -> (Program, Vec<MethodId>) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut program = Program::new();
+    let statics_class = program.add_class(ClassDef {
+        name: "G".into(),
+        instance_fields: 0,
+        static_fields: 4,
+    });
+
+    // Shared helper callee.
+    let mut hb = MethodBuilder::new("synthetic.helper", 1, true);
+    hb.iload(0).iconst(3).op(Opcode::IMul).iconst(1).op(Opcode::IAdd);
+    hb.op(Opcode::IReturn);
+    let callee = program.add_method(hb.finish().expect("helper"));
+
+    let mut ids = Vec::with_capacity(config.count);
+    for idx in 0..config.count {
+        let method = generate_method(config, &mut rng, idx, callee, statics_class);
+        ids.push(program.add_method(method));
+    }
+    program.validate().expect("synthetic population valid");
+    (program, ids)
+}
+
+fn generate_method(
+    config: &GenConfig,
+    rng: &mut StdRng,
+    idx: usize,
+    callee: MethodId,
+    statics_class: u16,
+) -> Method {
+    // Log-normal size draw.
+    let z: f64 = {
+        // Box–Muller from two uniforms.
+        let u1: f64 = rng.gen_range(1e-9..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let size = (config.median_size * (config.sigma * z).exp())
+        .clamp(3.0, config.max_size as f64) as usize;
+
+    let num_args = rng.gen_range(1..4u16);
+    let returns = rng.gen_bool(0.8);
+    let mut b = MethodBuilder::new(format!("synthetic.m{idx}"), num_args, returns);
+
+    // Tiny methods (the accessor/getter shape that dominates real library
+    // code — ~43% of the dissertation's population is under 10
+    // instructions): a couple of int statements, no register pools.
+    if size < 12 {
+        for _ in 0..(size.saturating_sub(4) / 3).max(1) {
+            b.iload(rng.gen_range(0..num_args));
+            b.iconst(rng.gen_range(-30..30));
+            b.op(match rng.gen_range(0..3) {
+                0 => Opcode::IAdd,
+                1 => Opcode::IMul,
+                _ => Opcode::IXor,
+            });
+            b.istore(rng.gen_range(0..num_args));
+        }
+        if returns {
+            b.iload(0);
+            b.op(Opcode::IReturn);
+        } else {
+            b.op(Opcode::ReturnVoid);
+        }
+        return b.finish().expect("tiny method verifies");
+    }
+
+    // Register pools: args are ints; then extra ints, longs, floats,
+    // doubles, two array refs, then loop counters.
+    let mut next = num_args;
+    let mut take = |n: u16| {
+        let r: Vec<u16> = (next..next + n).collect();
+        next += n;
+        r
+    };
+    let mut ints: Vec<u16> = (0..num_args).collect();
+    ints.extend(take(rng.gen_range(2..5)));
+    let longs = take(rng.gen_range(1..3));
+    let floats = take(rng.gen_range(1..3));
+    let doubles = take(rng.gen_range(1..4));
+    let arr_int = take(1)[0];
+    let arr_double = take(1)[0];
+
+    // Initialize non-argument registers so data-independent paths are
+    // well-typed (javac's definite assignment).
+    for &r in ints.iter().skip(usize::from(num_args)) {
+        b.iconst(rng.gen_range(-50..50));
+        b.istore(r);
+    }
+    for &r in &longs {
+        b.lconst(rng.gen_range(-50i64..50));
+        b.lstore(r);
+    }
+    for &r in &floats {
+        b.fconst(rng.gen_range(-4..4) as f32);
+        b.fstore(r);
+    }
+    for &r in &doubles {
+        b.dconst(rng.gen_range(-4..4) as f64);
+        b.dstore(r);
+    }
+
+    {
+        let mut g = Gen {
+            rng,
+            b: &mut b,
+            ints,
+            longs,
+            floats,
+            doubles,
+            arr_int,
+            arr_double,
+            next_counter: next,
+            callee,
+            statics_class,
+            budget: size,
+        };
+        while !g.over_budget() {
+            g.stmt(3);
+        }
+    }
+
+    if returns {
+        // Return an int expression summarizing some state.
+        b.iload(0);
+        b.op(Opcode::IReturn);
+    } else {
+        b.op(Opcode::ReturnVoid);
+    }
+    b.finish().expect("generated method verifies")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javaflow_bytecode::verify;
+
+    #[test]
+    fn population_verifies_and_is_deterministic() {
+        let cfg = GenConfig { count: 60, ..GenConfig::default() };
+        let (p1, ids1) = generate(&cfg);
+        let (p2, _ids2) = generate(&cfg);
+        assert_eq!(ids1.len(), 60);
+        for (id, m) in p1.methods() {
+            let v = verify(m).expect("verifies");
+            assert_eq!(v.back_merges, 0, "{} has back merges", m.name);
+            assert_eq!(p2.method(id), m, "generation not deterministic");
+        }
+    }
+
+    #[test]
+    fn sizes_follow_target_distribution() {
+        let cfg = GenConfig { count: 300, ..GenConfig::default() };
+        let (p, ids) = generate(&cfg);
+        let mut sizes: Vec<usize> = ids.iter().map(|id| p.method(*id).len()).collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2];
+        assert!(
+            (15..=90).contains(&median),
+            "median {median} far from the Chapter 5 target of ~29–56"
+        );
+        assert!(*sizes.last().unwrap() > 150, "population needs a large-method tail");
+    }
+
+    #[test]
+    fn mix_is_in_the_static_mix_ballpark() {
+        use javaflow_bytecode::NodeKind;
+        let cfg = GenConfig { count: 150, ..GenConfig::default() };
+        let (p, ids) = generate(&cfg);
+        let mut counts = [0usize; 4];
+        let mut total = 0usize;
+        for id in &ids {
+            for insn in &p.method(*id).code {
+                let k = match insn.group().node_kind() {
+                    NodeKind::Arith => 0,
+                    NodeKind::Float => 1,
+                    NodeKind::Storage => 2,
+                    NodeKind::Control => 3,
+                };
+                counts[k] += 1;
+                total += 1;
+            }
+        }
+        let frac = |k: usize| counts[k] as f64 / total as f64;
+        assert!((0.40..=0.80).contains(&frac(0)), "arith {:.2}", frac(0));
+        assert!((0.03..=0.30).contains(&frac(1)), "float {:.2}", frac(1));
+        assert!((0.05..=0.35).contains(&frac(2)), "storage {:.2}", frac(2));
+        assert!((0.03..=0.25).contains(&frac(3)), "control {:.2}", frac(3));
+    }
+}

@@ -1,0 +1,48 @@
+//! A miniature Chapter 7 evaluation: run the population across all six
+//! machine configurations under both branch scripts and print the
+//! Figure-of-Merit table (Table 22) plus parallelism (Table 26).
+//!
+//! ```sh
+//! cargo run --release --example evaluation
+//! ```
+//!
+//! For the full table set, use the dedicated binary:
+//! `cargo run --release -p javaflow-bench --bin tables`.
+
+use javaflow_core::{EvalConfig, Evaluation, Filter};
+
+fn main() {
+    println!("running population × 6 configurations × 2 branch scripts …");
+    let eval = Evaluation::run(&EvalConfig { synthetic_count: 120, ..EvalConfig::default() });
+
+    println!("\npopulation: {} methods (", eval.records.len());
+    for f in Filter::ALL {
+        println!("  {:<10} {:>4} methods", f.label(), eval.filtered(*f).len());
+    }
+    println!(")");
+
+    println!("\nFigure of Merit vs the collapsed baseline (Table 22 analog):");
+    println!("{:<11} {:>9} {:>9} {:>7} {:>8}", "config", "IPC mean", "IPC med", "FM", "FM std");
+    for row in eval.config_rows(Filter::All) {
+        println!(
+            "{:<11} {:>9.3} {:>9.3} {:>7.2} {:>8.2}",
+            row.name, row.ipc.mean, row.ipc.median, row.fom.mean, row.fom.std_dev
+        );
+    }
+
+    println!("\nParallelism — fraction of busy time with ≥2 instructions firing:");
+    for (name, p) in eval.parallelism() {
+        println!("{name:<11} {:>5.1}%", p * 100.0);
+    }
+
+    let hetero_fm = eval
+        .config_rows(Filter::All)
+        .last()
+        .map(|r| r.fom.mean)
+        .unwrap_or_default();
+    println!(
+        "\nheadline: the heterogeneous fabric sustains {:.0}% of the baseline IPC",
+        hetero_fm * 100.0
+    );
+    println!("(the dissertation reports 40% with a ~3.1 nodes-per-instruction span)");
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the JavaFlow workspace.
+//!
+//! Re-exports the public facade from [`javaflow_core`]. See the individual
+//! crates for subsystem documentation:
+//!
+//! * [`javaflow_bytecode`] — the Java ByteCode instruction set and method IR
+//! * [`javaflow_interp`] — the JVM-lite interpreter / GPP and profiler
+//! * [`javaflow_analysis`] — static and dynamic analyses, statistics
+//! * [`javaflow_fabric`] — the dataflow fabric simulator
+//! * [`javaflow_workloads`] — the SPEC-like workload suite
+//! * [`javaflow_core`] — the high-level machine API and evaluation harness
+
+pub use javaflow_core::*;

@@ -1,0 +1,66 @@
+//! Cross-crate golden-model tests: the fabric's distributed address
+//! resolution must agree exactly with the verifier's abstract
+//! interpretation on every method in the repository — suite kernels,
+//! drivers, and the synthetic population.
+
+use javaflow_bytecode::verify;
+use javaflow_core::population;
+use javaflow_fabric::resolve;
+
+#[test]
+fn resolver_matches_verifier_on_entire_population() {
+    let pop = population(120);
+    assert!(pop.len() > 150);
+    for rec in &pop {
+        let v = verify(&rec.method).unwrap_or_else(|e| panic!("{}: verify: {e}", rec.name));
+        let r = resolve(&rec.method).unwrap_or_else(|e| panic!("{}: resolve: {e}", rec.name));
+        let verifier_edges: Vec<(u32, u32, u16)> =
+            v.edges.iter().map(|e| (e.producer, e.consumer, e.side)).collect();
+        assert_eq!(
+            r.edges(),
+            verifier_edges,
+            "{}: distributed resolution diverged from the verifier",
+            rec.name
+        );
+        assert_eq!(r.stats.merges as usize, v.merges, "{}: merge count", rec.name);
+        assert_eq!(r.stats.back_merges, 0, "{}: back merges must not exist", rec.name);
+        assert_eq!(v.back_merges, 0, "{}: verifier found back merges", rec.name);
+    }
+}
+
+#[test]
+fn resolution_cost_tracks_method_size() {
+    // Table 7's observation: resolution completes in ≈ 2× the instruction
+    // count of the method.
+    let pop = population(40);
+    for rec in pop.iter().filter(|r| r.len() > 10) {
+        let r = resolve(&rec.method).unwrap();
+        let ratio = r.stats.resolution_ticks as f64 / rec.len() as f64;
+        assert!(
+            (1.5..=3.5).contains(&ratio),
+            "{}: resolution ticks / insts = {ratio:.2}",
+            rec.name
+        );
+    }
+}
+
+#[test]
+fn fanout_and_arcs_match_chapter5_shape() {
+    // Table 10: javac-style code has tiny fanout (mean ≈ 1.04) and short
+    // arcs (mean ≈ 1.9).
+    let pop = population(120);
+    let mut fanouts = Vec::new();
+    let mut arcs = Vec::new();
+    for rec in pop.iter().filter(|r| r.len() > 10 && r.len() < 1000) {
+        let r = resolve(&rec.method).unwrap();
+        if r.stats.dflows > 0 {
+            fanouts.push(r.stats.fanout_avg);
+            arcs.push(r.stats.arc_avg);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let f = mean(&fanouts);
+    let a = mean(&arcs);
+    assert!((1.0..1.4).contains(&f), "mean fanout {f:.3} (paper: 1.04)");
+    assert!((1.0..4.5).contains(&a), "mean arc length {a:.2} (paper: 1.88)");
+}
