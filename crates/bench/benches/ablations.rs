@@ -7,12 +7,10 @@
 //! * **mesh width**: placement compression (10-wide per the dissertation)
 //!   vs narrower/wider fabrics.
 //!
-//! Each bench also prints the measured IPC effect once, so `cargo bench`
-//! output doubles as the ablation record.
+//! Each bench also prints the measured IPC effect, so `cargo bench` output
+//! doubles as the ablation record.
 
-use std::sync::Once;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use javaflow_bench::micro::time;
 use javaflow_fabric::{execute, load, BranchMode, ExecParams, ExecReport, FabricConfig};
 use javaflow_workloads::scimark;
 
@@ -56,8 +54,7 @@ fn run_scripted(loaded: &javaflow_fabric::LoadedMethod<'_>, fc: &FabricConfig) -
     execute(loaded, fc, ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() })
 }
 
-fn ablation_folding(c: &mut Criterion) {
-    static ONCE: Once = Once::new();
+fn ablation_folding() {
     let (program, id) = dup_heavy();
     let method = program.method(id);
     let config = FabricConfig::compact2();
@@ -65,55 +62,41 @@ fn ablation_folding(c: &mut Criterion) {
     let mut folded = load(method, &config).expect("loads");
     let n = folded.graph.fold_moves(method);
 
-    ONCE.call_once(|| {
-        let a = run_scripted(&plain, &config);
-        let b = run_scripted(&folded, &config);
-        println!(
-            "[ablation folding] folded {n} nodes: executed {} → {}, cycles {} → {}, IPC {:.3} → {:.3}",
-            a.executed, b.executed, a.mesh_cycles, b.mesh_cycles, a.ipc, b.ipc
-        );
-    });
+    let a = run_scripted(&plain, &config);
+    let b = run_scripted(&folded, &config);
+    println!(
+        "[ablation folding] folded {n} nodes: executed {} → {}, cycles {} → {}, IPC {:.3} → {:.3}",
+        a.executed, b.executed, a.mesh_cycles, b.mesh_cycles, a.ipc, b.ipc
+    );
 
-    let mut g = c.benchmark_group("ablation_folding");
-    g.bench_function("unfolded", |b| b.iter(|| run_scripted(&plain, &config)));
-    g.bench_function("folded", |b| b.iter(|| run_scripted(&folded, &config)));
-    g.finish();
+    time("ablation_folding/unfolded", 50, || run_scripted(&plain, &config));
+    time("ablation_folding/folded", 50, || run_scripted(&folded, &config));
 }
 
-fn ablation_fanout(c: &mut Criterion) {
-    static ONCE: Once = Once::new();
+fn ablation_fanout() {
     let (program, id) = dup_heavy();
-    let mut limited_graph_src = load(program.method(id), &FabricConfig::compact2()).expect("loads");
-    limited_graph_src.graph.fold_moves(program.method(id)); // fanout appears after folding
-    drop(limited_graph_src);
     let method = program.method(id);
     let config = FabricConfig::compact2();
     let mut unlimited = load(method, &config).expect("loads");
     unlimited.graph.fold_moves(method);
     let mut limited = load(method, &config).expect("loads");
-    limited.graph.fold_moves(method);
+    limited.graph.fold_moves(method); // fanout appears after folding
     let relays = limited.graph.limit_fanout(2, &limited.placement);
 
-    ONCE.call_once(|| {
-        let a = run_scripted(&unlimited, &config);
-        let b = run_scripted(&limited, &config);
-        println!(
-            "[ablation fanout-2] {relays} relays inserted: relay fires {}, cycles {} → {}, IPC {:.3} → {:.3} (TRIPS paid ~20% extra instructions for this)",
-            b.relay_fires, a.mesh_cycles, b.mesh_cycles, a.ipc, b.ipc
-        );
-    });
+    let a = run_scripted(&unlimited, &config);
+    let b = run_scripted(&limited, &config);
+    println!(
+        "[ablation fanout-2] {relays} relays inserted: relay fires {}, cycles {} → {}, IPC {:.3} → {:.3} (TRIPS paid ~20% extra instructions for this)",
+        b.relay_fires, a.mesh_cycles, b.mesh_cycles, a.ipc, b.ipc
+    );
 
-    let mut g = c.benchmark_group("ablation_fanout");
-    g.bench_function("unlimited", |b| b.iter(|| run_scripted(&unlimited, &config)));
-    g.bench_function("limit2", |b| b.iter(|| run_scripted(&limited, &config)));
-    g.finish();
+    time("ablation_fanout/unlimited", 50, || run_scripted(&unlimited, &config));
+    time("ablation_fanout/limit2", 50, || run_scripted(&limited, &config));
 }
 
-fn ablation_serial_ratio(c: &mut Criterion) {
-    static ONCE: Once = Once::new();
+fn ablation_serial_ratio() {
     let (program, id) = case_study();
     let method = program.method(id);
-    let mut g = c.benchmark_group("ablation_serial_ratio");
     let mut report = String::new();
     for ratio in [1u32, 2, 4, 8, 16] {
         let config = FabricConfig {
@@ -125,36 +108,32 @@ fn ablation_serial_ratio(c: &mut Criterion) {
         let loaded = load(method, &config).expect("loads");
         let r = run_scripted(&loaded, &config);
         report.push_str(&format!(" ratio {ratio}: IPC {:.3};", r.ipc));
-        g.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, _| {
-            b.iter(|| run_scripted(&loaded, &config));
+        time(&format!("ablation_serial_ratio/{ratio}"), 50, || {
+            run_scripted(&loaded, &config)
         });
     }
-    g.finish();
-    ONCE.call_once(|| println!("[ablation serial-ratio]{report}"));
+    println!("[ablation serial-ratio]{report}");
 }
 
-fn ablation_mesh_width(c: &mut Criterion) {
-    static ONCE: Once = Once::new();
+fn ablation_mesh_width() {
     let (program, id) = wide_kernel();
     let method = program.method(id);
-    let mut g = c.benchmark_group("ablation_mesh_width");
     let mut report = String::new();
     for width in [4u32, 10, 20] {
         let config = FabricConfig { name: "SweepWidth", width, ..FabricConfig::compact2() };
         let loaded = load(method, &config).expect("loads");
         let r = run_scripted(&loaded, &config);
         report.push_str(&format!(" width {width}: IPC {:.3};", r.ipc));
-        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
-            b.iter(|| run_scripted(&loaded, &config));
+        time(&format!("ablation_mesh_width/{width}"), 50, || {
+            run_scripted(&loaded, &config)
         });
     }
-    g.finish();
-    ONCE.call_once(|| println!("[ablation mesh-width]{report} (dissertation settled on 10)"));
+    println!("[ablation mesh-width]{report} (dissertation settled on 10)");
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = ablation_folding, ablation_fanout, ablation_serial_ratio, ablation_mesh_width
+fn main() {
+    ablation_folding();
+    ablation_fanout();
+    ablation_serial_ratio();
+    ablation_mesh_width();
 }
-criterion_main!(benches);

@@ -2,107 +2,82 @@
 //! and the fabric's load/resolve/execute stages, per machine
 //! configuration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use javaflow_bench::micro::time;
 use javaflow_bytecode::{verify, Value};
 use javaflow_fabric::{execute, load, resolve, BranchMode, ExecParams, FabricConfig};
 use javaflow_interp::Interp;
 use javaflow_workloads::{scimark, synthetic};
 
-fn bench_interpreter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interpreter");
+fn bench_interpreter() {
     let bench = scimark::monte_carlo_benchmark(500);
-    g.bench_function("monte_carlo_500", |b| {
-        b.iter(|| bench.run().expect("runs"));
-    });
+    time("interpreter/monte_carlo_500", 20, || bench.run().expect("runs"));
     let fft = scimark::fft_benchmark(32);
-    g.bench_function("fft_32_round_trip", |b| {
-        b.iter(|| fft.run().expect("runs"));
-    });
-    g.finish();
+    time("interpreter/fft_32_round_trip", 20, || fft.run().expect("runs"));
 }
 
-fn bench_verify_resolve(c: &mut Criterion) {
+fn bench_verify_resolve() {
     let (program, ids) = synthetic::generate(&synthetic::GenConfig {
         count: 40,
         ..Default::default()
     });
     let methods: Vec<_> = ids.iter().map(|id| program.method(*id)).collect();
-    let mut g = c.benchmark_group("static_pipeline");
-    g.bench_function("verify_population_40", |b| {
-        b.iter(|| {
-            for m in &methods {
-                verify(m).expect("verifies");
-            }
-        });
+    time("static_pipeline/verify_population_40", 50, || {
+        for m in &methods {
+            verify(m).expect("verifies");
+        }
     });
-    g.bench_function("resolve_population_40", |b| {
-        b.iter(|| {
-            for m in &methods {
-                resolve(m).expect("resolves");
-            }
-        });
+    time("static_pipeline/resolve_population_40", 50, || {
+        for m in &methods {
+            resolve(m).expect("resolves");
+        }
     });
-    g.finish();
 }
 
-fn bench_execution_per_config(c: &mut Criterion) {
+fn bench_execution_per_config() {
     // Scripted execution of the Appendix C case-study method on every
     // Table 15 configuration.
     let mut program = javaflow_bytecode::Program::new();
     let (_cls, _make, next_double) = scimark::build_random(&mut program);
     let method = program.method(next_double);
-    let mut g = c.benchmark_group("execute_nextDouble");
     for config in FabricConfig::all_six() {
         let loaded = load(method, &config).expect("loads");
-        g.bench_with_input(BenchmarkId::from_parameter(config.name), &config, |b, fc| {
-            b.iter(|| {
-                execute(
-                    &loaded,
-                    fc,
-                    ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() },
-                )
-            });
+        time(&format!("execute_nextDouble/{}", config.name), 50, || {
+            execute(
+                &loaded,
+                &config,
+                ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() },
+            )
         });
     }
-    g.finish();
 }
 
-fn bench_data_mode_machine(c: &mut Criterion) {
-    // Full data-driven co-simulation: fabric + GPP heap.
+fn bench_data_mode_machine() {
+    // Full data-driven co-simulation: fabric + GPP heap (seeding included
+    // in each iteration, as each run mutates the shared heap).
     let mut program = javaflow_bytecode::Program::new();
     let (_cls, make, next_double) = scimark::build_random(&mut program);
     let config = FabricConfig::compact2();
     let method = program.method(next_double);
     let loaded = load(method, &config).expect("loads");
-    c.bench_function("data_mode_nextDouble_compact2", |b| {
-        b.iter_batched(
-            || {
-                let mut gpp = Interp::new(&program);
-                let r = gpp.run(make, &[Value::Int(42)]).expect("seeds").expect("ref");
-                (gpp, r)
+    time("data_mode_nextDouble_compact2", 50, || {
+        let mut gpp = Interp::new(&program);
+        let r = gpp.run(make, &[Value::Int(42)]).expect("seeds").expect("ref");
+        execute(
+            &loaded,
+            &config,
+            ExecParams {
+                mode: BranchMode::Data,
+                gpp: javaflow_fabric::Gpp::Interp(&mut gpp),
+                args: vec![r],
+                ..ExecParams::default()
             },
-            |(mut gpp, r)| {
-                execute(
-                    &loaded,
-                    &config,
-                    ExecParams {
-                        mode: BranchMode::Data,
-                        gpp: javaflow_fabric::Gpp::Interp(&mut gpp),
-                        args: vec![r],
-                        ..ExecParams::default()
-                    },
-                )
-            },
-            criterion::BatchSize::SmallInput,
-        );
+        )
     });
 }
 
-criterion_group!(
-    benches,
-    bench_interpreter,
-    bench_verify_resolve,
-    bench_execution_per_config,
-    bench_data_mode_machine
-);
-criterion_main!(benches);
+fn main() {
+    bench_interpreter();
+    bench_verify_resolve();
+    bench_execution_per_config();
+    bench_data_mode_machine();
+}

@@ -1,85 +1,76 @@
-//! One benchmark group per evaluation table/figure: each group times the
-//! code path that regenerates the corresponding dissertation table, so
-//! `cargo bench` exercises the complete reproduction surface.
+//! One benchmark per evaluation table/figure: each times the code path
+//! that regenerates the corresponding dissertation table, so `cargo bench`
+//! exercises the complete reproduction surface.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use javaflow_bench::micro::time;
 use javaflow_bench::{chapter5_tables, chapter7_tables, profile_suite};
 use javaflow_core::{EvalConfig, Evaluation};
 use javaflow_fabric::{execute, load, BranchMode, ExecParams, FabricConfig};
 use javaflow_workloads::scimark;
 
 /// Tables 1–5: dynamic-mix profiling of one representative benchmark.
-fn tables_1_to_5_dynamic_mix(c: &mut Criterion) {
+fn tables_1_to_5_dynamic_mix() {
     let bench = scimark::monte_carlo_benchmark(300);
-    c.bench_function("table1_5_profile_monte_carlo", |b| {
-        b.iter(|| bench.profile().expect("profiles"));
-    });
+    time("table1_5_profile_monte_carlo", 10, || bench.profile().expect("profiles"));
 }
 
 /// Tables 6–8: static mix and dataflow/control-flow analysis of the hot
 /// methods.
-fn tables_6_to_8_static_analysis(c: &mut Criterion) {
+fn tables_6_to_8_static_analysis() {
     let bench = scimark::fft_benchmark(32);
-    c.bench_function("table6_8_static_analysis_fft", |b| {
-        b.iter(|| {
-            for id in &bench.hot {
-                let m = bench.program.method(*id);
-                javaflow_bytecode::verify(m).expect("verifies");
-                javaflow_fabric::resolve(m).expect("resolves");
-                let _ = javaflow_bytecode::Cfg::build(m);
-            }
-        });
+    time("table6_8_static_analysis_fft", 10, || {
+        for id in &bench.hot {
+            let m = bench.program.method(*id);
+            javaflow_bytecode::verify(m).expect("verifies");
+            javaflow_fabric::resolve(m).expect("resolves");
+            let _ = javaflow_bytecode::Cfg::build(m);
+        }
     });
 }
 
 /// Tables 9–16 + 19/20: population statics (placement + resolution).
-fn tables_9_to_20_population_statics(c: &mut Criterion) {
-    c.bench_function("table9_20_population_statics", |b| {
-        b.iter(|| {
-            let e = Evaluation::run(&EvalConfig {
-                synthetic_count: 8,
-                max_mesh_cycles: 50_000,
-                configs: vec![FabricConfig::baseline(), FabricConfig::hetero2()],
-            });
-            let _ = e.dataflow_summaries(javaflow_core::Filter::Filter1);
-            let _ = e.span_summary(1, javaflow_core::Filter::Filter1);
+fn tables_9_to_20_population_statics() {
+    time("table9_20_population_statics", 10, || {
+        let e = Evaluation::run(&EvalConfig {
+            synthetic_count: 8,
+            max_mesh_cycles: 50_000,
+            configs: vec![FabricConfig::baseline(), FabricConfig::hetero2()],
+            ..EvalConfig::default()
         });
+        let _ = e.dataflow_summaries(javaflow_core::Filter::Filter1);
+        let _ = e.span_summary(1, javaflow_core::Filter::Filter1);
     });
 }
 
 /// Tables 17/18/21–26: the IPC / FoM / coverage / parallelism sweep.
-fn tables_21_to_26_ipc_sweep(c: &mut Criterion) {
-    c.bench_function("table21_26_ipc_sweep_small", |b| {
-        b.iter(|| {
-            let e = Evaluation::run(&EvalConfig {
-                synthetic_count: 4,
-                max_mesh_cycles: 50_000,
-                ..EvalConfig::default()
-            });
-            let _ = e.config_rows(javaflow_core::Filter::All);
-            let _ = e.coverage(BranchMode::Bp1);
-            let _ = e.parallelism();
+fn tables_21_to_26_ipc_sweep() {
+    time("table21_26_ipc_sweep_small", 10, || {
+        let e = Evaluation::run(&EvalConfig {
+            synthetic_count: 4,
+            max_mesh_cycles: 50_000,
+            ..EvalConfig::default()
         });
+        let _ = e.config_rows(javaflow_core::Filter::All);
+        let _ = e.coverage(BranchMode::Bp1);
+        let _ = e.parallelism();
     });
 }
 
 /// Tables 27/28: per-hot-method Figures of Merit.
-fn tables_27_28_hot_rows(c: &mut Criterion) {
+fn tables_27_28_hot_rows() {
     let e = Evaluation::run(&EvalConfig {
         synthetic_count: 0,
         max_mesh_cycles: 100_000,
         ..EvalConfig::default()
     });
-    c.bench_function("table27_28_hot_rows", |b| {
-        b.iter(|| {
-            let _ = e.hot_method_rows(javaflow_workloads::SuiteKind::Jvm2008);
-            let _ = e.hot_method_rows(javaflow_workloads::SuiteKind::Jvm98);
-        });
+    time("table27_28_hot_rows", 10, || {
+        let _ = e.hot_method_rows(javaflow_workloads::SuiteKind::Jvm2008);
+        let _ = e.hot_method_rows(javaflow_workloads::SuiteKind::Jvm98);
     });
 }
 
 /// Figures 21/22: the address-resolution walkthrough examples.
-fn figures_21_22_resolution(c: &mut Criterion) {
+fn figures_21_22_resolution() {
     let program = javaflow_bytecode::asm::assemble(
         ".method f21 args=4 returns=false locals=5
            iload 1
@@ -93,68 +84,58 @@ fn figures_21_22_resolution(c: &mut Criterion) {
     )
     .expect("assembles");
     let (_, m) = program.method_by_name("f21").expect("exists");
-    c.bench_function("figure21_22_resolution_example", |b| {
-        b.iter(|| javaflow_fabric::resolve(m).expect("resolves"));
+    time("figure21_22_resolution_example", 500, || {
+        javaflow_fabric::resolve(m).expect("resolves")
     });
 }
 
 /// Figures 27–31: the `nextDouble` case study, load + scripted execution.
-fn figures_27_31_nextdouble(c: &mut Criterion) {
+fn figures_27_31_nextdouble() {
     let mut program = javaflow_bytecode::Program::new();
     let (_cls, _make, next_double) = scimark::build_random(&mut program);
     let method = program.method(next_double);
     let config = FabricConfig::hetero2();
-    c.bench_function("figure27_31_nextDouble_case_study", |b| {
-        b.iter(|| {
-            let loaded = load(method, &config).expect("loads");
-            execute(
-                &loaded,
-                &config,
-                ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() },
-            )
-        });
+    time("figure27_31_nextDouble_case_study", 50, || {
+        let loaded = load(method, &config).expect("loads");
+        execute(
+            &loaded,
+            &config,
+            ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() },
+        )
     });
 }
 
 /// Rendering: the text-table generation itself.
-fn table_rendering(c: &mut Criterion) {
+fn table_rendering() {
     let suite = profile_suite();
-    c.bench_function("render_chapter5_tables", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for t in 1..=8 {
-                total += chapter5_tables(&suite, t).len();
-            }
-            total
-        });
+    time("render_chapter5_tables", 10, || {
+        let mut total = 0usize;
+        for t in 1..=8 {
+            total += chapter5_tables(&suite, t).len();
+        }
+        total
     });
     let eval = Evaluation::run(&EvalConfig {
         synthetic_count: 4,
         max_mesh_cycles: 50_000,
         ..EvalConfig::default()
     });
-    c.bench_function("render_chapter7_tables", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for t in 9..=28 {
-                total += chapter7_tables(&eval, t).len();
-            }
-            total
-        });
+    time("render_chapter7_tables", 10, || {
+        let mut total = 0usize;
+        for t in 9..=28 {
+            total += chapter7_tables(&eval, t).len();
+        }
+        total
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets =
-        tables_1_to_5_dynamic_mix,
-        tables_6_to_8_static_analysis,
-        tables_9_to_20_population_statics,
-        tables_21_to_26_ipc_sweep,
-        tables_27_28_hot_rows,
-        figures_21_22_resolution,
-        figures_27_31_nextdouble,
-        table_rendering
+fn main() {
+    tables_1_to_5_dynamic_mix();
+    tables_6_to_8_static_analysis();
+    tables_9_to_20_population_statics();
+    tables_21_to_26_ipc_sweep();
+    tables_27_28_hot_rows();
+    figures_21_22_resolution();
+    figures_27_31_nextdouble();
+    table_rendering();
 }
-criterion_main!(benches);

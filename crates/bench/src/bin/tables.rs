@@ -4,19 +4,101 @@
 //! tables                  # print all tables (1–28)
 //! tables --table 22       # one table
 //! tables --synthetic 400  # population size for the Chapter 7 sweeps
+//! tables --threads 4      # worker threads for the sweep (default: all
+//!                         # cores; JAVAFLOW_THREADS overrides the default)
+//! tables --bench-eval     # time serial vs parallel sweeps and write
+//!                         # BENCH_evaluation.json
 //! ```
 
-use javaflow_bench::{chapter5_tables, chapter7_tables, default_evaluation, profile_suite};
+use std::time::Instant;
+
+use javaflow_bench::{chapter5_tables, chapter7_tables, profile_suite};
+use javaflow_core::{parallel::default_threads, EvalConfig, Evaluation};
+
+fn run_eval(synthetic: usize, threads: usize) -> Evaluation {
+    eprintln!(
+        "running the population on all six configurations ({synthetic} synthetic, {threads} thread{}) …",
+        if threads == 1 { "" } else { "s" }
+    );
+    let start = Instant::now();
+    let eval = Evaluation::run(&EvalConfig {
+        synthetic_count: synthetic,
+        threads,
+        ..EvalConfig::default()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    eprintln!(
+        "evaluated {} records ({} samples) in {secs:.2}s — {:.1} records/s",
+        eval.records.len(),
+        eval.samples.len(),
+        eval.records.len() as f64 / secs.max(1e-9),
+    );
+    eval
+}
+
+/// Times the pre-optimization sweep (serial, re-resolve per config, fresh
+/// simulator allocations), the optimized sweep serially, and the optimized
+/// sweep in parallel; checks all three produce the same reports; records
+/// the comparison in `BENCH_evaluation.json`.
+fn bench_eval(synthetic: usize, threads: usize) {
+    eprintln!("timing the pre-optimization (seed-equivalent) sweep …");
+    let max_mesh_cycles = EvalConfig::default().max_mesh_cycles;
+    let t0 = Instant::now();
+    let seed_reports = javaflow_bench::seed_equivalent_sweep(synthetic, max_mesh_cycles);
+    let seed_secs = t0.elapsed().as_secs_f64();
+    eprintln!("seed-equivalent sweep: {seed_secs:.2}s");
+
+    let t1 = Instant::now();
+    let serial = run_eval(synthetic, 1);
+    let serial_secs = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let parallel = run_eval(synthetic, threads);
+    let parallel_secs = t2.elapsed().as_secs_f64();
+
+    // Debug-string comparison: NaN-valued returns (legitimate in scripted
+    // float kernels) are bitwise-identical but `!=` under IEEE 754.
+    let identical = format!("{:?}", serial.samples) == format!("{:?}", parallel.samples)
+        && format!("{:?}", serial.statics) == format!("{:?}", parallel.statics)
+        && seed_reports.len() == serial.samples.len()
+        && seed_reports
+            .iter()
+            .zip(&serial.samples)
+            .all(|(r, s)| format!("{r:?}") == format!("{:?}", s.report));
+    let speedup_vs_seed = seed_secs / parallel_secs.max(1e-9);
+    let parallel_speedup = serial_secs / parallel_secs.max(1e-9);
+
+    // Table rendering exercises the O(1) sample index (the old linear
+    // lookup made Tables 21–28 quadratic in the population).
+    let t3 = Instant::now();
+    let mut rendered = 0usize;
+    for t in 9..=28 {
+        rendered += chapter7_tables(&parallel, t).len();
+    }
+    let tables_secs = t3.elapsed().as_secs_f64();
+    eprintln!("rendered tables 9–28 ({rendered} bytes) in {tables_secs:.2}s");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"tables --synthetic {synthetic}\",\n  \"records\": {},\n  \"samples\": {},\n  \"threads\": {threads},\n  \"seed_equivalent_secs\": {seed_secs:.3},\n  \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {parallel_secs:.3},\n  \"tables_9_28_secs\": {tables_secs:.3},\n  \"speedup_vs_seed\": {speedup_vs_seed:.2},\n  \"parallel_speedup\": {parallel_speedup:.2},\n  \"identical_output\": {identical}\n}}\n",
+        serial.records.len(),
+        serial.samples.len(),
+    );
+    std::fs::write("BENCH_evaluation.json", &json).expect("write BENCH_evaluation.json");
+    println!("{json}");
+    assert!(identical, "optimized sweep diverged from the seed-equivalent output");
+}
 
 fn main() {
     let mut table: Option<u32> = None;
     let mut figure: Option<u32> = None;
     let mut synthetic = 240usize;
+    let mut threads = default_threads();
+    let mut bench = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--table" => {
-                table = args.next().and_then(|v| v.parse().ok());
+                table = args.next().and_then(|v| v.parse().ok()).filter(|t| (1..=28).contains(t));
                 if table.is_none() {
                     eprintln!("--table requires a number 1..=28");
                     std::process::exit(2);
@@ -31,6 +113,17 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads requires a count >= 1");
+                        std::process::exit(2);
+                    });
+            }
+            "--bench-eval" => bench = true,
             "--figure" => {
                 figure = args.next().and_then(|v| v.parse().ok());
                 if figure.is_none() {
@@ -39,7 +132,10 @@ fn main() {
                 }
             }
             "--help" | "-h" => {
-                println!("usage: tables [--table N] [--figure N] [--synthetic COUNT]");
+                println!(
+                    "usage: tables [--table N] [--figure N] [--synthetic COUNT] \
+                     [--threads N] [--bench-eval]"
+                );
                 return;
             }
             other => {
@@ -47,6 +143,11 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if bench {
+        bench_eval(synthetic, threads);
+        return;
     }
 
     if let Some(f) = figure {
@@ -66,10 +167,7 @@ fn main() {
         eprintln!("profiling the benchmark suite on the interpreter …");
         profile_suite()
     });
-    let eval = needs_ch7.then(|| {
-        eprintln!("running the population on all six configurations ({synthetic} synthetic) …");
-        default_evaluation(synthetic)
-    });
+    let eval = needs_ch7.then(|| run_eval(synthetic, threads));
 
     for t in wanted {
         let text = if (1..=8).contains(&t) {

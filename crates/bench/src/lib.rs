@@ -3,13 +3,15 @@
 //! Every table of the dissertation's Chapters 5 and 7 can be regenerated:
 //! the `tables` binary prints them (`cargo run --release -p javaflow-bench
 //! --bin tables -- --table N`, or all of them with no argument), and the
-//! Criterion benches time the underlying machinery. The functions here are
+//! plain-main benches time the underlying machinery. The functions here are
 //! shared between both.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use std::fmt::Write as _;
+
+pub mod micro;
 
 use javaflow_analysis::{DynamicMix, StaticMix, Summary, Utilization};
 use javaflow_core::{EvalConfig, Evaluation, Filter};
@@ -28,16 +30,20 @@ pub struct ProfiledSuite {
 
 /// Profiles the whole suite on the interpreter.
 ///
+/// Benchmarks are profiled on worker threads (each profile run is
+/// independent); the profiler list keeps benchmark order.
+///
 /// # Panics
 ///
 /// Panics if a benchmark driver faults (a bug — the suite is tested).
 #[must_use]
 pub fn profile_suite() -> ProfiledSuite {
     let benchmarks = full_suite();
-    let profilers = benchmarks
-        .iter()
-        .map(|b| b.profile().unwrap_or_else(|e| panic!("{} failed: {e}", b.name)).0)
-        .collect();
+    let profilers = javaflow_core::parallel::par_map(
+        &benchmarks,
+        javaflow_core::parallel::default_threads(),
+        |_, b| b.profile().unwrap_or_else(|e| panic!("{} failed: {e}", b.name)).0,
+    );
     ProfiledSuite { benchmarks, profilers }
 }
 
@@ -506,6 +512,50 @@ pub fn default_evaluation(synthetic_count: usize) -> Evaluation {
     Evaluation::run(&EvalConfig { synthetic_count, ..EvalConfig::default() })
 }
 
+/// Re-runs the evaluation sweep the way the pre-optimization harness did —
+/// serial, a fresh `load` (with its own `resolve`) per record×config, and
+/// fresh simulator allocations per run — returning the execution reports
+/// in sweep order.
+///
+/// Only used by `tables --bench-eval` as the timing baseline; the reports
+/// double as a cross-check that the cached pipeline changes nothing.
+#[must_use]
+pub fn seed_equivalent_sweep(
+    synthetic_count: usize,
+    max_mesh_cycles: u64,
+) -> Vec<javaflow_fabric::ExecReport> {
+    let records = javaflow_core::population(synthetic_count);
+    let configs = FabricConfig::all_six();
+    let mut reports = Vec::new();
+    for rec in &records {
+        // The statics pass as the old harness ran it: verify, a dedicated
+        // resolve, the CFG, and a placement per configuration.
+        let _ = javaflow_bytecode::verify(&rec.method).expect("population verifies");
+        let _ = javaflow_fabric::resolve(&rec.method).expect("population resolves");
+        let _ = javaflow_bytecode::Cfg::build(&rec.method);
+        for fc in &configs {
+            let _ = javaflow_fabric::place(&rec.method, fc);
+        }
+        for fc in &configs {
+            let Ok(loaded) = javaflow_fabric::load(&rec.method, fc) else {
+                continue;
+            };
+            for bp in [BranchMode::Bp1, BranchMode::Bp2] {
+                reports.push(javaflow_fabric::execute(
+                    &loaded,
+                    fc,
+                    javaflow_fabric::ExecParams {
+                        mode: bp,
+                        max_mesh_cycles,
+                        ..javaflow_fabric::ExecParams::default()
+                    },
+                ));
+            }
+        }
+    }
+    reports
+}
+
 /// The Table 15 configuration list.
 #[must_use]
 pub fn default_configs() -> Vec<FabricConfig> {
@@ -600,8 +650,8 @@ pub fn figure(n: u32) -> String {
                  .end"
             };
             let program = javaflow_bytecode::asm::assemble(src).expect("assembles");
-            let (_, m) = program.methods().next().map(|(i, mm)| (i, mm.clone())).expect("exists");
-            let r = javaflow_fabric::resolve(&m).expect("resolves");
+            let (_, m) = program.methods().next().expect("exists");
+            let r = javaflow_fabric::resolve(m).expect("resolves");
             for (addr, insn) in m.iter() {
                 let _ = write!(out, "  @{addr:<2} {:<14} pop {} push {}", insn.to_string(),
                     insn.pops(), insn.pushes());

@@ -1,0 +1,24 @@
+//! Minimal micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the bench targets cannot pull
+//! `criterion`; this module provides the small slice they need — named
+//! timing loops with warmup and a mean-per-iteration report — with plain
+//! `std::time` measurements. Bench targets stay `harness = false` binaries
+//! runnable via `cargo bench`.
+
+use std::time::{Duration, Instant};
+
+/// Times `f` over `iters` iterations after one warmup call and prints the
+/// mean per-iteration wall time.
+///
+/// Returns the mean so sweeps can post-process their own reports.
+pub fn time<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> Duration {
+    let _ = std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters.max(1) {
+        std::hint::black_box(f());
+    }
+    let mean = start.elapsed() / iters.max(1);
+    println!("{name:<44} {iters:>5} iters  {mean:>12.3?}/iter");
+    mean
+}

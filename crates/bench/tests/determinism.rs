@@ -1,0 +1,40 @@
+//! Determinism of the parallel evaluation sweep: any thread count must
+//! reproduce the serial results bit for bit — same statics, same samples
+//! in the same order, and byte-identical rendered tables.
+
+use javaflow_bench::chapter7_tables;
+use javaflow_core::{EvalConfig, Evaluation};
+
+fn eval(threads: usize) -> Evaluation {
+    Evaluation::run(&EvalConfig {
+        synthetic_count: 16,
+        max_mesh_cycles: 120_000,
+        threads,
+        ..EvalConfig::default()
+    })
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let serial = eval(1);
+    let parallel = eval(4);
+
+    assert_eq!(serial.records.len(), parallel.records.len());
+    assert_eq!(serial.samples.len(), parallel.samples.len());
+    // Sample ordering and content (Debug strings: float NaNs in span
+    // ratios and scripted returns are bitwise-equal but `!=` by IEEE).
+    for (a, b) in serial.samples.iter().zip(&parallel.samples) {
+        assert_eq!((a.record, a.config, a.bp, a.ok), (b.record, b.config, b.bp, b.ok));
+        assert_eq!(format!("{:?}", a.report), format!("{:?}", b.report));
+    }
+    assert_eq!(format!("{:?}", serial.statics), format!("{:?}", parallel.statics));
+
+    // The rendered headline tables must match to the byte.
+    for table in [21, 22] {
+        assert_eq!(
+            chapter7_tables(&serial, table),
+            chapter7_tables(&parallel, table),
+            "table {table} diverged"
+        );
+    }
+}

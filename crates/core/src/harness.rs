@@ -8,14 +8,17 @@
 //! correlations, and the per-benchmark hot-method breakdowns of
 //! Tables 27/28.
 
+use std::collections::HashMap;
+
 use javaflow_analysis::{pearson, Summary};
 use javaflow_bytecode::{verify, Cfg};
 use javaflow_fabric::{
-    execute, place, resolve, BranchMode, ExecParams, ExecReport, FabricConfig, LoadedMethod,
-    Outcome, ResolveStats,
+    place, prepare, resolve, BranchMode, ExecParams, ExecReport, FabricConfig, LoadedMethod,
+    Outcome, ResolveStats, SimArena,
 };
 use javaflow_workloads::SuiteKind;
 
+use crate::parallel::{default_threads, par_map_with};
 use crate::{population, Filter, MethodRecord};
 
 /// Evaluation parameters.
@@ -27,6 +30,10 @@ pub struct EvalConfig {
     pub max_mesh_cycles: u64,
     /// Machine configurations to evaluate (defaults to the Table 15 six).
     pub configs: Vec<FabricConfig>,
+    /// Worker threads for the sweep (defaults to the `JAVAFLOW_THREADS`
+    /// override or the machine's available parallelism). Results are
+    /// bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for EvalConfig {
@@ -35,13 +42,14 @@ impl Default for EvalConfig {
             synthetic_count: 240,
             max_mesh_cycles: 250_000,
             configs: FabricConfig::all_six(),
+            threads: default_threads(),
         }
     }
 }
 
 /// Static, per-method measurements (configuration-independent parts plus
 /// per-configuration placement).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodStatics {
     /// Static instruction count.
     pub static_len: usize,
@@ -62,7 +70,7 @@ pub struct MethodStatics {
 }
 
 /// One scripted execution sample.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// Index into [`Evaluation::records`].
     pub record: usize,
@@ -88,6 +96,9 @@ pub struct Evaluation {
     pub statics: Vec<MethodStatics>,
     /// All execution samples.
     pub samples: Vec<Sample>,
+    /// `(record, config, bp)` → index into `samples`, built once after
+    /// the sweep so [`Evaluation::sample`] is O(1).
+    sample_index: HashMap<(usize, usize, BranchMode), usize>,
 }
 
 /// A per-configuration row of the IPC / Figure-of-Merit tables.
@@ -104,57 +115,35 @@ pub struct ConfigRow {
 
 impl Evaluation {
     /// Runs the full evaluation.
+    ///
+    /// Records are swept in parallel on [`EvalConfig::threads`] workers
+    /// (each with its own reusable [`SimArena`]) and the results spliced
+    /// back in record order, so the output is bit-identical to a serial
+    /// run at any thread count.
     #[must_use]
     pub fn run(cfg: &EvalConfig) -> Evaluation {
         let records = population(cfg.synthetic_count);
         let configs = cfg.configs.clone();
+
+        let per_record = par_map_with(
+            &records,
+            cfg.threads,
+            SimArena::new,
+            |arena, ri, rec| eval_record(ri, rec, &configs, cfg.max_mesh_cycles, arena),
+        );
+
         let mut statics = Vec::with_capacity(records.len());
         let mut samples = Vec::new();
-
-        for (ri, rec) in records.iter().enumerate() {
-            let v = verify(&rec.method).expect("population verifies");
-            let r = resolve(&rec.method).expect("population resolves");
-            let g = Cfg::build(&rec.method);
-            let mut span_ratio = Vec::with_capacity(configs.len());
-            let mut loadable = Vec::with_capacity(configs.len());
-            for fc in &configs {
-                match place(&rec.method, fc) {
-                    Ok(p) => {
-                        span_ratio.push(p.span_ratio());
-                        loadable.push(true);
-                    }
-                    Err(_) => {
-                        span_ratio.push(f64::NAN);
-                        loadable.push(false);
-                    }
-                }
-            }
-            statics.push(MethodStatics {
-                static_len: rec.method.len(),
-                max_locals: rec.method.max_locals,
-                max_stack: v.max_stack,
-                resolve: r.stats.clone(),
-                fwd_jumps: g.forward_jump_stats(),
-                back_jumps: g.back_jump_stats(),
-                span_ratio,
-                loadable,
-            });
-
-            for (ci, fc) in configs.iter().enumerate() {
-                if !statics[ri].loadable[ci] {
-                    continue;
-                }
-                let Ok(loaded) = javaflow_fabric::load(&rec.method, fc) else {
-                    continue;
-                };
-                for bp in [BranchMode::Bp1, BranchMode::Bp2] {
-                    let report = run_scripted(&loaded, fc, bp, cfg.max_mesh_cycles);
-                    let ok = matches!(report.outcome, Outcome::Returned(_));
-                    samples.push(Sample { record: ri, config: ci, bp, report, ok });
-                }
-            }
+        for (st, mut record_samples) in per_record {
+            statics.push(st);
+            samples.append(&mut record_samples);
         }
-        Evaluation { records, configs, statics, samples }
+        let sample_index = samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ((s.record, s.config, s.bp), i))
+            .collect();
+        Evaluation { records, configs, statics, samples, sample_index }
     }
 
     fn baseline_index(&self) -> usize {
@@ -167,11 +156,15 @@ impl Evaluation {
     }
 
     /// Sample lookup: `(record, config, bp)` → report, when it returned.
+    ///
+    /// O(1) via the index built at the end of [`Evaluation::run`]; at most
+    /// one sample exists per key.
     #[must_use]
     pub fn sample(&self, record: usize, config: usize, bp: BranchMode) -> Option<&ExecReport> {
-        self.samples
-            .iter()
-            .find(|s| s.record == record && s.config == config && s.bp == bp && s.ok)
+        self.sample_index
+            .get(&(record, config, bp))
+            .map(|&i| &self.samples[i])
+            .filter(|s| s.ok)
             .map(|s| &s.report)
     }
 
@@ -390,16 +383,84 @@ impl Evaluation {
     }
 }
 
+/// The complete (pure) per-record work unit: statics plus the scripted
+/// runs over every configuration and both branch scripts.
+///
+/// Resolution and the routing graph are configuration-independent, so the
+/// record is [`prepare`]d exactly once and each configuration only adds a
+/// placement; the caller's arena is reused across every run.
+fn eval_record(
+    ri: usize,
+    rec: &MethodRecord,
+    configs: &[FabricConfig],
+    max_mesh_cycles: u64,
+    arena: &mut SimArena,
+) -> (MethodStatics, Vec<Sample>) {
+    let v = verify(&rec.method).expect("population verifies");
+    let g = Cfg::build(&rec.method);
+    let prepared = prepare(&rec.method).ok();
+    let resolve_stats = match &prepared {
+        Some(p) => p.resolved.stats.clone(),
+        // Fabric-inexecutable methods (jsr/switches) never run, but still
+        // contribute resolution statistics to the static tables.
+        None => resolve(&rec.method).expect("population resolves").stats,
+    };
+
+    let mut span_ratio = Vec::with_capacity(configs.len());
+    let mut loadable = Vec::with_capacity(configs.len());
+    let mut placements = Vec::with_capacity(configs.len());
+    for fc in configs {
+        match place(&rec.method, fc) {
+            Ok(p) => {
+                span_ratio.push(p.span_ratio());
+                loadable.push(true);
+                placements.push(Some(p));
+            }
+            Err(_) => {
+                span_ratio.push(f64::NAN);
+                loadable.push(false);
+                placements.push(None);
+            }
+        }
+    }
+    let statics = MethodStatics {
+        static_len: rec.method.len(),
+        max_locals: rec.method.max_locals,
+        max_stack: v.max_stack,
+        resolve: resolve_stats,
+        fwd_jumps: g.forward_jump_stats(),
+        back_jumps: g.back_jump_stats(),
+        span_ratio,
+        loadable,
+    };
+
+    let mut samples = Vec::new();
+    if let Some(prepared) = &prepared {
+        for (ci, fc) in configs.iter().enumerate() {
+            let Some(placement) = placements[ci].take() else { continue };
+            let loaded = prepared.with_placement(placement);
+            for bp in [BranchMode::Bp1, BranchMode::Bp2] {
+                let report = run_scripted(&loaded, fc, bp, max_mesh_cycles, arena);
+                let ok = matches!(report.outcome, Outcome::Returned(_));
+                samples.push(Sample { record: ri, config: ci, bp, report, ok });
+            }
+        }
+    }
+    (statics, samples)
+}
+
 fn run_scripted(
     loaded: &LoadedMethod<'_>,
     fc: &FabricConfig,
     bp: BranchMode,
     max_mesh_cycles: u64,
+    arena: &mut SimArena,
 ) -> ExecReport {
-    execute(
+    javaflow_fabric::execute_in(
         loaded,
         fc,
         ExecParams { mode: bp, max_mesh_cycles, ..ExecParams::default() },
+        arena,
     )
 }
 

@@ -45,6 +45,7 @@
 mod filter;
 mod harness;
 mod machine;
+pub mod parallel;
 mod population;
 
 pub use filter::Filter;

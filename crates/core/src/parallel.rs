@@ -1,0 +1,125 @@
+//! Order-preserving fork/join helpers for the evaluation sweep.
+//!
+//! The harness's per-record work is pure (each record's simulation touches
+//! nothing shared), so the sweep parallelizes as a deterministic map:
+//! workers claim record indices from an atomic counter, and the results
+//! are spliced back **in record order**, making the parallel output
+//! bit-identical to the serial one regardless of thread count or
+//! scheduling. Built on [`std::thread::scope`] — no runtime dependency.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread count: the `JAVAFLOW_THREADS` environment override when
+/// set (and ≥ 1), otherwise [`std::thread::available_parallelism`].
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Some(v) = std::env::var_os("JAVAFLOW_THREADS") {
+        if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, each worker
+/// carrying a reusable state built by `state_init` (e.g. a simulation
+/// arena). Results come back in item order.
+///
+/// With `threads == 1` (or one item) the map runs inline on the calling
+/// thread — the serial path is the parallel path.
+///
+/// # Panics
+///
+/// Propagates worker panics.
+pub fn par_map_with<T, S, R>(
+    items: &[T],
+    threads: usize,
+    state_init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        let mut state = state_init();
+        return items.iter().enumerate().map(|(i, t)| f(&mut state, i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = state_init();
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&mut state, i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            indexed.extend(h.join().expect("evaluation worker panicked"));
+        }
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Stateless [`par_map_with`].
+pub fn par_map<T, R>(items: &[T], threads: usize, f: impl Fn(usize, &T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    par_map_with(items, threads, || (), |(), i, t| f(i, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = par_map(&items, 1, |i, x| x * 2 + i as u64);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(par_map(&items, threads, |i, x| x * 2 + i as u64), serial);
+        }
+    }
+
+    #[test]
+    fn worker_state_is_reused_not_shared() {
+        // Each worker's state counts its own items; totals must cover all
+        // items exactly once.
+        use std::sync::atomic::AtomicUsize;
+        static TOTAL: AtomicUsize = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        let out = par_map_with(
+            &items,
+            4,
+            || 0usize,
+            |seen, _, x| {
+                *seen += 1;
+                TOTAL.fetch_add(1, Ordering::Relaxed);
+                *x
+            },
+        );
+        assert_eq!(out, items);
+        assert_eq!(TOTAL.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

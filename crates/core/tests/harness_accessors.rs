@@ -82,6 +82,7 @@ fn custom_config_subset_works() {
         synthetic_count: 4,
         max_mesh_cycles: 80_000,
         configs: vec![FabricConfig::baseline(), FabricConfig::sparse2()],
+        ..EvalConfig::default()
     });
     let rows = e.config_rows(Filter::All);
     assert_eq!(rows.len(), 2);

@@ -1,0 +1,30 @@
+//! The once-per-record resolution contract: an evaluation sweep must call
+//! the fabric resolver exactly once per population record — the resolution
+//! is configuration-independent and cached, not recomputed per
+//! configuration or branch script.
+//!
+//! This is the only test in this binary: the call counter is process-wide,
+//! so it must not share a process with other tests that resolve methods.
+
+use javaflow_core::{EvalConfig, Evaluation};
+use javaflow_fabric::resolve_call_count;
+
+#[test]
+fn sweep_resolves_each_record_exactly_once() {
+    let before = resolve_call_count();
+    let e = Evaluation::run(&EvalConfig {
+        synthetic_count: 10,
+        max_mesh_cycles: 100_000,
+        threads: 2,
+        ..EvalConfig::default()
+    });
+    let after = resolve_call_count();
+    assert!(e.configs.len() > 1, "sweep must cover multiple configurations");
+    assert_eq!(
+        after - before,
+        e.records.len() as u64,
+        "resolve() must run exactly once per record ({} records, {} configs)",
+        e.records.len(),
+        e.configs.len()
+    );
+}

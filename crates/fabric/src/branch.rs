@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 /// Where conditional-jump outcomes come from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchMode {
     /// Evaluate the real operand data (co-simulation with the golden model).
     Data,

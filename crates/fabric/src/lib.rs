@@ -62,7 +62,12 @@ pub use config::{FabricConfig, Layout, HETERO_PATTERN};
 pub use enhance::{DataflowGraph, Relay};
 pub use manager::{AnchorId, FabricManager, ManageError};
 pub use place::{place, slot_kind, snake_coords, PlaceError, Placement, SlotKind};
-pub use resolve::{control_sources, resolve, Resolved, ResolveError, ResolveStats, Sink};
-pub use sim::{execute, load, ExecParams, ExecReport, Gpp, LoadError, LoadedMethod, Outcome};
+pub use resolve::{
+    control_sources, resolve, resolve_call_count, Resolved, ResolveError, ResolveStats, Sink,
+};
+pub use sim::{
+    execute, execute_in, load, load_with_resolved, prepare, ExecParams, ExecReport, Gpp,
+    LoadError, LoadedMethod, Outcome, PreparedMethod, SimArena,
+};
 pub use timing::Timing;
 pub use token::{Command, InstanceId, SerialDest, SerialMessage, Token};

@@ -20,8 +20,20 @@
 //! the integration tests and by property tests.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use javaflow_bytecode::Method;
+
+/// Process-wide count of [`resolve`] invocations, for tests asserting
+/// the once-per-record caching contract.
+static RESOLVE_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of times [`resolve`] has run in this process.
+#[doc(hidden)]
+#[must_use]
+pub fn resolve_call_count() -> u64 {
+    RESOLVE_CALLS.load(Ordering::Relaxed)
+}
 
 /// One dataflow sink recorded in a producer's target array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -145,6 +157,7 @@ pub fn control_sources(method: &Method) -> Vec<Vec<u32>> {
 /// Returns [`ResolveError`] for structurally invalid streams (a verified
 /// method never fails).
 pub fn resolve(method: &Method) -> Result<Resolved, ResolveError> {
+    RESOLVE_CALLS.fetch_add(1, Ordering::Relaxed);
     let n = method.code.len();
     let sources = control_sources(method);
     let pops: Vec<u32> = method.code.iter().map(|i| u32::from(i.pops())).collect();

@@ -73,13 +73,42 @@ impl std::fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
-/// Loads a method: checks fabric-executability, places it, and resolves
-/// dataflow addresses.
+/// The configuration-independent part of loading a method: the
+/// executability check, Section 6.2 address resolution, and the routing
+/// graph. Placement is the only per-[`FabricConfig`] step, so a method
+/// swept across many configurations should be [`prepare`]d once and then
+/// stamped onto each configuration with [`load_with_resolved`].
+#[derive(Debug)]
+pub struct PreparedMethod<'m> {
+    /// The method.
+    pub method: &'m Method,
+    /// Address-resolution result (Section 6.2).
+    pub resolved: Resolved,
+    /// The routing graph derived from the resolution.
+    pub graph: DataflowGraph,
+}
+
+impl<'m> PreparedMethod<'m> {
+    /// Combines the prepared parts with an externally computed placement
+    /// into a runnable [`LoadedMethod`].
+    #[must_use]
+    pub fn with_placement(&self, placement: Placement) -> LoadedMethod<'m> {
+        LoadedMethod {
+            method: self.method,
+            placement,
+            resolved: self.resolved.clone(),
+            graph: self.graph.clone(),
+        }
+    }
+}
+
+/// Runs the configuration-independent loading steps once: checks
+/// fabric-executability and resolves dataflow addresses.
 ///
 /// # Errors
 ///
 /// See [`LoadError`].
-pub fn load<'m>(method: &'m Method, config: &FabricConfig) -> Result<LoadedMethod<'m>, LoadError> {
+pub fn prepare(method: &Method) -> Result<PreparedMethod<'_>, LoadError> {
     for (addr, insn) in method.iter() {
         if matches!(
             insn.op,
@@ -88,10 +117,34 @@ pub fn load<'m>(method: &'m Method, config: &FabricConfig) -> Result<LoadedMetho
             return Err(LoadError::Unsupported { op: insn.op, addr });
         }
     }
-    let placement = place(method, config).map_err(LoadError::Place)?;
     let resolved = resolve(method).map_err(LoadError::Resolve)?;
     let graph = DataflowGraph::from_resolved(&resolved);
-    Ok(LoadedMethod { method, placement, resolved, graph })
+    Ok(PreparedMethod { method, resolved, graph })
+}
+
+/// Places an already-[`prepare`]d method on one configuration, reusing
+/// its resolution and routing graph instead of recomputing them.
+///
+/// # Errors
+///
+/// See [`LoadError`] (only placement can fail at this point).
+pub fn load_with_resolved<'m>(
+    prepared: &PreparedMethod<'m>,
+    config: &FabricConfig,
+) -> Result<LoadedMethod<'m>, LoadError> {
+    let placement = place(prepared.method, config).map_err(LoadError::Place)?;
+    Ok(prepared.with_placement(placement))
+}
+
+/// Loads a method: checks fabric-executability, places it, and resolves
+/// dataflow addresses.
+///
+/// # Errors
+///
+/// See [`LoadError`].
+pub fn load<'m>(method: &'m Method, config: &FabricConfig) -> Result<LoadedMethod<'m>, LoadError> {
+    let prepared = prepare(method)?;
+    load_with_resolved(&prepared, config)
 }
 
 /// How the method run ended.
@@ -110,7 +163,7 @@ pub enum Outcome {
 }
 
 /// Execution measurements for one run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecReport {
     /// How the run ended.
     pub outcome: Outcome,
@@ -229,13 +282,87 @@ struct NState {
     mem_forward: Option<u64>,
 }
 
+impl NState {
+    /// Clears the node back to `stateReady` in place, keeping the vector
+    /// allocations for reuse.
+    fn reset(&mut self, pops: usize) {
+        self.head = false;
+        self.fired = false;
+        self.completed = false;
+        self.tail_buffered = false;
+        self.operands.clear();
+        self.operands.resize(pops, None);
+        self.reg_captured = None;
+        self.mem_token = None;
+        self.buffer.clear();
+        self.redirect = None;
+        self.pending_back = None;
+        self.decision = None;
+        self.outputs.clear();
+        self.mem_forward = None;
+    }
+}
+
+/// Reusable simulation buffers (node states, coverage bits, event queue).
+///
+/// [`Sim`] needs one `NState` per instruction plus an event heap; creating
+/// them fresh for every run dominates allocation in population sweeps. An
+/// arena keeps the buffers across runs — [`execute_in`] resets them to the
+/// method's shape and reuses the capacity, so the BP1/BP2 runs and every
+/// configuration of the same record share one set of allocations.
+#[derive(Debug, Default)]
+pub struct SimArena {
+    nodes: Vec<NState>,
+    covered: Vec<bool>,
+    queue: BinaryHeap<Reverse<Ev>>,
+}
+
+impl SimArena {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> SimArena {
+        SimArena::default()
+    }
+
+    /// Resets the buffers to `method`'s shape, reusing allocations.
+    fn reset_for(&mut self, method: &Method) {
+        let n = method.code.len();
+        self.nodes.truncate(n);
+        for (i, st) in self.nodes.iter_mut().enumerate() {
+            st.reset(usize::from(method.code[i].pops()));
+        }
+        for i in self.nodes.len()..n {
+            let mut st = NState::default();
+            st.operands.resize(usize::from(method.code[i].pops()), None);
+            self.nodes.push(st);
+        }
+        self.covered.clear();
+        self.covered.resize(n, false);
+        self.queue.clear();
+    }
+}
+
 /// Runs a loaded method on a fabric configuration.
 pub fn execute(
     lm: &LoadedMethod<'_>,
     config: &FabricConfig,
     params: ExecParams<'_, '_>,
 ) -> ExecReport {
-    Sim::new(lm, config, params).run()
+    let mut arena = SimArena::new();
+    execute_in(lm, config, params, &mut arena)
+}
+
+/// Runs a loaded method on a fabric configuration, reusing `arena`'s
+/// buffers instead of allocating fresh simulation state.
+///
+/// Behaves identically to [`execute`]; the arena only recycles capacity.
+pub fn execute_in(
+    lm: &LoadedMethod<'_>,
+    config: &FabricConfig,
+    params: ExecParams<'_, '_>,
+    arena: &mut SimArena,
+) -> ExecReport {
+    Sim::new(lm, config, params, arena).run()
 }
 
 struct Sim<'a, 'm, 'g, 'p> {
@@ -246,6 +373,9 @@ struct Sim<'a, 'm, 'g, 'p> {
     args: Vec<Value>,
     lenient: bool,
     n: usize,
+    /// Owner of the buffers below; they are taken in `new` and returned
+    /// at the end of `run` so the next run reuses the capacity.
+    arena: &'a mut SimArena,
     nodes: Vec<NState>,
     queue: BinaryHeap<Reverse<Ev>>,
     seq: u64,
@@ -265,12 +395,17 @@ struct Sim<'a, 'm, 'g, 'p> {
 }
 
 impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
-    fn new(lm: &'a LoadedMethod<'m>, cfg: &'a FabricConfig, params: ExecParams<'g, 'p>) -> Self {
+    fn new(
+        lm: &'a LoadedMethod<'m>,
+        cfg: &'a FabricConfig,
+        params: ExecParams<'g, 'p>,
+        arena: &'a mut SimArena,
+    ) -> Self {
         let n = lm.method.code.len();
-        let mut nodes = vec![NState::default(); n];
-        for (i, st) in nodes.iter_mut().enumerate() {
-            st.operands = vec![None; usize::from(lm.method.code[i].pops())];
-        }
+        arena.reset_for(lm.method);
+        let nodes = std::mem::take(&mut arena.nodes);
+        let covered = std::mem::take(&mut arena.covered);
+        let queue = std::mem::take(&mut arena.queue);
         let max_ticks = params.max_mesh_cycles.saturating_mul(cfg.mesh_cycle_ticks());
         Sim {
             lm,
@@ -280,14 +415,15 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
             args: params.args,
             lenient: params.mode.is_scripted(),
             n,
+            arena,
             nodes,
-            queue: BinaryHeap::new(),
+            queue,
             seq: 0,
             now: 0,
             max_ticks,
             executed: 0,
             relay_fires: 0,
-            covered: vec![false; n],
+            covered,
             serial_msgs: 0,
             mesh_msgs: 0,
             busy: 0,
@@ -395,6 +531,10 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
         let mesh_cycles = end.div_ceil(self.mesh_ticks());
         let static_covered = self.covered.iter().filter(|c| **c).count();
         let active_static = self.lm.graph.active.iter().filter(|a| **a).count().max(1);
+        // Hand the buffers back so the next run in this arena reuses them.
+        self.arena.nodes = std::mem::take(&mut self.nodes);
+        self.arena.covered = std::mem::take(&mut self.covered);
+        self.arena.queue = std::mem::take(&mut self.queue);
         ExecReport {
             outcome: self.outcome.clone().unwrap_or(Outcome::Deadlock),
             mesh_cycles,
@@ -487,7 +627,7 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
                 }
             }
             Token::Register { reg, value } => {
-                if std::env::var_os("JAVAFLOW_TRACE_REG").is_some() {
+                if trace_enabled("JAVAFLOW_TRACE_REG") {
                     eprintln!(
                         "[reg] t={} @{i} {} sees r{reg}={value} (fired={} completed={})",
                         self.now, insn.op, st.fired, st.completed
@@ -547,14 +687,14 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
     fn on_mesh(&mut self, id: u32, side: u16, value: Value) {
         if (id as usize) >= self.n {
             // Relay: one move-latency hop, then fan out.
-            let r = &self.lm.graph.relays[id as usize - self.n];
-            let coords = r.coords;
-            let sinks = r.sinks.clone();
+            let ri = id as usize - self.n;
+            let coords = self.lm.graph.relays[ri].coords;
             self.relay_fires += 1;
             let move_ticks = self.cfg.timing.move_cycles * self.mesh_ticks();
             let saved_now = self.now;
             self.now += move_ticks;
-            for s in sinks {
+            for k in 0..self.lm.graph.relays[ri].sinks.len() {
+                let s = self.lm.graph.relays[ri].sinks[k];
                 self.send_mesh(coords, s, value);
             }
             self.now = saved_now;
@@ -571,9 +711,11 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
     /// Fire-condition check and firing (Section 6.3 per-group rules).
     #[allow(clippy::too_many_lines)]
     fn try_fire(&mut self, i: u32) {
-        let insn = self.lm.method.code[i as usize].clone();
-        let group = insn.group();
+        // Early-outs on a borrow only — most calls return here, and the
+        // instruction clone below would otherwise run per delivered token.
         {
+            let insn = &self.lm.method.code[i as usize];
+            let group = insn.group();
             let st = &self.nodes[i as usize];
             if st.fired || !st.head || self.outcome.is_some() {
                 return;
@@ -607,6 +749,8 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
         }
 
         // All conditions met: fire.
+        let insn = self.lm.method.code[i as usize].clone();
+        let group = insn.group();
         let operands: Vec<Value> = self.nodes[i as usize]
             .operands
             .iter()
@@ -815,8 +959,10 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
     fn dispatch_outputs(&mut self, i: u32) {
         let outputs = std::mem::take(&mut self.nodes[i as usize].outputs);
         let coords = self.lm.placement.coords[i as usize];
-        let sinks = self.lm.graph.consumers[i as usize].clone();
-        for s in sinks {
+        // Indexed walk: `Sink` is `Copy`, so this avoids cloning the sink
+        // list on every fire.
+        for k in 0..self.lm.graph.consumers[i as usize].len() {
+            let s = self.lm.graph.consumers[i as usize][k];
             let v = outputs.get(usize::from(s.out)).copied().unwrap_or(Value::Int(0));
             self.send_mesh(coords, s, v);
         }
@@ -866,7 +1012,7 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
         // same thread/class/method must also reset to the stateReady".
         for a in target..=i {
             let pops = usize::from(self.lm.method.code[a as usize].pops());
-            self.nodes[a as usize] = NState { operands: vec![None; pops], ..NState::default() };
+            self.nodes[a as usize].reset(pops);
         }
         // Reverse-network transit to the loop head.
         let base = self.serial_transit(i, target).max(self.serial_hop());
@@ -911,7 +1057,7 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
             }
             O::IAStore | O::LAStore | O::FAStore | O::DAStore | O::AAStore | O::BAStore
             | O::CAStore | O::SAStore => {
-                if std::env::var_os("JAVAFLOW_TRACE_MEM").is_some() {
+                if trace_enabled("JAVAFLOW_TRACE_MEM") {
                     eprintln!("[mem] @{_i} {} operands {:?}", insn.op, operands);
                 }
                 let arr = get_ref(&operands[0])?;
@@ -1049,6 +1195,17 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
             _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
         }
     }
+}
+
+/// Whether a trace environment toggle is set, checked once per process —
+/// `env::var_os` walks the environment under a lock and these sit on the
+/// per-token hot path.
+fn trace_enabled(name: &'static str) -> bool {
+    use std::sync::OnceLock;
+    static REG: OnceLock<bool> = OnceLock::new();
+    static MEM: OnceLock<bool> = OnceLock::new();
+    let cell = if name == "JAVAFLOW_TRACE_REG" { &REG } else { &MEM };
+    *cell.get_or_init(|| std::env::var_os(name).is_some())
 }
 
 /// Register index encoded in the compact `*load_N`/`*store_N` forms.

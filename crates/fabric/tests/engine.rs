@@ -367,3 +367,87 @@ fn report_counters_are_consistent() {
     assert!(report.ipc > 0.0 && report.ipc < 16.0);
     assert!(report.frac_cycles_ge1 >= report.frac_cycles_ge2);
 }
+
+#[test]
+fn load_with_resolved_equals_load() {
+    // The per-record preparation cache must be invisible: stamping a
+    // prepared method onto each configuration yields exactly the loaded
+    // state (and execution reports) of a from-scratch `load`.
+    let p = program(
+        ".method m args=1 returns=true locals=2
+           iconst_0
+           istore 1
+         top:
+           iload 1
+           iload 0
+           iadd
+           istore 1
+           iinc 0 -1
+           iload 0
+           ifgt @top
+           iload 1
+           ireturn
+         .end",
+    );
+    let (_, m) = p.method_by_name("m").unwrap();
+    let prepared = javaflow_fabric::prepare(m).unwrap();
+    for config in FabricConfig::all_six() {
+        let direct = load(m, &config).unwrap();
+        let cached = javaflow_fabric::load_with_resolved(&prepared, &config).unwrap();
+        assert_eq!(format!("{direct:?}"), format!("{cached:?}"), "{}", config.name);
+        let run = |lm: &javaflow_fabric::LoadedMethod<'_>| {
+            execute(
+                lm,
+                &config,
+                ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() },
+            )
+        };
+        assert_eq!(run(&direct), run(&cached), "{}", config.name);
+    }
+}
+
+#[test]
+fn arena_reuse_is_invisible() {
+    // Back-to-back runs in one arena (different modes, different methods)
+    // must produce the same reports as fresh-allocation runs.
+    let p = program(
+        ".method m args=1 returns=true locals=2
+           iconst_0
+           istore 1
+         top:
+           iload 1
+           iload 0
+           iadd
+           istore 1
+           iinc 0 -1
+           iload 0
+           ifgt @top
+           iload 1
+           ireturn
+         .end
+         .method k args=2 returns=true locals=2
+           iload 0
+           iload 1
+           ixor
+           ireturn
+         .end",
+    );
+    let (_, m1) = p.method_by_name("m").unwrap();
+    let (_, m2) = p.method_by_name("k").unwrap();
+    let config = FabricConfig::compact2();
+    let l1 = load(m1, &config).unwrap();
+    let l2 = load(m2, &config).unwrap();
+    let mut arena = javaflow_fabric::SimArena::new();
+    for mode in [BranchMode::Bp1, BranchMode::Bp2] {
+        for lm in [&l1, &l2] {
+            let fresh = execute(lm, &config, ExecParams { mode, ..ExecParams::default() });
+            let reused = javaflow_fabric::execute_in(
+                lm,
+                &config,
+                ExecParams { mode, ..ExecParams::default() },
+                &mut arena,
+            );
+            assert_eq!(fresh, reused, "{mode:?}");
+        }
+    }
+}

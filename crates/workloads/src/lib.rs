@@ -32,6 +32,7 @@ pub mod compress;
 pub mod crypto;
 pub mod db;
 pub mod misc98;
+pub mod rng;
 pub mod scimark;
 mod suite;
 pub mod synthetic;

@@ -11,8 +11,8 @@
 //! (no trace data), so loops terminate by predictor schedule, not by data.
 
 use javaflow_bytecode::{ClassDef, Method, MethodBuilder, MethodId, Opcode, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::rng::StdRng;
 
 /// Generator parameters.
 #[derive(Debug, Clone)]

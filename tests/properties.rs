@@ -1,4 +1,6 @@
-//! Property-based tests over generated programs:
+//! Randomized property tests over generated programs (deterministic
+//! seeded generation — the workspace builds offline, so these use the
+//! in-repo [`javaflow_workloads::rng`] generator instead of proptest):
 //!
 //! * assembler/disassembler round-trips;
 //! * resolver ≡ verifier on arbitrary structured methods;
@@ -9,7 +11,9 @@
 use javaflow_bytecode::{asm, verify, Label, Method, MethodBuilder, Opcode, Program, Value};
 use javaflow_fabric::{execute, load, resolve, BranchMode, ExecParams, FabricConfig, Gpp, Outcome};
 use javaflow_interp::Interp;
-use proptest::prelude::*;
+use javaflow_workloads::rng::StdRng;
+
+const CASES: u64 = 48;
 
 /// A data-safe integer statement for generated programs.
 #[derive(Debug, Clone)]
@@ -28,20 +32,39 @@ enum Stmt {
 
 const REGS: u16 = 4;
 
-fn stmt_strategy(depth: u32) -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        (0..4u8, 0..4u8, 0..4u8, 0..6u8).prop_map(|(dst, a, b, op)| Stmt::Bin { dst, a, b, op }),
-        (0..4u8, any::<i8>()).prop_map(|(dst, value)| Stmt::Set { dst, value }),
-        (0..4u8, any::<i8>()).prop_map(|(dst, delta)| Stmt::Inc { dst, delta }),
-    ];
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        prop_oneof![
-            (0..4u8, 0..4u8, 0..4u8, prop::collection::vec(inner.clone(), 1..4))
-                .prop_map(|(a, b, cmp, then)| Stmt::If { a, b, cmp, then }),
-            (1..5u8, prop::collection::vec(inner, 1..4))
-                .prop_map(|(times, body)| Stmt::Loop { times, body }),
-        ]
-    })
+fn gen_stmt(rng: &mut StdRng, depth: u32) -> Stmt {
+    // Leaves at depth 0; otherwise a 1-in-3 chance of a nested construct.
+    if depth > 0 && rng.gen_bool(1.0 / 3.0) {
+        if rng.gen_bool(0.5) {
+            Stmt::If {
+                a: rng.gen_range(0..4u8),
+                b: rng.gen_range(0..4u8),
+                cmp: rng.gen_range(0..4u8),
+                then: gen_block(rng, depth - 1, 1..4),
+            }
+        } else {
+            Stmt::Loop {
+                times: rng.gen_range(1..5u8),
+                body: gen_block(rng, depth - 1, 1..4),
+            }
+        }
+    } else {
+        match rng.gen_range(0..3u8) {
+            0 => Stmt::Bin {
+                dst: rng.gen_range(0..4u8),
+                a: rng.gen_range(0..4u8),
+                b: rng.gen_range(0..4u8),
+                op: rng.gen_range(0..6u8),
+            },
+            1 => Stmt::Set { dst: rng.gen_range(0..4u8), value: rng.gen_range(-128..=127i8) },
+            _ => Stmt::Inc { dst: rng.gen_range(0..4u8), delta: rng.gen_range(-128..=127i8) },
+        }
+    }
+}
+
+fn gen_block(rng: &mut StdRng, depth: u32, len: std::ops::Range<usize>) -> Vec<Stmt> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| gen_stmt(rng, depth)).collect()
 }
 
 /// Emits a statement list; returns the next free counter register.
@@ -122,15 +145,13 @@ fn build_method(stmts: &[Stmt]) -> Method {
     b.finish().expect("generated program verifies")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn fabric_matches_interpreter_on_generated_programs(
-        stmts in prop::collection::vec(stmt_strategy(2), 1..6),
-        a in any::<i8>(),
-        bb in any::<i8>(),
-    ) {
+#[test]
+fn fabric_matches_interpreter_on_generated_programs() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5eed_0001 ^ case);
+        let stmts = gen_block(&mut rng, 2, 1..6);
+        let a = rng.gen_range(-128..=127i8);
+        let bb = rng.gen_range(-128..=127i8);
         let method = build_method(&stmts);
         let program = Program::from(method.clone());
         let args = [Value::Int(i32::from(a)), Value::Int(i32::from(bb))];
@@ -138,67 +159,85 @@ proptest! {
         let mut interp = Interp::new(&program);
         let expect = interp.run(javaflow_bytecode::MethodId(0), &args).unwrap();
 
-        for config in [FabricConfig::baseline(), FabricConfig::compact2(), FabricConfig::hetero2()] {
+        for config in [FabricConfig::baseline(), FabricConfig::compact2(), FabricConfig::hetero2()]
+        {
             let loaded = load(&method, &config).unwrap();
             let mut gpp = Interp::new(&program);
-            let report = execute(&loaded, &config, ExecParams {
-                mode: BranchMode::Data,
-                gpp: Gpp::Interp(&mut gpp),
-                args: args.to_vec(),
-                max_mesh_cycles: 2_000_000,
-            });
+            let report = execute(
+                &loaded,
+                &config,
+                ExecParams {
+                    mode: BranchMode::Data,
+                    gpp: Gpp::Interp(&mut gpp),
+                    args: args.to_vec(),
+                    max_mesh_cycles: 2_000_000,
+                },
+            );
             match &report.outcome {
-                Outcome::Returned(got) => prop_assert_eq!(got, &expect, "{}", config.name),
-                other => prop_assert!(false, "{}: {:?}", config.name, other),
+                Outcome::Returned(got) => {
+                    assert_eq!(got, &expect, "case {case}, {}", config.name);
+                }
+                other => panic!("case {case}, {}: {other:?}", config.name),
             }
         }
     }
+}
 
-    #[test]
-    fn resolver_matches_verifier_on_generated_programs(
-        stmts in prop::collection::vec(stmt_strategy(3), 1..8),
-    ) {
+#[test]
+fn resolver_matches_verifier_on_generated_programs() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5eed_0002 ^ case);
+        let stmts = gen_block(&mut rng, 3, 1..8);
         let method = build_method(&stmts);
         let v = verify(&method).unwrap();
         let r = resolve(&method).unwrap();
         let verifier_edges: Vec<(u32, u32, u16)> =
             v.edges.iter().map(|e| (e.producer, e.consumer, e.side)).collect();
-        prop_assert_eq!(r.edges(), verifier_edges);
-        prop_assert_eq!(r.stats.back_merges, 0);
+        assert_eq!(r.edges(), verifier_edges, "case {case}");
+        assert_eq!(r.stats.back_merges, 0, "case {case}");
     }
+}
 
-    #[test]
-    fn assembler_round_trips_generated_programs(
-        stmts in prop::collection::vec(stmt_strategy(2), 1..6),
-    ) {
+#[test]
+fn assembler_round_trips_generated_programs() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5eed_0003 ^ case);
+        let stmts = gen_block(&mut rng, 2, 1..6);
         let method = build_method(&stmts);
         let program = Program::from(method);
         let text = asm::disassemble(&program);
         let back = asm::assemble(&text).unwrap();
-        prop_assert_eq!(back.num_methods(), program.num_methods());
+        assert_eq!(back.num_methods(), program.num_methods(), "case {case}");
         for ((_, x), (_, y)) in program.methods().zip(back.methods()) {
-            prop_assert_eq!(x, y);
+            assert_eq!(x, y, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn scripted_mode_always_terminates(
-        stmts in prop::collection::vec(stmt_strategy(2), 1..6),
-        bp1 in any::<bool>(),
-    ) {
+#[test]
+fn scripted_mode_always_terminates() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5eed_0004 ^ case);
+        let stmts = gen_block(&mut rng, 2, 1..6);
+        let bp1 = rng.gen::<bool>();
         // Scripted branch outcomes are data-independent; every generated
         // loop must still terminate by predictor schedule.
         let method = build_method(&stmts);
         let config = FabricConfig::compact2();
         let loaded = load(&method, &config).unwrap();
-        let report = execute(&loaded, &config, ExecParams {
-            mode: if bp1 { BranchMode::Bp1 } else { BranchMode::Bp2 },
-            max_mesh_cycles: 2_000_000,
-            ..ExecParams::default()
-        });
-        prop_assert!(
+        let report = execute(
+            &loaded,
+            &config,
+            ExecParams {
+                mode: if bp1 { BranchMode::Bp1 } else { BranchMode::Bp2 },
+                max_mesh_cycles: 2_000_000,
+                ..ExecParams::default()
+            },
+        );
+        assert!(
             matches!(report.outcome, Outcome::Returned(_)),
-            "{:?}", report.outcome
+            "case {case}: {:?}",
+            report.outcome
         );
     }
 }

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Tier-1 gate: full workspace build + test, then a smoke run of the tables
+# binary (Table 22, the Figure-of-Merit headline) on a small population.
+set -eu
+
+cargo build --release --workspace
+cargo test -q
+
+cargo run --release -p javaflow-bench --bin tables -- --synthetic 50 --table 22
+
+echo "tier1: OK"
