@@ -8,15 +8,20 @@
 //!   fabrics;
 //! * [`DynamicMix`] — the Table 2 dynamic instruction-mix columns;
 //! * [`Utilization`] / [`top_methods`] — the Table 1/3/4 method-utilization
-//!   analysis showing a handful of methods dominate each benchmark.
+//!   analysis showing a handful of methods dominate each benchmark;
+//! * [`NetSummary`] / [`mesh_heatmap`] — link-level interconnect usage of
+//!   contended (`--net contended`) runs: occupancy, stall cycles, queue
+//!   depths, ring waits, and the mesh hotspot heatmap.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod mix;
+mod net;
 mod stats;
 mod utilization;
 
 pub use mix::{DynamicMix, StaticMix};
+pub use net::{mesh_heatmap, NetSummary};
 pub use stats::{pearson, Summary};
 pub use utilization::{top_methods, top_share, TopMethod, Utilization};

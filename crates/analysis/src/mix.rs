@@ -127,12 +127,12 @@ mod tests {
         let mut m = Method::new("t", 0, false);
         m.max_locals = 1;
         m.code = vec![
-            Insn::simple(Opcode::IConst0),                 // arith
-            Insn::simple(Opcode::DConst0),                 // arith (move)
-            Insn::simple(Opcode::DConst1),                 // arith
-            Insn::simple(Opcode::DAdd),                    // float
-            Insn::new(Opcode::Goto, Operand::Target(5)),   // control
-            Insn::simple(Opcode::ReturnVoid),              // control
+            Insn::simple(Opcode::IConst0),               // arith
+            Insn::simple(Opcode::DConst0),               // arith (move)
+            Insn::simple(Opcode::DConst1),               // arith
+            Insn::simple(Opcode::DAdd),                  // float
+            Insn::new(Opcode::Goto, Operand::Target(5)), // control
+            Insn::simple(Opcode::ReturnVoid),            // control
         ];
         let mix = StaticMix::of([&m]);
         assert_eq!(mix.total, 6);

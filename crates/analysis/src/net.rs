@@ -1,0 +1,188 @@
+//! Interconnect observability: aggregation of per-run [`NetReport`]s and
+//! the mesh hotspot heatmap.
+//!
+//! Contended runs (`NetKind::Contended`) attach link-level statistics to
+//! every `ExecReport`; a population sweep produces thousands of them. This
+//! module folds them into one [`NetSummary`] per configuration — total link
+//! occupancy, stall cycles, queue depths, ring waits — and renders the
+//! per-router traffic as an ASCII heatmap so saturated rows/columns of the
+//! mesh are visible at a glance.
+
+use std::fmt::Write as _;
+
+use javaflow_fabric::NetReport;
+
+/// Aggregate interconnect usage over many contended runs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetSummary {
+    /// Runs that carried a report.
+    pub runs: usize,
+    /// Mesh messages routed.
+    pub mesh_flits: u64,
+    /// Link traversals.
+    pub mesh_hops: u64,
+    /// Ticks flits stalled behind busy links / full FIFOs.
+    pub stall_ticks: u64,
+    /// Largest link queue depth observed in any run.
+    pub max_queue_depth: u64,
+    /// Hop-weighted mean queue depth across all runs.
+    pub mean_queue_depth: f64,
+    /// Memory-ring totals: requests, wait ticks, max station queue.
+    pub memory_ring: (u64, u64, u64),
+    /// GPP-ring totals: requests, wait ticks, max station queue.
+    pub gpp_ring: (u64, u64, u64),
+    /// Per-router accumulated `(x, y, flits, stall_ticks)`, address-ordered.
+    pub per_node: Vec<(u32, u32, u64, u64)>,
+}
+
+impl NetSummary {
+    /// Folds reports into one summary.
+    pub fn of<'a>(reports: impl IntoIterator<Item = &'a NetReport>) -> NetSummary {
+        let mut s = NetSummary::default();
+        let mut depth_weighted = 0.0f64;
+        let mut cells: std::collections::BTreeMap<(u32, u32), (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for r in reports {
+            s.runs += 1;
+            s.mesh_flits += r.mesh_flits;
+            s.mesh_hops += r.mesh_hops;
+            s.stall_ticks += r.stall_ticks;
+            s.max_queue_depth = s.max_queue_depth.max(r.max_queue_depth);
+            depth_weighted += r.mean_queue_depth * r.mesh_hops as f64;
+            s.memory_ring.0 += r.memory_ring.requests;
+            s.memory_ring.1 += r.memory_ring.wait_ticks;
+            s.memory_ring.2 = s.memory_ring.2.max(r.memory_ring.max_queue);
+            s.gpp_ring.0 += r.gpp_ring.requests;
+            s.gpp_ring.1 += r.gpp_ring.wait_ticks;
+            s.gpp_ring.2 = s.gpp_ring.2.max(r.gpp_ring.max_queue);
+            for h in &r.hotspots {
+                let cell = cells.entry((h.y, h.x)).or_insert((0, 0));
+                cell.0 += h.flits;
+                cell.1 += h.stall_ticks;
+            }
+        }
+        if s.mesh_hops > 0 {
+            s.mean_queue_depth = depth_weighted / s.mesh_hops as f64;
+        }
+        s.per_node =
+            cells.into_iter().map(|((y, x), (flits, stall))| (x, y, flits, stall)).collect();
+        s
+    }
+
+    /// Mean stall ticks per link traversal — the headline congestion
+    /// number (0 = wire-speed).
+    #[must_use]
+    pub fn stall_per_hop(&self) -> f64 {
+        if self.mesh_hops == 0 {
+            0.0
+        } else {
+            self.stall_ticks as f64 / self.mesh_hops as f64
+        }
+    }
+
+    /// The `top` busiest routers by flits routed, then by stall.
+    #[must_use]
+    pub fn hotspots(&self, top: usize) -> Vec<(u32, u32, u64, u64)> {
+        let mut v = self.per_node.clone();
+        v.sort_by(|a, b| (b.2, b.3).cmp(&(a.2, a.3)).then((a.0, a.1).cmp(&(b.0, b.1))));
+        v.truncate(top);
+        v
+    }
+}
+
+/// Renders per-router traffic as a `width`-column ASCII heatmap, darkest
+/// glyph = busiest router. Rows are mesh Y coordinates (the serial snake
+/// descends); routers that saw no traffic print `·`.
+#[must_use]
+pub fn mesh_heatmap(summary: &NetSummary, width: u32) -> String {
+    let mut out = String::new();
+    if summary.per_node.is_empty() || width == 0 {
+        let _ = writeln!(out, "(no mesh traffic recorded)");
+        return out;
+    }
+    const RAMP: [char; 8] = ['.', ':', '-', '=', '+', '*', '#', '@'];
+    let max = summary.per_node.iter().map(|c| c.2).max().unwrap_or(1).max(1);
+    let height = summary.per_node.iter().map(|c| c.1).max().unwrap_or(0) + 1;
+    let mut grid = vec![None; (width as usize) * (height as usize)];
+    for &(x, y, flits, _) in &summary.per_node {
+        if x < width {
+            grid[y as usize * width as usize + x as usize] = Some(flits);
+        }
+    }
+    let _ = writeln!(out, "mesh occupancy (x →, y ↓; max {max} flits/router):");
+    for y in 0..height {
+        let _ = write!(out, "  y{y:<3} ");
+        for x in 0..width {
+            let ch = match grid[y as usize * width as usize + x as usize] {
+                None | Some(0) => '·',
+                Some(f) => {
+                    // Index the ramp proportionally; the busiest cell gets
+                    // the last glyph.
+                    let idx = ((f * (RAMP.len() as u64 - 1)).div_ceil(max)) as usize;
+                    RAMP[idx.min(RAMP.len() - 1)]
+                }
+            };
+            let _ = write!(out, "{ch}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javaflow_fabric::{NodeNetStat, RingReport};
+
+    fn report(flits: u64, stall: u64) -> NetReport {
+        NetReport {
+            mesh_flits: flits,
+            mesh_hops: flits * 2,
+            stall_ticks: stall,
+            max_queue_depth: 3,
+            mean_queue_depth: 1.5,
+            hotspots: vec![
+                NodeNetStat { x: 0, y: 0, flits, stall_ticks: stall },
+                NodeNetStat { x: 1, y: 0, flits: flits / 2, stall_ticks: 0 },
+            ],
+            memory_ring: RingReport { requests: 4, wait_ticks: 6, max_queue: 2 },
+            gpp_ring: RingReport::default(),
+        }
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let rs = [report(10, 4), report(6, 2)];
+        let s = NetSummary::of(&rs);
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.mesh_flits, 16);
+        assert_eq!(s.mesh_hops, 32);
+        assert_eq!(s.stall_ticks, 6);
+        assert_eq!(s.max_queue_depth, 3);
+        assert!((s.mean_queue_depth - 1.5).abs() < 1e-12);
+        assert_eq!(s.memory_ring, (8, 12, 2));
+        // Cells merged across runs: (0,0) has 16 flits, (1,0) has 8.
+        assert_eq!(s.per_node, vec![(0, 0, 16, 6), (1, 0, 8, 0)]);
+        assert!((s.stall_per_hop() - 6.0 / 32.0).abs() < 1e-12);
+        assert_eq!(s.hotspots(1), vec![(0, 0, 16, 6)]);
+    }
+
+    #[test]
+    fn heatmap_renders_grid() {
+        let rs = [report(10, 4)];
+        let s = NetSummary::of(&rs);
+        let map = mesh_heatmap(&s, 4);
+        assert!(map.contains("y0"));
+        // Busiest cell gets the darkest glyph; idle cells get '·'.
+        assert!(map.contains('@'), "{map}");
+        assert!(map.contains('·'), "{map}");
+    }
+
+    #[test]
+    fn empty_summary_is_harmless() {
+        let s = NetSummary::of(std::iter::empty());
+        assert_eq!(s.runs, 0);
+        assert_eq!(s.stall_per_hop(), 0.0);
+        assert!(mesh_heatmap(&s, 10).contains("no mesh traffic"));
+    }
+}

@@ -108,9 +108,7 @@ fn ablation_serial_ratio() {
         let loaded = load(method, &config).expect("loads");
         let r = run_scripted(&loaded, &config);
         report.push_str(&format!(" ratio {ratio}: IPC {:.3};", r.ipc));
-        time(&format!("ablation_serial_ratio/{ratio}"), 50, || {
-            run_scripted(&loaded, &config)
-        });
+        time(&format!("ablation_serial_ratio/{ratio}"), 50, || run_scripted(&loaded, &config));
     }
     println!("[ablation serial-ratio]{report}");
 }
@@ -124,9 +122,7 @@ fn ablation_mesh_width() {
         let loaded = load(method, &config).expect("loads");
         let r = run_scripted(&loaded, &config);
         report.push_str(&format!(" width {width}: IPC {:.3};", r.ipc));
-        time(&format!("ablation_mesh_width/{width}"), 50, || {
-            run_scripted(&loaded, &config)
-        });
+        time(&format!("ablation_mesh_width/{width}"), 50, || run_scripted(&loaded, &config));
     }
     println!("[ablation mesh-width]{report} (dissertation settled on 10)");
 }

@@ -16,10 +16,8 @@ fn bench_interpreter() {
 }
 
 fn bench_verify_resolve() {
-    let (program, ids) = synthetic::generate(&synthetic::GenConfig {
-        count: 40,
-        ..Default::default()
-    });
+    let (program, ids) =
+        synthetic::generate(&synthetic::GenConfig { count: 40, ..Default::default() });
     let methods: Vec<_> = ids.iter().map(|id| program.method(*id)).collect();
     time("static_pipeline/verify_population_40", 50, || {
         for m in &methods {
@@ -42,11 +40,7 @@ fn bench_execution_per_config() {
     for config in FabricConfig::all_six() {
         let loaded = load(method, &config).expect("loads");
         time(&format!("execute_nextDouble/{}", config.name), 50, || {
-            execute(
-                &loaded,
-                &config,
-                ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() },
-            )
+            execute(&loaded, &config, ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() })
         });
     }
 }

@@ -84,9 +84,7 @@ fn figures_21_22_resolution() {
     )
     .expect("assembles");
     let (_, m) = program.method_by_name("f21").expect("exists");
-    time("figure21_22_resolution_example", 500, || {
-        javaflow_fabric::resolve(m).expect("resolves")
-    });
+    time("figure21_22_resolution_example", 500, || javaflow_fabric::resolve(m).expect("resolves"));
 }
 
 /// Figures 27–31: the `nextDouble` case study, load + scripted execution.
@@ -97,11 +95,7 @@ fn figures_27_31_nextdouble() {
     let config = FabricConfig::hetero2();
     time("figure27_31_nextDouble_case_study", 50, || {
         let loaded = load(method, &config).expect("loads");
-        execute(
-            &loaded,
-            &config,
-            ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() },
-        )
+        execute(&loaded, &config, ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() })
     });
 }
 

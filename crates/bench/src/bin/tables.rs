@@ -3,27 +3,34 @@
 //! ```text
 //! tables                  # print all tables (1–28)
 //! tables --table 22       # one table
+//! tables --list-tables    # list the valid table ids with titles
 //! tables --synthetic 400  # population size for the Chapter 7 sweeps
 //! tables --threads 4      # worker threads for the sweep (default: all
 //!                         # cores; JAVAFLOW_THREADS overrides the default)
+//! tables --net contended  # simulate interconnect contention instead of
+//!                         # the closed-form (ideal) delays
 //! tables --bench-eval     # time serial vs parallel sweeps and write
 //!                         # BENCH_evaluation.json
+//! tables --bench-net      # compare ideal vs contended sweeps and write
+//!                         # BENCH_net.json
 //! ```
 
 use std::time::Instant;
 
 use javaflow_bench::{chapter5_tables, chapter7_tables, profile_suite};
 use javaflow_core::{parallel::default_threads, EvalConfig, Evaluation};
+use javaflow_fabric::NetKind;
 
-fn run_eval(synthetic: usize, threads: usize) -> Evaluation {
+fn run_eval(synthetic: usize, threads: usize, net: NetKind) -> Evaluation {
     eprintln!(
-        "running the population on all six configurations ({synthetic} synthetic, {threads} thread{}) …",
+        "running the population on all six configurations ({synthetic} synthetic, {threads} thread{}, {net:?} net) …",
         if threads == 1 { "" } else { "s" }
     );
     let start = Instant::now();
     let eval = Evaluation::run(&EvalConfig {
         synthetic_count: synthetic,
         threads,
+        net,
         ..EvalConfig::default()
     });
     let secs = start.elapsed().as_secs_f64();
@@ -49,11 +56,11 @@ fn bench_eval(synthetic: usize, threads: usize) {
     eprintln!("seed-equivalent sweep: {seed_secs:.2}s");
 
     let t1 = Instant::now();
-    let serial = run_eval(synthetic, 1);
+    let serial = run_eval(synthetic, 1, NetKind::Ideal);
     let serial_secs = t1.elapsed().as_secs_f64();
 
     let t2 = Instant::now();
-    let parallel = run_eval(synthetic, threads);
+    let parallel = run_eval(synthetic, threads, NetKind::Ideal);
     let parallel_secs = t2.elapsed().as_secs_f64();
 
     // Debug-string comparison: NaN-valued returns (legitimate in scripted
@@ -88,42 +95,111 @@ fn bench_eval(synthetic: usize, threads: usize) {
     assert!(identical, "optimized sweep diverged from the seed-equivalent output");
 }
 
+/// Runs the same sweep under the ideal and contended interconnect models,
+/// prints the per-configuration comparison (IPC/cycle deltas, link stats,
+/// hotspot heatmap), and records it in `BENCH_net.json`.
+fn bench_net(synthetic: usize, threads: usize) {
+    let ideal = run_eval(synthetic, threads, NetKind::Ideal);
+    let contended = run_eval(synthetic, threads, NetKind::Contended);
+    let rows = javaflow_bench::net_bench_rows(&ideal, &contended);
+    println!("{}", javaflow_bench::net_report(&rows, &contended.configs));
+
+    let mut entries = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        entries.push_str(&format!(
+            "    {{\n      \"config\": \"{}\",\n      \"ipc_ideal\": {:.4},\n      \"ipc_contended\": {:.4},\n      \"ipc_delta_pct\": {:.2},\n      \"cycles_ideal\": {:.1},\n      \"cycles_contended\": {:.1},\n      \"cycle_delta_pct\": {:.2},\n      \"mesh_flits\": {},\n      \"mesh_hops\": {},\n      \"stall_ticks\": {},\n      \"stall_per_hop\": {:.4},\n      \"max_queue_depth\": {},\n      \"mean_queue_depth\": {:.3},\n      \"memory_ring_requests\": {},\n      \"memory_ring_wait_ticks\": {},\n      \"gpp_ring_requests\": {},\n      \"gpp_ring_wait_ticks\": {}\n    }}{sep}\n",
+            r.name,
+            r.ipc_ideal,
+            r.ipc_contended,
+            r.ipc_delta_pct(),
+            r.cycles_ideal,
+            r.cycles_contended,
+            r.cycle_delta_pct(),
+            r.net.mesh_flits,
+            r.net.mesh_hops,
+            r.net.stall_ticks,
+            r.net.stall_per_hop(),
+            r.net.max_queue_depth,
+            r.net.mean_queue_depth,
+            r.net.memory_ring.0,
+            r.net.memory_ring.1,
+            r.net.gpp_ring.0,
+            r.net.gpp_ring.1,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"tables --bench-net --synthetic {synthetic}\",\n  \"records\": {},\n  \"samples_per_model\": {},\n  \"threads\": {threads},\n  \"configs\": [\n{entries}  ]\n}}\n",
+        ideal.records.len(),
+        ideal.samples.len(),
+    );
+    std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");
+    eprintln!("wrote BENCH_net.json");
+}
+
 fn main() {
     let mut table: Option<u32> = None;
     let mut figure: Option<u32> = None;
     let mut synthetic = 240usize;
     let mut threads = default_threads();
+    let mut net = NetKind::Ideal;
     let mut bench = false;
+    let mut bench_net_mode = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--table" => {
-                table = args.next().and_then(|v| v.parse().ok()).filter(|t| (1..=28).contains(t));
+                let raw = args.next();
+                table =
+                    raw.as_deref().and_then(|v| v.parse().ok()).filter(|t| (1..=28).contains(t));
                 if table.is_none() {
-                    eprintln!("--table requires a number 1..=28");
+                    match raw {
+                        Some(v) => eprintln!(
+                            "--table: `{v}` is not a valid table id; valid ids are 1..=28 \
+                             (run `tables --list-tables` for titles)"
+                        ),
+                        None => eprintln!(
+                            "--table requires a table id 1..=28 \
+                             (run `tables --list-tables` for titles)"
+                        ),
+                    }
                     std::process::exit(2);
                 }
             }
-            "--synthetic" => {
-                synthetic = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--synthetic requires a count");
+            "--list-tables" => {
+                print!("{}", javaflow_bench::list_tables());
+                return;
+            }
+            "--net" => {
+                net = match args.next().as_deref() {
+                    Some("ideal") => NetKind::Ideal,
+                    Some("contended") => NetKind::Contended,
+                    other => {
+                        eprintln!(
+                            "--net requires `ideal` or `contended` (got {})",
+                            other.map_or_else(|| "nothing".into(), |v| format!("`{v}`"))
+                        );
                         std::process::exit(2);
-                    });
+                    }
+                };
+            }
+            "--synthetic" => {
+                synthetic = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--synthetic requires a count");
+                    std::process::exit(2);
+                });
             }
             "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| {
-                        eprintln!("--threads requires a count >= 1");
-                        std::process::exit(2);
-                    });
+                threads =
+                    args.next().and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(
+                        || {
+                            eprintln!("--threads requires a count >= 1");
+                            std::process::exit(2);
+                        },
+                    );
             }
             "--bench-eval" => bench = true,
+            "--bench-net" => bench_net_mode = true,
             "--figure" => {
                 figure = args.next().and_then(|v| v.parse().ok());
                 if figure.is_none() {
@@ -133,8 +209,9 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: tables [--table N] [--figure N] [--synthetic COUNT] \
-                     [--threads N] [--bench-eval]"
+                    "usage: tables [--table N] [--figure N] [--list-tables] \
+                     [--synthetic COUNT] [--threads N] [--net ideal|contended] \
+                     [--bench-eval] [--bench-net]"
                 );
                 return;
             }
@@ -147,6 +224,10 @@ fn main() {
 
     if bench {
         bench_eval(synthetic, threads);
+        return;
+    }
+    if bench_net_mode {
+        bench_net(synthetic, threads);
         return;
     }
 
@@ -167,7 +248,7 @@ fn main() {
         eprintln!("profiling the benchmark suite on the interpreter …");
         profile_suite()
     });
-    let eval = needs_ch7.then(|| run_eval(synthetic, threads));
+    let eval = needs_ch7.then(|| run_eval(synthetic, threads, net));
 
     for t in wanted {
         let text = if (1..=8).contains(&t) {

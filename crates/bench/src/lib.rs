@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 
 pub mod micro;
 
-use javaflow_analysis::{DynamicMix, StaticMix, Summary, Utilization};
+use javaflow_analysis::{mesh_heatmap, DynamicMix, NetSummary, StaticMix, Summary, Utilization};
 use javaflow_core::{EvalConfig, Evaluation, Filter};
 use javaflow_fabric::{BranchMode, FabricConfig, Layout, Timing};
 use javaflow_interp::Profiler;
@@ -86,8 +86,15 @@ pub fn chapter5_tables(suite: &ProfiledSuite, table: u32) -> String {
             let _ = writeln!(
                 out,
                 "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-                "Benchmark", "Loc+Stk", "ArithI", "ArithF", "Const", "Storage", "Ctl",
-                "Calls", "Spec"
+                "Benchmark",
+                "Loc+Stk",
+                "ArithI",
+                "ArithF",
+                "Const",
+                "Storage",
+                "Ctl",
+                "Calls",
+                "Spec"
             );
             for (b, p) in suite.benchmarks.iter().zip(&suite.profilers) {
                 let hot: Vec<javaflow_bytecode::MethodId> =
@@ -121,13 +128,8 @@ pub fn chapter5_tables(suite: &ProfiledSuite, table: u32) -> String {
                 let share = javaflow_analysis::top_share(p, 4);
                 let _ = writeln!(out, "{}  (top-4 share {:.0}%)", b.name, share * 100.0);
                 for t in tops {
-                    let _ = writeln!(
-                        out,
-                        "    {:<44} {:>12} {:>5.1}%",
-                        t.name,
-                        t.ops,
-                        t.share * 100.0
-                    );
+                    let _ =
+                        writeln!(out, "    {:<44} {:>12} {:>5.1}%", t.name, t.ops, t.share * 100.0);
                 }
             }
         }
@@ -275,10 +277,7 @@ pub fn chapter5_tables(suite: &ProfiledSuite, table: u32) -> String {
 pub fn chapter7_tables(eval: &Evaluation, table: u32) -> String {
     let mut out = String::new();
     let summaries = |filter: Filter, names: &[&str]| -> Vec<(&'static str, Summary)> {
-        eval.dataflow_summaries(filter)
-            .into_iter()
-            .filter(|(n, _)| names.contains(n))
-            .collect()
+        eval.dataflow_summaries(filter).into_iter().filter(|(n, _)| names.contains(n)).collect()
     };
     match table {
         9 => {
@@ -318,8 +317,7 @@ pub fn chapter7_tables(eval: &Evaluation, table: u32) -> String {
         }
         13 => {
             let _ = writeln!(out, "Table 13 — DataFlow Jump Forward Analysis (Filter 1)");
-            for (n, s) in summaries(Filter::Filter1, &["Fwd Jumps", "Fwd Avg Len", "Fwd Max Len"])
-            {
+            for (n, s) in summaries(Filter::Filter1, &["Fwd Jumps", "Fwd Avg Len", "Fwd Max Len"]) {
                 fmt_summary_row(&mut out, n, &s);
             }
             let _ = writeln!(out, "(paper: mean count 3.1, mean avg-len 12.0)");
@@ -336,8 +334,7 @@ pub fn chapter7_tables(eval: &Evaluation, table: u32) -> String {
         15 => {
             let _ = writeln!(out, "Table 15 — Benchmark Configurations");
             for c in &eval.configs {
-                let serial =
-                    c.serial_per_mesh.map_or("unlimited".to_string(), |s| s.to_string());
+                let serial = c.serial_per_mesh.map_or("unlimited".to_string(), |s| s.to_string());
                 let layout = match c.layout {
                     Layout::Homogeneous => "homogeneous",
                     Layout::Sparse => "every other node blank",
@@ -432,10 +429,8 @@ pub fn chapter7_tables(eval: &Evaluation, table: u32) -> String {
                     r.fom.std_dev
                 );
             }
-            let _ = writeln!(
-                out,
-                "(paper FoM, all methods: 1.00 / 0.96 / 0.88 / 0.75 / 0.58 / 0.47)"
-            );
+            let _ =
+                writeln!(out, "(paper FoM, all methods: 1.00 / 0.96 / 0.88 / 0.75 / 0.58 / 0.47)");
         }
         23 => {
             let hetero = eval
@@ -463,7 +458,14 @@ pub fn chapter7_tables(eval: &Evaluation, table: u32) -> String {
             let _ = writeln!(
                 out,
                 "{:<52} {:>7} {:>8}  {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
-                "Benchmark::method", "Total I", "Hetero N", "fm0", "fm1", "fm2", "fm3", "fm4",
+                "Benchmark::method",
+                "Total I",
+                "Hetero N",
+                "fm0",
+                "fm1",
+                "fm2",
+                "fm3",
+                "fm4",
                 "fm5"
             );
             let mut fm_sums = vec![0.0f64; eval.configs.len()];
@@ -501,6 +503,207 @@ pub fn chapter7_tables(eval: &Evaluation, table: u32) -> String {
         }
         other => {
             let _ = writeln!(out, "(table {other} is not a Chapter 7 table)");
+        }
+    }
+    out
+}
+
+/// One-line title of a regenerable table, for `tables --list-tables` and
+/// range errors.
+#[must_use]
+pub fn table_title(n: u32) -> &'static str {
+    match n {
+        1 => "Method Utilization in SPEC-substitute Benchmarks",
+        2 => "Dynamic Instruction Mix of 90% Methods",
+        3 => "JVM2008 Top 4 Methods",
+        4 => "JVM98 Top 4 Methods",
+        5 => "Impact of Quick Instructions",
+        6 => "Static Mix Analysis",
+        7 => "Benchmark DataFlow and Control Flow Analysis",
+        8 => "Analysis Summary",
+        9 => "General Data Flow Analysis (Filter 1)",
+        10 => "DataFlow FanOut and Arc Analysis (Filter 1)",
+        11 => "DataFlow Resolution Queue Analysis (Filter 1)",
+        12 => "DataFlow Merge Analysis (Filter 1)",
+        13 => "DataFlow Jump Forward Analysis (Filter 1)",
+        14 => "DataFlow Jump Backward Analysis (Filter 1)",
+        15 => "Benchmark Configurations",
+        16 => "Filters on Methods",
+        17 => "Execution Cycles per Instruction (+ Figure 25)",
+        18 => "Execution Coverage (All Methods)",
+        19 => "Ratio of Nodes Spanned to Instructions",
+        20 => "Heterogeneous Addressing Detail (Filter 1)",
+        21 => "Raw IPC Data (All Methods)",
+        22 => "Figure of Merit (All Methods)",
+        23 => "Correlations with FM Hetero2 (Filter All)",
+        24 => "All Data (Filter 1)",
+        25 => "All Data (Filter 2)",
+        26 => "Parallelism (All Methods)",
+        27 => "Figure of Merit on Top Methods (JVM2008)",
+        28 => "Figure of Merit on Top Methods (JVM98)",
+        _ => "(unknown table)",
+    }
+}
+
+/// The `--list-tables` text: every valid id with its one-line title.
+#[must_use]
+pub fn list_tables() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Chapter 5 (interpreter profile):");
+    for t in 1..=8u32 {
+        let _ = writeln!(out, "  {t:>2}  {}", table_title(t));
+    }
+    let _ = writeln!(out, "Chapter 7 (fabric evaluation):");
+    for t in 9..=28u32 {
+        let _ = writeln!(out, "  {t:>2}  {}", table_title(t));
+    }
+    out
+}
+
+/// Ideal-vs-contended comparison for one configuration (`--bench-net`).
+#[derive(Debug, Clone)]
+pub struct NetBenchRow {
+    /// Configuration name.
+    pub name: &'static str,
+    /// Mean IPC over returned samples, ideal interconnect.
+    pub ipc_ideal: f64,
+    /// Mean IPC over returned samples, contended interconnect.
+    pub ipc_contended: f64,
+    /// Mean elapsed mesh cycles, ideal.
+    pub cycles_ideal: f64,
+    /// Mean elapsed mesh cycles, contended.
+    pub cycles_contended: f64,
+    /// Aggregated link-level statistics of the contended sweep.
+    pub net: NetSummary,
+}
+
+impl NetBenchRow {
+    /// Relative IPC lost to contention, in percent (positive = slower).
+    #[must_use]
+    pub fn ipc_delta_pct(&self) -> f64 {
+        if self.ipc_ideal == 0.0 {
+            0.0
+        } else {
+            (self.ipc_ideal - self.ipc_contended) / self.ipc_ideal * 100.0
+        }
+    }
+
+    /// Relative cycle growth under contention, in percent.
+    #[must_use]
+    pub fn cycle_delta_pct(&self) -> f64 {
+        if self.cycles_ideal == 0.0 {
+            0.0
+        } else {
+            (self.cycles_contended - self.cycles_ideal) / self.cycles_ideal * 100.0
+        }
+    }
+}
+
+/// Folds two sweeps of the same population — one ideal, one contended —
+/// into per-configuration comparison rows.
+///
+/// # Panics
+///
+/// Panics if the two evaluations ran different configuration lists.
+#[must_use]
+pub fn net_bench_rows(ideal: &Evaluation, contended: &Evaluation) -> Vec<NetBenchRow> {
+    assert_eq!(ideal.configs.len(), contended.configs.len(), "sweeps must match");
+    let mean_of = |eval: &Evaluation, ci: usize| -> (f64, f64) {
+        let mut ipc = 0.0;
+        let mut cycles = 0.0;
+        let mut n = 0usize;
+        for s in &eval.samples {
+            if s.config == ci && s.ok {
+                ipc += s.report.ipc;
+                cycles += s.report.mesh_cycles as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            (0.0, 0.0)
+        } else {
+            (ipc / n as f64, cycles / n as f64)
+        }
+    };
+    ideal
+        .configs
+        .iter()
+        .enumerate()
+        .map(|(ci, fc)| {
+            let (ipc_ideal, cycles_ideal) = mean_of(ideal, ci);
+            let (ipc_contended, cycles_contended) = mean_of(contended, ci);
+            let net = NetSummary::of(
+                contended
+                    .samples
+                    .iter()
+                    .filter(|s| s.config == ci)
+                    .filter_map(|s| s.report.net.as_ref()),
+            );
+            NetBenchRow {
+                name: fc.name,
+                ipc_ideal,
+                ipc_contended,
+                cycles_ideal,
+                cycles_contended,
+                net,
+            }
+        })
+        .collect()
+}
+
+/// The `--bench-net` report: per-configuration ideal-vs-contended deltas,
+/// link/ring statistics, and the hotspot heatmap of the most congested
+/// configuration.
+#[must_use]
+pub fn net_report(rows: &[NetBenchRow], configs: &[FabricConfig]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Interconnect contention report (ideal vs contended)");
+    let _ = writeln!(
+        out,
+        "{:<11} {:>9} {:>9} {:>7} {:>11} {:>11} {:>7} | {:>9} {:>6} {:>6} {:>9} {:>9}",
+        "Config",
+        "IPC-ideal",
+        "IPC-cont",
+        "ΔIPC%",
+        "Cyc-ideal",
+        "Cyc-cont",
+        "ΔCyc%",
+        "stall/hop",
+        "maxQ",
+        "meanQ",
+        "mem-wait",
+        "gpp-wait"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<11} {:>9.3} {:>9.3} {:>7.1} {:>11.1} {:>11.1} {:>7.1} | {:>9.3} {:>6} {:>6.2} {:>9} {:>9}",
+            r.name,
+            r.ipc_ideal,
+            r.ipc_contended,
+            r.ipc_delta_pct(),
+            r.cycles_ideal,
+            r.cycles_contended,
+            r.cycle_delta_pct(),
+            r.net.stall_per_hop(),
+            r.net.max_queue_depth,
+            r.net.mean_queue_depth,
+            r.net.memory_ring.1,
+            r.net.gpp_ring.1,
+        );
+    }
+    // Heatmap of the configuration with the worst per-hop stall.
+    if let Some((ci, worst)) = rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.net.mesh_hops > 0)
+        .max_by(|(_, a), (_, b)| a.net.stall_per_hop().total_cmp(&b.net.stall_per_hop()))
+    {
+        let width = configs.get(ci).map_or(10, |c| c.width);
+        let _ = writeln!(out, "\nhotspots — {} (worst stall/hop):", worst.name);
+        out.push_str(&mesh_heatmap(&worst.net, width));
+        for (x, y, flits, stall) in worst.net.hotspots(5) {
+            let _ = writeln!(out, "  ({x},{y}): {flits} flits, {stall} stall ticks");
         }
     }
     out
@@ -653,8 +856,13 @@ pub fn figure(n: u32) -> String {
             let (_, m) = program.methods().next().expect("exists");
             let r = javaflow_fabric::resolve(m).expect("resolves");
             for (addr, insn) in m.iter() {
-                let _ = write!(out, "  @{addr:<2} {:<14} pop {} push {}", insn.to_string(),
-                    insn.pops(), insn.pushes());
+                let _ = write!(
+                    out,
+                    "  @{addr:<2} {:<14} pop {} push {}",
+                    insn.to_string(),
+                    insn.pops(),
+                    insn.pushes()
+                );
                 let sinks = &r.consumers[addr as usize];
                 if !sinks.is_empty() {
                     let _ = write!(out, "  →");
@@ -679,7 +887,8 @@ pub fn figure(n: u32) -> String {
             let _ = writeln!(out, "   A=arith F=float S=storage C=control (6/1/2/1)");
         }
         other => {
-            let _ = writeln!(out, "(no structural rendering for figure {other}; see EXPERIMENTS.md)");
+            let _ =
+                writeln!(out, "(no structural rendering for figure {other}; see EXPERIMENTS.md)");
         }
     }
     out

@@ -4,12 +4,18 @@
 
 use javaflow_bench::chapter7_tables;
 use javaflow_core::{EvalConfig, Evaluation};
+use javaflow_fabric::NetKind;
 
 fn eval(threads: usize) -> Evaluation {
+    eval_net(threads, NetKind::Ideal)
+}
+
+fn eval_net(threads: usize, net: NetKind) -> Evaluation {
     Evaluation::run(&EvalConfig {
         synthetic_count: 16,
         max_mesh_cycles: 120_000,
         threads,
+        net,
         ..EvalConfig::default()
     })
 }
@@ -37,4 +43,59 @@ fn parallel_sweep_is_bit_identical_to_serial() {
             "table {table} diverged"
         );
     }
+}
+
+#[test]
+fn contended_sweep_is_bit_identical_to_serial() {
+    let serial = eval_net(1, NetKind::Contended);
+    let parallel = eval_net(4, NetKind::Contended);
+
+    assert_eq!(serial.samples.len(), parallel.samples.len());
+    for (a, b) in serial.samples.iter().zip(&parallel.samples) {
+        assert_eq!((a.record, a.config, a.bp, a.ok), (b.record, b.config, b.bp, b.ok));
+        // The Debug string covers the attached NetReport too, so link
+        // arbitration and ring waits must replay identically.
+        assert_eq!(format!("{:?}", a.report), format!("{:?}", b.report));
+        assert!(a.report.net.is_some(), "contended samples carry link stats");
+    }
+    // The ideal-vs-contended comparison built from deterministic sweeps is
+    // itself deterministic.
+    let ideal = eval(1);
+    let rows_a = javaflow_bench::net_bench_rows(&ideal, &serial);
+    let rows_b = javaflow_bench::net_bench_rows(&ideal, &parallel);
+    assert_eq!(format!("{rows_a:?}"), format!("{rows_b:?}"));
+    assert_eq!(
+        javaflow_bench::net_report(&rows_a, &serial.configs),
+        javaflow_bench::net_report(&rows_b, &parallel.configs),
+    );
+}
+
+#[test]
+fn net_flag_leaves_ideal_tables_untouched() {
+    // `--net ideal` must be the exact seed behaviour: explicitly setting
+    // the default produces byte-identical tables.
+    let implicit = eval(2);
+    let explicit = eval_net(2, NetKind::Ideal);
+    for table in [21, 22] {
+        assert_eq!(
+            chapter7_tables(&implicit, table),
+            chapter7_tables(&explicit, table),
+            "table {table} diverged under an explicit --net ideal"
+        );
+    }
+    assert!(implicit.samples.iter().all(|s| s.report.net.is_none()));
+}
+
+#[test]
+fn list_tables_covers_all_ids() {
+    let listing = javaflow_bench::list_tables();
+    for t in 1..=28u32 {
+        assert!(
+            listing.contains(&format!("{t:>2}  ")),
+            "table {t} missing from --list-tables output"
+        );
+        assert_ne!(javaflow_bench::table_title(t), "(unknown table)");
+    }
+    assert_eq!(javaflow_bench::table_title(0), "(unknown table)");
+    assert_eq!(javaflow_bench::table_title(29), "(unknown table)");
 }

@@ -113,10 +113,8 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                     return err(lno, format!("unexpected token `{tok}`"));
                 }
             }
-            let name = name.ok_or_else(|| AsmError {
-                line: lno,
-                message: ".class requires a name".into(),
-            })?;
+            let name = name
+                .ok_or_else(|| AsmError { line: lno, message: ".class requires a name".into() })?;
             class_ids.insert(name.clone(), classes.len() as u16);
             classes.push(ClassDef { name, instance_fields: fields, static_fields: statics });
             continue;
@@ -131,10 +129,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             let mut locals: Option<u16> = None;
             for tok in rest.split_whitespace() {
                 if let Some(v) = tok.strip_prefix("args=") {
-                    args = v.parse().map_err(|_| AsmError {
-                        line: lno,
-                        message: format!("bad args `{v}`"),
-                    })?;
+                    args = v
+                        .parse()
+                        .map_err(|_| AsmError { line: lno, message: format!("bad args `{v}`") })?;
                 } else if let Some(v) = tok.strip_prefix("returns=") {
                     returns = v == "true";
                 } else if let Some(v) = tok.strip_prefix("locals=") {
@@ -148,20 +145,17 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                     return err(lno, format!("unexpected token `{tok}`"));
                 }
             }
-            let name = name.ok_or_else(|| AsmError {
-                line: lno,
-                message: ".method requires a name".into(),
-            })?;
+            let name = name
+                .ok_or_else(|| AsmError { line: lno, message: ".method requires a name".into() })?;
             let mut method = Method::new(name, args, returns);
             method.max_locals = locals.unwrap_or(args);
             current = Some(RawMethod { method, raw: Vec::new(), labels: HashMap::new() });
             continue;
         }
         if line == ".end" {
-            let raw = current.take().ok_or_else(|| AsmError {
-                line: lno,
-                message: ".end without .method".into(),
-            })?;
+            let raw = current
+                .take()
+                .ok_or_else(|| AsmError { line: lno, message: ".end without .method".into() })?;
             raws.push(raw);
             continue;
         }
@@ -210,10 +204,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut ids = Vec::new();
     for r in &raws {
         let id = program.add_method(r.method.clone());
-        sigs.insert(
-            r.method.name.clone(),
-            (id, r.method.num_args as u8, r.method.returns),
-        );
+        sigs.insert(r.method.name.clone(), (id, r.method.num_args as u8, r.method.returns));
         ids.push(id);
     }
     for (r, id) in raws.iter().zip(ids) {
@@ -301,8 +292,17 @@ fn parse_operand(
                 .map_err(|_| AsmError { line: lno, message: format!("bad cp index `{idx}`") })?;
             done(Operand::Cp(i))
         }
-        O::ILoad | O::LLoad | O::FLoad | O::DLoad | O::ALoad | O::IStore | O::LStore | O::FStore
-        | O::DStore | O::AStore | O::Ret => {
+        O::ILoad
+        | O::LLoad
+        | O::FLoad
+        | O::DLoad
+        | O::ALoad
+        | O::IStore
+        | O::LStore
+        | O::FStore
+        | O::DStore
+        | O::AStore
+        | O::Ret => {
             need(1)?;
             let r: u16 = rest[0]
                 .parse()
@@ -327,7 +327,10 @@ fn parse_operand(
                 .map_err(|_| AsmError { line: lno, message: format!("bad slot `{}`", rest[1]) })?;
             done(Operand::Field(FieldRef { class, slot }))
         }
-        O::InvokeVirtual | O::InvokeSpecial | O::InvokeStatic | O::InvokeInterface
+        O::InvokeVirtual
+        | O::InvokeSpecial
+        | O::InvokeStatic
+        | O::InvokeInterface
         | O::InvokeDynamic => {
             need(1)?;
             Ok(RawOperand::Callee(rest[0].to_string()))
@@ -380,8 +383,8 @@ fn parse_operand(
                     arms.push((key, l.to_string()));
                 }
             }
-            let default =
-                default.ok_or_else(|| AsmError { line: lno, message: "missing default arm".into() })?;
+            let default = default
+                .ok_or_else(|| AsmError { line: lno, message: "missing default arm".into() })?;
             Ok(RawOperand::Switch(arms, default))
         }
         _ if op.is_branch() => {

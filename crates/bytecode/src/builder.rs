@@ -7,7 +7,7 @@
 //! result, so a successfully built method is always fabric-loadable.
 
 use crate::{
-    verify, ArrayKind, CallRef, FieldRef, Insn, MethodId, Method, Opcode, Operand, Value,
+    verify, ArrayKind, CallRef, FieldRef, Insn, Method, MethodId, Opcode, Operand, Value,
     VerifyError,
 };
 

@@ -153,12 +153,12 @@ mod tests {
     fn looped() -> Method {
         let mut m = Method::new("t", 1, false);
         m.code = vec![
-            Insn::new(Opcode::ILoad, Operand::Local(0)),               // 0
-            Insn::new(Opcode::IfEq, Operand::Target(5)),               // 1 fwd cond
+            Insn::new(Opcode::ILoad, Operand::Local(0)), // 0
+            Insn::new(Opcode::IfEq, Operand::Target(5)), // 1 fwd cond
             Insn::new(Opcode::IInc, Operand::Inc { local: 0, delta: -1 }), // 2
-            Insn::new(Opcode::ILoad, Operand::Local(0)),               // 3
-            Insn::new(Opcode::IfNe, Operand::Target(2)),               // 4 back cond
-            Insn::simple(Opcode::ReturnVoid),                          // 5
+            Insn::new(Opcode::ILoad, Operand::Local(0)), // 3
+            Insn::new(Opcode::IfNe, Operand::Target(2)), // 4 back cond
+            Insn::simple(Opcode::ReturnVoid),            // 5
         ];
         m
     }

@@ -215,15 +215,27 @@ impl Insn {
         let ok = match self.op {
             O::BiPush | O::SiPush => matches!(self.operand, Operand::Imm(_)),
             O::Ldc | O::LdcW | O::Ldc2W => matches!(self.operand, Operand::Cp(_)),
-            O::ILoad | O::LLoad | O::FLoad | O::DLoad | O::ALoad | O::IStore | O::LStore
-            | O::FStore | O::DStore | O::AStore | O::Ret => {
+            O::ILoad
+            | O::LLoad
+            | O::FLoad
+            | O::DLoad
+            | O::ALoad
+            | O::IStore
+            | O::LStore
+            | O::FStore
+            | O::DStore
+            | O::AStore
+            | O::Ret => {
                 matches!(self.operand, Operand::Local(_))
             }
             O::IInc => matches!(self.operand, Operand::Inc { .. }),
             O::GetStatic | O::PutStatic | O::GetField | O::PutField => {
                 matches!(self.operand, Operand::Field(_))
             }
-            O::InvokeVirtual | O::InvokeSpecial | O::InvokeStatic | O::InvokeInterface
+            O::InvokeVirtual
+            | O::InvokeSpecial
+            | O::InvokeStatic
+            | O::InvokeInterface
             | O::InvokeDynamic => matches!(self.operand, Operand::Call(_)),
             O::New | O::ANewArray | O::CheckCast | O::InstanceOf => {
                 matches!(self.operand, Operand::ClassId(_))

@@ -322,33 +322,36 @@ impl Program {
                                     reason: format!(
                                         "call signature ({} args, ret={}) disagrees with callee \
                                          `{}` ({} args, ret={})",
-                                        c.argc, c.returns, callee.name, callee.num_args,
+                                        c.argc,
+                                        c.returns,
+                                        callee.name,
+                                        callee.num_args,
                                         callee.returns
                                     ),
                                 },
                             ));
                         }
                     }
-                    Operand::Field(fr)
-                        if usize::from(fr.class) >= self.classes.len() => {
-                            return Err((
-                                id,
-                                MethodError::BadOperand {
-                                    addr,
-                                    reason: format!("field reference to unknown class {}", fr.class),
-                                },
-                            ));
-                        }
+                    Operand::Field(fr) if usize::from(fr.class) >= self.classes.len() => {
+                        return Err((
+                            id,
+                            MethodError::BadOperand {
+                                addr,
+                                reason: format!("field reference to unknown class {}", fr.class),
+                            },
+                        ));
+                    }
                     Operand::ClassId(c) | Operand::Dims { class: c, .. }
-                        if usize::from(*c) >= self.classes.len() => {
-                            return Err((
-                                id,
-                                MethodError::BadOperand {
-                                    addr,
-                                    reason: format!("reference to unknown class {c}"),
-                                },
-                            ));
-                        }
+                        if usize::from(*c) >= self.classes.len() =>
+                    {
+                        return Err((
+                            id,
+                            MethodError::BadOperand {
+                                addr,
+                                reason: format!("reference to unknown class {c}"),
+                            },
+                        ));
+                    }
                     _ => {}
                 }
             }

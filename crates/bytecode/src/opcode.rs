@@ -302,10 +302,11 @@ impl Opcode {
     /// Whether this opcode transfers control non-sequentially when taken.
     #[must_use]
     pub fn is_branch(self) -> bool {
-        matches!(
-            self.group(),
-            InstructionGroup::ControlFlow
-        ) || matches!(self, Opcode::Jsr | Opcode::JsrW | Opcode::TableSwitch | Opcode::LookupSwitch)
+        matches!(self.group(), InstructionGroup::ControlFlow)
+            || matches!(
+                self,
+                Opcode::Jsr | Opcode::JsrW | Opcode::TableSwitch | Opcode::LookupSwitch
+            )
     }
 
     /// Whether this opcode is an *unconditional* branch (`goto`/`goto_w`).
@@ -333,10 +334,7 @@ impl Opcode {
     /// loaded before execution and never written (Section 6.3).
     #[must_use]
     pub fn is_ordered_memory(self) -> bool {
-        matches!(
-            self.group(),
-            InstructionGroup::MemRead | InstructionGroup::MemWrite
-        )
+        matches!(self.group(), InstructionGroup::MemRead | InstructionGroup::MemWrite)
     }
 }
 

@@ -138,10 +138,9 @@ impl std::fmt::Display for VerifyError {
             VerifyError::ShapeMismatch { addr, first, second } => {
                 write!(fm, "stack shape mismatch at @{addr}: depth {first} vs {second}")
             }
-            VerifyError::TypeMismatch { addr, slot, first, second } => write!(
-                fm,
-                "stack type mismatch at @{addr} slot {slot}: {first:?} vs {second:?}"
-            ),
+            VerifyError::TypeMismatch { addr, slot, first, second } => {
+                write!(fm, "stack type mismatch at @{addr} slot {slot}: {first:?} vs {second:?}")
+            }
             VerifyError::BadOperandType { addr, side, expected, found } => write!(
                 fm,
                 "operand type error at @{addr} side {side}: expected {expected:?}, found {found:?}"
@@ -197,22 +196,76 @@ fn push_types(insn: &Insn) -> Vec<DataType> {
     }
     let one = |t: T| vec![t];
     match insn.op {
-        O::AConstNull | O::ALoad | O::ALoad0 | O::ALoad1 | O::ALoad2 | O::ALoad3
-        | O::New | O::NewArray | O::ANewArray | O::CheckCast | O::MultiANewArray => {
-            one(T::Reference)
-        }
+        O::AConstNull
+        | O::ALoad
+        | O::ALoad0
+        | O::ALoad1
+        | O::ALoad2
+        | O::ALoad3
+        | O::New
+        | O::NewArray
+        | O::ANewArray
+        | O::CheckCast
+        | O::MultiANewArray => one(T::Reference),
         O::Jsr | O::JsrW => one(T::ReturnAddress),
-        O::LConst0 | O::LConst1 | O::LLoad | O::LLoad0 | O::LLoad1 | O::LLoad2 | O::LLoad3
-        | O::LALoad | O::LAdd | O::LSub | O::LMul | O::LDiv | O::LRem | O::LNeg | O::LShl
-        | O::LShr | O::LUShr | O::LAnd | O::LOr | O::LXor | O::I2L | O::F2L | O::D2L => {
-            one(T::Long)
-        }
-        O::FConst0 | O::FConst1 | O::FConst2 | O::FLoad | O::FLoad0 | O::FLoad1 | O::FLoad2
-        | O::FLoad3 | O::FALoad | O::FAdd | O::FSub | O::FMul | O::FDiv | O::FRem | O::FNeg
-        | O::I2F | O::L2F | O::D2F => one(T::Float),
-        O::DConst0 | O::DConst1 | O::DLoad | O::DLoad0 | O::DLoad1 | O::DLoad2 | O::DLoad3
-        | O::DALoad | O::DAdd | O::DSub | O::DMul | O::DDiv | O::DRem | O::DNeg | O::I2D
-        | O::L2D | O::F2D => one(T::Double),
+        O::LConst0
+        | O::LConst1
+        | O::LLoad
+        | O::LLoad0
+        | O::LLoad1
+        | O::LLoad2
+        | O::LLoad3
+        | O::LALoad
+        | O::LAdd
+        | O::LSub
+        | O::LMul
+        | O::LDiv
+        | O::LRem
+        | O::LNeg
+        | O::LShl
+        | O::LShr
+        | O::LUShr
+        | O::LAnd
+        | O::LOr
+        | O::LXor
+        | O::I2L
+        | O::F2L
+        | O::D2L => one(T::Long),
+        O::FConst0
+        | O::FConst1
+        | O::FConst2
+        | O::FLoad
+        | O::FLoad0
+        | O::FLoad1
+        | O::FLoad2
+        | O::FLoad3
+        | O::FALoad
+        | O::FAdd
+        | O::FSub
+        | O::FMul
+        | O::FDiv
+        | O::FRem
+        | O::FNeg
+        | O::I2F
+        | O::L2F
+        | O::D2F => one(T::Float),
+        O::DConst0
+        | O::DConst1
+        | O::DLoad
+        | O::DLoad0
+        | O::DLoad1
+        | O::DLoad2
+        | O::DLoad3
+        | O::DALoad
+        | O::DAdd
+        | O::DSub
+        | O::DMul
+        | O::DDiv
+        | O::DRem
+        | O::DNeg
+        | O::I2D
+        | O::L2D
+        | O::F2D => one(T::Double),
         // Everything else that pushes a single value pushes an int-family
         // value (comparisons, int arithmetic, conversions to int, loads).
         _ if n == 1 && !matches!(insn.op.group(), InstructionGroup::Call) => one(T::Int),
@@ -229,7 +282,13 @@ fn expected_pop_types(insn: &Insn) -> Vec<Option<DataType>> {
     let mut v = vec![None; pops];
     match insn.op {
         // Array loads: arrayref, index.
-        O::IALoad | O::LALoad | O::FALoad | O::DALoad | O::AALoad | O::BALoad | O::CALoad
+        O::IALoad
+        | O::LALoad
+        | O::FALoad
+        | O::DALoad
+        | O::AALoad
+        | O::BALoad
+        | O::CALoad
         | O::SALoad => {
             v[0] = Some(T::Reference);
             v[1] = Some(T::Int);
@@ -248,7 +307,11 @@ fn expected_pop_types(insn: &Insn) -> Vec<Option<DataType>> {
             v = vec![Some(T::Int), Some(T::Int)];
         }
         O::IfACmpEq | O::IfACmpNe => v = vec![Some(T::Reference), Some(T::Reference)],
-        O::IfNull | O::IfNonNull | O::AThrow | O::ArrayLength | O::MonitorEnter
+        O::IfNull
+        | O::IfNonNull
+        | O::AThrow
+        | O::ArrayLength
+        | O::MonitorEnter
         | O::MonitorExit => v[0] = Some(T::Reference),
         O::GetField => v[0] = Some(T::Reference),
         O::PutField => v[0] = Some(T::Reference),
@@ -451,10 +514,8 @@ pub fn verify(method: &Method) -> Result<VerifiedMethod, VerifyError> {
         }
     }
 
-    let depth_in: Vec<u16> = state_in
-        .iter()
-        .map(|s| s.as_ref().map_or(u16::MAX, |st| st.len() as u16))
-        .collect();
+    let depth_in: Vec<u16> =
+        state_in.iter().map(|s| s.as_ref().map_or(u16::MAX, |st| st.len() as u16)).collect();
     let reachable = state_in.iter().filter(|s| s.is_some()).count();
     let edges: Vec<DfEdge> = edges.into_iter().collect();
 
@@ -575,7 +636,8 @@ mod tests {
 
     #[test]
     fn underflow_rejected() {
-        let meth = m(vec![Insn::simple(Opcode::IAdd), Insn::simple(Opcode::ReturnVoid)], 0, false, 0);
+        let meth =
+            m(vec![Insn::simple(Opcode::IAdd), Insn::simple(Opcode::ReturnVoid)], 0, false, 0);
         assert!(matches!(verify(&meth), Err(VerifyError::Underflow { addr: 0 })));
     }
 
@@ -600,13 +662,13 @@ mod tests {
         // register (iinc), so the dataflow graph has no back arcs.
         let meth = m(
             vec![
-                Insn::new(Opcode::BiPush, Operand::Imm(10)),     // 0
-                Insn::new(Opcode::IStore, Operand::Local(0)),    // 1
-                Insn::new(Opcode::ILoad, Operand::Local(0)),     // 2 loop head
-                Insn::new(Opcode::IfEq, Operand::Target(6)),     // 3
+                Insn::new(Opcode::BiPush, Operand::Imm(10)),  // 0
+                Insn::new(Opcode::IStore, Operand::Local(0)), // 1
+                Insn::new(Opcode::ILoad, Operand::Local(0)),  // 2 loop head
+                Insn::new(Opcode::IfEq, Operand::Target(6)),  // 3
                 Insn::new(Opcode::IInc, Operand::Inc { local: 0, delta: -1 }), // 4
-                Insn::new(Opcode::Goto, Operand::Target(2)),     // 5 back edge
-                Insn::simple(Opcode::ReturnVoid),                // 6
+                Insn::new(Opcode::Goto, Operand::Target(2)),  // 5 back edge
+                Insn::simple(Opcode::ReturnVoid),             // 6
             ],
             0,
             false,
@@ -621,10 +683,10 @@ mod tests {
     fn dup_produces_two_sinks_from_one_producer() {
         let meth = m(
             vec![
-                Insn::simple(Opcode::IConst3),                // 0
-                Insn::simple(Opcode::Dup),                    // 1
-                Insn::simple(Opcode::IMul),                   // 2
-                Insn::simple(Opcode::IReturn),                // 3
+                Insn::simple(Opcode::IConst3), // 0
+                Insn::simple(Opcode::Dup),     // 1
+                Insn::simple(Opcode::IMul),    // 2
+                Insn::simple(Opcode::IReturn), // 3
             ],
             0,
             true,

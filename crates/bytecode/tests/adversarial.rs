@@ -48,10 +48,12 @@ fn every_branch_opcode_has_classification() {
     assert!(branches.len() >= 20);
     for op in branches {
         assert!(
-            op.is_goto() || op.is_conditional() || matches!(
-                op,
-                Opcode::Jsr | Opcode::JsrW | Opcode::TableSwitch | Opcode::LookupSwitch
-            ),
+            op.is_goto()
+                || op.is_conditional()
+                || matches!(
+                    op,
+                    Opcode::Jsr | Opcode::JsrW | Opcode::TableSwitch | Opcode::LookupSwitch
+                ),
             "{op} unclassified"
         );
     }
@@ -102,11 +104,7 @@ fn verifier_handles_dense_diamonds() {
     // iadd (@10) side 1 is fed by both iload 1 (@2) and iload 2 (@4);
     // side 2 by the two constants (@7, @9).
     let feeders = |side: u16| -> Vec<u32> {
-        v.edges
-            .iter()
-            .filter(|e| e.consumer == 10 && e.side == side)
-            .map(|e| e.producer)
-            .collect()
+        v.edges.iter().filter(|e| e.consumer == 10 && e.side == side).map(|e| e.producer).collect()
     };
     assert_eq!(feeders(1), vec![2, 4]);
     assert_eq!(feeders(2), vec![7, 9]);
@@ -185,14 +183,8 @@ fn disassembly_is_stable() {
 #[test]
 fn display_formats_are_readable() {
     assert_eq!(Insn::simple(Opcode::DAdd).to_string(), "dadd");
-    assert_eq!(
-        Insn::new(Opcode::Goto, Operand::Target(7)).to_string(),
-        "goto @7"
-    );
-    assert_eq!(
-        Insn::new(Opcode::ILoad, Operand::Local(9)).to_string(),
-        "iload 9"
-    );
+    assert_eq!(Insn::new(Opcode::Goto, Operand::Target(7)).to_string(), "goto @7");
+    assert_eq!(Insn::new(Opcode::ILoad, Operand::Local(9)).to_string(), "iload 9");
     assert_eq!(InstructionGroup::FloatArith.to_string(), "float-arith");
 }
 

@@ -14,7 +14,7 @@ use javaflow_analysis::{pearson, Summary};
 use javaflow_bytecode::{verify, Cfg};
 use javaflow_fabric::{
     place, prepare, resolve, BranchMode, ExecParams, ExecReport, FabricConfig, LoadedMethod,
-    Outcome, ResolveStats, SimArena,
+    NetKind, Outcome, ResolveStats, SimArena,
 };
 use javaflow_workloads::SuiteKind;
 
@@ -34,6 +34,13 @@ pub struct EvalConfig {
     /// override or the machine's available parallelism). Results are
     /// bit-identical at any thread count.
     pub threads: usize,
+    /// Interconnect model applied to **every** configuration in `configs`
+    /// (`tables --net contended`). The default [`NetKind::Ideal`]
+    /// reproduces the dissertation's closed-form delays bit for bit;
+    /// [`NetKind::Contended`] routes operands through X-Y routers and
+    /// memory/GPP requests through slotted rings, attaching link-level
+    /// statistics to every sample.
+    pub net: NetKind,
 }
 
 impl Default for EvalConfig {
@@ -43,6 +50,7 @@ impl Default for EvalConfig {
             max_mesh_cycles: 250_000,
             configs: FabricConfig::all_six(),
             threads: default_threads(),
+            net: NetKind::Ideal,
         }
     }
 }
@@ -123,14 +131,12 @@ impl Evaluation {
     #[must_use]
     pub fn run(cfg: &EvalConfig) -> Evaluation {
         let records = population(cfg.synthetic_count);
-        let configs = cfg.configs.clone();
+        let configs: Vec<FabricConfig> =
+            cfg.configs.iter().map(|c| c.clone().with_net(cfg.net)).collect();
 
-        let per_record = par_map_with(
-            &records,
-            cfg.threads,
-            SimArena::new,
-            |arena, ri, rec| eval_record(ri, rec, &configs, cfg.max_mesh_cycles, arena),
-        );
+        let per_record = par_map_with(&records, cfg.threads, SimArena::new, |arena, ri, rec| {
+            eval_record(ri, rec, &configs, cfg.max_mesh_cycles, arena)
+        });
 
         let mut statics = Vec::with_capacity(records.len());
         let mut samples = Vec::new();
@@ -138,11 +144,8 @@ impl Evaluation {
             statics.push(st);
             samples.append(&mut record_samples);
         }
-        let sample_index = samples
-            .iter()
-            .enumerate()
-            .map(|(i, s)| ((s.record, s.config, s.bp), i))
-            .collect();
+        let sample_index =
+            samples.iter().enumerate().map(|(i, s)| ((s.record, s.config, s.bp), i)).collect();
         Evaluation { records, configs, statics, samples, sample_index }
     }
 
@@ -335,8 +338,7 @@ impl Evaluation {
                 };
                 fms.push(fm);
             }
-            let spanned =
-                (self.statics[ri].span_ratio[hetero] * rec.len() as f64).round() as usize;
+            let spanned = (self.statics[ri].span_ratio[hetero] * rec.len() as f64).round() as usize;
             rows.push((
                 rec.benchmark.unwrap_or("?"),
                 rec.method.name.clone(),
@@ -523,6 +525,26 @@ mod tests {
         assert!((sparse.mean - 2.0).abs() < 0.1, "sparse {}", sparse.mean);
         let hetero = e.span_summary(5, Filter::Filter1).unwrap();
         assert!((2.2..4.5).contains(&hetero.mean), "hetero {}", hetero.mean);
+    }
+
+    #[test]
+    fn contended_sweep_attaches_net_stats() {
+        let e = Evaluation::run(&EvalConfig {
+            synthetic_count: 4,
+            max_mesh_cycles: 150_000,
+            net: NetKind::Contended,
+            ..EvalConfig::default()
+        });
+        assert!(e.configs.iter().all(|c| c.net == NetKind::Contended));
+        assert!(!e.samples.is_empty());
+        assert!(e.samples.iter().all(|s| s.report.net.is_some()));
+        // The ideal sweep attaches nothing.
+        let ideal = Evaluation::run(&EvalConfig {
+            synthetic_count: 4,
+            max_mesh_cycles: 150_000,
+            ..EvalConfig::default()
+        });
+        assert!(ideal.samples.iter().all(|s| s.report.net.is_none()));
     }
 
     #[test]

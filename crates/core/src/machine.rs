@@ -165,10 +165,7 @@ mod tests {
         let run = m.run_named("inc", &[Value::Int(41)]).unwrap();
         assert_eq!(run.value, Some(Value::Int(42)));
         assert!(run.report.mesh_cycles > 0);
-        assert!(matches!(
-            m.run_named("nope", &[]),
-            Err(MachineError::UnknownMethod(_))
-        ));
+        assert!(matches!(m.run_named("nope", &[]), Err(MachineError::UnknownMethod(_))));
     }
 
     #[test]
@@ -188,7 +185,10 @@ mod tests {
         let mut m = Machine::new(&p, FabricConfig::compact4());
         assert_eq!(m.run_named("bump", &[]).unwrap().value, Some(Value::Int(1)));
         assert_eq!(m.run_named("bump", &[]).unwrap().value, Some(Value::Int(2)));
-        assert_eq!(m.run_on_gpp(p.method_by_name("bump").unwrap().0, &[]).unwrap(), Some(Value::Int(3)));
+        assert_eq!(
+            m.run_on_gpp(p.method_by_name("bump").unwrap().0, &[]).unwrap(),
+            Some(Value::Int(3))
+        );
         assert_eq!(m.run_named("bump", &[]).unwrap().value, Some(Value::Int(4)));
     }
 }

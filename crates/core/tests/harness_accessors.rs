@@ -68,11 +68,8 @@ fn dataflow_summaries_expose_all_table_rows() {
         assert!(names.contains(&wanted), "missing summary `{wanted}`");
     }
     // The back-merge row must be identically zero.
-    let (_, s) = e
-        .dataflow_summaries(Filter::All)
-        .into_iter()
-        .find(|(n, _)| *n == "Back Merge")
-        .unwrap();
+    let (_, s) =
+        e.dataflow_summaries(Filter::All).into_iter().find(|(n, _)| *n == "Back Merge").unwrap();
     assert_eq!(s.max, 0.0);
 }
 

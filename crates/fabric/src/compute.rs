@@ -87,9 +87,9 @@ pub fn eval_pure(insn: &Insn, operands: &[Value], lenient: bool) -> Result<Vec<V
         O::DupX2 => Ok(vec![operands[2], operands[0], operands[1], operands[2]]),
         O::Dup2 => Ok(vec![operands[0], operands[1], operands[0], operands[1]]),
         O::Dup2X1 => Ok(vec![operands[1], operands[2], operands[0], operands[1], operands[2]]),
-        O::Dup2X2 => Ok(vec![
-            operands[2], operands[3], operands[0], operands[1], operands[2], operands[3],
-        ]),
+        O::Dup2X2 => {
+            Ok(vec![operands[2], operands[3], operands[0], operands[1], operands[2], operands[3]])
+        }
         O::Swap => Ok(vec![operands[1], operands[0]]),
         // Integer arithmetic.
         O::IAdd => one(Value::Int(int(0)?.wrapping_add(int(1)?))),
@@ -149,7 +149,9 @@ pub fn eval_pure(insn: &Insn, operands: &[Value], lenient: bool) -> Result<Vec<V
         O::LNeg => one(Value::Long(long(0)?.wrapping_neg())),
         O::LShl => one(Value::Long(long(0)?.wrapping_shl(int(1)? as u32 & 0x3f))),
         O::LShr => one(Value::Long(long(0)?.wrapping_shr(int(1)? as u32 & 0x3f))),
-        O::LUShr => one(Value::Long(((long(0)? as u64).wrapping_shr(int(1)? as u32 & 0x3f)) as i64)),
+        O::LUShr => {
+            one(Value::Long(((long(0)? as u64).wrapping_shr(int(1)? as u32 & 0x3f)) as i64))
+        }
         O::LAnd => one(Value::Long(long(0)? & long(1)?)),
         O::LOr => one(Value::Long(long(0)? | long(1)?)),
         O::LXor => one(Value::Long(long(0)? ^ long(1)?)),
@@ -305,7 +307,8 @@ mod tests {
 
     #[test]
     fn arithmetic_matches_java() {
-        let r = eval_pure(&Insn::simple(Opcode::IAdd), &[Value::Int(i32::MAX), Value::Int(1)], false);
+        let r =
+            eval_pure(&Insn::simple(Opcode::IAdd), &[Value::Int(i32::MAX), Value::Int(1)], false);
         assert_eq!(r.unwrap(), vec![Value::Int(i32::MIN)]);
     }
 
@@ -342,10 +345,12 @@ mod tests {
         assert!(!eval_condition(Opcode::IfEq, &[Value::Int(1)], false).unwrap());
         assert!(eval_condition(Opcode::IfICmpLt, &[Value::Int(1), Value::Int(2)], false).unwrap());
         assert!(eval_condition(Opcode::IfNull, &[Value::NULL], false).unwrap());
-        assert!(
-            eval_condition(Opcode::IfACmpNe, &[Value::Ref(Some(1)), Value::Ref(Some(2))], false)
-                .unwrap()
-        );
+        assert!(eval_condition(
+            Opcode::IfACmpNe,
+            &[Value::Ref(Some(1)), Value::Ref(Some(2))],
+            false
+        )
+        .unwrap());
     }
 
     #[test]

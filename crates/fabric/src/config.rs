@@ -13,7 +13,7 @@
 
 use javaflow_bytecode::NodeKind;
 
-use crate::Timing;
+use crate::{NetKind, NetParams, Timing};
 
 /// Node layout of the DataFlow fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +62,47 @@ pub struct FabricConfig {
     /// Maximum number of fabric nodes available (the dissertation envisions
     /// 1,000–10,000).
     pub max_nodes: u32,
+    /// Interconnect model executing mesh transfers and ring requests.
+    pub net: NetKind,
+    /// Parameters of the contended interconnect (ignored when `net` is
+    /// [`NetKind::Ideal`]).
+    pub net_params: NetParams,
 }
+
+/// An invalid [`FabricConfig`] — rejected before it can schedule zero-delay
+/// events and livelock the simulator's event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `serial_per_mesh == Some(0)`: serial hops would cost zero ticks and
+    /// a mesh cycle would span zero ticks.
+    ZeroSerialPerMesh,
+    /// A `Timing` latency is zero (named field); zero-latency execution or
+    /// transit schedules same-tick event cascades.
+    ZeroTiming(&'static str),
+    /// A `NetParams` field is zero (named field).
+    ZeroNetParam(&'static str),
+    /// The mesh must be at least one node wide.
+    ZeroWidth,
+    /// The fabric must have at least one node.
+    ZeroMaxNodes,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroSerialPerMesh => {
+                write!(fm, "serial_per_mesh must be >= 1 (use None for the collapsed baseline)")
+            }
+            ConfigError::ZeroTiming(field) => write!(fm, "timing.{field} must be >= 1"),
+            ConfigError::ZeroNetParam(field) => write!(fm, "net_params.{field} must be >= 1"),
+            ConfigError::ZeroWidth => write!(fm, "width must be >= 1"),
+            ConfigError::ZeroMaxNodes => write!(fm, "max_nodes must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl FabricConfig {
     /// Configuration 0: the collapsed baseline.
@@ -76,7 +116,62 @@ impl FabricConfig {
             layout: Layout::Homogeneous,
             timing: Timing::default(),
             max_nodes: 10_000,
+            net: NetKind::Ideal,
+            net_params: NetParams::default(),
         }
+    }
+
+    /// The configuration with its interconnect model replaced.
+    #[must_use]
+    pub fn with_net(mut self, net: NetKind) -> FabricConfig {
+        self.net = net;
+        self
+    }
+
+    /// Rejects configurations that can livelock the event-driven engine:
+    /// zero-tick mesh cycles (`serial_per_mesh == Some(0)`) and zero
+    /// latencies, which schedule events at the current tick forever (a
+    /// zero-delay `goto` loop never drains the `BinaryHeap`).
+    ///
+    /// Every loading/execution entry point calls this.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.width == 0 {
+            return Err(ConfigError::ZeroWidth);
+        }
+        if self.max_nodes == 0 {
+            return Err(ConfigError::ZeroMaxNodes);
+        }
+        if self.serial_per_mesh == Some(0) {
+            return Err(ConfigError::ZeroSerialPerMesh);
+        }
+        let t = &self.timing;
+        for (value, field) in [
+            (t.move_cycles, "move_cycles"),
+            (t.float_cycles, "float_cycles"),
+            (t.convert_cycles, "convert_cycles"),
+            (t.other_cycles, "other_cycles"),
+            (t.memory_service, "memory_service"),
+            (t.gpp_service, "gpp_service"),
+            (t.mesh_hop_cycles, "mesh_hop_cycles"),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::ZeroTiming(field));
+            }
+        }
+        if self.net_params.mesh_fifo_capacity == 0 {
+            return Err(ConfigError::ZeroNetParam("mesh_fifo_capacity"));
+        }
+        if self.net_params.ring_slot_cycles == 0 {
+            return Err(ConfigError::ZeroNetParam("ring_slot_cycles"));
+        }
+        if self.net_params.ring_latency_cycles == 0 {
+            return Err(ConfigError::ZeroNetParam("ring_latency_cycles"));
+        }
+        Ok(())
     }
 
     /// Configuration 1: Compact10.
@@ -154,6 +249,48 @@ mod tests {
         let storage = HETERO_PATTERN.iter().filter(|k| **k == NodeKind::Storage).count();
         let control = HETERO_PATTERN.iter().filter(|k| **k == NodeKind::Control).count();
         assert_eq!((arith, float, storage, control), (6, 1, 2, 1));
+    }
+
+    #[test]
+    fn all_six_validate() {
+        for c in FabricConfig::all_six() {
+            assert_eq!(c.validate(), Ok(()), "{}", c.name);
+            assert_eq!(c.net, NetKind::Ideal);
+        }
+    }
+
+    #[test]
+    fn zero_serial_per_mesh_rejected() {
+        let c = FabricConfig { serial_per_mesh: Some(0), ..FabricConfig::compact2() };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroSerialPerMesh));
+    }
+
+    #[test]
+    fn zero_timing_rejected() {
+        let mut c = FabricConfig::compact2();
+        c.timing.mesh_hop_cycles = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroTiming("mesh_hop_cycles")));
+        let mut c = FabricConfig::baseline();
+        c.timing.move_cycles = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroTiming("move_cycles")));
+    }
+
+    #[test]
+    fn zero_net_params_and_shape_rejected() {
+        let mut c = FabricConfig::compact2();
+        c.net_params.mesh_fifo_capacity = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroNetParam("mesh_fifo_capacity")));
+        let c = FabricConfig { width: 0, ..FabricConfig::compact2() };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroWidth));
+        let c = FabricConfig { max_nodes: 0, ..FabricConfig::compact2() };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMaxNodes));
+    }
+
+    #[test]
+    fn with_net_switches_model() {
+        let c = FabricConfig::compact2().with_net(NetKind::Contended);
+        assert_eq!(c.net, NetKind::Contended);
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

@@ -211,8 +211,7 @@ mod tests {
         assert_eq!(folded, 1);
         assert!(!g.active[1]);
         // iconst_3 now feeds both imul sides directly.
-        let sinks: Vec<(u32, u16)> =
-            g.consumers[0].iter().map(|s| (s.consumer, s.side)).collect();
+        let sinks: Vec<(u32, u16)> = g.consumers[0].iter().map(|s| (s.consumer, s.side)).collect();
         assert!(sinks.contains(&(2, 1)));
         assert!(sinks.contains(&(2, 2)));
         assert!(g.consumers[1].is_empty());

@@ -51,6 +51,7 @@ pub mod compute;
 mod config;
 mod enhance;
 mod manager;
+pub mod net;
 mod place;
 mod resolve;
 mod sim;
@@ -58,16 +59,19 @@ mod timing;
 mod token;
 
 pub use branch::{BranchMode, BranchOracle};
-pub use config::{FabricConfig, Layout, HETERO_PATTERN};
+pub use config::{ConfigError, FabricConfig, Layout, HETERO_PATTERN};
 pub use enhance::{DataflowGraph, Relay};
 pub use manager::{AnchorId, FabricManager, ManageError};
+pub use net::{
+    ContendedNet, IdealNet, NetKind, NetModel, NetParams, NetReport, NodeNetStat, RingReport,
+};
 pub use place::{place, slot_kind, snake_coords, PlaceError, Placement, SlotKind};
 pub use resolve::{
-    control_sources, resolve, resolve_call_count, Resolved, ResolveError, ResolveStats, Sink,
+    control_sources, resolve, resolve_call_count, ResolveError, ResolveStats, Resolved, Sink,
 };
 pub use sim::{
-    execute, execute_in, load, load_with_resolved, prepare, ExecParams, ExecReport, Gpp,
-    LoadError, LoadedMethod, Outcome, PreparedMethod, SimArena,
+    execute, execute_in, load, load_with_resolved, prepare, ExecParams, ExecReport, Gpp, LoadError,
+    LoadedMethod, Outcome, PreparedMethod, SimArena,
 };
 pub use timing::Timing;
 pub use token::{Command, InstanceId, SerialDest, SerialMessage, Token};

@@ -251,8 +251,7 @@ impl FabricManager {
         }
         let mut reports = Vec::with_capacity(loaded.len());
         for (_, lm) in loaded {
-            let report =
-                execute(lm, &self.config, ExecParams { mode, ..ExecParams::default() });
+            let report = execute(lm, &self.config, ExecParams { mode, ..ExecParams::default() });
             reports.push(report);
         }
         for (a, _) in loaded {
@@ -366,9 +365,8 @@ mod tests {
         let (a1, l1) = mgr.deploy(&m1).unwrap();
         let (a2, l2) = mgr.deploy(&m2).unwrap();
         let (a3, l3) = mgr.deploy(&m3).unwrap();
-        let (reports, system_ipc) = mgr
-            .run_all_scripted(&[(a1, &l1), (a2, &l2), (a3, &l3)], BranchMode::Bp1)
-            .unwrap();
+        let (reports, system_ipc) =
+            mgr.run_all_scripted(&[(a1, &l1), (a2, &l2), (a3, &l3)], BranchMode::Bp1).unwrap();
         assert_eq!(reports.len(), 3);
         let sum: f64 = reports.iter().map(|r| r.ipc).sum();
         assert!((system_ipc - sum).abs() < 1e-12);

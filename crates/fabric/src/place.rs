@@ -9,7 +9,7 @@
 
 use javaflow_bytecode::{Method, NodeKind};
 
-use crate::{FabricConfig, Layout, HETERO_PATTERN};
+use crate::{ConfigError, FabricConfig, Layout, HETERO_PATTERN};
 
 /// What a fabric slot can execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +73,8 @@ pub enum PlaceError {
         /// Fabric capacity in nodes.
         capacity: u32,
     },
+    /// The configuration itself is invalid (zero latencies / dimensions).
+    Config(ConfigError),
 }
 
 impl std::fmt::Display for PlaceError {
@@ -81,6 +83,7 @@ impl std::fmt::Display for PlaceError {
             PlaceError::FabricFull { placed, capacity } => {
                 write!(fm, "fabric full after {placed} instructions (capacity {capacity} nodes)")
             }
+            PlaceError::Config(e) => write!(fm, "invalid configuration: {e}"),
         }
     }
 }
@@ -134,8 +137,10 @@ impl Placement {
 ///
 /// # Errors
 ///
-/// [`PlaceError::FabricFull`] when the method does not fit.
+/// [`PlaceError::FabricFull`] when the method does not fit;
+/// [`PlaceError::Config`] when the configuration is invalid.
 pub fn place(method: &Method, config: &FabricConfig) -> Result<Placement, PlaceError> {
+    config.validate().map_err(PlaceError::Config)?;
     let mut slots = Vec::with_capacity(method.code.len());
     let mut coords = Vec::with_capacity(method.code.len());
     let mut pos: u32 = 0;
@@ -217,6 +222,16 @@ mod tests {
         let mut cfg = FabricConfig::compact2();
         cfg.max_nodes = 16;
         assert!(matches!(place(&m, &cfg), Err(PlaceError::FabricFull { placed: 16, .. })));
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_placement() {
+        let m = method_of(&[Opcode::IConst0, Opcode::IReturn]);
+        let cfg = FabricConfig { serial_per_mesh: Some(0), ..FabricConfig::compact2() };
+        assert!(matches!(place(&m, &cfg), Err(PlaceError::Config(_))));
+        let mut cfg = FabricConfig::compact2();
+        cfg.timing.mesh_hop_cycles = 0;
+        assert!(matches!(place(&m, &cfg), Err(PlaceError::Config(_))));
     }
 
     #[test]

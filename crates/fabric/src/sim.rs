@@ -22,8 +22,9 @@ use javaflow_interp::{Interp, JvmError, JvmErrorKind};
 
 use crate::{
     compute::{eval_condition, eval_pure},
-    place, resolve, BranchMode, BranchOracle, DataflowGraph, FabricConfig, PlaceError, Placement,
-    Resolved, ResolveError, Token,
+    net::{ContendedNet, IdealNet, NetModel},
+    place, resolve, BranchMode, BranchOracle, DataflowGraph, FabricConfig, NetKind, NetReport,
+    PlaceError, Placement, ResolveError, Resolved, Token,
 };
 
 /// A method loaded into the fabric: placement plus resolved dataflow.
@@ -187,6 +188,9 @@ pub struct ExecReport {
     pub serial_msgs: u64,
     /// Mesh messages delivered.
     pub mesh_msgs: u64,
+    /// Link-level interconnect statistics ([`NetKind::Contended`] runs
+    /// only; the ideal model collects none).
+    pub net: Option<NetReport>,
 }
 
 /// Execution parameters.
@@ -356,16 +360,33 @@ pub fn execute(
 /// buffers instead of allocating fresh simulation state.
 ///
 /// Behaves identically to [`execute`]; the arena only recycles capacity.
+/// The interconnect model is selected by [`FabricConfig::net`] — the
+/// default [`NetKind::Ideal`] charges closed-form delays, while
+/// [`NetKind::Contended`] routes every mesh operand through X-Y routers
+/// and every memory/GPP request through slotted rings, attaching a
+/// [`NetReport`] to the result.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`FabricConfig::validate`] (zero latencies
+/// would livelock the event loop).
 pub fn execute_in(
     lm: &LoadedMethod<'_>,
     config: &FabricConfig,
     params: ExecParams<'_, '_>,
     arena: &mut SimArena,
 ) -> ExecReport {
-    Sim::new(lm, config, params, arena).run()
+    config.validate().expect("invalid FabricConfig");
+    match config.net {
+        NetKind::Ideal => Sim::new(lm, config, params, arena, IdealNet).run(),
+        NetKind::Contended => {
+            let net = ContendedNet::new(config);
+            Sim::new(lm, config, params, arena, net).run()
+        }
+    }
 }
 
-struct Sim<'a, 'm, 'g, 'p> {
+struct Sim<'a, 'm, 'g, 'p, N: NetModel> {
     lm: &'a LoadedMethod<'m>,
     cfg: &'a FabricConfig,
     oracle: BranchOracle,
@@ -392,14 +413,16 @@ struct Sim<'a, 'm, 'g, 'p> {
     acc_ge1: u64,
     acc_ge2: u64,
     outcome: Option<Outcome>,
+    net: N,
 }
 
-impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
+impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
     fn new(
         lm: &'a LoadedMethod<'m>,
         cfg: &'a FabricConfig,
         params: ExecParams<'g, 'p>,
         arena: &'a mut SimArena,
+        net: N,
     ) -> Self {
         let n = lm.method.code.len();
         arena.reset_for(lm.method);
@@ -431,6 +454,7 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
             acc_ge1: 0,
             acc_ge2: 0,
             outcome: None,
+            net,
         }
     }
 
@@ -447,16 +471,6 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
         self.lm.placement.serial_distance(from, to) * self.serial_hop()
     }
 
-    /// Mesh transit ticks between two placed points.
-    fn mesh_transit_coords(&self, a: (u32, u32), b: (u32, u32)) -> u64 {
-        let dist = if self.cfg.collapsed {
-            1
-        } else {
-            (u64::from(a.0.abs_diff(b.0)) + u64::from(a.1.abs_diff(b.1))).max(1)
-        };
-        dist * self.cfg.timing.mesh_hop_cycles * self.mesh_ticks()
-    }
-
     fn coords_of(&self, id: u32) -> (u32, u32) {
         if (id as usize) < self.n {
             self.lm.placement.coords[id as usize]
@@ -465,7 +479,15 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
         }
     }
 
-    fn push_ev(&mut self, at: u64, kind: EvKind, node: u32, token: Option<Token>, side: u16, value: Option<Value>) {
+    fn push_ev(
+        &mut self,
+        at: u64,
+        kind: EvKind,
+        node: u32,
+        token: Option<Token>,
+        side: u16,
+        value: Option<Value>,
+    ) {
         self.seq += 1;
         self.queue.push(Reverse(Ev { at, seq: self.seq, kind, node, token, side, value }));
     }
@@ -477,7 +499,8 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
     }
 
     fn send_mesh(&mut self, from_coords: (u32, u32), sink: crate::Sink, value: Value) {
-        let delay = self.mesh_transit_coords(from_coords, self.coords_of(sink.consumer));
+        let to = self.coords_of(sink.consumer);
+        let delay = self.net.mesh_delay(self.cfg, self.now, from_coords, to);
         self.mesh_msgs += 1;
         self.push_ev(self.now + delay, EvKind::Mesh, sink.consumer, None, sink.side, Some(value));
     }
@@ -547,6 +570,7 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
             frac_cycles_ge1: self.acc_ge1 as f64 / end as f64,
             serial_msgs: self.serial_msgs,
             mesh_msgs: self.mesh_msgs,
+            net: self.net.take_report(),
         }
     }
 
@@ -597,10 +621,7 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
 
         // Control-flow nodes buffer every token until they fire
         // (returns and gotos too).
-        let buffers_all = matches!(
-            group,
-            InstructionGroup::ControlFlow | InstructionGroup::Return
-        );
+        let buffers_all = matches!(group, InstructionGroup::ControlFlow | InstructionGroup::Return);
 
         match token {
             Token::Head => {
@@ -634,7 +655,10 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
                     );
                 }
                 let interested = match (&insn.operand, group) {
-                    (Operand::Local(r), InstructionGroup::LocalRead | InstructionGroup::LocalWrite) => *r == reg,
+                    (
+                        Operand::Local(r),
+                        InstructionGroup::LocalRead | InstructionGroup::LocalWrite,
+                    ) => *r == reg,
                     (Operand::Inc { local, .. }, InstructionGroup::LocalInc) => *local == reg,
                     _ => match (insn.op, group) {
                         // Compact register forms encode the register in the opcode.
@@ -751,11 +775,8 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
         // All conditions met: fire.
         let insn = self.lm.method.code[i as usize].clone();
         let group = insn.group();
-        let operands: Vec<Value> = self.nodes[i as usize]
-            .operands
-            .iter()
-            .map(|o| o.expect("checked"))
-            .collect();
+        let operands: Vec<Value> =
+            self.nodes[i as usize].operands.iter().map(|o| o.expect("checked")).collect();
         self.nodes[i as usize].fired = true;
         self.covered[i as usize] = true;
         self.executed += 1;
@@ -768,8 +789,8 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
                 let taken = if insn.op.is_goto() {
                     true
                 } else {
-                    let data = eval_condition(insn.op, &operands, self.lenient)
-                        .unwrap_or_else(|e| {
+                    let data =
+                        eval_condition(insn.op, &operands, self.lenient).unwrap_or_else(|e| {
                             self.fail(e.at(javaflow_bytecode::MethodId(0), i, insn.op));
                             false
                         });
@@ -797,10 +818,11 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
                     Value::Int(x) => Value::Int(x.wrapping_add(delta)),
                     other if self.lenient => other,
                     _ => {
-                        self.fail(
-                            JvmError::bare(JvmErrorKind::TypeError)
-                                .at(javaflow_bytecode::MethodId(0), i, insn.op),
-                        );
+                        self.fail(JvmError::bare(JvmErrorKind::TypeError).at(
+                            javaflow_bytecode::MethodId(0),
+                            i,
+                            insn.op,
+                        ));
                         return;
                     }
                 };
@@ -893,26 +915,28 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
                     None
                 };
                 if insn.op == Opcode::AThrow && !self.lenient {
-                    self.fail(
-                        JvmError::bare(JvmErrorKind::Thrown)
-                            .at(javaflow_bytecode::MethodId(0), i, insn.op),
-                    );
+                    self.fail(JvmError::bare(JvmErrorKind::Thrown).at(
+                        javaflow_bytecode::MethodId(0),
+                        i,
+                        insn.op,
+                    ));
                 } else {
                     self.outcome = Some(Outcome::Returned(value));
                 }
                 return;
             }
             InstructionGroup::MemRead => {
-                // Request sent; results arrive after the memory service.
+                // Request sent; results arrive after the ring transit (if
+                // contended) and the memory service.
                 if let Some(order) = self.nodes[i as usize].mem_forward.take() {
                     self.forward(i, Token::Memory(order));
                 }
-                let service = self.cfg.timing.memory_service * self.mesh_ticks();
+                let service = self.net.memory_delay(self.cfg, self.now);
                 self.push_ev(self.now + service, EvKind::ServiceDone, i, None, 0, None);
                 return;
             }
             InstructionGroup::Call | InstructionGroup::Special => {
-                let service = self.cfg.timing.gpp_service * self.mesh_ticks();
+                let service = self.net.gpp_delay(self.cfg, self.now);
                 self.push_ev(self.now + service, EvKind::ServiceDone, i, None, 0, None);
                 return;
             }
@@ -920,12 +944,15 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
                 if let Some(order) = self.nodes[i as usize].mem_forward.take() {
                     self.forward(i, Token::Memory(order));
                 }
-                // Writes proceed without waiting for the service.
+                // Writes proceed without waiting for the service, but still
+                // occupy memory-ring bandwidth under the contended model.
+                self.net.memory_write(self.cfg, self.now);
             }
             InstructionGroup::LocalWrite => {
                 // Emit the updated register token.
                 let reg = register_of(&insn).unwrap_or(0);
-                let value = self.nodes[i as usize].outputs.first().copied().unwrap_or(Value::Int(0));
+                let value =
+                    self.nodes[i as usize].outputs.first().copied().unwrap_or(Value::Int(0));
                 self.forward(i, Token::Register { reg, value });
                 self.finish_node(i);
                 return;
@@ -938,7 +965,8 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
             }
             InstructionGroup::LocalInc => {
                 let reg = register_of(&insn).unwrap_or(0);
-                let value = self.nodes[i as usize].outputs.first().copied().unwrap_or(Value::Int(0));
+                let value =
+                    self.nodes[i as usize].outputs.first().copied().unwrap_or(Value::Int(0));
                 self.forward(i, Token::Register { reg, value });
                 self.finish_node(i);
                 return;
@@ -1049,14 +1077,26 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
             v.as_int().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))
         };
         match insn.op {
-            O::IALoad | O::LALoad | O::FALoad | O::DALoad | O::AALoad | O::BALoad | O::CALoad
+            O::IALoad
+            | O::LALoad
+            | O::FALoad
+            | O::DALoad
+            | O::AALoad
+            | O::BALoad
+            | O::CALoad
             | O::SALoad => {
                 let arr = get_ref(&operands[0])?;
                 let idx = get_int(&operands[1])?;
                 Ok(vec![gpp.state.heap.array_get(arr, idx)?])
             }
-            O::IAStore | O::LAStore | O::FAStore | O::DAStore | O::AAStore | O::BAStore
-            | O::CAStore | O::SAStore => {
+            O::IAStore
+            | O::LAStore
+            | O::FAStore
+            | O::DAStore
+            | O::AAStore
+            | O::BAStore
+            | O::CAStore
+            | O::SAStore => {
                 if trace_enabled("JAVAFLOW_TRACE_MEM") {
                     eprintln!("[mem] @{_i} {} operands {:?}", insn.op, operands);
                 }
@@ -1113,7 +1153,10 @@ impl<'a, 'm, 'g, 'p> Sim<'a, 'm, 'g, 'p> {
         };
         use Opcode as O;
         match insn.op {
-            O::InvokeVirtual | O::InvokeSpecial | O::InvokeStatic | O::InvokeInterface
+            O::InvokeVirtual
+            | O::InvokeSpecial
+            | O::InvokeStatic
+            | O::InvokeInterface
             | O::InvokeDynamic => match insn.operand {
                 Operand::Call(c) => {
                     let r = gpp.run(c.method, operands)?;
@@ -1212,14 +1255,46 @@ fn trace_enabled(name: &'static str) -> bool {
 fn compact_register(op: Opcode) -> Option<u16> {
     use Opcode as O;
     Some(match op {
-        O::ILoad0 | O::LLoad0 | O::FLoad0 | O::DLoad0 | O::ALoad0 | O::IStore0 | O::LStore0
-        | O::FStore0 | O::DStore0 | O::AStore0 => 0,
-        O::ILoad1 | O::LLoad1 | O::FLoad1 | O::DLoad1 | O::ALoad1 | O::IStore1 | O::LStore1
-        | O::FStore1 | O::DStore1 | O::AStore1 => 1,
-        O::ILoad2 | O::LLoad2 | O::FLoad2 | O::DLoad2 | O::ALoad2 | O::IStore2 | O::LStore2
-        | O::FStore2 | O::DStore2 | O::AStore2 => 2,
-        O::ILoad3 | O::LLoad3 | O::FLoad3 | O::DLoad3 | O::ALoad3 | O::IStore3 | O::LStore3
-        | O::FStore3 | O::DStore3 | O::AStore3 => 3,
+        O::ILoad0
+        | O::LLoad0
+        | O::FLoad0
+        | O::DLoad0
+        | O::ALoad0
+        | O::IStore0
+        | O::LStore0
+        | O::FStore0
+        | O::DStore0
+        | O::AStore0 => 0,
+        O::ILoad1
+        | O::LLoad1
+        | O::FLoad1
+        | O::DLoad1
+        | O::ALoad1
+        | O::IStore1
+        | O::LStore1
+        | O::FStore1
+        | O::DStore1
+        | O::AStore1 => 1,
+        O::ILoad2
+        | O::LLoad2
+        | O::FLoad2
+        | O::DLoad2
+        | O::ALoad2
+        | O::IStore2
+        | O::LStore2
+        | O::FStore2
+        | O::DStore2
+        | O::AStore2 => 2,
+        O::ILoad3
+        | O::LLoad3
+        | O::FLoad3
+        | O::DLoad3
+        | O::ALoad3
+        | O::IStore3
+        | O::LStore3
+        | O::FStore3
+        | O::DStore3
+        | O::AStore3 => 3,
         _ => return None,
     })
 }

@@ -3,9 +3,7 @@
 //! methods exercising loops, merges, memory, and calls.
 
 use javaflow_bytecode::{asm::assemble, verify, Program, Value};
-use javaflow_fabric::{
-    execute, load, resolve, BranchMode, ExecParams, FabricConfig, Gpp, Outcome,
-};
+use javaflow_fabric::{execute, load, resolve, BranchMode, ExecParams, FabricConfig, Gpp, Outcome};
 use javaflow_interp::Interp;
 
 /// Runs `entry` on both engines and asserts identical results.
@@ -38,17 +36,13 @@ fn differential(program: &Program, entry: &str, args: &[Value], config: &FabricC
         },
     );
     match (&report.outcome, &expect) {
-        (Outcome::Returned(got), want) => {
-            match (got, want) {
-                (Some(g), Some(w)) => assert!(
-                    g.bits_eq(w),
-                    "{entry} on {}: fabric {g:?} != interp {w:?}",
-                    config.name
-                ),
-                (None, None) => {}
-                other => panic!("{entry} on {}: mismatch {other:?}", config.name),
+        (Outcome::Returned(got), want) => match (got, want) {
+            (Some(g), Some(w)) => {
+                assert!(g.bits_eq(w), "{entry} on {}: fabric {g:?} != interp {w:?}", config.name)
             }
-        }
+            (None, None) => {}
+            other => panic!("{entry} on {}: mismatch {other:?}", config.name),
+        },
         other => panic!("{entry} on {}: unexpected outcome {other:?}", config.name),
     }
     assert!(report.mesh_cycles > 0);
@@ -316,11 +310,7 @@ fn scripted_mode_terminates_and_covers() {
     for config in all_configs() {
         let loaded = load(m, &config).unwrap();
         for mode in [BranchMode::Bp1, BranchMode::Bp2] {
-            let report = execute(
-                &loaded,
-                &config,
-                ExecParams { mode, ..ExecParams::default() },
-            );
+            let report = execute(&loaded, &config, ExecParams { mode, ..ExecParams::default() });
             assert!(
                 matches!(report.outcome, Outcome::Returned(_)),
                 "{} {mode:?}: {:?}",
@@ -353,13 +343,7 @@ fn baseline_is_fastest_config() {
     }
     let base = cycles[0];
     for c in &cycles[1..] {
-        assert!(
-            c.1 >= base.1,
-            "{} ({} cycles) beat the baseline ({} cycles)",
-            c.0,
-            c.1,
-            base.1
-        );
+        assert!(c.1 >= base.1, "{} ({} cycles) beat the baseline ({} cycles)", c.0, c.1, base.1);
     }
     // And the serial-clock ratio must order the compact configurations.
     let by_name: std::collections::HashMap<&str, f64> =

@@ -4,7 +4,7 @@
 
 use javaflow_bytecode::{asm::assemble, Program, Value};
 use javaflow_fabric::{
-    execute, load, BranchMode, ExecParams, FabricConfig, Gpp, Outcome, Timing,
+    execute, load, BranchMode, ExecParams, FabricConfig, Gpp, NetKind, Outcome, Timing,
 };
 use javaflow_interp::Interp;
 
@@ -252,14 +252,147 @@ fn fanout_relays_preserve_semantics() {
     let report = execute(
         &limited,
         &config,
-        ExecParams {
-            mode: BranchMode::Data,
-            gpp: Gpp::Interp(&mut gpp),
-            ..ExecParams::default()
-        },
+        ExecParams { mode: BranchMode::Data, gpp: Gpp::Interp(&mut gpp), ..ExecParams::default() },
     );
     assert_eq!(report.outcome, Outcome::Returned(Some(Value::Int(12))));
     assert!(report.relay_fires > 0);
+}
+
+#[test]
+fn backward_jump_reinjects_on_sparse2_and_hetero2() {
+    // The buffer-until-TAIL / reverse-network re-inject path must survive
+    // layouts where the loop body spans blank (Sparse2) or type-constrained
+    // (Hetero2) nodes, not just the homogeneous meshes: distances and
+    // token-arrival orders differ, but the bundle must reset the loop body
+    // and converge to the same value.
+    let p = program(
+        ".method sum args=1 returns=true locals=2
+           iconst_0
+           istore 1
+         top:
+           iload 1
+           iload 0
+           iadd
+           istore 1
+           iinc 0 -1
+           iload 0
+           ifgt @top
+           iload 1
+           ireturn
+         .end",
+    );
+    for config in [FabricConfig::sparse2(), FabricConfig::hetero2()] {
+        let (outcome, report) = data_run(&p, "sum", &[Value::Int(12)], &config);
+        assert_eq!(outcome, Outcome::Returned(Some(Value::Int(78))), "{}", config.name);
+        // Every loop iteration re-fires the body: far more dynamic than
+        // static instructions.
+        assert!(report.executed > 40, "{}: executed {}", config.name, report.executed);
+    }
+}
+
+#[test]
+fn nested_backward_jumps_on_sparse2_and_hetero2() {
+    // Two nested loops: the inner back-jump re-injects repeatedly inside
+    // each outer iteration. 4 outer × 3 inner increments = 12.
+    let p = program(
+        ".method nest args=0 returns=true locals=3
+           iconst_0
+           istore 0
+           iconst_4
+           istore 1
+         outer:
+           iconst_3
+           istore 2
+         inner:
+           iinc 0 1
+           iinc 2 -1
+           iload 2
+           ifgt @inner
+           iinc 1 -1
+           iload 1
+           ifgt @outer
+           iload 0
+           ireturn
+         .end",
+    );
+    for config in [FabricConfig::sparse2(), FabricConfig::hetero2()] {
+        let (outcome, _) = data_run(&p, "nest", &[], &config);
+        assert_eq!(outcome, Outcome::Returned(Some(Value::Int(12))), "{}", config.name);
+    }
+}
+
+#[test]
+fn contended_net_preserves_results_and_costs_cycles() {
+    // Same program, same data: the contended interconnect may only slow
+    // runs down, never change outcomes; it must attach link statistics.
+    let p = program(
+        ".method chain args=1 returns=true locals=2
+           iconst_1
+           newarray int
+           astore 1
+         top:
+           aload 1
+           iconst_0
+           aload 1
+           iconst_0
+           iaload
+           iconst_1
+           iadd
+           iastore
+           iinc 0 -1
+           iload 0
+           ifgt @top
+           aload 1
+           iconst_0
+           iaload
+           ireturn
+         .end",
+    );
+    for ideal in FabricConfig::all_six() {
+        let contended = ideal.clone().with_net(NetKind::Contended);
+        let (o1, r1) = data_run(&p, "chain", &[Value::Int(10)], &ideal);
+        let (o2, r2) = data_run(&p, "chain", &[Value::Int(10)], &contended);
+        assert_eq!(o1, Outcome::Returned(Some(Value::Int(10))), "{}", ideal.name);
+        assert_eq!(o1, o2, "{}", ideal.name);
+        assert!(
+            r2.mesh_cycles >= r1.mesh_cycles,
+            "{}: contended {} < ideal {}",
+            ideal.name,
+            r2.mesh_cycles,
+            r1.mesh_cycles
+        );
+        assert!(r1.net.is_none(), "{}: ideal run attached net stats", ideal.name);
+        let net = r2.net.as_ref().expect("contended run attaches net stats");
+        assert_eq!(net.mesh_flits, r2.mesh_msgs, "{}", ideal.name);
+        assert!(net.mesh_hops >= net.mesh_flits, "{}", ideal.name);
+        assert!(net.memory_ring.requests > 0, "{}", ideal.name);
+        assert!(!net.hotspots.is_empty(), "{}", ideal.name);
+    }
+}
+
+#[test]
+fn contended_net_is_deterministic() {
+    let p = program(
+        ".method sum args=1 returns=true locals=2
+           iconst_0
+           istore 1
+         top:
+           iload 1
+           iload 0
+           iadd
+           istore 1
+           iinc 0 -1
+           iload 0
+           ifgt @top
+           iload 1
+           ireturn
+         .end",
+    );
+    let config = FabricConfig::compact2().with_net(NetKind::Contended);
+    let (o1, r1) = data_run(&p, "sum", &[Value::Int(20)], &config);
+    let (o2, r2) = data_run(&p, "sum", &[Value::Int(20)], &config);
+    assert_eq!(o1, o2);
+    assert_eq!(r1, r2);
 }
 
 #[test]
@@ -396,11 +529,7 @@ fn load_with_resolved_equals_load() {
         let cached = javaflow_fabric::load_with_resolved(&prepared, &config).unwrap();
         assert_eq!(format!("{direct:?}"), format!("{cached:?}"), "{}", config.name);
         let run = |lm: &javaflow_fabric::LoadedMethod<'_>| {
-            execute(
-                lm,
-                &config,
-                ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() },
-            )
+            execute(lm, &config, ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() })
         };
         assert_eq!(run(&direct), run(&cached), "{}", config.name);
     }

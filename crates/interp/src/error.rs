@@ -108,9 +108,11 @@ mod tests {
 
     #[test]
     fn context_attachment_is_idempotent() {
-        let e = JvmError::bare(JvmErrorKind::DivideByZero)
-            .at(MethodId(1), 5, Opcode::IDiv)
-            .at(MethodId(9), 99, Opcode::IAdd);
+        let e = JvmError::bare(JvmErrorKind::DivideByZero).at(MethodId(1), 5, Opcode::IDiv).at(
+            MethodId(9),
+            99,
+            Opcode::IAdd,
+        );
         assert_eq!(e.method, Some(MethodId(1)));
         assert_eq!(e.pc, Some(5));
         assert_eq!(e.op, Some(Opcode::IDiv));

@@ -9,9 +9,7 @@
 //! whole-method execution against a shared [`JvmState`], and it drives an
 //! optional [`crate::Profiler`].
 
-use javaflow_bytecode::{
-    Insn, MethodId, Opcode, Operand, Program, Value,
-};
+use javaflow_bytecode::{Insn, MethodId, Opcode, Operand, Program, Value};
 
 use crate::{Heap, JvmError, JvmErrorKind, Profiler};
 
@@ -311,14 +309,26 @@ impl Interp<'_> {
                 _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
             },
             // ---- arrays ---------------------------------------------------
-            O::IALoad | O::LALoad | O::FALoad | O::DALoad | O::AALoad | O::BALoad | O::CALoad
+            O::IALoad
+            | O::LALoad
+            | O::FALoad
+            | O::DALoad
+            | O::AALoad
+            | O::BALoad
+            | O::CALoad
             | O::SALoad => {
                 let idx = pop_int(stack)?;
                 let arr = pop_ref(stack)?;
                 stack.push(self.state.heap.array_get(arr, idx)?);
             }
-            O::IAStore | O::LAStore | O::FAStore | O::DAStore | O::AAStore | O::BAStore
-            | O::CAStore | O::SAStore => {
+            O::IAStore
+            | O::LAStore
+            | O::FAStore
+            | O::DAStore
+            | O::AAStore
+            | O::BAStore
+            | O::CAStore
+            | O::SAStore => {
                 let v = pop(stack)?;
                 let idx = pop_int(stack)?;
                 let arr = pop_ref(stack)?;
@@ -416,28 +426,34 @@ impl Interp<'_> {
             O::LSub => arith2!(f, insn, stack, Value::Long, Value::Long, i64::wrapping_sub),
             O::LMul => arith2!(f, insn, stack, Value::Long, Value::Long, i64::wrapping_mul),
             O::LDiv => {
-                let b = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
-                let a = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let b =
+                    pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let a =
+                    pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
                 if b == 0 {
                     return Err(JvmError::bare(JvmErrorKind::DivideByZero));
                 }
                 stack.push(Value::Long(a.wrapping_div(b)));
             }
             O::LRem => {
-                let b = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
-                let a = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let b =
+                    pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let a =
+                    pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
                 if b == 0 {
                     return Err(JvmError::bare(JvmErrorKind::DivideByZero));
                 }
                 stack.push(Value::Long(a.wrapping_rem(b)));
             }
             O::LNeg => {
-                let a = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let a =
+                    pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
                 stack.push(Value::Long(a.wrapping_neg()));
             }
             O::LShl | O::LShr | O::LUShr => {
                 let b = pop_int(stack)?;
-                let a = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let a =
+                    pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
                 let s = b as u32 & 0x3f;
                 let r = match insn.op {
                     O::LShl => a.wrapping_shl(s),
@@ -456,16 +472,22 @@ impl Interp<'_> {
             O::FDiv => arith2!(f, insn, stack, Value::Float, Value::Float, |a, b| a / b),
             O::FRem => arith2!(f, insn, stack, Value::Float, Value::Float, |a: f32, b: f32| a % b),
             O::FNeg => {
-                let a = pop(stack)?.as_float().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let a = pop(stack)?
+                    .as_float()
+                    .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
                 stack.push(Value::Float(-a));
             }
             O::DAdd => arith2!(f, insn, stack, Value::Double, Value::Double, |a, b| a + b),
             O::DSub => arith2!(f, insn, stack, Value::Double, Value::Double, |a, b| a - b),
             O::DMul => arith2!(f, insn, stack, Value::Double, Value::Double, |a, b| a * b),
             O::DDiv => arith2!(f, insn, stack, Value::Double, Value::Double, |a, b| a / b),
-            O::DRem => arith2!(f, insn, stack, Value::Double, Value::Double, |a: f64, b: f64| a % b),
+            O::DRem => {
+                arith2!(f, insn, stack, Value::Double, Value::Double, |a: f64, b: f64| a % b)
+            }
             O::DNeg => {
-                let a = pop(stack)?.as_double().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let a = pop(stack)?
+                    .as_double()
+                    .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
                 stack.push(Value::Double(-a));
             }
             // ---- conversions ---------------------------------------------
@@ -486,8 +508,10 @@ impl Interp<'_> {
             O::I2S => conv(stack, |v| Some(Value::Int(i32::from(v.as_int()? as i16))))?,
             // ---- comparisons ---------------------------------------------
             O::LCmp => {
-                let b = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
-                let a = pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let b =
+                    pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let a =
+                    pop(stack)?.as_long().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
                 stack.push(Value::Int(match a.cmp(&b) {
                     std::cmp::Ordering::Less => -1,
                     std::cmp::Ordering::Equal => 0,
@@ -495,13 +519,21 @@ impl Interp<'_> {
                 }));
             }
             O::FCmpL | O::FCmpG => {
-                let b = pop(stack)?.as_float().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
-                let a = pop(stack)?.as_float().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let b = pop(stack)?
+                    .as_float()
+                    .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let a = pop(stack)?
+                    .as_float()
+                    .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
                 stack.push(Value::Int(fcmp(f64::from(a), f64::from(b), insn.op == O::FCmpG)));
             }
             O::DCmpL | O::DCmpG => {
-                let b = pop(stack)?.as_double().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
-                let a = pop(stack)?.as_double().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let b = pop(stack)?
+                    .as_double()
+                    .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
+                let a = pop(stack)?
+                    .as_double()
+                    .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
                 stack.push(Value::Int(fcmp(a, b, insn.op == O::DCmpG)));
             }
             // ---- control flow --------------------------------------------
@@ -612,7 +644,10 @@ impl Interp<'_> {
                 _ => return Err(JvmError::bare(JvmErrorKind::Unsupported)),
             },
             // ---- calls ----------------------------------------------------
-            O::InvokeVirtual | O::InvokeSpecial | O::InvokeStatic | O::InvokeInterface
+            O::InvokeVirtual
+            | O::InvokeSpecial
+            | O::InvokeStatic
+            | O::InvokeInterface
             | O::InvokeDynamic => match insn.operand {
                 Operand::Call(c) => {
                     let n = usize::from(c.argc);
@@ -717,10 +752,7 @@ impl Interp<'_> {
     }
 }
 
-fn conv(
-    stack: &mut Vec<Value>,
-    f: impl FnOnce(Value) -> Option<Value>,
-) -> Result<(), JvmError> {
+fn conv(stack: &mut Vec<Value>, f: impl FnOnce(Value) -> Option<Value>) -> Result<(), JvmError> {
     let v = pop(stack)?;
     let out = f(v).ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
     stack.push(out);

@@ -10,7 +10,8 @@ use javaflow_interp::{Interp, JvmErrorKind};
 fn run1(body: &str, args: &[Value]) -> Result<Option<Value>, javaflow_interp::JvmError> {
     let p = assemble(body).unwrap();
     p.validate().unwrap();
-    let (id, _) = p.methods().next().map(|(i, m)| (i, m.name.clone())).map(|(i, _)| (i, ())).unwrap();
+    let (id, _) =
+        p.methods().next().map(|(i, m)| (i, m.name.clone())).map(|(i, _)| (i, ())).unwrap();
     let mut jvm = Interp::new(&p);
     jvm.run(id, args)
 }
@@ -114,9 +115,8 @@ fn conversion_matrix() {
             Value::Double(_) => "dreturn",
             _ => unreachable!(),
         };
-        let src = format!(
-            ".method m args=1 returns=true locals=1\n  {load}\n  {op}\n  {ret}\n.end"
-        );
+        let src =
+            format!(".method m args=1 returns=true locals=1\n  {load}\n  {op}\n  {ret}\n.end");
         let got = eval(&src, &[*input]);
         assert!(got.bits_eq(want), "{op}({input}) = {got}, want {want}");
     }
@@ -149,10 +149,7 @@ fn dup_x_variants_route_correctly() {
        ireturn
      .end";
     // a b c → c a b c → a+b+2c
-    assert_eq!(
-        eval(src, &[Value::Int(1), Value::Int(2), Value::Int(4)]),
-        Value::Int(1 + 2 + 8)
-    );
+    assert_eq!(eval(src, &[Value::Int(1), Value::Int(2), Value::Int(4)]), Value::Int(1 + 2 + 8));
 }
 
 #[test]

@@ -320,19 +320,10 @@ pub fn mpegaudio_benchmark(suite: SuiteKind, frames: i32) -> Benchmark {
 
     p.validate().expect("mpegaudio benchmark valid");
     let (name, hot) = match suite {
-        SuiteKind::Jvm2008 => {
-            ("mpegaudio", vec![dequantize, inv_mdct, huffman, hybrid])
-        }
+        SuiteKind::Jvm2008 => ("mpegaudio", vec![dequantize, inv_mdct, huffman, hybrid]),
         SuiteKind::Jvm98 => ("_222_mpegaudio", vec![ql, lb_read, dequantize, inv_mdct]),
     };
-    Benchmark {
-        name,
-        suite,
-        program: p,
-        driver,
-        driver_args: vec![Value::Int(frames)],
-        hot,
-    }
+    Benchmark { name, suite, program: p, driver, driver_args: vec![Value::Int(frames)], hot }
 }
 
 #[cfg(test)]
@@ -387,10 +378,7 @@ mod tests {
         jvm.state.heap.array_set(Some(s), 1, Value::Int(-(1 << 18))).unwrap();
         let u = jvm.state.heap.alloc_array(ArrayKind::Int, 1).unwrap();
         jvm.state.heap.array_set(Some(u), 0, Value::Int(1 << 12)).unwrap();
-        let r = jvm
-            .run(ql, &[Value::Ref(Some(s)), Value::Ref(Some(u))])
-            .unwrap()
-            .unwrap();
+        let r = jvm.run(ql, &[Value::Ref(Some(s)), Value::Ref(Some(u))]).unwrap().unwrap();
         // (2^30 >> 15) = 32768 saturates to 32767; the negative side floors
         // at -32768: 32767 - 32768 = -1.
         assert_eq!(r, Value::Int(-1));

@@ -237,11 +237,8 @@ pub fn build_decompress(p: &mut Program) -> MethodId {
 /// `(class, getbyte)`.
 pub fn build_input_buffer(p: &mut Program) -> (u16, MethodId) {
     // Fields: 0 buf, 1 pos, 2 count.
-    let class = p.add_class(ClassDef {
-        name: "Input_Buffer".into(),
-        instance_fields: 3,
-        static_fields: 0,
-    });
+    let class =
+        p.add_class(ClassDef { name: "Input_Buffer".into(), instance_fields: 3, static_fields: 0 });
     let mut b = MethodBuilder::new("Input_Buffer.getbyte", 1, true);
     let eof = b.new_label();
     b.aload(0);

@@ -279,16 +279,14 @@ pub fn build_sha256(p: &mut Program) -> MethodId {
 
 /// SHA-256 round constants.
 pub const SHA256_K: [u32; 64] = [
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
-    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
-    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
-    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
-    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
-    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
-    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
-    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
-    0xc67178f2,
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
 /// Builds the `crypto.signverify` benchmark.
@@ -367,12 +365,10 @@ pub fn crypto_benchmark(blocks: i32) -> Benchmark {
         // w1[j] = w2[j%64... fill first 16 words of both schedules
         for_up(b, 10, Src::Const(0), Src::Const(16), 1, |b| {
             b.aload(2).iload(10);
-            b.iload(10).iload(6).op(Opcode::IAdd).iconst(0x9E37_79B9_u32 as i32)
-                .op(Opcode::IMul);
+            b.iload(10).iload(6).op(Opcode::IAdd).iconst(0x9E37_79B9_u32 as i32).op(Opcode::IMul);
             b.op(Opcode::IAStore);
             b.aload(4).iload(10);
-            b.iload(10).iload(6).op(Opcode::IXor).iconst(0x85EB_CA6B_u32 as i32)
-                .op(Opcode::IMul);
+            b.iload(10).iload(6).op(Opcode::IXor).iconst(0x85EB_CA6B_u32 as i32).op(Opcode::IMul);
             b.op(Opcode::IAStore);
         });
         b.aload(1).aload(2);
@@ -435,10 +431,8 @@ mod tests {
         for (i, wv) in w.iter_mut().enumerate().take(16) {
             *wv = (i as u32).wrapping_mul(0x9E37_79B9) ^ 0x1357_9BDF;
         }
-        let state = int_array(
-            &mut jvm,
-            &[0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
-        );
+        let state =
+            int_array(&mut jvm, &[0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0]);
         let warr = int_array(&mut jvm, &w);
         jvm.run(sha, &[state, warr]).unwrap();
         let got = read_ints(&jvm, state, 5);
@@ -457,12 +451,8 @@ mod tests {
                 2 => ((bb & c) | (bb & d) | (c & d), 0x8F1B_BCDC),
                 _ => (bb ^ c ^ d, 0xCA62_C1D6),
             };
-            let t = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(*wi);
+            let t =
+                a.rotate_left(5).wrapping_add(f).wrapping_add(e).wrapping_add(k).wrapping_add(*wi);
             e = d;
             d = c;
             c = bb.rotate_left(30);
@@ -510,10 +500,7 @@ mod tests {
         for i in 16..64 {
             let s0 = we[i - 15].rotate_right(7) ^ we[i - 15].rotate_right(18) ^ (we[i - 15] >> 3);
             let s1 = we[i - 2].rotate_right(17) ^ we[i - 2].rotate_right(19) ^ (we[i - 2] >> 10);
-            we[i] = we[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(we[i - 7])
-                .wrapping_add(s1);
+            we[i] = we[i - 16].wrapping_add(s0).wrapping_add(we[i - 7]).wrapping_add(s1);
         }
         let mut h = init;
         let (mut a, mut bb, mut c, mut d, mut e, mut f, mut g, mut hh) =
@@ -521,11 +508,8 @@ mod tests {
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
-            let t1 = hh
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(SHA256_K[i])
-                .wrapping_add(we[i]);
+            let t1 =
+                hh.wrapping_add(s1).wrapping_add(ch).wrapping_add(SHA256_K[i]).wrapping_add(we[i]);
             let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
             let maj = (a & bb) ^ (a & c) ^ (bb & c);
             let t2 = s0.wrapping_add(maj);

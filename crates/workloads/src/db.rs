@@ -95,11 +95,8 @@ pub fn build_shell_sort(p: &mut Program, compare_to: MethodId) -> MethodId {
 /// explicit bounds check; returns `(class, elementAt)`.
 pub fn build_element_at(p: &mut Program) -> (u16, MethodId) {
     // Fields: 0 data (ref[]), 1 count.
-    let class = p.add_class(ClassDef {
-        name: "Vector".into(),
-        instance_fields: 2,
-        static_fields: 0,
-    });
+    let class =
+        p.add_class(ClassDef { name: "Vector".into(), instance_fields: 2, static_fields: 0 });
     let mut b = MethodBuilder::new("Vector.elementAt", 2, true);
     // args: 0 this, 1 i
     let ok = b.new_label();

@@ -8,9 +8,7 @@
 //! drivers allocate and initialize real heap state so every benchmark runs
 //! end-to-end on the interpreter and can be co-simulated on the fabric.
 
-use javaflow_bytecode::{
-    ArrayKind, ClassDef, MethodBuilder, MethodId, Opcode, Program, Value,
-};
+use javaflow_bytecode::{ArrayKind, ClassDef, MethodBuilder, MethodId, Opcode, Program, Value};
 
 use crate::util::{countdown, dabs, for_up, Src};
 use crate::{Benchmark, SuiteKind};
@@ -24,11 +22,8 @@ const PI: f64 = std::f64::consts::PI;
 pub fn build_random(p: &mut Program) -> (u16, MethodId, MethodId) {
     // Fields: 0 = m (int[17]), 1 = i, 2 = j, 3 = haveRange, 4 = left,
     // 5 = width.
-    let class = p.add_class(ClassDef {
-        name: "Random".into(),
-        instance_fields: 6,
-        static_fields: 0,
-    });
+    let class =
+        p.add_class(ClassDef { name: "Random".into(), instance_fields: 6, static_fields: 0 });
 
     // Reserve the ids before building so the methods can self-reference.
     let make_id = MethodId(p.num_methods() as u32);
@@ -193,7 +188,7 @@ pub fn build_sin(p: &mut Program) -> MethodId {
     });
     b.dload(2);
     b.op(Opcode::DReturn);
-    
+
     p.add_method(b.finish().expect("MathLib.sin"))
 }
 
@@ -444,16 +439,31 @@ pub fn build_fft(p: &mut Program, sin: MethodId) -> (MethodId, MethodId, MethodI
             b.iload(11).iload(2);
             b.branch(Opcode::IfICmpGe, end);
             b.iload(11).iload(10).op(Opcode::IAdd).iconst(2).op(Opcode::IMul).istore(12);
-            b.iload(11).iload(10).op(Opcode::IAdd).iload(5).op(Opcode::IAdd).iconst(2)
+            b.iload(11)
+                .iload(10)
+                .op(Opcode::IAdd)
+                .iload(5)
+                .op(Opcode::IAdd)
+                .iconst(2)
                 .op(Opcode::IMul)
                 .istore(13);
             b.aload(0).iload(13).op(Opcode::DALoad).dstore(19);
             b.aload(0).iload(13).iconst(1).op(Opcode::IAdd).op(Opcode::DALoad).dstore(20);
             // wd = w * z1 (complex)
-            b.dload(6).dload(19).op(Opcode::DMul).dload(7).dload(20).op(Opcode::DMul)
+            b.dload(6)
+                .dload(19)
+                .op(Opcode::DMul)
+                .dload(7)
+                .dload(20)
+                .op(Opcode::DMul)
                 .op(Opcode::DSub)
                 .dstore(14);
-            b.dload(6).dload(20).op(Opcode::DMul).dload(7).dload(19).op(Opcode::DMul)
+            b.dload(6)
+                .dload(20)
+                .op(Opcode::DMul)
+                .dload(7)
+                .dload(19)
+                .op(Opcode::DMul)
                 .op(Opcode::DAdd)
                 .dstore(15);
             b.aload(0).iload(13);
@@ -884,7 +894,12 @@ pub fn sparse_benchmark(n: i32, nz_per_row: i32, iters: i32) -> Benchmark {
         for_up(b, 11, Src::Const(0), Src::Reg(1), 1, |b| {
             b.aload(7);
             b.iload(10).iload(1).op(Opcode::IMul).iload(11).op(Opcode::IAdd);
-            b.iload(10).iconst(5).op(Opcode::IMul).iload(11).iconst(3).op(Opcode::IMul)
+            b.iload(10)
+                .iconst(5)
+                .op(Opcode::IMul)
+                .iload(11)
+                .iconst(3)
+                .op(Opcode::IMul)
                 .op(Opcode::IAdd)
                 .iload(0)
                 .op(Opcode::IRem);
@@ -992,8 +1007,7 @@ mod tests {
         p.validate().unwrap();
         let mut jvm = Interp::new(&p);
         for x in [-7.0, -3.0, -1.0, 0.0, 0.5, 1.0, 2.0, 3.15, 6.0, 12.5] {
-            let got =
-                jvm.run(sin, &[Value::Double(x)]).unwrap().unwrap().as_double().unwrap();
+            let got = jvm.run(sin, &[Value::Double(x)]).unwrap().unwrap().as_double().unwrap();
             assert!((got - f64::sin(x)).abs() < 1e-6, "sin({x}) = {got}");
         }
     }

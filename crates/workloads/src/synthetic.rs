@@ -345,11 +345,8 @@ impl Gen<'_, '_> {
 pub fn generate(config: &GenConfig) -> (Program, Vec<MethodId>) {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut program = Program::new();
-    let statics_class = program.add_class(ClassDef {
-        name: "G".into(),
-        instance_fields: 0,
-        static_fields: 4,
-    });
+    let statics_class =
+        program.add_class(ClassDef { name: "G".into(), instance_fields: 0, static_fields: 4 });
 
     // Shared helper callee.
     let mut hb = MethodBuilder::new("synthetic.helper", 1, true);
@@ -380,8 +377,8 @@ fn generate_method(
         let u2: f64 = rng.gen_range(0.0..1.0);
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     };
-    let size = (config.median_size * (config.sigma * z).exp())
-        .clamp(3.0, config.max_size as f64) as usize;
+    let size =
+        (config.median_size * (config.sigma * z).exp()).clamp(3.0, config.max_size as f64) as usize;
 
     let num_args = rng.gen_range(1..4u16);
     let returns = rng.gen_bool(0.8);

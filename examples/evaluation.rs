@@ -35,11 +35,7 @@ fn main() {
         println!("{name:<11} {:>5.1}%", p * 100.0);
     }
 
-    let hetero_fm = eval
-        .config_rows(Filter::All)
-        .last()
-        .map(|r| r.fom.mean)
-        .unwrap_or_default();
+    let hetero_fm = eval.config_rows(Filter::All).last().map(|r| r.fom.mean).unwrap_or_default();
     println!(
         "\nheadline: the heterogeneous fabric sustains {:.0}% of the baseline IPC",
         hetero_fm * 100.0

@@ -26,11 +26,8 @@ fn main() {
     for id in [next_double, submul, sha, sor] {
         let method = program.method(id);
         let (anchor, loaded) = mgr.deploy(method).expect("fits");
-        let (start, end) = mgr
-            .resident()
-            .find(|(a, _, _)| *a == anchor)
-            .map(|(_, _, r)| r)
-            .expect("resident");
+        let (start, end) =
+            mgr.resident().find(|(a, _, _)| *a == anchor).map(|(_, _, r)| r).expect("resident");
         println!(
             "  {anchor}: {:<28} {:>4} insts -> nodes [{start:>4}, {end:>4})",
             method.name,
@@ -51,15 +48,14 @@ fn main() {
     let (reports, system_ipc) = mgr.run_all_scripted(&refs, BranchMode::Bp1).unwrap();
     println!("\nper-method execution (scripted, BP-1):");
     for ((_, l), r) in deployed.iter().zip(&reports) {
-        println!(
-            "  {:<28} {:>8} mesh cycles  IPC {:.3}",
-            l.method.name, r.mesh_cycles, r.ipc
-        );
+        println!("  {:<28} {:>8} mesh cycles  IPC {:.3}", l.method.name, r.mesh_cycles, r.ipc);
     }
     println!("\nsuperposed system IPC: {system_ipc:.3}");
     println!("(Chapter 8: traffic is localized per method, so the system sustains");
-    println!(" the sum of the individual IPCs — here {:.1}x one method alone)",
-        system_ipc / reports[0].ipc.max(1e-9));
+    println!(
+        " the sum of the individual IPCs — here {:.1}x one method alone)",
+        system_ipc / reports[0].ipc.max(1e-9)
+    );
 
     // Unload one method and reuse its region.
     let (a0, _) = deployed[0];

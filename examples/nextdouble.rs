@@ -37,8 +37,11 @@ fn main() {
     println!("resolution ticks: {} (≈ 2× instructions)", resolved.stats.resolution_ticks);
     println!("\nfirst ten producer → consumer arcs:");
     for (p, c, side) in resolved.edges().into_iter().take(10) {
-        println!("  @{p:<3} {:<14} → side {side} of @{c:<3} {}",
-            method.insn(p).to_string(), method.insn(c));
+        println!(
+            "  @{p:<3} {:<14} → side {side} of @{c:<3} {}",
+            method.insn(p).to_string(),
+            method.insn(c)
+        );
     }
 
     // Figure 31 analog: simulation results per configuration, data-driven.

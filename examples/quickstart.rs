@@ -39,9 +39,7 @@ fn main() {
     );
     for config in FabricConfig::all_six() {
         let mut machine = Machine::new(&program, config);
-        let run = machine
-            .run_named("factorial", &[Value::Int(10)])
-            .expect("executes");
+        let run = machine.run_named("factorial", &[Value::Int(10)]).expect("executes");
         println!(
             "{:<11} {:>8} {:>12} {:>8.3} {:>9.0}% {:>9.0}%",
             machine.config().name,

@@ -88,11 +88,7 @@ fn next_double_co_simulates_bit_exactly_on_all_configs() {
             let Outcome::Returned(Some(got)) = report.outcome else {
                 panic!("{} draw {k}: no return", config.name);
             };
-            assert!(
-                got.bits_eq(want),
-                "{} draw {k}: fabric {got} != interp {want}",
-                config.name
-            );
+            assert!(got.bits_eq(want), "{} draw {k}: fabric {got} != interp {want}", config.name);
         }
     }
 }
@@ -106,22 +102,14 @@ fn sha1_block_co_simulates_on_the_fabric() {
     let config = FabricConfig::compact2();
 
     let setup = |jvm: &mut Interp<'_>| -> (Value, Value) {
-        let st = jvm
-            .state
-            .heap
-            .alloc_array(javaflow_bytecode::ArrayKind::Int, 5)
-            .unwrap();
+        let st = jvm.state.heap.alloc_array(javaflow_bytecode::ArrayKind::Int, 5).unwrap();
         for (i, v) in [0x6745_2301u32, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0]
             .into_iter()
             .enumerate()
         {
             jvm.state.heap.array_set(Some(st), i as i32, Value::Int(v as i32)).unwrap();
         }
-        let w = jvm
-            .state
-            .heap
-            .alloc_array(javaflow_bytecode::ArrayKind::Int, 80)
-            .unwrap();
+        let w = jvm.state.heap.alloc_array(javaflow_bytecode::ArrayKind::Int, 80).unwrap();
         for i in 0..16 {
             jvm.state
                 .heap

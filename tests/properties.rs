@@ -43,10 +43,7 @@ fn gen_stmt(rng: &mut StdRng, depth: u32) -> Stmt {
                 then: gen_block(rng, depth - 1, 1..4),
             }
         } else {
-            Stmt::Loop {
-                times: rng.gen_range(1..5u8),
-                body: gen_block(rng, depth - 1, 1..4),
-            }
+            Stmt::Loop { times: rng.gen_range(1..5u8), body: gen_block(rng, depth - 1, 1..4) }
         }
     } else {
         match rng.gen_range(0..3u8) {
