@@ -60,7 +60,7 @@ fn ablation_folding() {
     let config = FabricConfig::compact2();
     let plain = load(method, &config).expect("loads");
     let mut folded = load(method, &config).expect("loads");
-    let n = folded.graph.fold_moves(method);
+    let n = folded.graph_mut().fold_moves(method);
 
     let a = run_scripted(&plain, &config);
     let b = run_scripted(&folded, &config);
@@ -78,10 +78,11 @@ fn ablation_fanout() {
     let method = program.method(id);
     let config = FabricConfig::compact2();
     let mut unlimited = load(method, &config).expect("loads");
-    unlimited.graph.fold_moves(method);
+    unlimited.graph_mut().fold_moves(method);
     let mut limited = load(method, &config).expect("loads");
-    limited.graph.fold_moves(method); // fanout appears after folding
-    let relays = limited.graph.limit_fanout(2, &limited.placement);
+    limited.graph_mut().fold_moves(method); // fanout appears after folding
+    let placement = limited.placement.clone();
+    let relays = limited.graph_mut().limit_fanout(2, &placement);
 
     let a = run_scripted(&unlimited, &config);
     let b = run_scripted(&limited, &config);

@@ -1,7 +1,7 @@
 //! Regenerates every table of the JavaFlow evaluation.
 //!
 //! ```text
-//! tables                  # print all tables (1–28)
+//! tables                  # print all tables (1–29)
 //! tables --table 22       # one table
 //! tables --list-tables    # list the valid table ids with titles
 //! tables --synthetic 400  # population size for the Chapter 7 sweeps
@@ -13,13 +13,44 @@
 //!                         # BENCH_evaluation.json
 //! tables --bench-net      # compare ideal vs contended sweeps and write
 //!                         # BENCH_net.json
+//! tables --bench-kernel   # time the timing-wheel event kernel (events/s,
+//!                         # allocation counts) and write BENCH_kernel.json
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
 use javaflow_bench::{chapter5_tables, chapter7_tables, profile_suite};
 use javaflow_core::{parallel::default_threads, EvalConfig, Evaluation};
 use javaflow_fabric::NetKind;
+
+/// Counting wrapper around the system allocator, so `--bench-kernel` can
+/// report how many heap allocations a sweep performs (the timing-wheel
+/// kernel's steady state should add none per event).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counters are side effects.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Relaxed);
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Relaxed);
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn run_eval(synthetic: usize, threads: usize, net: NetKind) -> Evaluation {
     eprintln!(
@@ -95,6 +126,55 @@ fn bench_eval(synthetic: usize, threads: usize) {
     assert!(identical, "optimized sweep diverged from the seed-equivalent output");
 }
 
+/// Times the event kernel itself: a serial sweep (wall time, scheduler
+/// events processed, heap allocations) and a parallel sweep, checks both
+/// produce identical reports, and records the numbers — plus the
+/// pre-timing-wheel baseline for comparison — in `BENCH_kernel.json`.
+fn bench_kernel(synthetic: usize, threads: usize) {
+    // serial_secs of BENCH_evaluation.json at the sweep the kernel work
+    // was measured against (synthetic 1500 on the seed's binary-heap,
+    // per-run-allocating kernel).
+    const BASELINE_SERIAL_SECS: f64 = 5.878;
+    const BASELINE_SYNTHETIC: usize = 1500;
+
+    let a0 = ALLOCS.load(Relaxed);
+    let b0 = ALLOC_BYTES.load(Relaxed);
+    let t1 = Instant::now();
+    let serial = run_eval(synthetic, 1, NetKind::Ideal);
+    let serial_secs = t1.elapsed().as_secs_f64();
+    let serial_allocs = ALLOCS.load(Relaxed) - a0;
+    let serial_alloc_bytes = ALLOC_BYTES.load(Relaxed) - b0;
+
+    let t2 = Instant::now();
+    let parallel = run_eval(synthetic, threads, NetKind::Ideal);
+    let parallel_secs = t2.elapsed().as_secs_f64();
+
+    // Debug-string comparison: NaN-valued returns (legitimate in scripted
+    // float kernels) are bitwise-identical but `!=` under IEEE 754.
+    let identical = format!("{:?}", serial.samples) == format!("{:?}", parallel.samples)
+        && format!("{:?}", serial.statics) == format!("{:?}", parallel.statics);
+
+    let events: u64 = serial.samples.iter().map(|s| s.report.events).sum();
+    let events_per_sec = events as f64 / serial_secs.max(1e-9);
+    let samples = serial.samples.len().max(1);
+    let allocs_per_sample = serial_allocs as f64 / samples as f64;
+    let speedup_vs_baseline = if synthetic == BASELINE_SYNTHETIC {
+        BASELINE_SERIAL_SECS / serial_secs.max(1e-9)
+    } else {
+        0.0
+    };
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"tables --bench-kernel --synthetic {synthetic}\",\n  \"records\": {},\n  \"samples\": {},\n  \"threads\": {threads},\n  \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {parallel_secs:.3},\n  \"parallel_speedup\": {:.2},\n  \"events\": {events},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"serial_allocs\": {serial_allocs},\n  \"serial_alloc_bytes\": {serial_alloc_bytes},\n  \"allocs_per_sample\": {allocs_per_sample:.1},\n  \"baseline_serial_secs\": {BASELINE_SERIAL_SECS},\n  \"baseline_synthetic\": {BASELINE_SYNTHETIC},\n  \"speedup_vs_baseline\": {speedup_vs_baseline:.2},\n  \"identical_output\": {identical}\n}}\n",
+        serial.records.len(),
+        serial.samples.len(),
+        serial_secs / parallel_secs.max(1e-9),
+    );
+    std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
+    println!("{json}");
+    assert!(identical, "parallel sweep diverged from the serial sweep");
+}
+
 /// Runs the same sweep under the ideal and contended interconnect models,
 /// prints the per-configuration comparison (IPC/cycle deltas, link stats,
 /// hotspot heatmap), and records it in `BENCH_net.json`.
@@ -145,21 +225,22 @@ fn main() {
     let mut net = NetKind::Ideal;
     let mut bench = false;
     let mut bench_net_mode = false;
+    let mut bench_kernel_mode = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--table" => {
                 let raw = args.next();
                 table =
-                    raw.as_deref().and_then(|v| v.parse().ok()).filter(|t| (1..=28).contains(t));
+                    raw.as_deref().and_then(|v| v.parse().ok()).filter(|t| (1..=29).contains(t));
                 if table.is_none() {
                     match raw {
                         Some(v) => eprintln!(
-                            "--table: `{v}` is not a valid table id; valid ids are 1..=28 \
+                            "--table: `{v}` is not a valid table id; valid ids are 1..=29 \
                              (run `tables --list-tables` for titles)"
                         ),
                         None => eprintln!(
-                            "--table requires a table id 1..=28 \
+                            "--table requires a table id 1..=29 \
                              (run `tables --list-tables` for titles)"
                         ),
                     }
@@ -200,6 +281,7 @@ fn main() {
             }
             "--bench-eval" => bench = true,
             "--bench-net" => bench_net_mode = true,
+            "--bench-kernel" => bench_kernel_mode = true,
             "--figure" => {
                 figure = args.next().and_then(|v| v.parse().ok());
                 if figure.is_none() {
@@ -211,7 +293,7 @@ fn main() {
                 println!(
                     "usage: tables [--table N] [--figure N] [--list-tables] \
                      [--synthetic COUNT] [--threads N] [--net ideal|contended] \
-                     [--bench-eval] [--bench-net]"
+                     [--bench-eval] [--bench-net] [--bench-kernel]"
                 );
                 return;
             }
@@ -230,6 +312,10 @@ fn main() {
         bench_net(synthetic, threads);
         return;
     }
+    if bench_kernel_mode {
+        bench_kernel(synthetic, threads);
+        return;
+    }
 
     if let Some(f) = figure {
         print!("{}", javaflow_bench::figure(f));
@@ -239,10 +325,10 @@ fn main() {
     }
     let wanted: Vec<u32> = match table {
         Some(t) => vec![t],
-        None => (1..=28).collect(),
+        None => (1..=29).collect(),
     };
     let needs_ch5 = wanted.iter().any(|t| (1..=8).contains(t));
-    let needs_ch7 = wanted.iter().any(|t| (9..=28).contains(t));
+    let needs_ch7 = wanted.iter().any(|t| (9..=29).contains(t));
 
     let suite = needs_ch5.then(|| {
         eprintln!("profiling the benchmark suite on the interpreter …");

@@ -501,6 +501,72 @@ pub fn chapter7_tables(eval: &Evaluation, table: u32) -> String {
                 "(paper means fm1..fm5: ≈ 0.72–0.82 / 0.62–0.72 / 0.52–0.58 / 0.38–0.43 / 0.35–0.37)"
             );
         }
+        29 => {
+            let _ = writeln!(out, "Table 29 — Interconnect Link Statistics (contended model)");
+            let any_net = eval.samples.iter().any(|s| s.report.net.is_some());
+            if !any_net {
+                let _ = writeln!(
+                    out,
+                    "(no link statistics: this sweep ran the ideal interconnect — \
+                     rerun with --net contended)"
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{:<11} {:>5} {:>10} {:>10} {:>9} {:>6} {:>6} {:>8} {:>9} {:>8} {:>9}",
+                    "Config",
+                    "Runs",
+                    "Flits",
+                    "Hops",
+                    "stall/hop",
+                    "maxQ",
+                    "meanQ",
+                    "mem-req",
+                    "mem-wait",
+                    "gpp-req",
+                    "gpp-wait"
+                );
+                let mut worst: Option<(usize, NetSummary)> = None;
+                for (ci, fc) in eval.configs.iter().enumerate() {
+                    let s = NetSummary::of(
+                        eval.samples
+                            .iter()
+                            .filter(|s| s.config == ci)
+                            .filter_map(|s| s.report.net.as_ref()),
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{:<11} {:>5} {:>10} {:>10} {:>9.3} {:>6} {:>6.2} {:>8} {:>9} {:>8} {:>9}",
+                        fc.name,
+                        s.runs,
+                        s.mesh_flits,
+                        s.mesh_hops,
+                        s.stall_per_hop(),
+                        s.max_queue_depth,
+                        s.mean_queue_depth,
+                        s.memory_ring.0,
+                        s.memory_ring.1,
+                        s.gpp_ring.0,
+                        s.gpp_ring.1,
+                    );
+                    let worse = worst.as_ref().is_none_or(|(_, w)| {
+                        s.mesh_hops > 0 && s.stall_per_hop() > w.stall_per_hop()
+                    });
+                    if worse {
+                        worst = Some((ci, s));
+                    }
+                }
+                if let Some((ci, s)) = worst.filter(|(_, s)| s.mesh_hops > 0) {
+                    let width = eval.configs[ci].width;
+                    let _ =
+                        writeln!(out, "\nhotspots — {} (worst stall/hop):", eval.configs[ci].name);
+                    out.push_str(&mesh_heatmap(&s, width));
+                    for (x, y, flits, stall) in s.hotspots(5) {
+                        let _ = writeln!(out, "  ({x},{y}): {flits} flits, {stall} stall ticks");
+                    }
+                }
+            }
+        }
         other => {
             let _ = writeln!(out, "(table {other} is not a Chapter 7 table)");
         }
@@ -541,6 +607,7 @@ pub fn table_title(n: u32) -> &'static str {
         26 => "Parallelism (All Methods)",
         27 => "Figure of Merit on Top Methods (JVM2008)",
         28 => "Figure of Merit on Top Methods (JVM98)",
+        29 => "Interconnect Link Statistics (contended model)",
         _ => "(unknown table)",
     }
 }
@@ -554,7 +621,7 @@ pub fn list_tables() -> String {
         let _ = writeln!(out, "  {t:>2}  {}", table_title(t));
     }
     let _ = writeln!(out, "Chapter 7 (fabric evaluation):");
-    for t in 9..=28u32 {
+    for t in 9..=29u32 {
         let _ = writeln!(out, "  {t:>2}  {}", table_title(t));
     }
     out

@@ -1,0 +1,52 @@
+//! Byte-identity of the rendered tables against goldens captured from the
+//! pre-timing-wheel seed build (`tables --synthetic 16 --threads 1`, with
+//! and without `--net contended`). The kernel rewrite — timing wheel,
+//! struct-of-arrays state, decoded dispatch — must not move a single byte
+//! of any table.
+
+use javaflow_bench::{chapter5_tables, chapter7_tables, profile_suite};
+use javaflow_core::{EvalConfig, Evaluation};
+use javaflow_fabric::NetKind;
+
+/// Reports the first line where `got` and `want` diverge.
+fn first_divergence(got: &str, want: &str) -> String {
+    for (n, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        if g != w {
+            return format!("first divergence at line {}:\n  got:  {g}\n  want: {w}", n + 1);
+        }
+    }
+    format!("length mismatch: got {} bytes, want {} bytes", got.len(), want.len())
+}
+
+#[test]
+fn tables_are_byte_identical_to_seed_goldens() {
+    let suite = profile_suite();
+    let mut ch5 = String::new();
+    for t in 1..=8u32 {
+        // The binary prints each table with `println!("{text}")`.
+        ch5.push_str(&chapter5_tables(&suite, t));
+        ch5.push('\n');
+    }
+    let goldens = [
+        (NetKind::Ideal, include_str!("goldens/tables_ideal_s16.txt")),
+        (NetKind::Contended, include_str!("goldens/tables_contended_s16.txt")),
+    ];
+    for (net, golden) in goldens {
+        let eval = Evaluation::run(&EvalConfig {
+            synthetic_count: 16,
+            threads: 1,
+            net,
+            ..EvalConfig::default()
+        });
+        let mut out = ch5.clone();
+        for t in 9..=28u32 {
+            out.push_str(&chapter7_tables(&eval, t));
+            out.push('\n');
+        }
+        assert!(
+            out == golden,
+            "tables for {net:?} diverged from the seed golden — {}",
+            first_divergence(&out, golden)
+        );
+    }
+}

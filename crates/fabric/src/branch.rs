@@ -7,8 +7,6 @@
 //! all cases back jumps had a taken percentage of 90%": the first nine
 //! executions of a back jump are taken, the tenth falls through.
 
-use std::collections::HashMap;
-
 /// Where conditional-jump outcomes come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchMode {
@@ -30,20 +28,26 @@ impl BranchMode {
 }
 
 /// Per-site branch outcome oracle.
+///
+/// Sites are dense instruction addresses, so the state lives in flat,
+/// lazily grown vectors instead of hash maps — [`BranchOracle::reset`]
+/// rewinds the script while keeping the capacity, so a simulation arena
+/// can reuse one oracle across runs without allocating.
 #[derive(Debug)]
 pub struct BranchOracle {
     mode: BranchMode,
-    /// Next forward outcome per jump site (alternates).
-    fwd: HashMap<u32, bool>,
+    /// Next forward outcome per jump site: 0 = unseen, 1 = next taken,
+    /// 2 = next not-taken (alternates).
+    fwd: Vec<u8>,
     /// Executions seen per back-jump site.
-    back: HashMap<u32, u32>,
+    back: Vec<u32>,
 }
 
 impl BranchOracle {
     /// A fresh oracle for the given mode.
     #[must_use]
     pub fn new(mode: BranchMode) -> BranchOracle {
-        BranchOracle { mode, fwd: HashMap::new(), back: HashMap::new() }
+        BranchOracle { mode, fwd: Vec::new(), back: Vec::new() }
     }
 
     /// The oracle's mode.
@@ -52,22 +56,38 @@ impl BranchOracle {
         self.mode
     }
 
+    /// Rewinds the script to its start for `mode`, keeping allocations.
+    pub fn reset(&mut self, mode: BranchMode) {
+        self.mode = mode;
+        self.fwd.clear();
+        self.back.clear();
+    }
+
     /// Decides a conditional jump at `site`. In data mode the caller's
     /// evaluated `data_decision` wins; in scripted modes the script does.
     pub fn decide(&mut self, site: u32, is_back: bool, data_decision: bool) -> bool {
         match self.mode {
             BranchMode::Data => data_decision,
             BranchMode::Bp1 | BranchMode::Bp2 => {
+                let site = site as usize;
                 if is_back {
-                    let n = self.back.entry(site).or_insert(0);
+                    if site >= self.back.len() {
+                        self.back.resize(site + 1, 0);
+                    }
+                    let n = &mut self.back[site];
                     let taken = *n % 10 != 9; // 9 of 10 taken
                     *n += 1;
                     taken
                 } else {
-                    let first = self.mode == BranchMode::Bp1;
-                    let next = self.fwd.entry(site).or_insert(first);
-                    let taken = *next;
-                    *next = !taken;
+                    if site >= self.fwd.len() {
+                        self.fwd.resize(site + 1, 0);
+                    }
+                    let next = &mut self.fwd[site];
+                    if *next == 0 {
+                        *next = if self.mode == BranchMode::Bp1 { 1 } else { 2 };
+                    }
+                    let taken = *next == 1;
+                    *next = if taken { 2 } else { 1 };
                     taken
                 }
             }
@@ -107,6 +127,16 @@ mod tests {
         let mut o = BranchOracle::new(BranchMode::Bp1);
         assert!(o.decide(1, false, false));
         assert!(o.decide(2, false, false)); // fresh site starts taken again
+    }
+
+    #[test]
+    fn reset_rewinds_the_script() {
+        let mut o = BranchOracle::new(BranchMode::Bp1);
+        assert!(o.decide(3, false, false));
+        assert!(!o.decide(3, false, false));
+        o.reset(BranchMode::Bp2);
+        assert!(!o.decide(3, false, false), "reset restarts the BP2 alternation");
+        assert!(o.decide(3, false, false));
     }
 
     #[test]

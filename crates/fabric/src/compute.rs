@@ -17,6 +17,64 @@
 use javaflow_bytecode::{Insn, Opcode, Value};
 use javaflow_interp::{JvmError, JvmErrorKind};
 
+/// Fixed-capacity buffer for one instruction's pushed values.
+///
+/// No JVM instruction pushes more than six values (`dup2_x2`), so the
+/// event loop evaluates into this instead of a heap `Vec` — the core of
+/// the kernel's zero-allocation steady state.
+#[derive(Debug, Clone, Copy)]
+pub struct OutVals {
+    vals: [Value; 6],
+    len: u8,
+}
+
+impl Default for OutVals {
+    fn default() -> Self {
+        OutVals::new()
+    }
+}
+
+impl OutVals {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> OutVals {
+        OutVals { vals: [Value::Int(0); 6], len: 0 }
+    }
+
+    /// Appends a pushed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics past the six-value JVM maximum.
+    pub fn push(&mut self, v: Value) {
+        self.vals[usize::from(self.len)] = v;
+        self.len += 1;
+    }
+
+    /// The values pushed so far, in push order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Value] {
+        &self.vals[..usize::from(self.len)]
+    }
+
+    /// Empties the buffer for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    fn one(&mut self, v: Value) -> Result<(), JvmError> {
+        self.push(v);
+        Ok(())
+    }
+
+    fn put(&mut self, vs: &[Value]) -> Result<(), JvmError> {
+        for &v in vs {
+            self.push(v);
+        }
+        Ok(())
+    }
+}
+
 /// Pure evaluation of a non-memory, non-call instruction.
 ///
 /// `operands[k]` is side `k+1` (side 1 = deepest). Returns the pushed
@@ -27,9 +85,27 @@ use javaflow_interp::{JvmError, JvmErrorKind};
 ///
 /// Data-mode type and arithmetic errors ([`JvmErrorKind::TypeError`],
 /// [`JvmErrorKind::DivideByZero`]).
-#[allow(clippy::too_many_lines)]
 pub fn eval_pure(insn: &Insn, operands: &[Value], lenient: bool) -> Result<Vec<Value>, JvmError> {
+    let mut out = OutVals::new();
+    eval_into(insn, operands, lenient, &mut out)?;
+    Ok(out.as_slice().to_vec())
+}
+
+/// Allocation-free form of [`eval_pure`]: clears `out` and evaluates into
+/// it. Semantics (including errors) are identical.
+///
+/// # Errors
+///
+/// See [`eval_pure`].
+#[allow(clippy::too_many_lines)]
+pub fn eval_into(
+    insn: &Insn,
+    operands: &[Value],
+    lenient: bool,
+    out: &mut OutVals,
+) -> Result<(), JvmError> {
     use Opcode as O;
+    out.clear();
     let int = |k: usize| -> Result<i32, JvmError> {
         match operands.get(k) {
             Some(Value::Int(v)) => Ok(*v),
@@ -58,136 +134,137 @@ pub fn eval_pure(insn: &Insn, operands: &[Value], lenient: bool) -> Result<Vec<V
             _ => Err(JvmError::bare(JvmErrorKind::TypeError)),
         }
     };
-    let one = |v: Value| Ok(vec![v]);
     match insn.op {
         // Constants.
-        O::AConstNull => one(Value::NULL),
-        O::IConstM1 => one(Value::Int(-1)),
-        O::IConst0 => one(Value::Int(0)),
-        O::IConst1 => one(Value::Int(1)),
-        O::IConst2 => one(Value::Int(2)),
-        O::IConst3 => one(Value::Int(3)),
-        O::IConst4 => one(Value::Int(4)),
-        O::IConst5 => one(Value::Int(5)),
-        O::LConst0 => one(Value::Long(0)),
-        O::LConst1 => one(Value::Long(1)),
-        O::FConst0 => one(Value::Float(0.0)),
-        O::FConst1 => one(Value::Float(1.0)),
-        O::FConst2 => one(Value::Float(2.0)),
-        O::DConst0 => one(Value::Double(0.0)),
-        O::DConst1 => one(Value::Double(1.0)),
+        O::AConstNull => out.one(Value::NULL),
+        O::IConstM1 => out.one(Value::Int(-1)),
+        O::IConst0 => out.one(Value::Int(0)),
+        O::IConst1 => out.one(Value::Int(1)),
+        O::IConst2 => out.one(Value::Int(2)),
+        O::IConst3 => out.one(Value::Int(3)),
+        O::IConst4 => out.one(Value::Int(4)),
+        O::IConst5 => out.one(Value::Int(5)),
+        O::LConst0 => out.one(Value::Long(0)),
+        O::LConst1 => out.one(Value::Long(1)),
+        O::FConst0 => out.one(Value::Float(0.0)),
+        O::FConst1 => out.one(Value::Float(1.0)),
+        O::FConst2 => out.one(Value::Float(2.0)),
+        O::DConst0 => out.one(Value::Double(0.0)),
+        O::DConst1 => out.one(Value::Double(1.0)),
         O::BiPush | O::SiPush => match insn.operand {
-            javaflow_bytecode::Operand::Imm(v) => one(Value::Int(v)),
+            javaflow_bytecode::Operand::Imm(v) => out.one(Value::Int(v)),
             _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
         },
         // Stack shuffles: route inputs to outputs.
-        O::Pop | O::Pop2 => Ok(Vec::new()),
-        O::Dup => Ok(vec![operands[0], operands[0]]),
-        O::DupX1 => Ok(vec![operands[1], operands[0], operands[1]]),
-        O::DupX2 => Ok(vec![operands[2], operands[0], operands[1], operands[2]]),
-        O::Dup2 => Ok(vec![operands[0], operands[1], operands[0], operands[1]]),
-        O::Dup2X1 => Ok(vec![operands[1], operands[2], operands[0], operands[1], operands[2]]),
+        O::Pop | O::Pop2 => Ok(()),
+        O::Dup => out.put(&[operands[0], operands[0]]),
+        O::DupX1 => out.put(&[operands[1], operands[0], operands[1]]),
+        O::DupX2 => out.put(&[operands[2], operands[0], operands[1], operands[2]]),
+        O::Dup2 => out.put(&[operands[0], operands[1], operands[0], operands[1]]),
+        O::Dup2X1 => out.put(&[operands[1], operands[2], operands[0], operands[1], operands[2]]),
         O::Dup2X2 => {
-            Ok(vec![operands[2], operands[3], operands[0], operands[1], operands[2], operands[3]])
+            out.put(&[operands[2], operands[3], operands[0], operands[1], operands[2], operands[3]])
         }
-        O::Swap => Ok(vec![operands[1], operands[0]]),
+        O::Swap => out.put(&[operands[1], operands[0]]),
         // Integer arithmetic.
-        O::IAdd => one(Value::Int(int(0)?.wrapping_add(int(1)?))),
-        O::ISub => one(Value::Int(int(0)?.wrapping_sub(int(1)?))),
-        O::IMul => one(Value::Int(int(0)?.wrapping_mul(int(1)?))),
+        O::IAdd => out.one(Value::Int(int(0)?.wrapping_add(int(1)?))),
+        O::ISub => out.one(Value::Int(int(0)?.wrapping_sub(int(1)?))),
+        O::IMul => out.one(Value::Int(int(0)?.wrapping_mul(int(1)?))),
         O::IDiv => {
             let (a, b) = (int(0)?, int(1)?);
             if b == 0 {
                 if lenient {
-                    return one(Value::Int(0));
+                    return out.one(Value::Int(0));
                 }
                 return Err(JvmError::bare(JvmErrorKind::DivideByZero));
             }
-            one(Value::Int(a.wrapping_div(b)))
+            out.one(Value::Int(a.wrapping_div(b)))
         }
         O::IRem => {
             let (a, b) = (int(0)?, int(1)?);
             if b == 0 {
                 if lenient {
-                    return one(Value::Int(0));
+                    return out.one(Value::Int(0));
                 }
                 return Err(JvmError::bare(JvmErrorKind::DivideByZero));
             }
-            one(Value::Int(a.wrapping_rem(b)))
+            out.one(Value::Int(a.wrapping_rem(b)))
         }
-        O::INeg => one(Value::Int(int(0)?.wrapping_neg())),
-        O::IShl => one(Value::Int(int(0)?.wrapping_shl(int(1)? as u32 & 0x1f))),
-        O::IShr => one(Value::Int(int(0)?.wrapping_shr(int(1)? as u32 & 0x1f))),
-        O::IUShr => one(Value::Int(((int(0)? as u32).wrapping_shr(int(1)? as u32 & 0x1f)) as i32)),
-        O::IAnd => one(Value::Int(int(0)? & int(1)?)),
-        O::IOr => one(Value::Int(int(0)? | int(1)?)),
-        O::IXor => one(Value::Int(int(0)? ^ int(1)?)),
+        O::INeg => out.one(Value::Int(int(0)?.wrapping_neg())),
+        O::IShl => out.one(Value::Int(int(0)?.wrapping_shl(int(1)? as u32 & 0x1f))),
+        O::IShr => out.one(Value::Int(int(0)?.wrapping_shr(int(1)? as u32 & 0x1f))),
+        O::IUShr => {
+            out.one(Value::Int(((int(0)? as u32).wrapping_shr(int(1)? as u32 & 0x1f)) as i32))
+        }
+        O::IAnd => out.one(Value::Int(int(0)? & int(1)?)),
+        O::IOr => out.one(Value::Int(int(0)? | int(1)?)),
+        O::IXor => out.one(Value::Int(int(0)? ^ int(1)?)),
         // Long arithmetic.
-        O::LAdd => one(Value::Long(long(0)?.wrapping_add(long(1)?))),
-        O::LSub => one(Value::Long(long(0)?.wrapping_sub(long(1)?))),
-        O::LMul => one(Value::Long(long(0)?.wrapping_mul(long(1)?))),
+        O::LAdd => out.one(Value::Long(long(0)?.wrapping_add(long(1)?))),
+        O::LSub => out.one(Value::Long(long(0)?.wrapping_sub(long(1)?))),
+        O::LMul => out.one(Value::Long(long(0)?.wrapping_mul(long(1)?))),
         O::LDiv => {
             let (a, b) = (long(0)?, long(1)?);
             if b == 0 {
                 if lenient {
-                    return one(Value::Long(0));
+                    return out.one(Value::Long(0));
                 }
                 return Err(JvmError::bare(JvmErrorKind::DivideByZero));
             }
-            one(Value::Long(a.wrapping_div(b)))
+            out.one(Value::Long(a.wrapping_div(b)))
         }
         O::LRem => {
             let (a, b) = (long(0)?, long(1)?);
             if b == 0 {
                 if lenient {
-                    return one(Value::Long(0));
+                    return out.one(Value::Long(0));
                 }
                 return Err(JvmError::bare(JvmErrorKind::DivideByZero));
             }
-            one(Value::Long(a.wrapping_rem(b)))
+            out.one(Value::Long(a.wrapping_rem(b)))
         }
-        O::LNeg => one(Value::Long(long(0)?.wrapping_neg())),
-        O::LShl => one(Value::Long(long(0)?.wrapping_shl(int(1)? as u32 & 0x3f))),
-        O::LShr => one(Value::Long(long(0)?.wrapping_shr(int(1)? as u32 & 0x3f))),
+        O::LNeg => out.one(Value::Long(long(0)?.wrapping_neg())),
+        O::LShl => out.one(Value::Long(long(0)?.wrapping_shl(int(1)? as u32 & 0x3f))),
+        O::LShr => out.one(Value::Long(long(0)?.wrapping_shr(int(1)? as u32 & 0x3f))),
         O::LUShr => {
-            one(Value::Long(((long(0)? as u64).wrapping_shr(int(1)? as u32 & 0x3f)) as i64))
+            out.one(Value::Long(((long(0)? as u64).wrapping_shr(int(1)? as u32 & 0x3f)) as i64))
         }
-        O::LAnd => one(Value::Long(long(0)? & long(1)?)),
-        O::LOr => one(Value::Long(long(0)? | long(1)?)),
-        O::LXor => one(Value::Long(long(0)? ^ long(1)?)),
+        O::LAnd => out.one(Value::Long(long(0)? & long(1)?)),
+        O::LOr => out.one(Value::Long(long(0)? | long(1)?)),
+        O::LXor => out.one(Value::Long(long(0)? ^ long(1)?)),
         // Float/double arithmetic.
-        O::FAdd => one(Value::Float(float(0)? + float(1)?)),
-        O::FSub => one(Value::Float(float(0)? - float(1)?)),
-        O::FMul => one(Value::Float(float(0)? * float(1)?)),
-        O::FDiv => one(Value::Float(float(0)? / float(1)?)),
-        O::FRem => one(Value::Float(float(0)? % float(1)?)),
-        O::FNeg => one(Value::Float(-float(0)?)),
-        O::DAdd => one(Value::Double(double(0)? + double(1)?)),
-        O::DSub => one(Value::Double(double(0)? - double(1)?)),
-        O::DMul => one(Value::Double(double(0)? * double(1)?)),
-        O::DDiv => one(Value::Double(double(0)? / double(1)?)),
-        O::DRem => one(Value::Double(double(0)? % double(1)?)),
-        O::DNeg => one(Value::Double(-double(0)?)),
+        O::FAdd => out.one(Value::Float(float(0)? + float(1)?)),
+        O::FSub => out.one(Value::Float(float(0)? - float(1)?)),
+        O::FMul => out.one(Value::Float(float(0)? * float(1)?)),
+        O::FDiv => out.one(Value::Float(float(0)? / float(1)?)),
+        O::FRem => out.one(Value::Float(float(0)? % float(1)?)),
+        O::FNeg => out.one(Value::Float(-float(0)?)),
+        O::DAdd => out.one(Value::Double(double(0)? + double(1)?)),
+        O::DSub => out.one(Value::Double(double(0)? - double(1)?)),
+        O::DMul => out.one(Value::Double(double(0)? * double(1)?)),
+        O::DDiv => out.one(Value::Double(double(0)? / double(1)?)),
+        O::DRem => out.one(Value::Double(double(0)? % double(1)?)),
+        O::DNeg => out.one(Value::Double(-double(0)?)),
         // Conversions.
-        O::I2L => one(Value::Long(i64::from(int(0)?))),
-        O::I2F => one(Value::Float(int(0)? as f32)),
-        O::I2D => one(Value::Double(f64::from(int(0)?))),
-        O::L2I => one(Value::Int(long(0)? as i32)),
-        O::L2F => one(Value::Float(long(0)? as f32)),
-        O::L2D => one(Value::Double(long(0)? as f64)),
-        O::F2I => one(Value::Int(saturate_i32(f64::from(float(0)?)))),
-        O::F2L => one(Value::Long(saturate_i64(f64::from(float(0)?)))),
-        O::F2D => one(Value::Double(f64::from(float(0)?))),
-        O::D2I => one(Value::Int(saturate_i32(double(0)?))),
-        O::D2L => one(Value::Long(saturate_i64(double(0)?))),
-        O::D2F => one(Value::Float(double(0)? as f32)),
-        O::I2B => one(Value::Int(i32::from(int(0)? as i8))),
-        O::I2C => one(Value::Int(i32::from(int(0)? as u16))),
-        O::I2S => one(Value::Int(i32::from(int(0)? as i16))),
+        O::I2L => out.one(Value::Long(i64::from(int(0)?))),
+        O::I2F => out.one(Value::Float(int(0)? as f32)),
+        O::I2D => out.one(Value::Double(f64::from(int(0)?))),
+        O::L2I => out.one(Value::Int(long(0)? as i32)),
+        O::L2F => out.one(Value::Float(long(0)? as f32)),
+        O::L2D => out.one(Value::Double(long(0)? as f64)),
+        O::F2I => out.one(Value::Int(saturate_i32(f64::from(float(0)?)))),
+        O::F2L => out.one(Value::Long(saturate_i64(f64::from(float(0)?)))),
+        O::F2D => out.one(Value::Double(f64::from(float(0)?))),
+        O::D2I => out.one(Value::Int(saturate_i32(double(0)?))),
+        O::D2L => out.one(Value::Long(saturate_i64(double(0)?))),
+        O::D2F => out.one(Value::Float(double(0)? as f32)),
+        O::I2B => out.one(Value::Int(i32::from(int(0)? as i8))),
+        O::I2C => out.one(Value::Int(i32::from(int(0)? as u16))),
+        O::I2S => out.one(Value::Int(i32::from(int(0)? as i16))),
         // Comparisons.
         O::LCmp => {
             let (a, b) = (long(0)?, long(1)?);
-            one(Value::Int(match a.cmp(&b) {
+            out.one(Value::Int(match a.cmp(&b) {
                 std::cmp::Ordering::Less => -1,
                 std::cmp::Ordering::Equal => 0,
                 std::cmp::Ordering::Greater => 1,
@@ -195,9 +272,11 @@ pub fn eval_pure(insn: &Insn, operands: &[Value], lenient: bool) -> Result<Vec<V
         }
         O::FCmpL | O::FCmpG => {
             let (a, b) = (f64::from(float(0)?), f64::from(float(1)?));
-            one(Value::Int(fcmp(a, b, insn.op == O::FCmpG)))
+            out.one(Value::Int(fcmp(a, b, insn.op == O::FCmpG)))
         }
-        O::DCmpL | O::DCmpG => one(Value::Int(fcmp(double(0)?, double(1)?, insn.op == O::DCmpG))),
+        O::DCmpL | O::DCmpG => {
+            out.one(Value::Int(fcmp(double(0)?, double(1)?, insn.op == O::DCmpG)))
+        }
         other => Err(JvmError::bare(JvmErrorKind::Unsupported).at(
             javaflow_bytecode::MethodId(u32::MAX),
             0,
@@ -337,6 +416,16 @@ mod tests {
         assert_eq!(r, vec![a, a]);
         let r = eval_pure(&Insn::simple(Opcode::DupX1), &[a, b], false).unwrap();
         assert_eq!(r, vec![b, a, b]);
+    }
+
+    #[test]
+    fn eval_into_reuses_buffer() {
+        let mut out = OutVals::new();
+        let (a, b) = (Value::Int(7), Value::Int(9));
+        eval_into(&Insn::simple(Opcode::Dup2X2), &[a, b, a, b], false, &mut out).unwrap();
+        assert_eq!(out.as_slice(), &[a, b, a, b, a, b]);
+        eval_into(&Insn::simple(Opcode::IAdd), &[a, b], false, &mut out).unwrap();
+        assert_eq!(out.as_slice(), &[Value::Int(16)]);
     }
 
     #[test]

@@ -57,6 +57,7 @@ mod resolve;
 mod sim;
 mod timing;
 mod token;
+pub mod wheel;
 
 pub use branch::{BranchMode, BranchOracle};
 pub use config::{ConfigError, FabricConfig, Layout, HETERO_PATTERN};
@@ -70,8 +71,9 @@ pub use resolve::{
     control_sources, resolve, resolve_call_count, ResolveError, ResolveStats, Resolved, Sink,
 };
 pub use sim::{
-    execute, execute_in, load, load_with_resolved, prepare, ExecParams, ExecReport, Gpp, LoadError,
-    LoadedMethod, Outcome, PreparedMethod, SimArena,
+    execute, execute_in, load, load_with_resolved, prepare, DecodedInsn, DecodedMethod, ExecParams,
+    ExecReport, Gpp, LoadError, LoadedMethod, Outcome, PreparedMethod, SimArena,
 };
 pub use timing::Timing;
 pub use token::{Command, InstanceId, SerialDest, SerialMessage, Token};
+pub use wheel::TimingWheel;

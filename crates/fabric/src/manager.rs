@@ -17,11 +17,13 @@
 //! Instructions per Cycle for each method", Chapter 8) — which
 //! [`FabricManager::run_all_scripted`] makes measurable.
 
+use std::sync::Arc;
+
 use javaflow_bytecode::Method;
 
 use crate::{
-    execute, resolve, BranchMode, DataflowGraph, ExecParams, ExecReport, FabricConfig,
-    LoadedMethod, Outcome, PlaceError, Placement, ResolveError,
+    execute, resolve, BranchMode, DataflowGraph, DecodedMethod, ExecParams, ExecReport,
+    FabricConfig, LoadedMethod, Outcome, PlaceError, Placement, ResolveError,
 };
 
 /// Handle to a deployed method.
@@ -161,7 +163,16 @@ impl FabricManager {
                     };
                     let id = self.insert(dep);
                     let graph = DataflowGraph::from_resolved(&resolved);
-                    return Ok((id, LoadedMethod { method, placement, resolved, graph }));
+                    return Ok((
+                        id,
+                        LoadedMethod {
+                            method,
+                            placement,
+                            resolved: Arc::new(resolved),
+                            graph: Arc::new(graph),
+                            decoded: Arc::new(DecodedMethod::decode(method)),
+                        },
+                    ));
                 }
                 Err(_) => continue,
             }

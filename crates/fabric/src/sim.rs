@@ -13,21 +13,40 @@
 //! The simulator is event-driven over **serial ticks**; one mesh cycle is
 //! `FabricConfig::mesh_cycle_ticks` ticks, reproducing the Table 15 clock
 //! ratios (the collapsed Baseline drains serial traffic for free).
+//!
+//! # Kernel layout
+//!
+//! The event loop is built for zero steady-state allocation and O(1)
+//! scheduling (see DESIGN.md, "Timing-wheel kernel"):
+//!
+//! * events live in a [`TimingWheel`] instead of a comparison heap —
+//!   pushes are monotone and bucket FIFO order reproduces the
+//!   `(tick, seq)` total order the determinism suite pins down;
+//! * per-node execution state is struct-of-arrays slabs owned by
+//!   [`SimArena`] (flag bytes, operand/output value slabs with per-method
+//!   prefix-summed offsets), not per-node structs of `Vec`s;
+//! * each method is pre-decoded once into a [`DecodedMethod`] dispatch
+//!   table, so firing an instruction reads a `Copy` record instead of
+//!   cloning the `Insn` and re-matching its opcode group.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use javaflow_bytecode::{InstructionGroup, Method, Opcode, Operand, Value};
 use javaflow_interp::{Interp, JvmError, JvmErrorKind};
 
 use crate::{
-    compute::{eval_condition, eval_pure},
+    compute::{eval_condition, eval_into, OutVals},
     net::{ContendedNet, IdealNet, NetModel},
     place, resolve, BranchMode, BranchOracle, DataflowGraph, FabricConfig, NetKind, NetReport,
-    PlaceError, Placement, ResolveError, Resolved, Token,
+    PlaceError, Placement, ResolveError, Resolved, TimingWheel, Token,
 };
 
 /// A method loaded into the fabric: placement plus resolved dataflow.
+///
+/// The resolution, routing graph, and decode table are shared with the
+/// [`PreparedMethod`] they came from (and with every other placement of
+/// it) — stamping a prepared method onto a configuration is two `Arc`
+/// bumps, not a deep copy.
 #[derive(Debug)]
 pub struct LoadedMethod<'m> {
     /// The method.
@@ -35,10 +54,21 @@ pub struct LoadedMethod<'m> {
     /// Node placement (Figure 20).
     pub placement: Placement,
     /// Address-resolution result (Section 6.2).
-    pub resolved: Resolved,
+    pub resolved: Arc<Resolved>,
     /// The routing graph the engine follows (possibly transformed by the
     /// Section 6.4 enhancements).
-    pub graph: DataflowGraph,
+    pub graph: Arc<DataflowGraph>,
+    /// The pre-decoded per-instruction dispatch table.
+    pub decoded: Arc<DecodedMethod>,
+}
+
+impl LoadedMethod<'_> {
+    /// Mutable access to the routing graph for the Section 6.4
+    /// enhancement passes (folding, fanout limiting). Unshares the graph
+    /// from sibling placements first if needed.
+    pub fn graph_mut(&mut self) -> &mut DataflowGraph {
+        Arc::make_mut(&mut self.graph)
+    }
 }
 
 /// Loading failure.
@@ -74,37 +104,168 @@ impl std::fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
+/// One instruction's pre-decoded execution record: everything the event
+/// loop needs to fire it, flattened out of [`Method`] so the hot path
+/// never clones an `Insn` or re-matches its opcode group.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodedInsn {
+    /// The opcode (error reporting, condition evaluation).
+    pub op: Opcode,
+    /// The Section 5 instruction group driving the firing rule.
+    pub group: InstructionGroup,
+    /// Mesh operands consumed.
+    pub pops: u16,
+    /// Values pushed.
+    pub pushes: u16,
+    /// Offset of this node's operand slots in the arena's operand slab.
+    pub operand_off: u32,
+    /// Offset of this node's output slots in the arena's output slab.
+    pub output_off: u32,
+    /// Output slots reserved (≥ `pushes`; local writes park their
+    /// operands here, increments their updated register value).
+    pub output_cap: u16,
+    /// Index into the per-configuration execution-latency table
+    /// (0 = move, 1 = float, 2 = convert, 3 = other — Table 17 classes).
+    pub timing_class: u8,
+    /// Register a local read/write/inc watches (`u16::MAX` = none).
+    pub reg: u16,
+    /// `iinc` delta.
+    pub inc_delta: i32,
+    /// Branch target (`u32::MAX` = none).
+    pub branch_target: u32,
+    /// Whether the branch target is at or before this address.
+    pub is_back: bool,
+    /// Unconditional jump.
+    pub is_goto: bool,
+    /// Holds the MEMORY token until it fires (ordered memory access).
+    pub ordered_mem: bool,
+    /// Buffers every serial token until completion (control flow and
+    /// returns).
+    pub buffers_all: bool,
+    /// Pre-resolved constant value (`MemConst` pool loads).
+    pub const_val: Value,
+}
+
+/// A method's pre-decoded dispatch table plus the slab sizes its
+/// execution state needs ([`SimArena`] sizes its operand and output
+/// value slabs from these).
+#[derive(Debug, Clone)]
+pub struct DecodedMethod {
+    /// Per-instruction records, indexed by linear address.
+    pub insns: Vec<DecodedInsn>,
+    /// Total operand slots across the method.
+    pub operand_total: usize,
+    /// Total output slots across the method.
+    pub output_total: usize,
+}
+
+impl DecodedMethod {
+    /// Decodes `method` into the flat dispatch table.
+    #[must_use]
+    pub fn decode(method: &Method) -> DecodedMethod {
+        let mut insns = Vec::with_capacity(method.code.len());
+        let mut operand_off = 0u32;
+        let mut output_off = 0u32;
+        for (i, insn) in method.code.iter().enumerate() {
+            let group = insn.group();
+            let pops = insn.pops();
+            let pushes = insn.pushes();
+            let output_cap = match group {
+                // A local write's "outputs" are its parked operands; an
+                // increment always produces one register value.
+                InstructionGroup::LocalWrite => pops.max(pushes),
+                InstructionGroup::LocalInc => pushes.max(1),
+                _ => pushes,
+            };
+            let timing_class = match group {
+                InstructionGroup::ArithMove => 0,
+                InstructionGroup::FloatArith => 1,
+                InstructionGroup::FloatConversion => 2,
+                _ => 3,
+            };
+            let reg = match group {
+                InstructionGroup::LocalRead
+                | InstructionGroup::LocalWrite
+                | InstructionGroup::LocalInc => register_of(insn).unwrap_or(u16::MAX),
+                _ => u16::MAX,
+            };
+            let inc_delta = match insn.operand {
+                Operand::Inc { delta, .. } => delta,
+                _ => 0,
+            };
+            let const_val = match (group, &insn.operand) {
+                (InstructionGroup::MemConst, Operand::Cp(idx)) => method.cpool[usize::from(*idx)],
+                _ => Value::Int(0),
+            };
+            insns.push(DecodedInsn {
+                op: insn.op,
+                group,
+                pops,
+                pushes,
+                operand_off,
+                output_off,
+                output_cap,
+                timing_class,
+                reg,
+                inc_delta,
+                branch_target: insn.branch_target().unwrap_or(u32::MAX),
+                is_back: method.is_back_branch(i as u32),
+                is_goto: insn.op.is_goto(),
+                ordered_mem: insn.op.is_ordered_memory(),
+                buffers_all: matches!(
+                    group,
+                    InstructionGroup::ControlFlow | InstructionGroup::Return
+                ),
+                const_val,
+            });
+            operand_off += u32::from(pops);
+            output_off += u32::from(output_cap);
+        }
+        DecodedMethod {
+            insns,
+            operand_total: operand_off as usize,
+            output_total: output_off as usize,
+        }
+    }
+}
+
 /// The configuration-independent part of loading a method: the
-/// executability check, Section 6.2 address resolution, and the routing
-/// graph. Placement is the only per-[`FabricConfig`] step, so a method
-/// swept across many configurations should be [`prepare`]d once and then
-/// stamped onto each configuration with [`load_with_resolved`].
+/// executability check, Section 6.2 address resolution, the routing
+/// graph, and the decoded dispatch table. Placement is the only
+/// per-[`FabricConfig`] step, so a method swept across many
+/// configurations should be [`prepare`]d once and then stamped onto each
+/// configuration with [`load_with_resolved`].
 #[derive(Debug)]
 pub struct PreparedMethod<'m> {
     /// The method.
     pub method: &'m Method,
     /// Address-resolution result (Section 6.2).
-    pub resolved: Resolved,
+    pub resolved: Arc<Resolved>,
     /// The routing graph derived from the resolution.
-    pub graph: DataflowGraph,
+    pub graph: Arc<DataflowGraph>,
+    /// The pre-decoded per-instruction dispatch table.
+    pub decoded: Arc<DecodedMethod>,
 }
 
 impl<'m> PreparedMethod<'m> {
     /// Combines the prepared parts with an externally computed placement
-    /// into a runnable [`LoadedMethod`].
+    /// into a runnable [`LoadedMethod`]. Shares (rather than deep-copies)
+    /// the resolution, graph, and decode table.
     #[must_use]
     pub fn with_placement(&self, placement: Placement) -> LoadedMethod<'m> {
         LoadedMethod {
             method: self.method,
             placement,
-            resolved: self.resolved.clone(),
-            graph: self.graph.clone(),
+            resolved: Arc::clone(&self.resolved),
+            graph: Arc::clone(&self.graph),
+            decoded: Arc::clone(&self.decoded),
         }
     }
 }
 
 /// Runs the configuration-independent loading steps once: checks
-/// fabric-executability and resolves dataflow addresses.
+/// fabric-executability, resolves dataflow addresses, and decodes the
+/// dispatch table.
 ///
 /// # Errors
 ///
@@ -120,7 +281,12 @@ pub fn prepare(method: &Method) -> Result<PreparedMethod<'_>, LoadError> {
     }
     let resolved = resolve(method).map_err(LoadError::Resolve)?;
     let graph = DataflowGraph::from_resolved(&resolved);
-    Ok(PreparedMethod { method, resolved, graph })
+    Ok(PreparedMethod {
+        method,
+        resolved: Arc::new(resolved),
+        graph: Arc::new(graph),
+        decoded: Arc::new(DecodedMethod::decode(method)),
+    })
 }
 
 /// Places an already-[`prepare`]d method on one configuration, reusing
@@ -188,6 +354,8 @@ pub struct ExecReport {
     pub serial_msgs: u64,
     /// Mesh messages delivered.
     pub mesh_msgs: u64,
+    /// Scheduler events processed (`tables --bench-kernel` throughput).
+    pub events: u64,
     /// Link-level interconnect statistics ([`NetKind::Contended`] runs
     /// only; the ideal model collects none).
     pub net: Option<NetReport>,
@@ -235,10 +403,11 @@ enum EvKind {
     ServiceDone,
 }
 
-#[derive(Debug)]
+/// A scheduled event. `Copy` so timing-wheel buckets drain by index;
+/// the event's tick lives in the wheel, and FIFO bucket order replaces
+/// the old explicit sequence number.
+#[derive(Debug, Clone, Copy)]
 struct Ev {
-    at: u64,
-    seq: u64,
     kind: EvKind,
     node: u32,
     token: Option<Token>,
@@ -246,103 +415,142 @@ struct Ev {
     value: Option<Value>,
 }
 
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
-    }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
+// Per-node state flags (struct-of-arrays replacement for the old
+// per-node bool/Option fields).
+/// HEAD token received.
+const F_HEAD: u8 = 1 << 0;
+/// The node fired this bundle pass.
+const F_FIRED: u8 = 1 << 1;
+/// The node completed (tokens pass through).
+const F_COMPLETED: u8 = 1 << 2;
+/// TAIL is buffered at this node.
+const F_TAIL_BUF: u8 = 1 << 3;
+/// Cached conditional decision (set = taken).
+const F_DECISION: u8 = 1 << 4;
+/// A register value was captured.
+const F_REG_SET: u8 = 1 << 5;
+/// A memory token is held.
+const F_MEM_SET: u8 = 1 << 6;
+/// A memory-token order number awaits forwarding.
+const F_FWD_SET: u8 = 1 << 7;
 
-#[derive(Debug, Default, Clone)]
-struct NState {
-    head: bool,
-    fired: bool,
-    completed: bool,
-    tail_buffered: bool,
-    operands: Vec<Option<Value>>,
-    reg_captured: Option<Value>,
-    mem_token: Option<u64>,
-    /// Tokens buffered at control-flow nodes (in arrival order).
-    buffer: Vec<Token>,
-    /// After a taken forward jump: explicit-route subsequent tokens here.
-    redirect: Option<u32>,
-    /// Decided back-jump target awaiting TAIL.
-    pending_back: Option<u32>,
-    /// Cached conditional decision (the oracle must be consulted once).
-    decision: Option<bool>,
-    /// Values to dispatch when execution/service completes.
-    outputs: Vec<Value>,
-    /// Memory-token order number to forward at fire time.
-    mem_forward: Option<u64>,
-}
-
-impl NState {
-    /// Clears the node back to `stateReady` in place, keeping the vector
-    /// allocations for reuse.
-    fn reset(&mut self, pops: usize) {
-        self.head = false;
-        self.fired = false;
-        self.completed = false;
-        self.tail_buffered = false;
-        self.operands.clear();
-        self.operands.resize(pops, None);
-        self.reg_captured = None;
-        self.mem_token = None;
-        self.buffer.clear();
-        self.redirect = None;
-        self.pending_back = None;
-        self.decision = None;
-        self.outputs.clear();
-        self.mem_forward = None;
-    }
-}
-
-/// Reusable simulation buffers (node states, coverage bits, event queue).
+/// Reusable simulation state: the timing wheel plus the
+/// struct-of-arrays node slabs.
 ///
-/// [`Sim`] needs one `NState` per instruction plus an event heap; creating
-/// them fresh for every run dominates allocation in population sweeps. An
-/// arena keeps the buffers across runs — [`execute_in`] resets them to the
-/// method's shape and reuses the capacity, so the BP1/BP2 runs and every
-/// configuration of the same record share one set of allocations.
-#[derive(Debug, Default)]
+/// [`Sim`] stores per-node execution state in flat vectors indexed by
+/// instruction address — one flag byte, operand/output value slots at
+/// prefix-summed offsets from the [`DecodedMethod`] — and events in a
+/// [`TimingWheel`]. Creating these fresh for every run dominated
+/// allocation in population sweeps; the arena keeps the capacity across
+/// runs, so a warmed-up arena executes a scripted method with **zero**
+/// heap allocations (enforced by the counting-allocator test in
+/// `crates/fabric/tests/alloc.rs`).
+#[derive(Debug)]
 pub struct SimArena {
-    nodes: Vec<NState>,
+    queue: TimingWheel<Ev>,
+    flags: Vec<u8>,
+    /// Operands still missing before the dataflow rule is satisfied.
+    missing: Vec<u16>,
+    reg_captured: Vec<Value>,
+    mem_token: Vec<u64>,
+    mem_forward: Vec<u64>,
+    /// Explicit route after a taken forward jump (`u32::MAX` = linear).
+    redirect: Vec<u32>,
+    /// Decided back-jump target awaiting TAIL (`u32::MAX` = none).
+    pending_back: Vec<u32>,
+    operand_vals: Vec<Value>,
+    operand_set: Vec<bool>,
+    output_vals: Vec<Value>,
+    output_len: Vec<u16>,
+    /// Tokens buffered at control-flow nodes (in arrival order).
+    buffers: Vec<Vec<Token>>,
     covered: Vec<bool>,
-    queue: BinaryHeap<Reverse<Ev>>,
+    /// Staging for re-injected bundles (the reset clears the source
+    /// node's own buffer mid-flight).
+    scratch: Vec<Token>,
+    oracle: BranchOracle,
+}
+
+impl Default for SimArena {
+    fn default() -> Self {
+        SimArena::new()
+    }
 }
 
 impl SimArena {
     /// Creates an empty arena.
     #[must_use]
     pub fn new() -> SimArena {
-        SimArena::default()
+        SimArena {
+            queue: TimingWheel::new(),
+            flags: Vec::new(),
+            missing: Vec::new(),
+            reg_captured: Vec::new(),
+            mem_token: Vec::new(),
+            mem_forward: Vec::new(),
+            redirect: Vec::new(),
+            pending_back: Vec::new(),
+            operand_vals: Vec::new(),
+            operand_set: Vec::new(),
+            output_vals: Vec::new(),
+            output_len: Vec::new(),
+            buffers: Vec::new(),
+            covered: Vec::new(),
+            scratch: Vec::new(),
+            oracle: BranchOracle::new(BranchMode::Bp1),
+        }
     }
 
-    /// Resets the buffers to `method`'s shape, reusing allocations.
-    fn reset_for(&mut self, method: &Method) {
-        let n = method.code.len();
-        self.nodes.truncate(n);
-        for (i, st) in self.nodes.iter_mut().enumerate() {
-            st.reset(usize::from(method.code[i].pops()));
+    /// Resets the slabs to `dm`'s shape, reusing allocations.
+    fn reset_for(&mut self, dm: &DecodedMethod) {
+        let n = dm.insns.len();
+        self.flags.clear();
+        self.flags.resize(n, 0);
+        self.missing.clear();
+        self.missing.extend(dm.insns.iter().map(|d| d.pops));
+        self.reg_captured.clear();
+        self.reg_captured.resize(n, Value::Int(0));
+        self.mem_token.clear();
+        self.mem_token.resize(n, 0);
+        self.mem_forward.clear();
+        self.mem_forward.resize(n, 0);
+        self.redirect.clear();
+        self.redirect.resize(n, u32::MAX);
+        self.pending_back.clear();
+        self.pending_back.resize(n, u32::MAX);
+        self.operand_vals.clear();
+        self.operand_vals.resize(dm.operand_total, Value::Int(0));
+        self.operand_set.clear();
+        self.operand_set.resize(dm.operand_total, false);
+        self.output_vals.clear();
+        self.output_vals.resize(dm.output_total, Value::Int(0));
+        self.output_len.clear();
+        self.output_len.resize(n, 0);
+        // Never truncate `buffers`: higher-index entries keep their
+        // capacity for the next method that needs them.
+        if self.buffers.len() < n {
+            self.buffers.resize_with(n, Vec::new);
         }
-        for i in self.nodes.len()..n {
-            let mut st = NState::default();
-            st.operands.resize(usize::from(method.code[i].pops()), None);
-            self.nodes.push(st);
+        for b in &mut self.buffers[..n] {
+            b.clear();
         }
         self.covered.clear();
         self.covered.resize(n, false);
         self.queue.clear();
+    }
+
+    /// Clears one node back to `stateReady` (loop-body reset).
+    fn reset_node(&mut self, a: usize, d: &DecodedInsn) {
+        self.flags[a] = 0;
+        self.missing[a] = d.pops;
+        let off = d.operand_off as usize;
+        for s in &mut self.operand_set[off..off + usize::from(d.pops)] {
+            *s = false;
+        }
+        self.redirect[a] = u32::MAX;
+        self.pending_back[a] = u32::MAX;
+        self.output_len[a] = 0;
+        self.buffers[a].clear();
     }
 }
 
@@ -388,24 +596,21 @@ pub fn execute_in(
 
 struct Sim<'a, 'm, 'g, 'p, N: NetModel> {
     lm: &'a LoadedMethod<'m>,
+    dm: &'a DecodedMethod,
     cfg: &'a FabricConfig,
-    oracle: BranchOracle,
     gpp: Gpp<'g, 'p>,
     args: Vec<Value>,
     lenient: bool,
     n: usize,
-    /// Owner of the buffers below; they are taken in `new` and returned
-    /// at the end of `run` so the next run reuses the capacity.
     arena: &'a mut SimArena,
-    nodes: Vec<NState>,
-    queue: BinaryHeap<Reverse<Ev>>,
-    seq: u64,
+    /// Execution ticks per [`DecodedInsn::timing_class`].
+    class_ticks: [u64; 4],
     now: u64,
     max_ticks: u64,
     // stats
+    events: u64,
     executed: u64,
     relay_fires: u64,
-    covered: Vec<bool>,
     serial_msgs: u64,
     mesh_msgs: u64,
     busy: u32,
@@ -425,28 +630,29 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
         net: N,
     ) -> Self {
         let n = lm.method.code.len();
-        arena.reset_for(lm.method);
-        let nodes = std::mem::take(&mut arena.nodes);
-        let covered = std::mem::take(&mut arena.covered);
-        let queue = std::mem::take(&mut arena.queue);
+        let dm: &'a DecodedMethod = &lm.decoded;
+        arena.reset_for(dm);
+        arena.oracle.reset(params.mode);
         let max_ticks = params.max_mesh_cycles.saturating_mul(cfg.mesh_cycle_ticks());
+        let mt = cfg.mesh_cycle_ticks();
+        let t = &cfg.timing;
+        let class_ticks =
+            [t.move_cycles * mt, t.float_cycles * mt, t.convert_cycles * mt, t.other_cycles * mt];
         Sim {
             lm,
+            dm,
             cfg,
-            oracle: BranchOracle::new(params.mode),
             gpp: params.gpp,
             args: params.args,
             lenient: params.mode.is_scripted(),
             n,
             arena,
-            nodes,
-            queue,
-            seq: 0,
+            class_ticks,
             now: 0,
             max_ticks,
+            events: 0,
             executed: 0,
             relay_fires: 0,
-            covered,
             serial_msgs: 0,
             mesh_msgs: 0,
             busy: 0,
@@ -488,8 +694,7 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
         side: u16,
         value: Option<Value>,
     ) {
-        self.seq += 1;
-        self.queue.push(Reverse(Ev { at, seq: self.seq, kind, node, token, side, value }));
+        self.arena.queue.push(at, Ev { kind, node, token, side, value });
     }
 
     fn send_serial(&mut self, from: u32, to: u32, token: Token) {
@@ -526,15 +731,16 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
     fn run(mut self) -> ExecReport {
         self.inject_bundle();
         while self.outcome.is_none() {
-            let Some(Reverse(ev)) = self.queue.pop() else {
+            let Some((at, ev)) = self.arena.queue.pop() else {
                 self.outcome = Some(Outcome::Deadlock);
                 break;
             };
-            if ev.at > self.max_ticks {
+            if at > self.max_ticks {
                 self.outcome = Some(Outcome::Timeout);
                 break;
             }
-            self.now = ev.at;
+            self.now = at;
+            self.events += 1;
             match ev.kind {
                 EvKind::Serial => {
                     if let Some(t) = ev.token {
@@ -552,12 +758,8 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
         }
         let end = self.now.max(1);
         let mesh_cycles = end.div_ceil(self.mesh_ticks());
-        let static_covered = self.covered.iter().filter(|c| **c).count();
+        let static_covered = self.arena.covered.iter().filter(|c| **c).count();
         let active_static = self.lm.graph.active.iter().filter(|a| **a).count().max(1);
-        // Hand the buffers back so the next run in this arena reuses them.
-        self.arena.nodes = std::mem::take(&mut self.nodes);
-        self.arena.covered = std::mem::take(&mut self.covered);
-        self.arena.queue = std::mem::take(&mut self.queue);
         ExecReport {
             outcome: self.outcome.clone().unwrap_or(Outcome::Deadlock),
             mesh_cycles,
@@ -570,33 +772,35 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
             frac_cycles_ge1: self.acc_ge1 as f64 / end as f64,
             serial_msgs: self.serial_msgs,
             mesh_msgs: self.mesh_msgs,
+            events: self.events,
             net: self.net.take_report(),
         }
     }
 
+    /// Schedules the `seq`-th injected token at the Anchor.
+    fn inject(&mut self, seq: u64, token: Token) {
+        let hop = self.serial_hop();
+        self.serial_msgs += 1;
+        self.push_ev((seq + 1) * hop, EvKind::Serial, 0, Some(token), 0, None);
+    }
+
     /// The Anchor injects the token bundle at instruction 0.
     fn inject_bundle(&mut self) {
-        let mut tokens = vec![Token::Head, Token::Memory(0)];
+        self.inject(0, Token::Head);
+        self.inject(1, Token::Memory(0));
         let locals = usize::from(self.lm.method.max_locals);
         for r in 0..locals {
             let value = self.args.get(r).copied().unwrap_or(Value::Int(0));
-            tokens.push(Token::Register { reg: r as u16, value });
+            self.inject(2 + r as u64, Token::Register { reg: r as u16, value });
         }
-        tokens.push(Token::Tail);
-        let hop = self.serial_hop();
-        for (i, t) in tokens.into_iter().enumerate() {
-            self.serial_msgs += 1;
-            self.push_ev((i as u64 + 1) * hop, EvKind::Serial, 0, Some(t), 0, None);
-        }
+        self.inject(2 + locals as u64, Token::Tail);
     }
 
     /// Forwards a token from node `i` to its successor in the bundle's
     /// current route (next linear instruction, or the redirect target).
     fn forward(&mut self, i: u32, token: Token) {
-        let to = match self.nodes[i as usize].redirect {
-            Some(t) => t,
-            None => i + 1,
-        };
+        let r = self.arena.redirect[i as usize];
+        let to = if r == u32::MAX { i + 1 } else { r };
         if (to as usize) < self.n {
             self.send_serial(i, to, token);
         }
@@ -604,44 +808,37 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
     }
 
     fn on_serial(&mut self, i: u32, token: Token) {
-        let insn = &self.lm.method.code[i as usize];
-        let group = insn.group();
-        let st = &mut self.nodes[i as usize];
+        let ix = i as usize;
+        let d = self.dm.insns[ix];
 
         // Folded nodes are inert pass-throughs.
-        if !self.lm.graph.active[i as usize] {
-            match token {
-                Token::Tail => {
-                    self.forward(i, Token::Tail);
-                }
-                t => self.forward(i, t),
-            }
+        if !self.lm.graph.active[ix] {
+            self.forward(i, token);
             return;
         }
 
         // Control-flow nodes buffer every token until they fire
         // (returns and gotos too).
-        let buffers_all = matches!(group, InstructionGroup::ControlFlow | InstructionGroup::Return);
+        let flags = self.arena.flags[ix];
+        let completed = flags & F_COMPLETED != 0;
 
         match token {
             Token::Head => {
-                st.head = true;
-                if buffers_all && !st.completed {
-                    st.buffer.push(Token::Head);
-                } else if !buffers_all {
-                    self.forward(i, Token::Head);
+                self.arena.flags[ix] |= F_HEAD;
+                if d.buffers_all && !completed {
+                    self.arena.buffers[ix].push(Token::Head);
                 } else {
-                    // completed control node: pass through along its route.
                     self.forward(i, Token::Head);
                 }
                 self.try_fire(i);
             }
             Token::Memory(order) => {
-                if buffers_all && !st.completed {
-                    st.buffer.push(Token::Memory(order));
-                } else if insn.op.is_ordered_memory() && !st.fired {
+                if d.buffers_all && !completed {
+                    self.arena.buffers[ix].push(Token::Memory(order));
+                } else if d.ordered_mem && flags & F_FIRED == 0 {
                     // Ordered storage holds the memory token until it fires.
-                    st.mem_token = Some(order);
+                    self.arena.mem_token[ix] = order;
+                    self.arena.flags[ix] |= F_MEM_SET;
                     self.try_fire(i);
                 } else {
                     self.forward(i, Token::Memory(order));
@@ -651,36 +848,27 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                 if trace_enabled("JAVAFLOW_TRACE_REG") {
                     eprintln!(
                         "[reg] t={} @{i} {} sees r{reg}={value} (fired={} completed={})",
-                        self.now, insn.op, st.fired, st.completed
+                        self.now,
+                        d.op,
+                        flags & F_FIRED != 0,
+                        completed
                     );
                 }
-                let interested = match (&insn.operand, group) {
-                    (
-                        Operand::Local(r),
-                        InstructionGroup::LocalRead | InstructionGroup::LocalWrite,
-                    ) => *r == reg,
-                    (Operand::Inc { local, .. }, InstructionGroup::LocalInc) => *local == reg,
-                    _ => match (insn.op, group) {
-                        // Compact register forms encode the register in the opcode.
-                        (op, InstructionGroup::LocalRead | InstructionGroup::LocalWrite) => {
-                            compact_register(op) == Some(reg)
-                        }
-                        _ => false,
-                    },
-                };
-                if buffers_all && !st.completed {
-                    st.buffer.push(Token::Register { reg, value });
-                } else if interested && group == InstructionGroup::LocalWrite {
+                let interested = d.reg != u16::MAX && d.reg == reg;
+                if d.buffers_all && !completed {
+                    self.arena.buffers[ix].push(Token::Register { reg, value });
+                } else if interested && d.group == InstructionGroup::LocalWrite {
                     // The write kills the register: absorb the stale token
                     // unconditionally. The write may already have fired and
                     // emitted the fresh token — "this can result in the
                     // re-ordering of the REGISTER_TOKEN messages"
                     // (Section 6.3) — but the killed value must never pass.
                     self.try_fire(i);
-                } else if interested && !st.fired {
-                    match group {
+                } else if interested && flags & F_FIRED == 0 {
+                    match d.group {
                         InstructionGroup::LocalRead | InstructionGroup::LocalInc => {
-                            st.reg_captured = Some(value);
+                            self.arena.reg_captured[ix] = value;
+                            self.arena.flags[ix] |= F_REG_SET;
                             self.try_fire(i);
                         }
                         _ => self.forward(i, Token::Register { reg, value }),
@@ -690,18 +878,18 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                 }
             }
             Token::Tail => {
-                if buffers_all && !st.completed {
-                    st.tail_buffered = true;
-                    st.buffer.push(Token::Tail);
+                if d.buffers_all && !completed {
+                    self.arena.flags[ix] |= F_TAIL_BUF;
+                    self.arena.buffers[ix].push(Token::Tail);
                     self.try_fire(i);
                     self.maybe_reinject(i);
-                } else if st.completed || !st.head {
+                } else if completed || flags & F_HEAD == 0 {
                     // Pass: the node has finished (or was bypassed and the
                     // tail is explicitly routed past it — cannot happen on
                     // the ordered network; completed is the normal case).
                     self.forward(i, Token::Tail);
                 } else {
-                    st.tail_buffered = true;
+                    self.arena.flags[ix] |= F_TAIL_BUF;
                     self.try_fire(i);
                 }
             }
@@ -724,10 +912,16 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
             self.now = saved_now;
             return;
         }
-        let st = &mut self.nodes[id as usize];
+        let ix = id as usize;
+        let d = self.dm.insns[ix];
         let k = usize::from(side).saturating_sub(1);
-        if k < st.operands.len() {
-            st.operands[k] = Some(value);
+        if k < usize::from(d.pops) {
+            let off = d.operand_off as usize + k;
+            if !self.arena.operand_set[off] {
+                self.arena.operand_set[off] = true;
+                self.arena.missing[ix] -= 1;
+            }
+            self.arena.operand_vals[off] = value;
         }
         self.try_fire(id);
     }
@@ -735,190 +929,195 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
     /// Fire-condition check and firing (Section 6.3 per-group rules).
     #[allow(clippy::too_many_lines)]
     fn try_fire(&mut self, i: u32) {
-        // Early-outs on a borrow only — most calls return here, and the
-        // instruction clone below would otherwise run per delivered token.
-        {
-            let insn = &self.lm.method.code[i as usize];
-            let group = insn.group();
-            let st = &self.nodes[i as usize];
-            if st.fired || !st.head || self.outcome.is_some() {
+        let ix = i as usize;
+        let d = self.dm.insns[ix];
+        let flags = self.arena.flags[ix];
+        if flags & F_FIRED != 0 || flags & F_HEAD == 0 || self.outcome.is_some() {
+            return;
+        }
+        if self.arena.missing[ix] != 0 {
+            return;
+        }
+        match d.group {
+            InstructionGroup::LocalRead | InstructionGroup::LocalInc if flags & F_REG_SET == 0 => {
                 return;
             }
-            if st.operands.iter().any(Option::is_none) {
+            InstructionGroup::MemRead | InstructionGroup::MemWrite if flags & F_MEM_SET == 0 => {
                 return;
             }
-            match group {
-                InstructionGroup::LocalRead | InstructionGroup::LocalInc
-                    if st.reg_captured.is_none() => {
-                        return;
-                    }
-                InstructionGroup::MemRead | InstructionGroup::MemWrite
-                    if st.mem_token.is_none() => {
-                        return;
-                    }
-                InstructionGroup::Return
-                    if !st.tail_buffered => {
-                        return;
-                    }
-                InstructionGroup::ControlFlow
-                    // Unconditional backward goto needs the tail.
-                    if insn.op.is_goto()
-                        && self.lm.method.is_back_branch(i)
-                        && !st.tail_buffered
-                    => {
-                        return;
-                    }
-                _ => {}
+            InstructionGroup::Return if flags & F_TAIL_BUF == 0 => {
+                return;
             }
+            // Unconditional backward goto needs the tail.
+            InstructionGroup::ControlFlow if d.is_goto && d.is_back && flags & F_TAIL_BUF == 0 => {
+                return;
+            }
+            _ => {}
         }
 
         // All conditions met: fire.
-        let insn = self.lm.method.code[i as usize].clone();
-        let group = insn.group();
-        let operands: Vec<Value> =
-            self.nodes[i as usize].operands.iter().map(|o| o.expect("checked")).collect();
-        self.nodes[i as usize].fired = true;
-        self.covered[i as usize] = true;
+        self.arena.flags[ix] |= F_FIRED;
+        self.arena.covered[ix] = true;
         self.executed += 1;
         self.set_busy(1);
 
-        let exec_ticks = self.cfg.timing.exec_cycles(group) * self.mesh_ticks();
+        let exec_ticks = self.class_ticks[usize::from(d.timing_class)];
+        let off = d.operand_off as usize;
+        let cnt = usize::from(d.pops);
+        let out_off = d.output_off as usize;
 
-        match group {
+        match d.group {
             InstructionGroup::ControlFlow => {
-                let taken = if insn.op.is_goto() {
+                let taken = if d.is_goto {
                     true
                 } else {
-                    let data =
-                        eval_condition(insn.op, &operands, self.lenient).unwrap_or_else(|e| {
-                            self.fail(e.at(javaflow_bytecode::MethodId(0), i, insn.op));
+                    let cond = eval_condition(
+                        d.op,
+                        &self.arena.operand_vals[off..off + cnt],
+                        self.lenient,
+                    );
+                    let data = match cond {
+                        Ok(b) => b,
+                        Err(e) => {
+                            self.fail(e.at(javaflow_bytecode::MethodId(0), i, d.op));
                             false
-                        });
-                    let is_back = self.lm.method.is_back_branch(i);
-                    self.oracle.decide(i, is_back, data)
+                        }
+                    };
+                    self.arena.oracle.decide(i, d.is_back, data)
                 };
-                self.nodes[i as usize].decision = Some(taken);
-                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
+                if taken {
+                    self.arena.flags[ix] |= F_DECISION;
+                }
             }
-            InstructionGroup::Return => {
-                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
-            }
+            InstructionGroup::Return => {}
             InstructionGroup::LocalRead => {
-                let v = self.nodes[i as usize].reg_captured.expect("checked");
-                self.nodes[i as usize].outputs = vec![v];
-                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
+                self.arena.output_vals[out_off] = self.arena.reg_captured[ix];
+                self.arena.output_len[ix] = 1;
             }
             InstructionGroup::LocalInc => {
-                let v = self.nodes[i as usize].reg_captured.expect("checked");
-                let delta = match insn.operand {
-                    Operand::Inc { delta, .. } => delta,
-                    _ => 0,
-                };
+                let v = self.arena.reg_captured[ix];
                 let new = match v {
-                    Value::Int(x) => Value::Int(x.wrapping_add(delta)),
+                    Value::Int(x) => Value::Int(x.wrapping_add(d.inc_delta)),
                     other if self.lenient => other,
                     _ => {
                         self.fail(JvmError::bare(JvmErrorKind::TypeError).at(
                             javaflow_bytecode::MethodId(0),
                             i,
-                            insn.op,
+                            d.op,
                         ));
                         return;
                     }
                 };
-                self.nodes[i as usize].outputs = vec![new];
-                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
+                self.arena.output_vals[out_off] = new;
+                self.arena.output_len[ix] = 1;
             }
             InstructionGroup::LocalWrite => {
-                self.nodes[i as usize].outputs = operands;
-                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
+                // Park the operands: the register token re-emission reads
+                // them back at completion.
+                for k in 0..cnt {
+                    self.arena.output_vals[out_off + k] = self.arena.operand_vals[off + k];
+                }
+                self.arena.output_len[ix] = d.pops;
             }
             InstructionGroup::MemRead | InstructionGroup::MemWrite => {
-                let order = self.nodes[i as usize].mem_token.take().expect("checked");
-                self.nodes[i as usize].mem_forward = Some(order + 1);
-                let result = self.memory_op(&insn, &operands, i);
-                match result {
-                    Ok(vals) => self.nodes[i as usize].outputs = vals,
+                let order = self.arena.mem_token[ix];
+                self.arena.flags[ix] &= !F_MEM_SET;
+                self.arena.mem_forward[ix] = order + 1;
+                self.arena.flags[ix] |= F_FWD_SET;
+                match self.memory_op(&d, i, off, cnt) {
+                    Ok(Some(v)) => {
+                        self.arena.output_vals[out_off] = v;
+                        self.arena.output_len[ix] = 1;
+                    }
+                    Ok(None) => self.arena.output_len[ix] = 0,
                     Err(e) => {
-                        self.fail(e.at(javaflow_bytecode::MethodId(0), i, insn.op));
+                        self.fail(e.at(javaflow_bytecode::MethodId(0), i, d.op));
                         return;
                     }
                 }
-                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
             }
             InstructionGroup::Call | InstructionGroup::Special => {
-                let result = self.gpp_service(&insn, &operands, i);
-                match result {
-                    Ok(vals) => self.nodes[i as usize].outputs = vals,
+                match self.gpp_service(&d, i, off, cnt) {
+                    Ok(Some(v)) => {
+                        self.arena.output_vals[out_off] = v;
+                        self.arena.output_len[ix] = 1;
+                    }
+                    Ok(None) => self.arena.output_len[ix] = 0,
                     Err(e) => {
-                        self.fail(e.at(javaflow_bytecode::MethodId(0), i, insn.op));
+                        self.fail(e.at(javaflow_bytecode::MethodId(0), i, d.op));
                         return;
                     }
                 }
-                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
             }
             InstructionGroup::MemConst => {
-                let v = match insn.operand {
-                    Operand::Cp(idx) => self.lm.method.cpool[usize::from(idx)],
-                    _ => Value::Int(0),
-                };
-                self.nodes[i as usize].outputs = vec![v];
-                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
+                self.arena.output_vals[out_off] = d.const_val;
+                self.arena.output_len[ix] = 1;
             }
             _ => {
                 // Pure arithmetic / logic / move / conversion.
-                match eval_pure(&insn, &operands, self.lenient) {
-                    Ok(vals) => self.nodes[i as usize].outputs = vals,
+                let lm = self.lm;
+                let mut out = OutVals::new();
+                let r = eval_into(
+                    &lm.method.code[ix],
+                    &self.arena.operand_vals[off..off + cnt],
+                    self.lenient,
+                    &mut out,
+                );
+                match r {
+                    Ok(()) => {
+                        let vs = out.as_slice();
+                        self.arena.output_vals[out_off..out_off + vs.len()].copy_from_slice(vs);
+                        self.arena.output_len[ix] = vs.len() as u16;
+                    }
                     Err(e) => {
-                        self.fail(e.at(javaflow_bytecode::MethodId(0), i, insn.op));
+                        self.fail(e.at(javaflow_bytecode::MethodId(0), i, d.op));
                         return;
                     }
                 }
-                self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
             }
         }
+        self.push_ev(self.now + exec_ticks, EvKind::ExecDone, i, None, 0, None);
     }
 
     /// Completion of the execution stage.
     #[allow(clippy::too_many_lines)]
     fn on_exec_done(&mut self, i: u32) {
         self.set_busy(-1);
-        let insn = self.lm.method.code[i as usize].clone();
-        let group = insn.group();
+        let ix = i as usize;
+        let d = self.dm.insns[ix];
 
-        match group {
+        match d.group {
             InstructionGroup::ControlFlow => {
-                let taken = self.nodes[i as usize].decision.unwrap_or(false);
-                let target = insn.branch_target().unwrap_or(i + 1);
+                let taken = self.arena.flags[ix] & F_DECISION != 0;
+                let target = if d.branch_target == u32::MAX { i + 1 } else { d.branch_target };
                 if !taken {
                     // Release the bundle to the next instruction.
                     self.release_buffer(i, i + 1);
-                    self.nodes[i as usize].completed = true;
+                    self.arena.flags[ix] |= F_COMPLETED;
                 } else if target > i {
                     // Forward jump: explicit routing to the target.
-                    self.nodes[i as usize].redirect = Some(target);
+                    self.arena.redirect[ix] = target;
                     self.release_buffer(i, target);
-                    self.nodes[i as usize].completed = true;
+                    self.arena.flags[ix] |= F_COMPLETED;
                 } else {
                     // Backward jump: hold everything until TAIL, then
                     // re-inject the bundle at the loop head.
-                    self.nodes[i as usize].pending_back = Some(target);
+                    self.arena.pending_back[ix] = target;
                     self.maybe_reinject(i);
                 }
                 return;
             }
             InstructionGroup::Return => {
-                let method_returns = self.lm.method.returns;
-                let value = if method_returns {
-                    self.nodes[i as usize].operands.first().copied().flatten()
+                let value = if self.lm.method.returns && d.pops > 0 {
+                    Some(self.arena.operand_vals[d.operand_off as usize])
                 } else {
                     None
                 };
-                if insn.op == Opcode::AThrow && !self.lenient {
+                if d.op == Opcode::AThrow && !self.lenient {
                     self.fail(JvmError::bare(JvmErrorKind::Thrown).at(
                         javaflow_bytecode::MethodId(0),
                         i,
-                        insn.op,
+                        d.op,
                     ));
                 } else {
                     self.outcome = Some(Outcome::Returned(value));
@@ -928,7 +1127,9 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
             InstructionGroup::MemRead => {
                 // Request sent; results arrive after the ring transit (if
                 // contended) and the memory service.
-                if let Some(order) = self.nodes[i as usize].mem_forward.take() {
+                if self.arena.flags[ix] & F_FWD_SET != 0 {
+                    self.arena.flags[ix] &= !F_FWD_SET;
+                    let order = self.arena.mem_forward[ix];
                     self.forward(i, Token::Memory(order));
                 }
                 let service = self.net.memory_delay(self.cfg, self.now);
@@ -941,7 +1142,9 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                 return;
             }
             InstructionGroup::MemWrite => {
-                if let Some(order) = self.nodes[i as usize].mem_forward.take() {
+                if self.arena.flags[ix] & F_FWD_SET != 0 {
+                    self.arena.flags[ix] &= !F_FWD_SET;
+                    let order = self.arena.mem_forward[ix];
                     self.forward(i, Token::Memory(order));
                 }
                 // Writes proceed without waiting for the service, but still
@@ -950,23 +1153,33 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
             }
             InstructionGroup::LocalWrite => {
                 // Emit the updated register token.
-                let reg = register_of(&insn).unwrap_or(0);
-                let value =
-                    self.nodes[i as usize].outputs.first().copied().unwrap_or(Value::Int(0));
+                let reg = if d.reg == u16::MAX { 0 } else { d.reg };
+                let value = if self.arena.output_len[ix] > 0 {
+                    self.arena.output_vals[d.output_off as usize]
+                } else {
+                    Value::Int(0)
+                };
                 self.forward(i, Token::Register { reg, value });
                 self.finish_node(i);
                 return;
             }
             InstructionGroup::LocalRead => {
                 // Re-send the register token, then results to the mesh.
-                let reg = register_of(&insn).unwrap_or(0);
-                let value = self.nodes[i as usize].reg_captured.unwrap_or(Value::Int(0));
+                let reg = if d.reg == u16::MAX { 0 } else { d.reg };
+                let value = if self.arena.flags[ix] & F_REG_SET != 0 {
+                    self.arena.reg_captured[ix]
+                } else {
+                    Value::Int(0)
+                };
                 self.forward(i, Token::Register { reg, value });
             }
             InstructionGroup::LocalInc => {
-                let reg = register_of(&insn).unwrap_or(0);
-                let value =
-                    self.nodes[i as usize].outputs.first().copied().unwrap_or(Value::Int(0));
+                let reg = if d.reg == u16::MAX { 0 } else { d.reg };
+                let value = if self.arena.output_len[ix] > 0 {
+                    self.arena.output_vals[d.output_off as usize]
+                } else {
+                    Value::Int(0)
+                };
                 self.forward(i, Token::Register { reg, value });
                 self.finish_node(i);
                 return;
@@ -985,69 +1198,84 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
 
     /// Sends the node's computed outputs to its resolved consumers.
     fn dispatch_outputs(&mut self, i: u32) {
-        let outputs = std::mem::take(&mut self.nodes[i as usize].outputs);
-        let coords = self.lm.placement.coords[i as usize];
+        let ix = i as usize;
+        let d = self.dm.insns[ix];
+        let len = usize::from(self.arena.output_len[ix]);
+        let out_off = d.output_off as usize;
+        self.arena.output_len[ix] = 0;
+        let coords = self.lm.placement.coords[ix];
+        let lm = self.lm;
         // Indexed walk: `Sink` is `Copy`, so this avoids cloning the sink
         // list on every fire.
-        for k in 0..self.lm.graph.consumers[i as usize].len() {
-            let s = self.lm.graph.consumers[i as usize][k];
-            let v = outputs.get(usize::from(s.out)).copied().unwrap_or(Value::Int(0));
+        for k in 0..lm.graph.consumers[ix].len() {
+            let s = lm.graph.consumers[ix][k];
+            let o = usize::from(s.out);
+            let v = if o < len { self.arena.output_vals[out_off + o] } else { Value::Int(0) };
             self.send_mesh(coords, s, v);
         }
     }
 
     /// Marks a node complete and forwards a buffered TAIL.
     fn finish_node(&mut self, i: u32) {
-        self.nodes[i as usize].completed = true;
-        if self.nodes[i as usize].tail_buffered {
-            self.nodes[i as usize].tail_buffered = false;
+        let ix = i as usize;
+        self.arena.flags[ix] |= F_COMPLETED;
+        if self.arena.flags[ix] & F_TAIL_BUF != 0 {
+            self.arena.flags[ix] &= !F_TAIL_BUF;
             self.forward(i, Token::Tail);
         }
     }
 
     /// Releases a control-flow node's buffered tokens toward `to`.
     fn release_buffer(&mut self, i: u32, to: u32) {
-        let tokens = std::mem::take(&mut self.nodes[i as usize].buffer);
-        self.nodes[i as usize].tail_buffered = false;
+        let ix = i as usize;
+        self.arena.flags[ix] &= !F_TAIL_BUF;
         if (to as usize) >= self.n {
+            self.arena.buffers[ix].clear();
             return;
         }
         let base = self.serial_transit(i, to).max(self.serial_hop());
-        for (k, t) in tokens.into_iter().enumerate() {
+        let hop = self.serial_hop();
+        for k in 0..self.arena.buffers[ix].len() {
+            let t = self.arena.buffers[ix][k];
             self.serial_msgs += 1;
-            self.push_ev(
-                self.now + base + k as u64 * self.serial_hop(),
-                EvKind::Serial,
-                to,
-                Some(t),
-                0,
-                None,
-            );
+            self.push_ev(self.now + base + k as u64 * hop, EvKind::Serial, to, Some(t), 0, None);
         }
+        self.arena.buffers[ix].clear();
     }
 
     /// If a decided backward jump has executed and holds the TAIL,
     /// re-inject the bundle at the loop head and reset the loop body.
     fn maybe_reinject(&mut self, i: u32) {
-        let Some(target) = self.nodes[i as usize].pending_back else {
-            return;
-        };
-        if !self.nodes[i as usize].tail_buffered {
+        let ix = i as usize;
+        let target = self.arena.pending_back[ix];
+        if target == u32::MAX {
             return;
         }
-        let tokens = std::mem::take(&mut self.nodes[i as usize].buffer);
+        if self.arena.flags[ix] & F_TAIL_BUF == 0 {
+            return;
+        }
+        // Stage the bundle first: resetting the loop body clears node
+        // `i`'s own buffer.
+        {
+            let arena = &mut *self.arena;
+            arena.scratch.clear();
+            let (scratch, buffers) = (&mut arena.scratch, &arena.buffers);
+            scratch.extend_from_slice(&buffers[ix]);
+        }
         // Reset the loop body [target ..= i] — "each instruction from the
         // same thread/class/method must also reset to the stateReady".
         for a in target..=i {
-            let pops = usize::from(self.lm.method.code[a as usize].pops());
-            self.nodes[a as usize].reset(pops);
+            let d = self.dm.insns[a as usize];
+            self.arena.reset_node(a as usize, &d);
         }
         // Reverse-network transit to the loop head.
         let base = self.serial_transit(i, target).max(self.serial_hop());
-        for (k, t) in tokens.into_iter().enumerate() {
+        let hop = self.serial_hop();
+        for k in 0..self.arena.scratch.len() {
+            let t = self.arena.scratch[k];
             self.serial_msgs += 1;
             self.push_ev(
-                self.now + base + k as u64 * self.serial_hop(),
+                self.now + base + k as u64 * hop,
                 EvKind::Serial,
                 target,
                 Some(t),
@@ -1055,20 +1283,26 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                 None,
             );
         }
+        self.arena.scratch.clear();
     }
 
     /// Ordered memory operations against the shared JVM state (or dummy
-    /// values for scripted runs).
+    /// values for scripted runs). Memory operations push at most one
+    /// value.
     fn memory_op(
         &mut self,
-        insn: &javaflow_bytecode::Insn,
-        operands: &[Value],
-        _i: u32,
-    ) -> Result<Vec<Value>, JvmError> {
+        d: &DecodedInsn,
+        i: u32,
+        off: usize,
+        cnt: usize,
+    ) -> Result<Option<Value>, JvmError> {
+        let lm = self.lm;
+        let operands: &[Value] = &self.arena.operand_vals[off..off + cnt];
         let Gpp::Interp(gpp) = &mut self.gpp else {
             // Scripted: reads produce a dummy; writes produce nothing.
-            return Ok(if insn.pushes() > 0 { vec![Value::Int(0)] } else { Vec::new() });
+            return Ok(if d.pushes > 0 { Some(Value::Int(0)) } else { None });
         };
+        let insn = &lm.method.code[i as usize];
         use Opcode as O;
         let get_ref = |v: &Value| -> Result<Option<u32>, JvmError> {
             v.as_ref_handle().ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))
@@ -1087,7 +1321,7 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
             | O::SALoad => {
                 let arr = get_ref(&operands[0])?;
                 let idx = get_int(&operands[1])?;
-                Ok(vec![gpp.state.heap.array_get(arr, idx)?])
+                Ok(Some(gpp.state.heap.array_get(arr, idx)?))
             }
             O::IAStore
             | O::LAStore
@@ -1098,7 +1332,7 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
             | O::CAStore
             | O::SAStore => {
                 if trace_enabled("JAVAFLOW_TRACE_MEM") {
-                    eprintln!("[mem] @{_i} {} operands {:?}", insn.op, operands);
+                    eprintln!("[mem] @{i} {} operands {:?}", insn.op, operands);
                 }
                 let arr = get_ref(&operands[0])?;
                 let idx = get_int(&operands[1])?;
@@ -1109,12 +1343,12 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                     _ => operands[2],
                 };
                 gpp.state.heap.array_set(arr, idx, v)?;
-                Ok(Vec::new())
+                Ok(None)
             }
             O::GetField => match insn.operand {
                 Operand::Field(f) => {
                     let obj = get_ref(&operands[0])?;
-                    Ok(vec![gpp.state.heap.get_field(obj, f.slot)?])
+                    Ok(Some(gpp.state.heap.get_field(obj, f.slot)?))
                 }
                 _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
             },
@@ -1122,18 +1356,18 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                 Operand::Field(f) => {
                     let obj = get_ref(&operands[0])?;
                     gpp.state.heap.put_field(obj, f.slot, operands[1])?;
-                    Ok(Vec::new())
+                    Ok(None)
                 }
                 _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
             },
             O::GetStatic => match insn.operand {
-                Operand::Field(f) => Ok(vec![gpp.state.get_static(f.class, f.slot)?]),
+                Operand::Field(f) => Ok(Some(gpp.state.get_static(f.class, f.slot)?)),
                 _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
             },
             O::PutStatic => match insn.operand {
                 Operand::Field(f) => {
                     gpp.state.put_static(f.class, f.slot, operands[0])?;
-                    Ok(Vec::new())
+                    Ok(None)
                 }
                 _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
             },
@@ -1141,16 +1375,20 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
         }
     }
 
-    /// Call and `Special` service on the GPP.
+    /// Call and `Special` service on the GPP. Pushes at most one value.
     fn gpp_service(
         &mut self,
-        insn: &javaflow_bytecode::Insn,
-        operands: &[Value],
-        _i: u32,
-    ) -> Result<Vec<Value>, JvmError> {
+        d: &DecodedInsn,
+        i: u32,
+        off: usize,
+        cnt: usize,
+    ) -> Result<Option<Value>, JvmError> {
+        let lm = self.lm;
+        let operands: &[Value] = &self.arena.operand_vals[off..off + cnt];
         let Gpp::Interp(gpp) = &mut self.gpp else {
-            return Ok(if insn.pushes() > 0 { vec![Value::Int(0)] } else { Vec::new() });
+            return Ok(if d.pushes > 0 { Some(Value::Int(0)) } else { None });
         };
+        let insn = &lm.method.code[i as usize];
         use Opcode as O;
         match insn.op {
             O::InvokeVirtual
@@ -1158,17 +1396,14 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
             | O::InvokeStatic
             | O::InvokeInterface
             | O::InvokeDynamic => match insn.operand {
-                Operand::Call(c) => {
-                    let r = gpp.run(c.method, operands)?;
-                    Ok(r.map(|v| vec![v]).unwrap_or_default())
-                }
+                Operand::Call(c) => Ok(gpp.run(c.method, operands)?),
                 _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
             },
             O::New => match insn.operand {
                 Operand::ClassId(cid) => {
                     let fields = gpp.program().class(cid).instance_fields;
                     let h = gpp.state.heap.alloc_object(cid, fields);
-                    Ok(vec![Value::Ref(Some(h))])
+                    Ok(Some(Value::Ref(Some(h))))
                 }
                 _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
             },
@@ -1178,7 +1413,7 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                         .as_int()
                         .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
                     let h = gpp.state.heap.alloc_array(k, len)?;
-                    Ok(vec![Value::Ref(Some(h))])
+                    Ok(Some(Value::Ref(Some(h))))
                 }
                 _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
             },
@@ -1188,7 +1423,7 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                         .as_int()
                         .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
                     let h = gpp.state.heap.alloc_ref_array(cid, len)?;
-                    Ok(vec![Value::Ref(Some(h))])
+                    Ok(Some(Value::Ref(Some(h))))
                 }
                 _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
             },
@@ -1196,7 +1431,7 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                 let arr = operands[0]
                     .as_ref_handle()
                     .ok_or_else(|| JvmError::bare(JvmErrorKind::TypeError))?;
-                Ok(vec![Value::Int(gpp.state.heap.array_len(arr)?)])
+                Ok(Some(Value::Int(gpp.state.heap.array_len(arr)?)))
             }
             O::InstanceOf => match insn.operand {
                 Operand::ClassId(cid) => {
@@ -1207,7 +1442,7 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                         None => false,
                         Some(hh) => gpp.state.heap.object_class(Some(hh))? == cid,
                     };
-                    Ok(vec![Value::Int(i32::from(yes))])
+                    Ok(Some(Value::Int(i32::from(yes))))
                 }
                 _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
             },
@@ -1221,7 +1456,7 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                             return Err(JvmError::bare(JvmErrorKind::ClassCast));
                         }
                     }
-                    Ok(vec![Value::Ref(h)])
+                    Ok(Some(Value::Ref(h)))
                 }
                 _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
             },
@@ -1232,9 +1467,9 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                 if h.is_none() {
                     return Err(JvmError::bare(JvmErrorKind::NullPointer));
                 }
-                Ok(Vec::new())
+                Ok(None)
             }
-            O::Nop => Ok(Vec::new()),
+            O::Nop => Ok(None),
             _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
         }
     }

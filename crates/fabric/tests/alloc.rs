@@ -1,0 +1,89 @@
+//! Zero-allocation steady state: once a [`SimArena`] has been warmed up
+//! on a method, re-executing it (scripted, ideal interconnect) must not
+//! touch the heap at all — the timing wheel, the struct-of-arrays node
+//! slabs, and the alloc-free compute path cover every event the loop
+//! processes.
+//!
+//! Single-test file on purpose: the counting `#[global_allocator]` is
+//! process-wide, and a concurrent test's allocations would show up in the
+//! measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use javaflow_bytecode::asm::assemble;
+use javaflow_fabric::{execute_in, load, BranchMode, ExecParams, FabricConfig, Outcome, SimArena};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const SUM_LOOP: &str = ".method sum args=1 returns=true locals=3
+   iconst_0
+   istore 1
+ top:
+   iload 1
+   iload 0
+   iadd
+   istore 1
+   iinc 0 -1
+   iload 0
+   ifgt @top
+   iload 1
+   ireturn
+ .end";
+
+#[test]
+fn warm_scripted_run_does_not_allocate() {
+    let p = assemble(SUM_LOOP).unwrap();
+    let (_, m) = p.method_by_name("sum").unwrap();
+    let config = FabricConfig::compact2();
+    let loaded = load(m, &config).unwrap();
+    let mut arena = SimArena::new();
+
+    let run = |arena: &mut SimArena| {
+        execute_in(
+            &loaded,
+            &config,
+            ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() },
+            arena,
+        )
+    };
+
+    // Warm-up: sizes the arena slabs and wheel buckets for this method,
+    // and initializes process-level lazy state (trace-env lookups).
+    let warm = run(&mut arena);
+    assert!(matches!(warm.outcome, Outcome::Returned(_)), "warm-up run: {:?}", warm.outcome);
+    assert!(warm.executed > 20, "the loop should iterate (bp back jumps taken 9 of 10)");
+
+    // Measured runs: the steady state must be allocation-free. (No
+    // `format!` in this window — the checks themselves must not touch
+    // the heap on the success path.)
+    let before = ALLOCS.load(Relaxed);
+    for _ in 0..3 {
+        let report = run(&mut arena);
+        assert!(report.outcome == warm.outcome);
+        assert!(report.executed == warm.executed);
+        assert!(report.events == warm.events);
+    }
+    let after = ALLOCS.load(Relaxed);
+    assert_eq!(after - before, 0, "warm simulation runs must not allocate");
+}

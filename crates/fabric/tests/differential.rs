@@ -368,7 +368,7 @@ fn folding_reduces_executed_instructions() {
     let config = FabricConfig::compact2();
     let plain = load(m, &config).unwrap();
     let mut folded = load(m, &config).unwrap();
-    let n = folded.graph.fold_moves(m);
+    let n = folded.graph_mut().fold_moves(m);
     assert_eq!(n, 1);
 
     let run = |lm: &javaflow_fabric::LoadedMethod<'_>| {

@@ -210,7 +210,7 @@ fn folding_preserves_loop_semantics() {
     let (_, m) = p.method_by_name("m").unwrap();
     let config = FabricConfig::compact4();
     let mut folded = load(m, &config).unwrap();
-    let n = folded.graph.fold_moves(m);
+    let n = folded.graph_mut().fold_moves(m);
     assert_eq!(n, 1);
     let mut gpp = Interp::new(&p);
     let report = execute(
@@ -245,8 +245,9 @@ fn fanout_relays_preserve_semantics() {
     let (_, m) = p.method_by_name("m").unwrap();
     let config = FabricConfig::compact2();
     let mut limited = load(m, &config).unwrap();
-    limited.graph.fold_moves(m);
-    let relays = limited.graph.limit_fanout(2, &limited.placement);
+    limited.graph_mut().fold_moves(m);
+    let placement = limited.placement.clone();
+    let relays = limited.graph_mut().limit_fanout(2, &placement);
     assert!(relays > 0);
     let mut gpp = Interp::new(&p);
     let report = execute(

@@ -1,0 +1,102 @@
+//! Differential property test: the timing wheel must pop randomized
+//! monotone event streams in exactly the order the old comparison-based
+//! queue did — `(tick, seq)` ascending, including same-tick sequence ties
+//! and events promoted out of the overflow level.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use javaflow_fabric::TimingWheel;
+use javaflow_workloads::rng::StdRng;
+
+/// Replays one randomized push/pop schedule against both queues.
+///
+/// Deltas are drawn from mixed magnitudes so the stream crosses level-0
+/// buckets, level-1 pages, and the overflow list; zero deltas exercise
+/// same-tick FIFO ties (the collapsed Baseline schedules serial hops at
+/// delta 0). Interleaved pops drain mid-stream the way the simulator
+/// does, so promotions happen while pushes continue.
+fn run_schedule(seed: u64, ops: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wheel: TimingWheel<u64> = TimingWheel::new();
+    let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut now = 0u64;
+    let mut seq = 0u64;
+
+    for _ in 0..ops {
+        let pushes = rng.gen_range(0..4u32);
+        for _ in 0..pushes {
+            // Mixed-magnitude deltas: mostly local, occasionally page- or
+            // overflow-distance (the contended model's ring waits).
+            let delta = match rng.gen_range(0..10u32) {
+                0..=4 => u64::from(rng.gen_range(0..4u32)),
+                5..=7 => u64::from(rng.gen_range(0..512u32)),
+                8 => u64::from(rng.gen_range(0..20_000u32)),
+                _ => u64::from(rng.gen_range(0..200_000u32)),
+            };
+            let at = now + delta;
+            wheel.push(at, seq);
+            heap.push(Reverse((at, seq)));
+            seq += 1;
+        }
+        let pops = rng.gen_range(0..3u32);
+        for _ in 0..pops {
+            let expect = heap.pop().map(|Reverse((at, s))| (at, s));
+            let got = wheel.pop();
+            assert_eq!(got, expect, "divergence at seq {seq} (seed {seed})");
+            if let Some((at, _)) = got {
+                now = at; // pops advance the clock monotonically
+            }
+        }
+        assert_eq!(wheel.len(), heap.len());
+    }
+    // Drain both completely: the tail order must match too.
+    while let Some(Reverse((at, s))) = heap.pop() {
+        assert_eq!(wheel.pop(), Some((at, s)), "tail divergence (seed {seed})");
+    }
+    assert!(wheel.pop().is_none());
+    assert!(wheel.is_empty());
+}
+
+#[test]
+fn wheel_matches_binary_heap_on_random_streams() {
+    for seed in 0..32u64 {
+        run_schedule(seed, 400);
+    }
+}
+
+#[test]
+fn wheel_matches_binary_heap_on_long_streams() {
+    for seed in 100..104u64 {
+        run_schedule(seed, 4_000);
+    }
+}
+
+#[test]
+fn wheel_matches_after_clear_and_reuse() {
+    // `SimArena` reuses one wheel across runs; a cleared wheel must
+    // replay a fresh schedule identically.
+    let mut wheel: TimingWheel<u64> = TimingWheel::new();
+    for round in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(round);
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        for seq in 0..500u64 {
+            let at = now + u64::from(rng.gen_range(0..70_000u32));
+            wheel.push(at, seq);
+            heap.push(Reverse((at, seq)));
+            if rng.gen_bool(0.5) {
+                let expect = heap.pop().map(|Reverse(p)| p);
+                let got = wheel.pop();
+                assert_eq!(got, expect);
+                if let Some((at, _)) = got {
+                    now = at;
+                }
+            }
+        }
+        while let Some(Reverse(p)) = heap.pop() {
+            assert_eq!(wheel.pop(), Some(p));
+        }
+        wheel.clear();
+    }
+}
