@@ -15,6 +15,8 @@
 //!                         # BENCH_net.json
 //! tables --bench-kernel   # time the timing-wheel event kernel (events/s,
 //!                         # allocation counts) and write BENCH_kernel.json
+//! tables --bench-rings    # sweep the contended net's ring-slot × FIFO
+//!                         # parameters and write BENCH_rings.json
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -131,10 +133,10 @@ fn bench_eval(synthetic: usize, threads: usize) {
 /// produce identical reports, and records the numbers — plus the
 /// pre-timing-wheel baseline for comparison — in `BENCH_kernel.json`.
 fn bench_kernel(synthetic: usize, threads: usize) {
-    // serial_secs of BENCH_evaluation.json at the sweep the kernel work
-    // was measured against (synthetic 1500 on the seed's binary-heap,
-    // per-run-allocating kernel).
-    const BASELINE_SERIAL_SECS: f64 = 5.878;
+    // serial_secs of the committed BENCH_kernel.json the fast-forward work
+    // was measured against (synthetic 1500 on the timing-wheel kernel,
+    // before token-walk fast-forwarding and event-chain fusion).
+    const BASELINE_SERIAL_SECS: f64 = 3.762;
     const BASELINE_SYNTHETIC: usize = 1500;
 
     let a0 = ALLOCS.load(Relaxed);
@@ -155,6 +157,7 @@ fn bench_kernel(synthetic: usize, threads: usize) {
         && format!("{:?}", serial.statics) == format!("{:?}", parallel.statics);
 
     let events: u64 = serial.samples.iter().map(|s| s.report.events).sum();
+    let events_skipped: u64 = serial.samples.iter().map(|s| s.report.events_skipped).sum();
     let events_per_sec = events as f64 / serial_secs.max(1e-9);
     let samples = serial.samples.len().max(1);
     let allocs_per_sample = serial_allocs as f64 / samples as f64;
@@ -165,7 +168,7 @@ fn bench_kernel(synthetic: usize, threads: usize) {
     };
 
     let json = format!(
-        "{{\n  \"benchmark\": \"tables --bench-kernel --synthetic {synthetic}\",\n  \"records\": {},\n  \"samples\": {},\n  \"threads\": {threads},\n  \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {parallel_secs:.3},\n  \"parallel_speedup\": {:.2},\n  \"events\": {events},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"serial_allocs\": {serial_allocs},\n  \"serial_alloc_bytes\": {serial_alloc_bytes},\n  \"allocs_per_sample\": {allocs_per_sample:.1},\n  \"baseline_serial_secs\": {BASELINE_SERIAL_SECS},\n  \"baseline_synthetic\": {BASELINE_SYNTHETIC},\n  \"speedup_vs_baseline\": {speedup_vs_baseline:.2},\n  \"identical_output\": {identical}\n}}\n",
+        "{{\n  \"benchmark\": \"tables --bench-kernel --synthetic {synthetic}\",\n  \"records\": {},\n  \"samples\": {},\n  \"threads\": {threads},\n  \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {parallel_secs:.3},\n  \"parallel_speedup\": {:.2},\n  \"events\": {events},\n  \"events_skipped\": {events_skipped},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"serial_allocs\": {serial_allocs},\n  \"serial_alloc_bytes\": {serial_alloc_bytes},\n  \"allocs_per_sample\": {allocs_per_sample:.1},\n  \"baseline_serial_secs\": {BASELINE_SERIAL_SECS},\n  \"baseline_synthetic\": {BASELINE_SYNTHETIC},\n  \"speedup_vs_baseline\": {speedup_vs_baseline:.2},\n  \"identical_output\": {identical}\n}}\n",
         serial.records.len(),
         serial.samples.len(),
         serial_secs / parallel_secs.max(1e-9),
@@ -217,6 +220,75 @@ fn bench_net(synthetic: usize, threads: usize) {
     eprintln!("wrote BENCH_net.json");
 }
 
+/// Sweeps the contended interconnect's service parameters —
+/// `NetParams::ring_slot_cycles` × `NetParams::mesh_fifo_capacity` — over
+/// the same population, recording each combination's aggregate IPC and
+/// queueing behaviour in `BENCH_rings.json`.
+fn bench_rings(synthetic: usize, threads: usize) {
+    const SLOTS: [u64; 3] = [1, 2, 4];
+    const FIFOS: [u32; 3] = [2, 4, 8];
+    let total = SLOTS.len() * FIFOS.len();
+    let mut entries = String::new();
+    let mut step = 0usize;
+    for slot in SLOTS {
+        for fifo in FIFOS {
+            step += 1;
+            eprintln!(
+                "ring sweep {step}/{total}: ring_slot_cycles={slot} mesh_fifo_capacity={fifo}"
+            );
+            let mut configs = javaflow_fabric::FabricConfig::all_six();
+            for c in &mut configs {
+                c.net_params.ring_slot_cycles = slot;
+                c.net_params.mesh_fifo_capacity = fifo;
+            }
+            let t = Instant::now();
+            let eval = Evaluation::run(&EvalConfig {
+                synthetic_count: synthetic,
+                threads,
+                net: NetKind::Contended,
+                configs,
+                ..EvalConfig::default()
+            });
+            let secs = t.elapsed().as_secs_f64();
+
+            let mut ipc_sum = 0.0f64;
+            let mut ok = 0u64;
+            let (mut stall, mut flits, mut hops) = (0u64, 0u64, 0u64);
+            let (mut mem_req, mut mem_wait, mut gpp_req, mut gpp_wait) = (0u64, 0u64, 0u64, 0u64);
+            let mut max_queue = 0u64;
+            for s in &eval.samples {
+                if s.ok {
+                    ipc_sum += s.report.ipc;
+                    ok += 1;
+                }
+                if let Some(n) = &s.report.net {
+                    stall += n.stall_ticks;
+                    flits += n.mesh_flits;
+                    hops += n.mesh_hops;
+                    mem_req += n.memory_ring.requests;
+                    mem_wait += n.memory_ring.wait_ticks;
+                    gpp_req += n.gpp_ring.requests;
+                    gpp_wait += n.gpp_ring.wait_ticks;
+                    max_queue = max_queue.max(n.max_queue_depth);
+                }
+            }
+            let mean_ipc = ipc_sum / ok.max(1) as f64;
+            let stall_per_hop = stall as f64 / hops.max(1) as f64;
+            let mem_wait_per_req = mem_wait as f64 / mem_req.max(1) as f64;
+            let gpp_wait_per_req = gpp_wait as f64 / gpp_req.max(1) as f64;
+            let sep = if step == total { "" } else { "," };
+            entries.push_str(&format!(
+                "    {{\n      \"ring_slot_cycles\": {slot},\n      \"mesh_fifo_capacity\": {fifo},\n      \"mean_ipc\": {mean_ipc:.4},\n      \"ok_samples\": {ok},\n      \"mesh_flits\": {flits},\n      \"mesh_hops\": {hops},\n      \"stall_ticks\": {stall},\n      \"stall_per_hop\": {stall_per_hop:.4},\n      \"max_queue_depth\": {max_queue},\n      \"memory_ring_requests\": {mem_req},\n      \"memory_ring_wait_per_request\": {mem_wait_per_req:.4},\n      \"gpp_ring_requests\": {gpp_req},\n      \"gpp_ring_wait_per_request\": {gpp_wait_per_req:.4},\n      \"sweep_secs\": {secs:.3}\n    }}{sep}\n"
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"tables --bench-rings --synthetic {synthetic}\",\n  \"threads\": {threads},\n  \"combinations\": [\n{entries}  ]\n}}\n"
+    );
+    std::fs::write("BENCH_rings.json", &json).expect("write BENCH_rings.json");
+    println!("{json}");
+}
+
 fn main() {
     let mut table: Option<u32> = None;
     let mut figure: Option<u32> = None;
@@ -226,6 +298,7 @@ fn main() {
     let mut bench = false;
     let mut bench_net_mode = false;
     let mut bench_kernel_mode = false;
+    let mut bench_rings_mode = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -282,6 +355,7 @@ fn main() {
             "--bench-eval" => bench = true,
             "--bench-net" => bench_net_mode = true,
             "--bench-kernel" => bench_kernel_mode = true,
+            "--bench-rings" => bench_rings_mode = true,
             "--figure" => {
                 figure = args.next().and_then(|v| v.parse().ok());
                 if figure.is_none() {
@@ -293,7 +367,7 @@ fn main() {
                 println!(
                     "usage: tables [--table N] [--figure N] [--list-tables] \
                      [--synthetic COUNT] [--threads N] [--net ideal|contended] \
-                     [--bench-eval] [--bench-net] [--bench-kernel]"
+                     [--bench-eval] [--bench-net] [--bench-kernel] [--bench-rings]"
                 );
                 return;
             }
@@ -314,6 +388,10 @@ fn main() {
     }
     if bench_kernel_mode {
         bench_kernel(synthetic, threads);
+        return;
+    }
+    if bench_rings_mode {
+        bench_rings(synthetic, threads);
         return;
     }
 

@@ -124,6 +124,13 @@ pub struct NetReport {
 /// per mesh cycle), matching the simulator's base unit. Implementations may
 /// keep mutable reservation state; one value models one run.
 pub trait NetModel {
+    /// Whether every delay is a pure function of the endpoints — no
+    /// arrival-order reservation state. Only such models may let the
+    /// kernel fast-forward token walks: skipping events reorders
+    /// deliveries *within* a tick, which an order-free model cannot
+    /// observe but a link-booking model would.
+    const ORDER_FREE: bool = false;
+
     /// Ticks from `now` until a mesh operand sent from `from` arrives at
     /// `to`. May reserve links (contention).
     fn mesh_delay(&mut self, cfg: &FabricConfig, now: u64, from: (u32, u32), to: (u32, u32))
@@ -151,6 +158,8 @@ pub trait NetModel {
 pub struct IdealNet;
 
 impl NetModel for IdealNet {
+    const ORDER_FREE: bool = true;
+
     fn mesh_delay(
         &mut self,
         cfg: &FabricConfig,
@@ -251,7 +260,8 @@ impl Ring {
 pub struct ContendedNet {
     width: u32,
     /// Per-link state, indexed `node * DIRS + dir` with `node = y*width+x`;
-    /// grown on demand (mesh height is method-dependent).
+    /// sized for the full fabric up front (placement never exceeds
+    /// `max_nodes`, so no route can touch a router beyond it).
     links: Vec<Link>,
     nodes: Vec<NodeStat>,
     mem_ring: Ring,
@@ -271,10 +281,13 @@ impl ContendedNet {
         let slot = cfg.net_params.ring_slot_cycles * ticks;
         let transit = cfg.net_params.ring_latency_cycles * ticks;
         let ring = Ring { slot_ticks: slot, transit_ticks: transit, ..Ring::default() };
+        let width = cfg.width.max(1);
+        let rows = cfg.max_nodes.div_ceil(width).max(1);
+        let routers = width as usize * rows as usize;
         ContendedNet {
-            width: cfg.width.max(1),
-            links: Vec::new(),
-            nodes: Vec::new(),
+            width,
+            links: vec![Link::default(); routers * DIRS],
+            nodes: vec![NodeStat::default(); routers],
             mem_ring: ring,
             gpp_ring: ring,
             mesh_flits: 0,
@@ -303,12 +316,7 @@ impl ContendedNet {
     ) -> u64 {
         let ni = self.node_index(node);
         let li = ni * DIRS + dir;
-        if li >= self.links.len() {
-            self.links.resize(li + 1, Link::default());
-        }
-        if ni >= self.nodes.len() {
-            self.nodes.resize(ni + 1, NodeStat::default());
-        }
+        debug_assert!(li < self.links.len(), "router {node:?} beyond the preallocated fabric");
         let link = &mut self.links[li];
         // Credit backpressure: the flit cannot enter a full FIFO.
         let hold = entry.max(link.next_free.saturating_sub(fifo_ticks));

@@ -183,6 +183,35 @@ impl<T: Copy> TimingWheel<T> {
         }
     }
 
+    /// Drains the entire earliest non-empty bucket into `out` (appending)
+    /// and returns its tick, or `None` when the wheel is empty. Events are
+    /// appended in push (FIFO) order, so `pop_tick` + an in-order scan of
+    /// `out` observes exactly the sequence the one-at-a-time [`Self::pop`]
+    /// would have produced. Same-tick pushes made *while* the batch is
+    /// processed land in the (now empty) bucket and are returned by the
+    /// next `pop_tick`, which reports the same tick again — mirroring the
+    /// mid-drain append behaviour of `pop`.
+    pub fn pop_tick(&mut self, out: &mut Vec<T>) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if let Some(slot) = self.first_occupied_l0() {
+                let at = (self.cursor & !0xff) | slot as u64;
+                self.cursor = at;
+                let bucket = &mut self.l0[slot];
+                out.extend_from_slice(&bucket[self.l0_pos..]);
+                self.len -= bucket.len() - self.l0_pos;
+                bucket.clear();
+                self.l0_pos = 0;
+                self.l0_occ[slot >> 6] &= !(1 << (slot & 63));
+                return Some(at);
+            }
+            let next = self.next_page_with_events();
+            self.advance_to_page(next);
+        }
+    }
+
     /// First occupied level-0 slot at or after the cursor's slot.
     fn first_occupied_l0(&self) -> Option<usize> {
         let from = (self.cursor & 0xff) as usize;
@@ -329,6 +358,66 @@ mod tests {
         w.push(0, 5);
         assert_eq!(w.pop(), Some((0, 5)));
         assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn pop_tick_drains_whole_bucket() {
+        let mut w = TimingWheel::new();
+        w.push(5, 'a');
+        w.push(5, 'b');
+        w.push(9, 'c');
+        let mut out = Vec::new();
+        assert_eq!(w.pop_tick(&mut out), Some(5));
+        assert_eq!(out, ['a', 'b']);
+        out.clear();
+        assert_eq!(w.pop_tick(&mut out), Some(9));
+        assert_eq!(out, ['c']);
+        out.clear();
+        assert_eq!(w.pop_tick(&mut out), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn pop_tick_same_tick_push_during_batch() {
+        let mut w = TimingWheel::new();
+        w.push(0, 1);
+        let mut out = Vec::new();
+        assert_eq!(w.pop_tick(&mut out), Some(0));
+        assert_eq!(out, [1]);
+        // Zero-delta reschedule mid-batch: the next pop_tick must report
+        // tick 0 again with the late event.
+        w.push(0, 2);
+        out.clear();
+        assert_eq!(w.pop_tick(&mut out), Some(0));
+        assert_eq!(out, [2]);
+    }
+
+    #[test]
+    fn pop_tick_after_partial_pop() {
+        let mut w = TimingWheel::new();
+        w.push(7, 'x');
+        w.push(7, 'y');
+        w.push(7, 'z');
+        assert_eq!(w.pop(), Some((7, 'x')));
+        // A batch drain mid-bucket must only yield the unpopped tail.
+        let mut out = Vec::new();
+        assert_eq!(w.pop_tick(&mut out), Some(7));
+        assert_eq!(out, ['y', 'z']);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn pop_tick_crosses_levels() {
+        let mut w = TimingWheel::new();
+        let far = 256 * 100 + 7;
+        w.push(far, 'o'); // overflow
+        w.push(3, 's');
+        let mut out = Vec::new();
+        assert_eq!(w.pop_tick(&mut out), Some(3));
+        w.push(far, 'l'); // level 1, later push
+        out.clear();
+        assert_eq!(w.pop_tick(&mut out), Some(far));
+        assert_eq!(out, ['o', 'l'], "overflow pushes precede level-1 pushes");
     }
 
     #[test]

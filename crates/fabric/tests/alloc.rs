@@ -4,15 +4,24 @@
 //! slabs, and the alloc-free compute path cover every event the loop
 //! processes.
 //!
+//! A contended-interconnect run builds a fresh [`ContendedNet`] per
+//! execution, so it cannot be literally zero-alloc — but because the
+//! router slabs are sized from the config dimensions up front, its
+//! per-run allocation count must be a small constant (the two slabs plus
+//! the hotspot report), never traffic-dependent.
+//!
 //! Single-test file on purpose: the counting `#[global_allocator]` is
 //! process-wide, and a concurrent test's allocations would show up in the
-//! measured window.
+//! measured window. The contended phase lives inside the same `#[test]`
+//! for the same reason.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use javaflow_bytecode::asm::assemble;
-use javaflow_fabric::{execute_in, load, BranchMode, ExecParams, FabricConfig, Outcome, SimArena};
+use javaflow_fabric::{
+    execute_in, load, BranchMode, ExecParams, FabricConfig, NetKind, Outcome, SimArena,
+};
 
 struct CountingAlloc;
 
@@ -86,4 +95,42 @@ fn warm_scripted_run_does_not_allocate() {
     }
     let after = ALLOCS.load(Relaxed);
     assert_eq!(after - before, 0, "warm simulation runs must not allocate");
+
+    // Contended phase: every run constructs a fresh `ContendedNet`, whose
+    // link/node slabs are preallocated from the config dimensions, plus
+    // one hotspot vector in the report. The count per warm run must be a
+    // small constant — identical across runs and independent of traffic —
+    // or the router state has regressed to resize-on-demand.
+    let contended = config.clone().with_net(NetKind::Contended);
+    let loaded_c = load(m, &contended).unwrap();
+    let run_c = |arena: &mut SimArena| {
+        execute_in(
+            &loaded_c,
+            &contended,
+            ExecParams { mode: BranchMode::Bp1, ..ExecParams::default() },
+            arena,
+        )
+    };
+    let warm_c = run_c(&mut arena);
+    assert!(
+        matches!(warm_c.outcome, Outcome::Returned(_)),
+        "contended warm-up: {:?}",
+        warm_c.outcome
+    );
+    assert!(warm_c.net.is_some(), "contended run must carry a net report");
+
+    let mut per_run = [0u64; 3];
+    for slot in &mut per_run {
+        let before = ALLOCS.load(Relaxed);
+        let report = run_c(&mut arena);
+        *slot = ALLOCS.load(Relaxed) - before;
+        assert!(report.outcome == warm_c.outcome);
+        assert!(report.events == warm_c.events);
+    }
+    assert!(per_run[0] == per_run[1] && per_run[1] == per_run[2]);
+    assert!(
+        per_run[0] <= 8,
+        "contended run allocated {} times (want a small constant)",
+        per_run[0]
+    );
 }
