@@ -11,7 +11,10 @@
 //!   analysis showing a handful of methods dominate each benchmark;
 //! * [`NetSummary`] / [`mesh_heatmap`] — link-level interconnect usage of
 //!   contended (`--net contended`) runs: occupancy, stall cycles, queue
-//!   depths, ring waits, and the mesh hotspot heatmap.
+//!   depths, ring waits, and the mesh hotspot heatmap;
+//! * [`trace`] — replay of recorded simulator traces: recompute the
+//!   Table 21/29 numbers from the event stream, cross-check them against
+//!   the live counters, and export Chrome-trace / Perfetto JSON.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -19,6 +22,7 @@
 mod mix;
 mod net;
 mod stats;
+pub mod trace;
 mod utilization;
 
 pub use mix::{DynamicMix, StaticMix};

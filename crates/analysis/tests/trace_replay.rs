@@ -1,0 +1,121 @@
+//! Round trip: record a run, replay the recording through
+//! `analysis::trace`, and demand the reconstructed report match the live
+//! one bit-for-bit — including the full Table 29 link statistics of a
+//! contended run.
+
+use javaflow_analysis::trace::{chrome_trace_json, replay, split_runs, verify_replay};
+use javaflow_bytecode::asm;
+use javaflow_fabric::net::NetKind;
+use javaflow_fabric::{
+    execute_with_sink, load, BranchMode, ExecParams, FabricConfig, RingRecorder, SimArena,
+};
+use javaflow_workloads::synthetic::{generate, hotspot, GenConfig};
+
+fn params() -> ExecParams<'static, 'static> {
+    ExecParams { mode: BranchMode::Bp1, max_mesh_cycles: 50_000, ..ExecParams::default() }
+}
+
+#[test]
+fn replay_matches_live_report_on_hotspot() {
+    let (program, id) = hotspot();
+    let method = program.method(id);
+    for config in [
+        FabricConfig::compact2(),
+        FabricConfig::sparse2(),
+        FabricConfig::compact2().with_net(NetKind::Contended),
+        FabricConfig::sparse2().with_net(NetKind::Contended),
+    ] {
+        let loaded = load(method, &config).expect("hotspot loads");
+        let mut rec = RingRecorder::with_capacity(1 << 19);
+        let live = execute_with_sink(&loaded, &config, params(), &mut SimArena::new(), &mut rec);
+        assert_eq!(rec.dropped(), 0);
+        let events = rec.events();
+        let replayed =
+            replay(&events).unwrap_or_else(|e| panic!("{}: replay failed: {e}", config.name));
+        verify_replay(&replayed, &live)
+            .unwrap_or_else(|e| panic!("{}: replay diverged: {e}", config.name));
+        if config.net == NetKind::Contended {
+            assert!(replayed.net.is_some(), "{}: contended run lost its net report", config.name);
+        }
+    }
+}
+
+#[test]
+fn replay_matches_live_report_on_synthetic_population() {
+    let (program, ids) = generate(&GenConfig { count: 12, ..GenConfig::default() });
+    for config in [FabricConfig::compact2(), FabricConfig::compact2().with_net(NetKind::Contended)]
+    {
+        for &id in &ids {
+            let method = program.method(id);
+            let Ok(loaded) = load(method, &config) else { continue };
+            let mut rec = RingRecorder::with_capacity(1 << 19);
+            let live =
+                execute_with_sink(&loaded, &config, params(), &mut SimArena::new(), &mut rec);
+            assert_eq!(rec.dropped(), 0);
+            let events = rec.events();
+            let replayed = replay(&events)
+                .unwrap_or_else(|e| panic!("{} {id:?}: replay failed: {e}", config.name));
+            verify_replay(&replayed, &live)
+                .unwrap_or_else(|e| panic!("{} {id:?}: replay diverged: {e}", config.name));
+        }
+    }
+}
+
+#[test]
+fn split_runs_separates_consecutive_recordings() {
+    let program = asm::assemble(
+        ".method quad args=1 returns=true locals=1
+           iload 0
+           iconst_4
+           imul
+           ireturn
+         .end",
+    )
+    .unwrap();
+    let (_, method) = program.method_by_name("quad").unwrap();
+    let config = FabricConfig::compact2();
+    let loaded = load(method, &config).expect("quad loads");
+    let mut rec = RingRecorder::with_capacity(1 << 16);
+    let mut arena = SimArena::new();
+    let r1 = execute_with_sink(&loaded, &config, params(), &mut arena, &mut rec);
+    let r2 = execute_with_sink(&loaded, &config, params(), &mut arena, &mut rec);
+    let events = rec.events();
+    let runs = split_runs(&events);
+    assert_eq!(runs.len(), 2, "two End markers ⇒ two runs");
+    verify_replay(&replay(runs[0]).unwrap(), &r1).expect("first run replays");
+    verify_replay(&replay(runs[1]).unwrap(), &r2).expect("second run replays");
+    // The two runs of the same method are byte-identical streams.
+    assert_eq!(runs[0], runs[1]);
+}
+
+#[test]
+fn chrome_trace_json_is_well_formed() {
+    let (program, id) = hotspot();
+    let method = program.method(id);
+    let config = FabricConfig::compact2().with_net(NetKind::Contended);
+    let loaded = load(method, &config).expect("hotspot loads");
+    let mut rec = RingRecorder::with_capacity(1 << 19);
+    execute_with_sink(&loaded, &config, params(), &mut SimArena::new(), &mut rec);
+    let events = rec.events();
+    let json = chrome_trace_json(&[("hotspot", events.as_slice())]);
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    assert!(json.contains("\"ph\":\"M\""), "needs metadata events");
+    assert!(json.contains("\"ph\":\"X\""), "needs span events");
+    assert!(json.contains("process_name"));
+    // Balanced braces/brackets outside strings — a cheap well-formedness
+    // check that catches unescaped payloads without a JSON parser.
+    let (mut depth, mut in_str, mut prev_escape) = (0i64, false, false);
+    for c in json.chars() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        prev_escape = in_str && c == '\\' && !prev_escape;
+        assert!(depth >= 0, "unbalanced JSON nesting");
+    }
+    assert_eq!(depth, 0, "unbalanced JSON nesting");
+    assert!(!in_str, "unterminated string");
+}

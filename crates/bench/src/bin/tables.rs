@@ -1,7 +1,7 @@
 //! Regenerates every table of the JavaFlow evaluation.
 //!
 //! ```text
-//! tables                  # print all tables (1–29)
+//! tables                  # print all tables (1–30)
 //! tables --table 22       # one table
 //! tables --list-tables    # list the valid table ids with titles
 //! tables --synthetic 400  # population size for the Chapter 7 sweeps
@@ -17,6 +17,11 @@
 //!                         # allocation counts) and write BENCH_kernel.json
 //! tables --bench-rings    # sweep the contended net's ring-slot × FIFO
 //!                         # parameters and write BENCH_rings.json
+//! tables --trace-out trace.json
+//!                         # record the hotspot kernel under Compact2
+//!                         # (ideal + contended) and Sparse2, cross-check
+//!                         # the recordings against the live reports, and
+//!                         # write Chrome-trace / Perfetto JSON
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -118,8 +123,9 @@ fn bench_eval(synthetic: usize, threads: usize) {
     let tables_secs = t3.elapsed().as_secs_f64();
     eprintln!("rendered tables 9–28 ({rendered} bytes) in {tables_secs:.2}s");
 
+    let metrics = serial.metrics().to_json();
     let json = format!(
-        "{{\n  \"benchmark\": \"tables --synthetic {synthetic}\",\n  \"records\": {},\n  \"samples\": {},\n  \"threads\": {threads},\n  \"seed_equivalent_secs\": {seed_secs:.3},\n  \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {parallel_secs:.3},\n  \"tables_9_28_secs\": {tables_secs:.3},\n  \"speedup_vs_seed\": {speedup_vs_seed:.2},\n  \"parallel_speedup\": {parallel_speedup:.2},\n  \"identical_output\": {identical}\n}}\n",
+        "{{\n  \"benchmark\": \"tables --synthetic {synthetic}\",\n  \"records\": {},\n  \"samples\": {},\n  \"threads\": {threads},\n  \"seed_equivalent_secs\": {seed_secs:.3},\n  \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {parallel_secs:.3},\n  \"tables_9_28_secs\": {tables_secs:.3},\n  \"speedup_vs_seed\": {speedup_vs_seed:.2},\n  \"parallel_speedup\": {parallel_speedup:.2},\n  \"identical_output\": {identical},\n  \"metrics\": {metrics}\n}}\n",
         serial.records.len(),
         serial.samples.len(),
     );
@@ -167,8 +173,9 @@ fn bench_kernel(synthetic: usize, threads: usize) {
         0.0
     };
 
+    let metrics = serial.metrics().to_json();
     let json = format!(
-        "{{\n  \"benchmark\": \"tables --bench-kernel --synthetic {synthetic}\",\n  \"records\": {},\n  \"samples\": {},\n  \"threads\": {threads},\n  \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {parallel_secs:.3},\n  \"parallel_speedup\": {:.2},\n  \"events\": {events},\n  \"events_skipped\": {events_skipped},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"serial_allocs\": {serial_allocs},\n  \"serial_alloc_bytes\": {serial_alloc_bytes},\n  \"allocs_per_sample\": {allocs_per_sample:.1},\n  \"baseline_serial_secs\": {BASELINE_SERIAL_SECS},\n  \"baseline_synthetic\": {BASELINE_SYNTHETIC},\n  \"speedup_vs_baseline\": {speedup_vs_baseline:.2},\n  \"identical_output\": {identical}\n}}\n",
+        "{{\n  \"benchmark\": \"tables --bench-kernel --synthetic {synthetic}\",\n  \"records\": {},\n  \"samples\": {},\n  \"threads\": {threads},\n  \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {parallel_secs:.3},\n  \"parallel_speedup\": {:.2},\n  \"events\": {events},\n  \"events_skipped\": {events_skipped},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"serial_allocs\": {serial_allocs},\n  \"serial_alloc_bytes\": {serial_alloc_bytes},\n  \"allocs_per_sample\": {allocs_per_sample:.1},\n  \"baseline_serial_secs\": {BASELINE_SERIAL_SECS},\n  \"baseline_synthetic\": {BASELINE_SYNTHETIC},\n  \"speedup_vs_baseline\": {speedup_vs_baseline:.2},\n  \"identical_output\": {identical},\n  \"metrics\": {metrics}\n}}\n",
         serial.records.len(),
         serial.samples.len(),
         serial_secs / parallel_secs.max(1e-9),
@@ -289,9 +296,57 @@ fn bench_rings(synthetic: usize, threads: usize) {
     println!("{json}");
 }
 
+/// Records the deterministic hotspot kernel under three configurations,
+/// cross-checks every recording against its live report (the Table 29
+/// numbers must reproduce bit-for-bit from the event stream alone), and
+/// writes all three as one Chrome-trace / Perfetto JSON document.
+fn trace_capture(path: &str) {
+    use javaflow_analysis::trace::{chrome_trace_json, replay, verify_replay};
+    use javaflow_fabric::{
+        execute_with_sink, load, ExecParams, FabricConfig, RingRecorder, SimArena, TraceEvent,
+    };
+
+    let (program, id) = javaflow_workloads::synthetic::hotspot();
+    let method = program.method(id);
+    let configs = [
+        FabricConfig::compact2(),
+        FabricConfig::sparse2(),
+        FabricConfig::compact2().with_net(NetKind::Contended),
+    ];
+    let names = ["Compact2 (ideal)", "Sparse2 (ideal)", "Compact2 (contended)"];
+    let mut recordings = Vec::new();
+    for (cfg, name) in configs.iter().zip(names) {
+        let loaded = load(method, cfg).expect("hotspot loads");
+        let mut rec = RingRecorder::with_capacity(1 << 20);
+        let mut arena = SimArena::default();
+        let report = execute_with_sink(&loaded, cfg, ExecParams::default(), &mut arena, &mut rec);
+        assert_eq!(rec.dropped(), 0, "{name}: recorder dropped events; raise the capacity");
+        let events = rec.events();
+        let replayed = replay(&events).unwrap_or_else(|e| {
+            eprintln!("{name}: trace replay failed: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = verify_replay(&replayed, &report) {
+            eprintln!("{name}: replay diverged from the live report: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "{name}: {} events recorded, replay matches the live report bit-for-bit",
+            events.len()
+        );
+        recordings.push((name, events));
+    }
+    let runs: Vec<(&str, &[TraceEvent])> =
+        recordings.iter().map(|(n, e)| (*n, e.as_slice())).collect();
+    let json = chrome_trace_json(&runs);
+    std::fs::write(path, &json).expect("write trace JSON");
+    eprintln!("wrote {path} ({} bytes) — open at ui.perfetto.dev or chrome://tracing", json.len());
+}
+
 fn main() {
     let mut table: Option<u32> = None;
     let mut figure: Option<u32> = None;
+    let mut trace_out: Option<String> = None;
     let mut synthetic = 240usize;
     let mut threads = default_threads();
     let mut net = NetKind::Ideal;
@@ -305,18 +360,25 @@ fn main() {
             "--table" => {
                 let raw = args.next();
                 table =
-                    raw.as_deref().and_then(|v| v.parse().ok()).filter(|t| (1..=29).contains(t));
+                    raw.as_deref().and_then(|v| v.parse().ok()).filter(|t| (1..=30).contains(t));
                 if table.is_none() {
                     match raw {
                         Some(v) => eprintln!(
-                            "--table: `{v}` is not a valid table id; valid ids are 1..=29 \
+                            "--table: `{v}` is not a valid table id; valid ids are 1..=30 \
                              (run `tables --list-tables` for titles)"
                         ),
                         None => eprintln!(
-                            "--table requires a table id 1..=29 \
+                            "--table requires a table id 1..=30 \
                              (run `tables --list-tables` for titles)"
                         ),
                     }
+                    std::process::exit(2);
+                }
+            }
+            "--trace-out" => {
+                trace_out = args.next();
+                if trace_out.is_none() {
+                    eprintln!("--trace-out requires an output path");
                     std::process::exit(2);
                 }
             }
@@ -367,7 +429,8 @@ fn main() {
                 println!(
                     "usage: tables [--table N] [--figure N] [--list-tables] \
                      [--synthetic COUNT] [--threads N] [--net ideal|contended] \
-                     [--bench-eval] [--bench-net] [--bench-kernel] [--bench-rings]"
+                     [--bench-eval] [--bench-net] [--bench-kernel] [--bench-rings] \
+                     [--trace-out FILE]"
                 );
                 return;
             }
@@ -378,6 +441,10 @@ fn main() {
         }
     }
 
+    if let Some(path) = trace_out {
+        trace_capture(&path);
+        return;
+    }
     if bench {
         bench_eval(synthetic, threads);
         return;
@@ -403,10 +470,10 @@ fn main() {
     }
     let wanted: Vec<u32> = match table {
         Some(t) => vec![t],
-        None => (1..=29).collect(),
+        None => (1..=30).collect(),
     };
     let needs_ch5 = wanted.iter().any(|t| (1..=8).contains(t));
-    let needs_ch7 = wanted.iter().any(|t| (9..=29).contains(t));
+    let needs_ch7 = wanted.iter().any(|t| (9..=30).contains(t));
 
     let suite = needs_ch5.then(|| {
         eprintln!("profiling the benchmark suite on the interpreter …");

@@ -271,7 +271,7 @@ pub fn chapter5_tables(suite: &ProfiledSuite, table: u32) -> String {
     out
 }
 
-/// Tables 9–28: the Chapter 7 results, from an [`Evaluation`].
+/// Tables 9–30: the Chapter 7 results, from an [`Evaluation`].
 #[must_use]
 #[allow(clippy::too_many_lines)]
 pub fn chapter7_tables(eval: &Evaluation, table: u32) -> String {
@@ -567,6 +567,10 @@ pub fn chapter7_tables(eval: &Evaluation, table: u32) -> String {
                 }
             }
         }
+        30 => {
+            let _ = writeln!(out, "Table 30 — Instrumentation Summary");
+            out.push_str(&eval.metrics().render());
+        }
         other => {
             let _ = writeln!(out, "(table {other} is not a Chapter 7 table)");
         }
@@ -608,6 +612,7 @@ pub fn table_title(n: u32) -> &'static str {
         27 => "Figure of Merit on Top Methods (JVM2008)",
         28 => "Figure of Merit on Top Methods (JVM98)",
         29 => "Interconnect Link Statistics (contended model)",
+        30 => "Instrumentation Summary",
         _ => "(unknown table)",
     }
 }
@@ -621,7 +626,7 @@ pub fn list_tables() -> String {
         let _ = writeln!(out, "  {t:>2}  {}", table_title(t));
     }
     let _ = writeln!(out, "Chapter 7 (fabric evaluation):");
-    for t in 9..=29u32 {
+    for t in 9..=30u32 {
         let _ = writeln!(out, "  {t:>2}  {}", table_title(t));
     }
     out

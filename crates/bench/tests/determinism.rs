@@ -89,7 +89,7 @@ fn net_flag_leaves_ideal_tables_untouched() {
 #[test]
 fn list_tables_covers_all_ids() {
     let listing = javaflow_bench::list_tables();
-    for t in 1..=29u32 {
+    for t in 1..=30u32 {
         assert!(
             listing.contains(&format!("{t:>2}  ")),
             "table {t} missing from --list-tables output"
@@ -97,5 +97,5 @@ fn list_tables_covers_all_ids() {
         assert_ne!(javaflow_bench::table_title(t), "(unknown table)");
     }
     assert_eq!(javaflow_bench::table_title(0), "(unknown table)");
-    assert_eq!(javaflow_bench::table_title(30), "(unknown table)");
+    assert_eq!(javaflow_bench::table_title(31), "(unknown table)");
 }

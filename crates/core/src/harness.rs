@@ -14,7 +14,7 @@ use javaflow_analysis::{pearson, Summary};
 use javaflow_bytecode::{verify, Cfg};
 use javaflow_fabric::{
     place, prepare, resolve, BranchMode, ExecParams, ExecReport, FabricConfig, LoadedMethod,
-    NetKind, Outcome, ResolveStats, SimArena,
+    MetricsRegistry, NetKind, Outcome, ResolveStats, SimArena,
 };
 use javaflow_workloads::SuiteKind;
 
@@ -266,6 +266,19 @@ impl Evaluation {
                 (fc.name, if n == 0 { 0.0 } else { total / n as f64 })
             })
             .collect()
+    }
+
+    /// Folds every sample of the sweep into one instrumentation registry
+    /// (Table 30 and the `"metrics"` block of the `BENCH_*.json`
+    /// artifacts). Per-class execution-tick totals are derived with each
+    /// sample's own configuration timing.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for s in &self.samples {
+            reg.observe_report(&s.report, self.configs[s.config].class_ticks());
+        }
+        reg
     }
 
     /// Correlations of the hetero-configuration Figure of Merit with

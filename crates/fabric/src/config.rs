@@ -236,6 +236,16 @@ impl FabricConfig {
     pub fn serial_hop_ticks(&self) -> u64 {
         u64::from(self.serial_per_mesh.is_some())
     }
+
+    /// Execution latency in ticks per timing class, indexed by
+    /// `DecodedInsn::timing_class` (0 move, 1 float, 2 convert, 3 other —
+    /// the Table 17 classes).
+    #[must_use]
+    pub fn class_ticks(&self) -> [u64; 4] {
+        let mt = self.mesh_cycle_ticks();
+        let t = &self.timing;
+        [t.move_cycles * mt, t.float_cycles * mt, t.convert_cycles * mt, t.other_cycles * mt]
+    }
 }
 
 #[cfg(test)]

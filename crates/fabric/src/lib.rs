@@ -51,18 +51,21 @@ pub mod compute;
 mod config;
 mod enhance;
 mod manager;
+pub mod metrics;
 pub mod net;
 mod place;
 mod resolve;
 mod sim;
 mod timing;
 mod token;
+pub mod trace;
 pub mod wheel;
 
 pub use branch::{BranchMode, BranchOracle};
 pub use config::{ConfigError, FabricConfig, Layout, HETERO_PATTERN};
 pub use enhance::{DataflowGraph, Relay};
 pub use manager::{AnchorId, FabricManager, ManageError};
+pub use metrics::{Histogram, MetricsRegistry};
 pub use net::{
     ContendedNet, IdealNet, NetKind, NetModel, NetParams, NetReport, NodeNetStat, RingReport,
 };
@@ -71,9 +74,13 @@ pub use resolve::{
     control_sources, resolve, resolve_call_count, ResolveError, ResolveStats, Resolved, Sink,
 };
 pub use sim::{
-    execute, execute_in, load, load_with_resolved, prepare, DecodedInsn, DecodedMethod, ExecParams,
-    ExecReport, Gpp, LoadError, LoadedMethod, Outcome, PreparedMethod, SimArena,
+    execute, execute_in, execute_with_sink, load, load_with_resolved, prepare, DecodedInsn,
+    DecodedMethod, ExecParams, ExecReport, Gpp, LoadError, LoadedMethod, Outcome, PreparedMethod,
+    SimArena,
 };
 pub use timing::Timing;
 pub use token::{Command, InstanceId, SerialDest, SerialMessage, Token};
+pub use trace::{
+    NoopSink, RingRecorder, StderrSink, TraceEvent, TraceKind, TraceSink, EVENT_BYTES,
+};
 pub use wheel::TimingWheel;

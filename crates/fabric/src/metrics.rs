@@ -1,0 +1,317 @@
+//! The instrumentation registry: named monotonic counters, high-water
+//! maxima, and log₂-bucketed histograms.
+//!
+//! [`ExecReport`] carries per-run numbers; the registry folds a whole
+//! sweep of them into one place ([`MetricsRegistry::observe_report`]),
+//! merges across threads ([`MetricsRegistry::merge`]), and serializes
+//! into the `BENCH_*.json` artifacts ([`MetricsRegistry::to_json`]) and
+//! the "Table 30 — Instrumentation Summary" text
+//! ([`MetricsRegistry::render`]). Names are `&'static str` so the
+//! registry itself never allocates per observation — only per distinct
+//! metric name.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{ExecReport, Outcome};
+
+/// A log₂-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples observed.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Bucket `b` counts samples with `bit_width == b` (bucket 0 holds
+    /// the zeros, bucket 1 holds 1, bucket 2 holds 2–3, …).
+    pub buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: 0, max: 0, buckets: [0; 65] }
+    }
+}
+
+impl Histogram {
+    /// Adds one sample.
+    pub fn observe(&mut self, v: u64) {
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        self.max = self.max.max(v);
+        self.count += 1;
+        self.sum += v;
+        self.buckets[64 - v.leading_zeros() as usize] += 1;
+    }
+
+    /// Folds another histogram in.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Named monotonic counters, maxima, and histograms for one sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    maxima: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+/// The per-timing-class metric names, index-aligned with
+/// `DecodedInsn::timing_class`.
+const CLASS_NAMES: [(&str, &str); 4] = [
+    ("fires_class_move", "exec_ticks_class_move"),
+    ("fires_class_float", "exec_ticks_class_float"),
+    ("fires_class_convert", "exec_ticks_class_convert"),
+    ("fires_class_other", "exec_ticks_class_other"),
+];
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `v` to the monotonic counter `name`.
+    pub fn add(&mut self, name: &'static str, v: u64) {
+        *self.counters.entry(name).or_insert(0) += v;
+    }
+
+    /// Raises the high-water mark `name` to at least `v`.
+    pub fn observe_max(&mut self, name: &'static str, v: u64) {
+        let slot = self.maxima.entry(name).or_insert(0);
+        *slot = (*slot).max(v);
+    }
+
+    /// Adds one sample to the histogram `name`.
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.hists.entry(name).or_default().observe(v);
+    }
+
+    /// Reads a counter back (0 when never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a high-water mark back (0 when never touched).
+    #[must_use]
+    pub fn max(&self, name: &str) -> u64 {
+        self.maxima.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a histogram back.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Folds another registry in (cross-thread / cross-shard merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in &other.maxima {
+            let slot = self.maxima.entry(name).or_insert(0);
+            *slot = (*slot).max(*v);
+        }
+        for (name, h) in &other.hists {
+            self.hists.entry(name).or_default().merge(h);
+        }
+    }
+
+    /// Folds one run's [`ExecReport`] into the registry. `class_ticks`
+    /// is the configuration's per-timing-class execution latency (from
+    /// `FabricConfig::class_ticks`), used to histogram the execution
+    /// ticks each class consumed.
+    pub fn observe_report(&mut self, r: &ExecReport, class_ticks: [u64; 4]) {
+        self.add("runs", 1);
+        let outcome = match r.outcome {
+            Outcome::Returned(_) => "runs_returned",
+            Outcome::Timeout => "runs_timeout",
+            Outcome::Deadlock => "runs_deadlock",
+            Outcome::Exception(_) => "runs_exception",
+        };
+        self.add(outcome, 1);
+        self.add("instructions_executed", r.executed);
+        self.add("relay_fires", r.relay_fires);
+        self.add("serial_msgs", r.serial_msgs);
+        self.add("mesh_msgs", r.mesh_msgs);
+        self.add("events_popped", r.events);
+        self.add("events_skipped", r.events_skipped);
+        self.add("mesh_cycles", r.mesh_cycles);
+        self.add("wheel_pushes", r.wheel_pushes);
+        self.observe_max("wheel_high_water", r.wheel_high_water);
+        self.observe("events_per_run", r.events);
+        self.observe("executed_per_run", r.executed);
+        for (k, (fires, ticks)) in CLASS_NAMES.iter().enumerate() {
+            self.add(fires, r.class_fires[k]);
+            self.observe(ticks, r.class_fires[k] * class_ticks[k]);
+        }
+        if let Some(net) = &r.net {
+            self.add("net_runs", 1);
+            self.add("net_mesh_flits", net.mesh_flits);
+            self.add("net_mesh_hops", net.mesh_hops);
+            self.add("net_stall_ticks", net.stall_ticks);
+            self.observe_max("net_max_queue_depth", net.max_queue_depth);
+            self.add("net_mem_ring_requests", net.memory_ring.requests);
+            self.add("net_mem_ring_wait_ticks", net.memory_ring.wait_ticks);
+            self.add("net_gpp_ring_requests", net.gpp_ring.requests);
+            self.add("net_gpp_ring_wait_ticks", net.gpp_ring.wait_ticks);
+        }
+    }
+
+    /// Serializes the registry as one JSON object (counters, maxima,
+    /// histogram summaries), for embedding in the `BENCH_*.json` files.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"maxima\":{");
+        for (i, (name, v)) in self.maxima.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3}}}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean()
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the registry as the "Table 30" text block.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.counters.is_empty() && self.maxima.is_empty() && self.hists.is_empty() {
+            let _ = writeln!(out, "(no instrumentation collected)");
+            return out;
+        }
+        let _ = writeln!(out, "{:<28} {:>14}", "counter", "total");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name:<28} {v:>14}");
+        }
+        if !self.maxima.is_empty() {
+            let _ = writeln!(out, "{:<28} {:>14}", "high-water", "max");
+            for (name, v) in &self.maxima {
+                let _ = writeln!(out, "{name:<28} {v:>14}");
+            }
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10} {:>12} {:>8} {:>10} {:>12}",
+                "histogram", "count", "sum", "min", "max", "mean"
+            );
+            for (name, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "{name:<28} {:>10} {:>12} {:>8} {:>10} {:>12.3}",
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    h.mean()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_width() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[3], 1); // 4
+        assert_eq!(h.buckets[11], 1); // 1024
+    }
+
+    #[test]
+    fn merge_is_a_fold() {
+        let mut a = MetricsRegistry::new();
+        a.add("x", 2);
+        a.observe_max("m", 5);
+        a.observe("h", 3);
+        let mut b = MetricsRegistry::new();
+        b.add("x", 3);
+        b.observe_max("m", 4);
+        b.observe("h", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.max("m"), 5);
+        let h = a.histogram("h").unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 10, 3, 7));
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = MetricsRegistry::new();
+        r.add("b", 1);
+        r.add("a", 2);
+        r.observe("h", 4);
+        let j = r.to_json();
+        // BTreeMap order: keys sorted, so the artifact diffs cleanly.
+        assert!(j.starts_with("{\"counters\":{\"a\":2,\"b\":1}"), "{j}");
+        assert!(j.contains("\"h\":{\"count\":1,\"sum\":4,\"min\":4,\"max\":4,\"mean\":4.000"));
+    }
+}

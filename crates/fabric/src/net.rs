@@ -40,7 +40,13 @@
 //! heatmap; `tables --bench-net` writes the ideal-vs-contended comparison
 //! to `BENCH_net.json`.
 
+use crate::trace::{TraceEvent, TraceKind, TraceSink};
 use crate::FabricConfig;
+
+/// Ring identifier in [`TraceKind::RingBoard`] events: the memory ring.
+pub const RING_MEMORY: u32 = 0;
+/// Ring identifier in [`TraceKind::RingBoard`] events: the GPP ring.
+pub const RING_GPP: u32 = 1;
 
 /// Which interconnect model a [`FabricConfig`] executes transfers under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -132,20 +138,27 @@ pub trait NetModel {
     const ORDER_FREE: bool = false;
 
     /// Ticks from `now` until a mesh operand sent from `from` arrives at
-    /// `to`. May reserve links (contention).
-    fn mesh_delay(&mut self, cfg: &FabricConfig, now: u64, from: (u32, u32), to: (u32, u32))
-        -> u64;
+    /// `to`. May reserve links (contention) and emit
+    /// [`TraceKind::LinkHop`] events on `sink`.
+    fn mesh_delay<S: TraceSink>(
+        &mut self,
+        cfg: &FabricConfig,
+        now: u64,
+        from: (u32, u32),
+        to: (u32, u32),
+        sink: &mut S,
+    ) -> u64;
 
     /// Ticks from `now` until an ordered memory read's response is back at
     /// the requesting node.
-    fn memory_delay(&mut self, cfg: &FabricConfig, now: u64) -> u64;
+    fn memory_delay<S: TraceSink>(&mut self, cfg: &FabricConfig, now: u64, sink: &mut S) -> u64;
 
     /// Accounts an ordered memory write (posted: the writer does not wait,
     /// but the request still occupies ring bandwidth).
-    fn memory_write(&mut self, cfg: &FabricConfig, now: u64);
+    fn memory_write<S: TraceSink>(&mut self, cfg: &FabricConfig, now: u64, sink: &mut S);
 
     /// Ticks from `now` until a GPP call/special service completes.
-    fn gpp_delay(&mut self, cfg: &FabricConfig, now: u64) -> u64;
+    fn gpp_delay<S: TraceSink>(&mut self, cfg: &FabricConfig, now: u64, sink: &mut S) -> u64;
 
     /// Consumes the accumulated observability data, if the model collects
     /// any.
@@ -160,12 +173,13 @@ pub struct IdealNet;
 impl NetModel for IdealNet {
     const ORDER_FREE: bool = true;
 
-    fn mesh_delay(
+    fn mesh_delay<S: TraceSink>(
         &mut self,
         cfg: &FabricConfig,
         _now: u64,
         from: (u32, u32),
         to: (u32, u32),
+        _sink: &mut S,
     ) -> u64 {
         let dist = if cfg.collapsed {
             1
@@ -175,13 +189,13 @@ impl NetModel for IdealNet {
         dist * cfg.timing.mesh_hop_cycles * cfg.mesh_cycle_ticks()
     }
 
-    fn memory_delay(&mut self, cfg: &FabricConfig, _now: u64) -> u64 {
+    fn memory_delay<S: TraceSink>(&mut self, cfg: &FabricConfig, _now: u64, _sink: &mut S) -> u64 {
         cfg.timing.memory_service * cfg.mesh_cycle_ticks()
     }
 
-    fn memory_write(&mut self, _cfg: &FabricConfig, _now: u64) {}
+    fn memory_write<S: TraceSink>(&mut self, _cfg: &FabricConfig, _now: u64, _sink: &mut S) {}
 
-    fn gpp_delay(&mut self, cfg: &FabricConfig, _now: u64) -> u64 {
+    fn gpp_delay<S: TraceSink>(&mut self, cfg: &FabricConfig, _now: u64, _sink: &mut S) -> u64 {
         cfg.timing.gpp_service * cfg.mesh_cycle_ticks()
     }
 
@@ -225,10 +239,21 @@ struct Ring {
     max_queue: u64,
 }
 
+/// One ring boarding, as seen by the boarding request (and the
+/// [`TraceKind::RingBoard`] event the caller emits).
+#[derive(Debug, Clone, Copy)]
+struct Boarding {
+    /// Ticks until the request reaches the subsystem (wait + transit).
+    delay: u64,
+    /// Ticks spent waiting at the station for a free slot.
+    wait: u64,
+    /// Requests queued at the station (including this one).
+    queued: u64,
+}
+
 impl Ring {
-    /// Boards a request arriving at `now`; returns ticks until it reaches
-    /// the subsystem (station wait + ring transit).
-    fn board(&mut self, now: u64) -> u64 {
+    /// Boards a request arriving at `now`.
+    fn board(&mut self, now: u64) -> Boarding {
         let start = now.max(self.next_free);
         let wait = start - now;
         let queued = wait / self.slot_ticks.max(1) + 1;
@@ -236,7 +261,7 @@ impl Ring {
         self.requests += 1;
         self.wait_ticks += wait;
         self.next_free = start + self.slot_ticks;
-        wait + self.transit_ticks
+        Boarding { delay: wait + self.transit_ticks, wait, queued }
     }
 
     fn report(&self) -> RingReport {
@@ -304,8 +329,11 @@ impl ContendedNet {
 
     /// One hop: arbitrate for the `dir` output link of the router at
     /// `node`, entering at `entry`. Returns the tick the flit arrives at
-    /// the next router.
-    fn traverse(
+    /// the next router. Emits one [`TraceKind::LinkHop`] per traversal,
+    /// mirroring the counter updates exactly (the replay in
+    /// `analysis::trace` reconstructs the `NetReport` from them).
+    #[allow(clippy::too_many_arguments)]
+    fn traverse<S: TraceSink>(
         &mut self,
         node: (u32, u32),
         dir: usize,
@@ -313,6 +341,7 @@ impl ContendedNet {
         slot: u64,
         hop: u64,
         fifo_ticks: u64,
+        sink: &mut S,
     ) -> u64 {
         let ni = self.node_index(node);
         let li = ni * DIRS + dir;
@@ -333,17 +362,42 @@ impl ContendedNet {
         let ns = &mut self.nodes[ni];
         ns.flits += 1;
         ns.stall_ticks += stall;
+        if S::ACTIVE {
+            sink.record(&TraceEvent {
+                tick: entry,
+                kind: TraceKind::LinkHop,
+                node: node.0,
+                arg: node.1,
+                data: stall,
+                aux: depth,
+            });
+        }
         grant + hop
     }
 }
 
+/// Emits the [`TraceKind::RingBoard`] event for one boarding.
+fn trace_boarding<S: TraceSink>(sink: &mut S, now: u64, ring: u32, b: Boarding) {
+    if S::ACTIVE {
+        sink.record(&TraceEvent {
+            tick: now,
+            kind: TraceKind::RingBoard,
+            node: u32::MAX,
+            arg: ring,
+            data: b.wait,
+            aux: b.queued,
+        });
+    }
+}
+
 impl NetModel for ContendedNet {
-    fn mesh_delay(
+    fn mesh_delay<S: TraceSink>(
         &mut self,
         cfg: &FabricConfig,
         now: u64,
         from: (u32, u32),
         to: (u32, u32),
+        sink: &mut S,
     ) -> u64 {
         let slot = cfg.mesh_cycle_ticks();
         let hop = cfg.timing.mesh_hop_cycles * slot;
@@ -355,33 +409,38 @@ impl NetModel for ContendedNet {
             let (mut x, mut y) = from;
             while x != to.0 {
                 let dir = if x < to.0 { DIR_EAST } else { DIR_WEST };
-                cursor = self.traverse((x, y), dir, cursor, slot, hop, fifo_ticks);
+                cursor = self.traverse((x, y), dir, cursor, slot, hop, fifo_ticks, sink);
                 x = if x < to.0 { x + 1 } else { x - 1 };
             }
             while y != to.1 {
                 let dir = if y < to.1 { DIR_SOUTH } else { DIR_NORTH };
-                cursor = self.traverse((x, y), dir, cursor, slot, hop, fifo_ticks);
+                cursor = self.traverse((x, y), dir, cursor, slot, hop, fifo_ticks, sink);
                 y = if y < to.1 { y + 1 } else { y - 1 };
             }
         }
         // Ejection into the destination's input FIFO (the collapsed
         // Baseline keeps exactly this single arbitrated hop, mirroring the
         // ideal model's distance-1 floor).
-        cursor = self.traverse(to, DIR_LOCAL, cursor, slot, hop, fifo_ticks);
+        cursor = self.traverse(to, DIR_LOCAL, cursor, slot, hop, fifo_ticks, sink);
         cursor - now
     }
 
-    fn memory_delay(&mut self, cfg: &FabricConfig, now: u64) -> u64 {
-        self.mem_ring.board(now) + cfg.timing.memory_service * cfg.mesh_cycle_ticks()
+    fn memory_delay<S: TraceSink>(&mut self, cfg: &FabricConfig, now: u64, sink: &mut S) -> u64 {
+        let b = self.mem_ring.board(now);
+        trace_boarding(sink, now, RING_MEMORY, b);
+        b.delay + cfg.timing.memory_service * cfg.mesh_cycle_ticks()
     }
 
-    fn memory_write(&mut self, _cfg: &FabricConfig, now: u64) {
+    fn memory_write<S: TraceSink>(&mut self, _cfg: &FabricConfig, now: u64, sink: &mut S) {
         // Posted write: occupies a ring slot, the writer does not wait.
-        let _ = self.mem_ring.board(now);
+        let b = self.mem_ring.board(now);
+        trace_boarding(sink, now, RING_MEMORY, b);
     }
 
-    fn gpp_delay(&mut self, cfg: &FabricConfig, now: u64) -> u64 {
-        self.gpp_ring.board(now) + cfg.timing.gpp_service * cfg.mesh_cycle_ticks()
+    fn gpp_delay<S: TraceSink>(&mut self, cfg: &FabricConfig, now: u64, sink: &mut S) -> u64 {
+        let b = self.gpp_ring.board(now);
+        trace_boarding(sink, now, RING_GPP, b);
+        b.delay + cfg.timing.gpp_service * cfg.mesh_cycle_ticks()
     }
 
     fn take_report(&mut self) -> Option<NetReport> {
@@ -415,6 +474,7 @@ impl NetModel for ContendedNet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::NoopSink;
 
     fn contended_cfg() -> FabricConfig {
         FabricConfig { net: NetKind::Contended, ..FabricConfig::compact2() }
@@ -425,11 +485,11 @@ mod tests {
         let cfg = FabricConfig::compact2();
         let mut net = IdealNet;
         // Distance 3+2 at hop latency 1, 2 ticks per mesh cycle.
-        assert_eq!(net.mesh_delay(&cfg, 0, (0, 0), (3, 2)), 10);
+        assert_eq!(net.mesh_delay(&cfg, 0, (0, 0), (3, 2), &mut NoopSink), 10);
         // Same-node transfers still pay one hop.
-        assert_eq!(net.mesh_delay(&cfg, 0, (4, 4), (4, 4)), 2);
-        assert_eq!(net.memory_delay(&cfg, 0), 20);
-        assert_eq!(net.gpp_delay(&cfg, 0), 40);
+        assert_eq!(net.mesh_delay(&cfg, 0, (4, 4), (4, 4), &mut NoopSink), 2);
+        assert_eq!(net.memory_delay(&cfg, 0, &mut NoopSink), 20);
+        assert_eq!(net.gpp_delay(&cfg, 0, &mut NoopSink), 40);
         assert!(net.take_report().is_none());
     }
 
@@ -437,7 +497,7 @@ mod tests {
     fn ideal_collapsed_is_distance_one() {
         let cfg = FabricConfig::baseline();
         let mut net = IdealNet;
-        assert_eq!(net.mesh_delay(&cfg, 0, (0, 0), (9, 9)), 1);
+        assert_eq!(net.mesh_delay(&cfg, 0, (0, 0), (9, 9), &mut NoopSink), 1);
     }
 
     #[test]
@@ -445,7 +505,7 @@ mod tests {
         let cfg = contended_cfg();
         let mut net = ContendedNet::new(&cfg);
         // 5 hops + ejection, each hop 2 ticks, no contention.
-        let d = net.mesh_delay(&cfg, 0, (0, 0), (3, 2));
+        let d = net.mesh_delay(&cfg, 0, (0, 0), (3, 2), &mut NoopSink);
         assert_eq!(d, 12);
         let r = net.take_report().unwrap();
         assert_eq!(r.mesh_flits, 1);
@@ -458,8 +518,8 @@ mod tests {
     fn same_link_same_tick_serializes() {
         let cfg = contended_cfg();
         let mut net = ContendedNet::new(&cfg);
-        let first = net.mesh_delay(&cfg, 0, (0, 0), (5, 0));
-        let second = net.mesh_delay(&cfg, 0, (0, 0), (5, 0));
+        let first = net.mesh_delay(&cfg, 0, (0, 0), (5, 0), &mut NoopSink);
+        let second = net.mesh_delay(&cfg, 0, (0, 0), (5, 0), &mut NoopSink);
         // The second flit waits one mesh cycle (2 ticks) on the first link;
         // the gap persists down the path.
         assert_eq!(second, first + 2);
@@ -472,8 +532,8 @@ mod tests {
     fn disjoint_paths_do_not_interact() {
         let cfg = contended_cfg();
         let mut net = ContendedNet::new(&cfg);
-        let a = net.mesh_delay(&cfg, 0, (0, 0), (2, 0));
-        let b = net.mesh_delay(&cfg, 0, (0, 5), (2, 5));
+        let a = net.mesh_delay(&cfg, 0, (0, 0), (2, 0), &mut NoopSink);
+        let b = net.mesh_delay(&cfg, 0, (0, 5), (2, 5), &mut NoopSink);
         assert_eq!(a, b);
         assert_eq!(net.take_report().unwrap().stall_ticks, 0);
     }
@@ -484,7 +544,7 @@ mod tests {
         let cap = u64::from(cfg.net_params.mesh_fifo_capacity);
         let mut net = ContendedNet::new(&cfg);
         for _ in 0..64 {
-            let _ = net.mesh_delay(&cfg, 0, (0, 0), (1, 0));
+            let _ = net.mesh_delay(&cfg, 0, (0, 0), (1, 0), &mut NoopSink);
         }
         let r = net.take_report().unwrap();
         // Credit flow control: at most capacity flits wait per link (+1 for
@@ -499,9 +559,9 @@ mod tests {
         let service = cfg.timing.memory_service * ticks;
         let transit = cfg.net_params.ring_latency_cycles * ticks;
         let mut net = ContendedNet::new(&cfg);
-        let first = net.memory_delay(&cfg, 0);
+        let first = net.memory_delay(&cfg, 0, &mut NoopSink);
         assert_eq!(first, transit + service);
-        let second = net.memory_delay(&cfg, 0);
+        let second = net.memory_delay(&cfg, 0, &mut NoopSink);
         // One slot of wait before boarding.
         assert_eq!(second, first + cfg.net_params.ring_slot_cycles * ticks);
         let r = net.take_report().unwrap();
@@ -514,9 +574,9 @@ mod tests {
     fn posted_writes_consume_ring_bandwidth() {
         let cfg = contended_cfg();
         let mut net = ContendedNet::new(&cfg);
-        let idle = net.memory_delay(&cfg, 0);
-        net.memory_write(&cfg, 100);
-        let behind_write = net.memory_delay(&cfg, 100);
+        let idle = net.memory_delay(&cfg, 0, &mut NoopSink);
+        net.memory_write(&cfg, 100, &mut NoopSink);
+        let behind_write = net.memory_delay(&cfg, 100, &mut NoopSink);
         assert!(behind_write > idle);
         assert_eq!(net.take_report().unwrap().memory_ring.requests, 3);
     }
@@ -525,10 +585,10 @@ mod tests {
     fn gpp_and_memory_rings_are_independent() {
         let cfg = contended_cfg();
         let mut net = ContendedNet::new(&cfg);
-        let m0 = net.memory_delay(&cfg, 0);
-        let g0 = net.gpp_delay(&cfg, 0);
+        let m0 = net.memory_delay(&cfg, 0, &mut NoopSink);
+        let g0 = net.gpp_delay(&cfg, 0, &mut NoopSink);
         // Neither boarded behind the other.
-        assert_eq!(net.memory_delay(&cfg, m0 + 100), m0);
-        assert_eq!(net.gpp_delay(&cfg, g0 + 100), g0);
+        assert_eq!(net.memory_delay(&cfg, m0 + 100, &mut NoopSink), m0);
+        assert_eq!(net.gpp_delay(&cfg, g0 + 100, &mut NoopSink), g0);
     }
 }

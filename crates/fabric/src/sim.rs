@@ -37,8 +37,13 @@ use javaflow_interp::{Interp, JvmError, JvmErrorKind};
 use crate::{
     compute::{eval_condition, eval_into, OutVals},
     net::{ContendedNet, IdealNet, NetModel},
-    place, resolve, BranchMode, BranchOracle, DataflowGraph, FabricConfig, NetKind, NetReport,
-    PlaceError, Placement, ResolveError, Resolved, TimingWheel, Token,
+    place, resolve,
+    trace::{
+        encode_token, encode_value, env_stderr_sink, pack_coords, NoopSink, TraceEvent, TraceKind,
+        TraceSink, WARN_FF_GPP, WARN_FF_NET_ORDER,
+    },
+    BranchMode, BranchOracle, DataflowGraph, FabricConfig, NetKind, NetReport, PlaceError,
+    Placement, ResolveError, Resolved, TimingWheel, Token,
 };
 
 /// A method loaded into the fabric: placement plus resolved dataflow.
@@ -359,6 +364,15 @@ pub struct ExecReport {
     /// Serial-walk deliveries proven no-ops and fast-forwarded over
     /// (plus fused relay hops) instead of being simulated as events.
     pub events_skipped: u64,
+    /// Dynamic fires per timing class (0 move, 1 float, 2 convert,
+    /// 3 other — the Table 17 classes), for the instrumentation
+    /// registry's per-class counters and tick histograms.
+    pub class_fires: [u64; 4],
+    /// Timing-wheel high-water mark: the most events simultaneously
+    /// scheduled at any point of the run.
+    pub wheel_high_water: u64,
+    /// Total events pushed into the timing wheel.
+    pub wheel_pushes: u64,
     /// Link-level interconnect statistics ([`NetKind::Contended`] runs
     /// only; the ideal model collects none).
     pub net: Option<NetReport>,
@@ -616,17 +630,48 @@ pub fn execute_in(
     params: ExecParams<'_, '_>,
     arena: &mut SimArena,
 ) -> ExecReport {
+    // The historical `JAVAFLOW_TRACE_*` environment toggles select a
+    // stderr sink; checked per run (not once per process), so tests can
+    // flip them between executions. With the variables unset this is the
+    // `NoopSink` instantiation: the traced seam compiles out entirely.
+    match env_stderr_sink() {
+        Some(mut sink) => execute_with_sink(lm, config, params, arena, &mut sink),
+        None => execute_with_sink(lm, config, params, arena, &mut NoopSink),
+    }
+}
+
+/// Runs a loaded method with a caller-provided [`TraceSink`] observing
+/// every structured event the engine emits.
+///
+/// An *active* sink (`S::ACTIVE`) forces the naive per-node walk —
+/// fast-forwarding elides exactly the token deliveries a trace exists to
+/// show — so the recording carries every hop at its naive tick. The
+/// tick-exactness contract of [`ExecParams::fast_forward`] means the
+/// returned report differs from an untraced run only in the
+/// `events`/`events_skipped`/`wheel_*` scheduler counters.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`FabricConfig::validate`] (zero latencies
+/// would livelock the event loop).
+pub fn execute_with_sink<S: TraceSink>(
+    lm: &LoadedMethod<'_>,
+    config: &FabricConfig,
+    params: ExecParams<'_, '_>,
+    arena: &mut SimArena,
+    sink: &mut S,
+) -> ExecReport {
     config.validate().expect("invalid FabricConfig");
     match config.net {
-        NetKind::Ideal => Sim::new(lm, config, params, arena, IdealNet).run(),
+        NetKind::Ideal => Sim::new(lm, config, params, arena, IdealNet, sink).run(),
         NetKind::Contended => {
             let net = ContendedNet::new(config);
-            Sim::new(lm, config, params, arena, net).run()
+            Sim::new(lm, config, params, arena, net, sink).run()
         }
     }
 }
 
-struct Sim<'a, 'm, 'g, 'p, N: NetModel> {
+struct Sim<'a, 'm, 'g, 'p, N: NetModel, S: TraceSink> {
     lm: &'a LoadedMethod<'m>,
     dm: &'a DecodedMethod,
     cfg: &'a FabricConfig,
@@ -642,6 +687,9 @@ struct Sim<'a, 'm, 'g, 'p, N: NetModel> {
     /// Whether the skip-index fast-forward path is active for this run
     /// (see [`ExecParams::fast_forward`] for the gating conditions).
     ff: bool,
+    /// What the caller asked for — when the gate declines it, an active
+    /// sink gets a [`TraceKind::Warn`] naming the reason.
+    wanted_ff: bool,
     // stats
     events: u64,
     events_skipped: u64,
@@ -649,39 +697,42 @@ struct Sim<'a, 'm, 'g, 'p, N: NetModel> {
     relay_fires: u64,
     serial_msgs: u64,
     mesh_msgs: u64,
+    class_fires: [u64; 4],
     busy: u32,
     last_busy_change: u64,
     acc_ge1: u64,
     acc_ge2: u64,
     outcome: Option<Outcome>,
     net: N,
+    tracer: &'a mut S,
 }
 
-impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
+impl<'a, 'm, 'g, 'p, N: NetModel, S: TraceSink> Sim<'a, 'm, 'g, 'p, N, S> {
     fn new(
         lm: &'a LoadedMethod<'m>,
         cfg: &'a FabricConfig,
         params: ExecParams<'g, 'p>,
         arena: &'a mut SimArena,
         net: N,
+        tracer: &'a mut S,
     ) -> Self {
         let n = lm.method.code.len();
         let dm: &'a DecodedMethod = &lm.decoded;
         arena.reset_for(dm);
         arena.oracle.reset(params.mode);
         let max_ticks = params.max_mesh_cycles.saturating_mul(cfg.mesh_cycle_ticks());
-        let mt = cfg.mesh_cycle_ticks();
-        let t = &cfg.timing;
-        let class_ticks =
-            [t.move_cycles * mt, t.float_cycles * mt, t.convert_cycles * mt, t.other_cycles * mt];
+        let class_ticks = cfg.class_ticks();
         // Fast-forwarding is tick-exact but not intra-tick-order-exact:
         // skipped hops collapse an event chain into one push, so within a
         // bucket the delivery pops at a different FIFO position. That is
         // invisible exactly when every delay is a pure function of the
         // endpoints (ideal interconnect: no arrival-order link booking)
         // and firing has no shared mutable service (stub GPP: no heap the
-        // same-tick call order could interleave differently on).
-        let ff = params.fast_forward && N::ORDER_FREE && matches!(params.gpp, Gpp::Stub);
+        // same-tick call order could interleave differently on). An
+        // active sink also forces the naive walk: skipped deliveries are
+        // precisely what a trace must show.
+        let ff =
+            params.fast_forward && N::ORDER_FREE && matches!(params.gpp, Gpp::Stub) && !S::ACTIVE;
         Sim {
             lm,
             dm,
@@ -695,18 +746,21 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
             now: 0,
             max_ticks,
             ff,
+            wanted_ff: params.fast_forward,
             events: 0,
             events_skipped: 0,
             executed: 0,
             relay_fires: 0,
             serial_msgs: 0,
             mesh_msgs: 0,
+            class_fires: [0; 4],
             busy: 0,
             last_busy_change: 0,
             acc_ge1: 0,
             acc_ge2: 0,
             outcome: None,
             net,
+            tracer,
         }
     }
 
@@ -766,6 +820,16 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
     fn send_serial(&mut self, from: u32, to: u32, token: Token) {
         let delay = self.serial_transit(from, to).max(self.serial_hop());
         self.serial_msgs += 1;
+        if S::ACTIVE {
+            self.tracer.record(&TraceEvent {
+                tick: self.now,
+                kind: TraceKind::TokenSend,
+                node: from,
+                arg: to,
+                data: encode_token(&token),
+                aux: self.now + delay,
+            });
+        }
         self.push_ev(self.now + delay, EvKind::Serial, to, Some(token), 0, None);
     }
 
@@ -784,9 +848,19 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
         order: u64,
     ) -> bool {
         let to = self.coords_of(sink.consumer);
-        let delay = self.net.mesh_delay(self.cfg, self.now, from_coords, to);
+        let delay = self.net.mesh_delay(self.cfg, self.now, from_coords, to, &mut *self.tracer);
         self.mesh_msgs += 1;
         let at = self.now + delay;
+        if S::ACTIVE {
+            self.tracer.record(&TraceEvent {
+                tick: self.now,
+                kind: TraceKind::MeshSend,
+                node: sink.consumer,
+                arg: u32::from(sink.side),
+                data: pack_coords(from_coords),
+                aux: at,
+            });
+        }
         if self.ff && (sink.consumer as usize) >= self.n {
             // Fused relay hop: under an order-free net every fan-out delay
             // is a pure function of the endpoints, so the sink deliveries
@@ -843,6 +917,33 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
     }
 
     fn run(mut self) -> ExecReport {
+        // Surface a silent fast-forward downgrade: the caller asked for
+        // the fast kernel but the gate picked the naive walk. Only the
+        // two *semantic* reasons are events — an active sink forcing the
+        // naive walk is not, so a recording is byte-identical whether
+        // fast-forward was requested or not.
+        if S::ACTIVE && self.wanted_ff {
+            if !N::ORDER_FREE {
+                self.tracer.record(&TraceEvent {
+                    tick: 0,
+                    kind: TraceKind::Warn,
+                    node: u32::MAX,
+                    arg: WARN_FF_NET_ORDER,
+                    data: 0,
+                    aux: 0,
+                });
+            }
+            if !matches!(self.gpp, Gpp::Stub) {
+                self.tracer.record(&TraceEvent {
+                    tick: 0,
+                    kind: TraceKind::Warn,
+                    node: u32::MAX,
+                    arg: WARN_FF_GPP,
+                    data: 0,
+                    aux: 0,
+                });
+            }
+        }
         self.inject_bundle();
         // Drain the wheel one bucket at a time: all events of a bucket
         // share one tick, so the budget check and `now` update hoist out
@@ -899,6 +1000,27 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
         let mesh_cycles = end.div_ceil(self.mesh_ticks());
         let static_covered = self.arena.covered.iter().filter(|c| **c).count();
         let active_static = self.lm.graph.active.iter().filter(|a| **a).count().max(1);
+        let net_report = self.net.take_report();
+        if S::ACTIVE {
+            // Close the recording with everything a replay needs that no
+            // other event carries: the raw final tick, the outcome, the
+            // tick/mesh-cycle ratio, whether a net report exists, and the
+            // coverage denominator.
+            let outcome_code = match &self.outcome {
+                Some(Outcome::Returned(_)) => 0,
+                Some(Outcome::Timeout) => 1,
+                None | Some(Outcome::Deadlock) => 2,
+                Some(Outcome::Exception(_)) => 3,
+            };
+            self.tracer.record(&TraceEvent {
+                tick: self.now,
+                kind: TraceKind::End,
+                node: u32::MAX,
+                arg: outcome_code,
+                data: self.mesh_ticks(),
+                aux: u64::from(net_report.is_some()) | ((active_static as u64) << 1),
+            });
+        }
         ExecReport {
             outcome: self.outcome.clone().unwrap_or(Outcome::Deadlock),
             mesh_cycles,
@@ -913,7 +1035,10 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
             mesh_msgs: self.mesh_msgs,
             events: self.events,
             events_skipped: self.events_skipped,
-            net: self.net.take_report(),
+            class_fires: self.class_fires,
+            wheel_high_water: self.arena.queue.high_water() as u64,
+            wheel_pushes: self.arena.queue.pushes(),
+            net: net_report,
         }
     }
 
@@ -921,6 +1046,16 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
     fn inject(&mut self, seq: u64, token: Token) {
         let hop = self.serial_hop();
         self.serial_msgs += 1;
+        if S::ACTIVE {
+            self.tracer.record(&TraceEvent {
+                tick: self.now,
+                kind: TraceKind::TokenSend,
+                node: u32::MAX,
+                arg: 0,
+                data: encode_token(&token),
+                aux: (seq + 1) * hop,
+            });
+        }
         self.push_ev((seq + 1) * hop, EvKind::Serial, 0, Some(token), 0, None);
     }
 
@@ -1095,14 +1230,18 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                 }
             }
             Token::Register { reg, value } => {
-                if trace_enabled("JAVAFLOW_TRACE_REG") {
-                    eprintln!(
-                        "[reg] t={} @{i} {} sees r{reg}={value} (fired={} completed={})",
-                        self.now,
-                        d.op,
-                        flags & F_FIRED != 0,
-                        completed
-                    );
+                if S::ACTIVE {
+                    let (tag, bits) = encode_value(&value);
+                    let status =
+                        (u32::from(flags & F_FIRED != 0) << 16) | (u32::from(completed) << 17);
+                    self.tracer.record(&TraceEvent {
+                        tick: self.now,
+                        kind: TraceKind::RegObserve,
+                        node: i,
+                        arg: u32::from(reg) | status,
+                        data: bits,
+                        aux: tag,
+                    });
                 }
                 let interested = d.reg != u16::MAX && d.reg == reg;
                 if d.buffers_all && !completed {
@@ -1152,6 +1291,16 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
             let ri = id as usize - self.n;
             let coords = self.lm.graph.relays[ri].coords;
             self.relay_fires += 1;
+            if S::ACTIVE {
+                self.tracer.record(&TraceEvent {
+                    tick: self.now,
+                    kind: TraceKind::RelayFire,
+                    node: id,
+                    arg: ri as u32,
+                    data: pack_coords(coords),
+                    aux: self.lm.graph.relays[ri].sinks.len() as u64,
+                });
+            }
             let move_ticks = self.cfg.timing.move_cycles * self.mesh_ticks();
             let saved_now = self.now;
             self.now += move_ticks;
@@ -1209,9 +1358,20 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
         self.arena.flags[ix] |= F_FIRED;
         self.arena.covered[ix] = true;
         self.executed += 1;
+        self.class_fires[usize::from(d.timing_class)] += 1;
         self.set_busy(1);
 
         let exec_ticks = self.class_ticks[usize::from(d.timing_class)];
+        if S::ACTIVE {
+            self.tracer.record(&TraceEvent {
+                tick: self.now,
+                kind: TraceKind::Fire,
+                node: i,
+                arg: u32::from(d.timing_class),
+                data: exec_ticks,
+                aux: pack_coords(self.lm.placement.coords[ix]),
+            });
+        }
         let off = d.operand_off as usize;
         let cnt = usize::from(d.pops);
         let out_off = d.output_off as usize;
@@ -1333,6 +1493,16 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
     #[allow(clippy::too_many_lines)]
     fn on_exec_done(&mut self, i: u32) {
         self.set_busy(-1);
+        if S::ACTIVE {
+            self.tracer.record(&TraceEvent {
+                tick: self.now,
+                kind: TraceKind::Retire,
+                node: i,
+                arg: 0,
+                data: 0,
+                aux: 0,
+            });
+        }
         let ix = i as usize;
         let d = self.dm.insns[ix];
 
@@ -1382,12 +1552,12 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                     let order = self.arena.mem_forward[ix];
                     self.forward(i, Token::Memory(order));
                 }
-                let service = self.net.memory_delay(self.cfg, self.now);
+                let service = self.net.memory_delay(self.cfg, self.now, &mut *self.tracer);
                 self.push_ev(self.now + service, EvKind::ServiceDone, i, None, 0, None);
                 return;
             }
             InstructionGroup::Call | InstructionGroup::Special => {
-                let service = self.net.gpp_delay(self.cfg, self.now);
+                let service = self.net.gpp_delay(self.cfg, self.now, &mut *self.tracer);
                 self.push_ev(self.now + service, EvKind::ServiceDone, i, None, 0, None);
                 return;
             }
@@ -1399,7 +1569,7 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
                 }
                 // Writes proceed without waiting for the service, but still
                 // occupy memory-ring bandwidth under the contended model.
-                self.net.memory_write(self.cfg, self.now);
+                self.net.memory_write(self.cfg, self.now, &mut *self.tracer);
             }
             InstructionGroup::LocalWrite => {
                 // Emit the updated register token.
@@ -1442,6 +1612,16 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
 
     /// Completion of a memory/GPP service: outputs go to the mesh.
     fn on_service_done(&mut self, i: u32) {
+        if S::ACTIVE {
+            self.tracer.record(&TraceEvent {
+                tick: self.now,
+                kind: TraceKind::ServiceDone,
+                node: i,
+                arg: 0,
+                data: 0,
+                aux: 0,
+            });
+        }
         self.dispatch_outputs(i);
         self.finish_node(i);
     }
@@ -1488,6 +1668,16 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
         for k in 0..self.arena.buffers[ix].len() {
             let t = self.arena.buffers[ix][k];
             self.serial_msgs += 1;
+            if S::ACTIVE {
+                self.tracer.record(&TraceEvent {
+                    tick: self.now,
+                    kind: TraceKind::TokenSend,
+                    node: i,
+                    arg: to,
+                    data: encode_token(&t),
+                    aux: self.now + base + k as u64 * hop,
+                });
+            }
             self.push_ev(self.now + base + k as u64 * hop, EvKind::Serial, to, Some(t), 0, None);
         }
         self.arena.buffers[ix].clear();
@@ -1524,6 +1714,16 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
         for k in 0..self.arena.scratch.len() {
             let t = self.arena.scratch[k];
             self.serial_msgs += 1;
+            if S::ACTIVE {
+                self.tracer.record(&TraceEvent {
+                    tick: self.now,
+                    kind: TraceKind::TokenSend,
+                    node: i,
+                    arg: target,
+                    data: encode_token(&t),
+                    aux: self.now + base + k as u64 * hop,
+                });
+            }
             self.push_ev(
                 self.now + base + k as u64 * hop,
                 EvKind::Serial,
@@ -1581,8 +1781,17 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
             | O::BAStore
             | O::CAStore
             | O::SAStore => {
-                if trace_enabled("JAVAFLOW_TRACE_MEM") {
-                    eprintln!("[mem] @{i} {} operands {:?}", insn.op, operands);
+                if S::ACTIVE {
+                    let stored = operands.get(2).copied().unwrap_or(Value::Int(0));
+                    let (tag, bits) = encode_value(&stored);
+                    self.tracer.record(&TraceEvent {
+                        tick: self.now,
+                        kind: TraceKind::MemObserve,
+                        node: i,
+                        arg: cnt as u32,
+                        data: bits,
+                        aux: tag,
+                    });
                 }
                 let arr = get_ref(&operands[0])?;
                 let idx = get_int(&operands[1])?;
@@ -1723,24 +1932,6 @@ impl<'a, 'm, 'g, 'p, N: NetModel> Sim<'a, 'm, 'g, 'p, N> {
             _ => Err(JvmError::bare(JvmErrorKind::Unsupported)),
         }
     }
-}
-
-/// Whether a trace environment toggle is set, checked once per process —
-/// `env::var_os` walks the environment under a lock and these sit on the
-/// per-token hot path.
-fn trace_enabled(name: &'static str) -> bool {
-    use std::sync::OnceLock;
-    // One cell per toggle: sharing a cell across names would freeze every
-    // later name to whichever one happened to be queried first.
-    static REG: OnceLock<bool> = OnceLock::new();
-    static MEM: OnceLock<bool> = OnceLock::new();
-    static OTHER: OnceLock<bool> = OnceLock::new();
-    let cell = match name {
-        "JAVAFLOW_TRACE_REG" => &REG,
-        "JAVAFLOW_TRACE_MEM" => &MEM,
-        _ => &OTHER,
-    };
-    *cell.get_or_init(|| std::env::var_os(name).is_some())
 }
 
 /// Register index encoded in the compact `*load_N`/`*store_N` forms.

@@ -72,6 +72,11 @@ pub struct TimingWheel<T> {
     overflow: Vec<(u64, T)>,
     /// Minimum tick present in `overflow` (`u64::MAX` when empty).
     overflow_min: u64,
+    /// Largest `len` seen since the last [`TimingWheel::clear`] — the
+    /// FIFO high-water mark the instrumentation registry reports.
+    high_water: usize,
+    /// Pushes since the last [`TimingWheel::clear`].
+    pushes: u64,
 }
 
 impl<T: Copy> Default for TimingWheel<T> {
@@ -94,6 +99,8 @@ impl<T: Copy> TimingWheel<T> {
             l1_occ: 0,
             overflow: Vec::new(),
             overflow_min: u64::MAX,
+            high_water: 0,
+            pushes: 0,
         }
     }
 
@@ -107,6 +114,19 @@ impl<T: Copy> TimingWheel<T> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Largest number of events simultaneously stored since the last
+    /// [`TimingWheel::clear`].
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Pushes accepted since the last [`TimingWheel::clear`].
+    #[must_use]
+    pub fn pushes(&self) -> u64 {
+        self.pushes
     }
 
     /// Empties the wheel and rewinds the cursor to tick 0, keeping every
@@ -132,6 +152,8 @@ impl<T: Copy> TimingWheel<T> {
         self.cursor = 0;
         self.l0_pos = 0;
         self.len = 0;
+        self.high_water = 0;
+        self.pushes = 0;
     }
 
     /// Schedules `item` at tick `at`. Pushes must be monotone: `at` must
@@ -153,6 +175,10 @@ impl<T: Copy> TimingWheel<T> {
             self.overflow_min = self.overflow_min.min(at);
         }
         self.len += 1;
+        self.pushes += 1;
+        if self.len > self.high_water {
+            self.high_water = self.len;
+        }
     }
 
     /// Removes and returns the earliest event as `(tick, item)`. Ties pop

@@ -1,0 +1,33 @@
+//! Per-run behaviour of the `JAVAFLOW_TRACE_REG` / `JAVAFLOW_TRACE_MEM`
+//! stderr-sink aliases. These live alone in this binary: the tests mutate
+//! process environment variables, which would race the parallel test
+//! runner if any other test shared the process.
+
+use javaflow_fabric::trace::env_stderr_sink;
+
+/// The old implementation latched each toggle in a `OnceLock`, so a test
+/// (or embedder) could never enable tracing after the first untraced run
+/// of the process. The sink factory must observe the environment on
+/// every call.
+#[test]
+fn env_sink_follows_the_environment_per_call() {
+    std::env::remove_var("JAVAFLOW_TRACE_REG");
+    std::env::remove_var("JAVAFLOW_TRACE_MEM");
+    assert!(env_stderr_sink().is_none(), "no vars set ⇒ no sink");
+
+    std::env::set_var("JAVAFLOW_TRACE_REG", "1");
+    let sink = env_stderr_sink().expect("REG set ⇒ sink");
+    assert!(sink.reg && !sink.mem);
+
+    std::env::set_var("JAVAFLOW_TRACE_MEM", "1");
+    let sink = env_stderr_sink().expect("both set ⇒ sink");
+    assert!(sink.reg && sink.mem);
+
+    std::env::remove_var("JAVAFLOW_TRACE_REG");
+    let sink = env_stderr_sink().expect("MEM still set ⇒ sink");
+    assert!(!sink.reg && sink.mem);
+
+    // And back off again — the old OnceLock could never do this.
+    std::env::remove_var("JAVAFLOW_TRACE_MEM");
+    assert!(env_stderr_sink().is_none(), "vars cleared ⇒ no sink again");
+}

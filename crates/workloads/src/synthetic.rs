@@ -363,6 +363,56 @@ pub fn generate(config: &GenConfig) -> (Program, Vec<MethodId>) {
     (program, ids)
 }
 
+/// A deterministic hand-written hotspot kernel for trace captures: a
+/// nested countdown loop mixing int and double arithmetic with ordered
+/// array reads and writes — the shape `tables --trace-out` records and
+/// the EXPERIMENTS.md Perfetto recipe opens. No RNG anywhere, so the
+/// recorded trace is byte-identical across processes.
+#[must_use]
+pub fn hotspot() -> (Program, MethodId) {
+    let mut program = Program::new();
+    let mut b = MethodBuilder::new("synthetic.hotspot", 1, true);
+    // Registers: 0 int accumulator (the argument), 1 outer counter,
+    // 2 inner counter, 3 double accumulator, 4 int array.
+    b.dconst(1.0).dstore(3);
+    b.iconst(6).istore(1);
+    let outer = b.new_label();
+    b.bind(outer);
+    {
+        b.iconst(8).istore(2);
+        let inner = b.new_label();
+        b.bind(inner);
+        // acc = acc * 3 + arr[acc & 0xFF]
+        b.iload(0).iconst(3).op(Opcode::IMul);
+        b.aload(4);
+        b.iload(0).iconst(0xFF).op(Opcode::IAnd);
+        b.op(Opcode::IALoad);
+        b.op(Opcode::IAdd).istore(0);
+        // d = d * 1.5 + (double) acc
+        b.dload(3).dconst(1.5).op(Opcode::DMul);
+        b.iload(0).op(Opcode::I2D);
+        b.op(Opcode::DAdd).dstore(3);
+        // arr[acc & 0xFF] = acc — ordered store traffic for the memory ring
+        b.aload(4);
+        b.iload(0).iconst(0xFF).op(Opcode::IAnd);
+        b.iload(0);
+        b.op(Opcode::IAStore);
+        b.iinc(2, -1);
+        b.iload(2);
+        b.branch(Opcode::IfGt, inner);
+    }
+    b.iinc(1, -1);
+    b.iload(1);
+    b.branch(Opcode::IfGt, outer);
+    // Fold both accumulators into the int return.
+    b.dload(3).op(Opcode::D2I);
+    b.iload(0).op(Opcode::IXor);
+    b.op(Opcode::IReturn);
+    let id = program.add_method(b.finish().expect("hotspot verifies"));
+    program.validate().expect("hotspot program valid");
+    (program, id)
+}
+
 fn generate_method(
     config: &GenConfig,
     rng: &mut StdRng,
@@ -488,6 +538,17 @@ mod tests {
             assert_eq!(v.back_merges, 0, "{} has back merges", m.name);
             assert_eq!(p2.method(id), m, "generation not deterministic");
         }
+    }
+
+    #[test]
+    fn hotspot_verifies_and_is_deterministic() {
+        let (p1, id1) = hotspot();
+        let (p2, id2) = hotspot();
+        assert_eq!(id1, id2);
+        let m = p1.method(id1);
+        verify(m).expect("hotspot verifies");
+        assert_eq!(m, p2.method(id2), "hotspot generation not deterministic");
+        assert!(m.len() > 20, "hotspot too small to be interesting: {}", m.len());
     }
 
     #[test]

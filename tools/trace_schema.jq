@@ -1,0 +1,23 @@
+# Schema check for the Chrome-trace / Perfetto JSON that
+# `tables --trace-out` writes. Run with `jq -e -f tools/trace_schema.jq
+# trace.json`: -e makes jq exit nonzero when any predicate fails, so CI
+# can gate on it.
+#
+# Checks:
+#  * top level is {"traceEvents": [...], "displayTimeUnit": "ms"};
+#  * every event is an "X" (complete span) or "M" (metadata) with numeric
+#    pid/tid and a string name;
+#  * every "X" span has non-negative numeric ts/dur;
+#  * at least one span and one process_name metadata record exist (an
+#    empty-but-valid document is a capture bug, not a pass).
+(.traceEvents | type) == "array"
+and .displayTimeUnit == "ms"
+and ([.traceEvents[] | select(.ph == "X")] | length) > 0
+and ([.traceEvents[] | select(.ph == "M" and .name == "process_name")] | length) > 0
+and (.traceEvents | all(
+      ((.ph == "X") or (.ph == "M"))
+      and ((.pid | type) == "number")
+      and ((.tid | type) == "number")
+      and ((.name | type) == "string")
+      and ((.ph != "X") or (((.ts | type) == "number") and ((.dur | type) == "number") and (.ts >= 0) and (.dur >= 0)))
+    ))
