@@ -28,7 +28,8 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
 use javaflow_bench::{chapter5_tables, chapter7_tables, profile_suite};
-use javaflow_core::{parallel::default_threads, EvalConfig, Evaluation};
+use javaflow_core::parallel::{default_threads, SweepStats};
+use javaflow_core::{EvalConfig, Evaluation};
 use javaflow_fabric::NetKind;
 
 /// Counting wrapper around the system allocator, so `--bench-kernel` can
@@ -58,6 +59,25 @@ unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Renders a sweep's scheduling telemetry as the `"utilization"` block of
+/// the `BENCH_*.json` artifacts: the worker count actually used for the
+/// timed parallel sweep plus per-worker records/busy-time/batch/steal
+/// counts.
+fn utilization_json(stats: &SweepStats) -> String {
+    let mut out = String::from("[");
+    for (i, w) in stats.workers.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"worker\": {i}, \"records_done\": {}, \"busy_secs\": {:.3}, \"batches\": {}, \"steals\": {}}}",
+            w.records_done, w.busy_secs, w.batches, w.steals,
+        ));
+    }
+    out.push(']');
+    out
+}
 
 fn run_eval(synthetic: usize, threads: usize, net: NetKind) -> Evaluation {
     eprintln!(
@@ -125,9 +145,11 @@ fn bench_eval(synthetic: usize, threads: usize) {
 
     let metrics = serial.metrics().to_json();
     let json = format!(
-        "{{\n  \"benchmark\": \"tables --synthetic {synthetic}\",\n  \"records\": {},\n  \"samples\": {},\n  \"threads\": {threads},\n  \"seed_equivalent_secs\": {seed_secs:.3},\n  \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {parallel_secs:.3},\n  \"tables_9_28_secs\": {tables_secs:.3},\n  \"speedup_vs_seed\": {speedup_vs_seed:.2},\n  \"parallel_speedup\": {parallel_speedup:.2},\n  \"identical_output\": {identical},\n  \"metrics\": {metrics}\n}}\n",
+        "{{\n  \"benchmark\": \"tables --synthetic {synthetic}\",\n  \"records\": {},\n  \"samples\": {},\n  \"threads\": {threads},\n  \"threads_used\": {},\n  \"seed_equivalent_secs\": {seed_secs:.3},\n  \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {parallel_secs:.3},\n  \"tables_9_28_secs\": {tables_secs:.3},\n  \"speedup_vs_seed\": {speedup_vs_seed:.2},\n  \"parallel_speedup\": {parallel_speedup:.2},\n  \"identical_output\": {identical},\n  \"utilization\": {},\n  \"metrics\": {metrics}\n}}\n",
         serial.records.len(),
         serial.samples.len(),
+        parallel.sweep.threads_used,
+        utilization_json(&parallel.sweep),
     );
     std::fs::write("BENCH_evaluation.json", &json).expect("write BENCH_evaluation.json");
     println!("{json}");
@@ -175,10 +197,12 @@ fn bench_kernel(synthetic: usize, threads: usize) {
 
     let metrics = serial.metrics().to_json();
     let json = format!(
-        "{{\n  \"benchmark\": \"tables --bench-kernel --synthetic {synthetic}\",\n  \"records\": {},\n  \"samples\": {},\n  \"threads\": {threads},\n  \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {parallel_secs:.3},\n  \"parallel_speedup\": {:.2},\n  \"events\": {events},\n  \"events_skipped\": {events_skipped},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"serial_allocs\": {serial_allocs},\n  \"serial_alloc_bytes\": {serial_alloc_bytes},\n  \"allocs_per_sample\": {allocs_per_sample:.1},\n  \"baseline_serial_secs\": {BASELINE_SERIAL_SECS},\n  \"baseline_synthetic\": {BASELINE_SYNTHETIC},\n  \"speedup_vs_baseline\": {speedup_vs_baseline:.2},\n  \"identical_output\": {identical},\n  \"metrics\": {metrics}\n}}\n",
+        "{{\n  \"benchmark\": \"tables --bench-kernel --synthetic {synthetic}\",\n  \"records\": {},\n  \"samples\": {},\n  \"threads\": {threads},\n  \"threads_used\": {},\n  \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {parallel_secs:.3},\n  \"parallel_speedup\": {:.2},\n  \"events\": {events},\n  \"events_skipped\": {events_skipped},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"serial_allocs\": {serial_allocs},\n  \"serial_alloc_bytes\": {serial_alloc_bytes},\n  \"allocs_per_sample\": {allocs_per_sample:.1},\n  \"baseline_serial_secs\": {BASELINE_SERIAL_SECS},\n  \"baseline_synthetic\": {BASELINE_SYNTHETIC},\n  \"speedup_vs_baseline\": {speedup_vs_baseline:.2},\n  \"identical_output\": {identical},\n  \"utilization\": {},\n  \"metrics\": {metrics}\n}}\n",
         serial.records.len(),
         serial.samples.len(),
+        parallel.sweep.threads_used,
         serial_secs / parallel_secs.max(1e-9),
+        utilization_json(&parallel.sweep),
     );
     std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
     println!("{json}");

@@ -13,12 +13,12 @@ use std::collections::HashMap;
 use javaflow_analysis::{pearson, Summary};
 use javaflow_bytecode::{verify, Cfg};
 use javaflow_fabric::{
-    place, prepare, resolve, BranchMode, ExecParams, ExecReport, FabricConfig, LoadedMethod,
-    MetricsRegistry, NetKind, Outcome, ResolveStats, SimArena,
+    place, prepare, resolve, ArenaPool, BranchMode, CostProfile, ExecParams, ExecReport,
+    FabricConfig, LoadedMethod, MetricsRegistry, NetKind, Outcome, ResolveStats, SimArena,
 };
 use javaflow_workloads::SuiteKind;
 
-use crate::parallel::{default_threads, par_map_with};
+use crate::parallel::{default_threads, sweep_ordered, SweepStats};
 use crate::{population, Filter, MethodRecord};
 
 /// Evaluation parameters.
@@ -104,6 +104,11 @@ pub struct Evaluation {
     pub statics: Vec<MethodStatics>,
     /// All execution samples.
     pub samples: Vec<Sample>,
+    /// Scheduling telemetry from the sweep: workers actually used plus
+    /// per-worker records/busy-time/batch/steal counts. Unlike every
+    /// other field, this is **not** deterministic — it describes how the
+    /// work-stealing scheduler happened to distribute the records.
+    pub sweep: SweepStats,
     /// `(record, config, bp)` → index into `samples`, built once after
     /// the sweep so [`Evaluation::sample`] is O(1).
     sample_index: HashMap<(usize, usize, BranchMode), usize>,
@@ -124,29 +129,68 @@ pub struct ConfigRow {
 impl Evaluation {
     /// Runs the full evaluation.
     ///
-    /// Records are swept in parallel on [`EvalConfig::threads`] workers
-    /// (each with its own reusable [`SimArena`]) and the results spliced
-    /// back in record order, so the output is bit-identical to a serial
-    /// run at any thread count.
+    /// Records are swept on [`EvalConfig::threads`] work-stealing workers
+    /// in **descending predicted cost** (tail-first: static length scaled
+    /// by a persisted `events_per_run` profile when
+    /// `JAVAFLOW_COST_PROFILE` names one), each worker drawing a warm
+    /// [`SimArena`] from the process-wide [`ArenaPool`]. The results are
+    /// spliced back in record order, so the output is bit-identical to a
+    /// serial run at any thread count and under any schedule.
     #[must_use]
     pub fn run(cfg: &EvalConfig) -> Evaluation {
         let records = population(cfg.synthetic_count);
         let configs: Vec<FabricConfig> =
             cfg.configs.iter().map(|c| c.clone().with_net(cfg.net)).collect();
 
-        let per_record = par_map_with(&records, cfg.threads, SimArena::new, |arena, ri, rec| {
-            eval_record(ri, rec, &configs, cfg.max_mesh_cycles, arena)
-        });
+        let profile_path = std::env::var_os("JAVAFLOW_COST_PROFILE").map(std::path::PathBuf::from);
+        let profile = profile_path.as_deref().and_then(CostProfile::load);
+        let schedule = cost_schedule(&records, profile.as_ref());
+
+        let pool = ArenaPool::global();
+        let swept = sweep_ordered(
+            &records,
+            cfg.threads,
+            &schedule,
+            || pool.checkout(),
+            |arena| pool.checkin(arena),
+            |arena, ri, rec| eval_record(ri, rec, &configs, cfg.max_mesh_cycles, arena),
+        );
 
         let mut statics = Vec::with_capacity(records.len());
         let mut samples = Vec::new();
-        for (st, mut record_samples) in per_record {
+        for (st, mut record_samples) in swept.results {
             statics.push(st);
             samples.append(&mut record_samples);
         }
         let sample_index =
             samples.iter().enumerate().map(|(i, s)| ((s.record, s.config, s.bp), i)).collect();
-        Evaluation { records, configs, statics, samples, sample_index }
+        let eval =
+            Evaluation { records, configs, statics, samples, sweep: swept.stats, sample_index };
+        if let Some(path) = profile_path {
+            // Fold this sweep's observed costs into the persisted profile
+            // so the next sweep (or the next process) schedules from
+            // measured history. Best-effort: a read-only path must not
+            // fail the evaluation.
+            let mut updated = profile.unwrap_or_default();
+            updated.merge(&eval.cost_profile());
+            if let Err(e) = updated.save(&path) {
+                eprintln!("JAVAFLOW_COST_PROFILE: could not persist {}: {e}", path.display());
+            }
+        }
+        eval
+    }
+
+    /// The run-cost profile observed by this sweep: every sample's
+    /// scheduler-event count keyed by its record's static length. Feeds
+    /// the tail-first dispatch of later sweeps (persisted via
+    /// `JAVAFLOW_COST_PROFILE`).
+    #[must_use]
+    pub fn cost_profile(&self) -> CostProfile {
+        let mut p = CostProfile::new();
+        for s in &self.samples {
+            p.observe(self.records[s.record].len(), s.report.events);
+        }
+        p
     }
 
     fn baseline_index(&self) -> usize {
@@ -396,6 +440,23 @@ impl Evaluation {
         }
         out
     }
+}
+
+/// Builds the dispatch schedule: record indices in **descending**
+/// predicted cost (ties broken by index, so the order is deterministic).
+///
+/// The predictor is the record's static instruction count — the routing
+/// graph a [`prepare`] produces is node-per-instruction, so length is the
+/// graph size — refined to predicted scheduler events when a persisted
+/// [`CostProfile`] is available. Every record contributes the same number
+/// of scripted runs (configs × branch scripts), so per-run cost orders
+/// the records directly.
+fn cost_schedule(records: &[MethodRecord], profile: Option<&CostProfile>) -> Vec<u32> {
+    let cost: Vec<u64> =
+        records.iter().map(|r| profile.map_or(r.len() as u64, |p| p.predict(r.len()))).collect();
+    let mut schedule: Vec<u32> = (0..records.len() as u32).collect();
+    schedule.sort_by(|&a, &b| cost[b as usize].cmp(&cost[a as usize]).then(a.cmp(&b)));
+    schedule
 }
 
 /// The complete (pure) per-record work unit: statics plus the scripted

@@ -1,0 +1,69 @@
+//! The persisted cost profile: a sweep run under `JAVAFLOW_COST_PROFILE`
+//! writes its observed `events_per_run` history, a later sweep schedules
+//! from it, and — because the splice is order-preserving no matter the
+//! dispatch order — the refined schedule cannot change a single byte of
+//! the output.
+//!
+//! One `#[test]` on purpose: the profile path is process-global
+//! environment state.
+
+use javaflow_core::{EvalConfig, Evaluation};
+use javaflow_fabric::CostProfile;
+
+fn eval() -> Evaluation {
+    Evaluation::run(&EvalConfig {
+        synthetic_count: 12,
+        max_mesh_cycles: 120_000,
+        threads: 2,
+        ..EvalConfig::default()
+    })
+}
+
+#[test]
+fn profile_persists_refines_and_preserves_output() {
+    let dir = std::env::temp_dir().join(format!("javaflow-cost-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("profile.txt");
+
+    // Reference sweep with no profile: the schedule falls back to the
+    // static-length heuristic.
+    let reference = eval();
+    assert!(!reference.cost_profile().is_empty(), "a sweep must observe its own run costs");
+
+    // First profiled sweep: writes the observed history.
+    std::env::set_var("JAVAFLOW_COST_PROFILE", &path);
+    let first = eval();
+    let persisted = CostProfile::load(&path).expect("sweep must persist a parseable profile");
+    assert!(!persisted.is_empty());
+    assert_eq!(
+        persisted,
+        first.cost_profile(),
+        "the persisted profile is exactly the sweep's observed history"
+    );
+
+    // Second profiled sweep: schedules tail-first from measured events
+    // and folds its own observations back in.
+    let second = eval();
+    let refined = CostProfile::load(&path).unwrap();
+    let doubled = {
+        let mut p = first.cost_profile();
+        p.merge(&second.cost_profile());
+        p
+    };
+    assert_eq!(refined, doubled, "each sweep folds its history into the persisted profile");
+
+    // The profile only reorders dispatch; the output must stay
+    // bit-identical to the unprofiled sweep.
+    std::env::remove_var("JAVAFLOW_COST_PROFILE");
+    for run in [&first, &second] {
+        assert_eq!(reference.samples.len(), run.samples.len());
+        assert_eq!(
+            format!("{:?}", reference.samples),
+            format!("{:?}", run.samples),
+            "cost-ordered dispatch changed the output"
+        );
+        assert_eq!(format!("{:?}", reference.statics), format!("{:?}", run.statics));
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

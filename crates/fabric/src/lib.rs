@@ -65,7 +65,7 @@ pub use branch::{BranchMode, BranchOracle};
 pub use config::{ConfigError, FabricConfig, Layout, HETERO_PATTERN};
 pub use enhance::{DataflowGraph, Relay};
 pub use manager::{AnchorId, FabricManager, ManageError};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{CostProfile, Histogram, MetricsRegistry};
 pub use net::{
     ContendedNet, IdealNet, NetKind, NetModel, NetParams, NetReport, NodeNetStat, RingReport,
 };
@@ -74,9 +74,9 @@ pub use resolve::{
     control_sources, resolve, resolve_call_count, ResolveError, ResolveStats, Resolved, Sink,
 };
 pub use sim::{
-    execute, execute_in, execute_with_sink, load, load_with_resolved, prepare, DecodedInsn,
-    DecodedMethod, ExecParams, ExecReport, Gpp, LoadError, LoadedMethod, Outcome, PreparedMethod,
-    SimArena,
+    execute, execute_in, execute_with_sink, load, load_with_resolved, prepare, ArenaPool,
+    DecodedInsn, DecodedMethod, ExecParams, ExecReport, Gpp, LoadError, LoadedMethod, Outcome,
+    PreparedMethod, SimArena,
 };
 pub use timing::Timing;
 pub use token::{Command, InstanceId, SerialDest, SerialMessage, Token};

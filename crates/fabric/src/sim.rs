@@ -600,6 +600,56 @@ impl SimArena {
     }
 }
 
+/// A warm pool of [`SimArena`]s shared across sweep workers.
+///
+/// A fresh arena pays its slab and timing-wheel allocations on first use;
+/// a pooled one keeps that capacity across whole sweeps, so repeated
+/// sweeps (the future server mode) skip warm-up entirely. Checking a warm
+/// arena out or in touches only a mutex-guarded `Vec` — no allocation in
+/// the steady state (enforced by the counting-allocator test in
+/// `crates/fabric/tests/alloc.rs`).
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    free: std::sync::Mutex<Vec<SimArena>>,
+}
+
+impl ArenaPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> ArenaPool {
+        ArenaPool::default()
+    }
+
+    /// The process-wide pool the evaluation harness draws from: arenas
+    /// warmed by one sweep are reused by every later sweep in the same
+    /// process.
+    #[must_use]
+    pub fn global() -> &'static ArenaPool {
+        static GLOBAL: std::sync::OnceLock<ArenaPool> = std::sync::OnceLock::new();
+        GLOBAL.get_or_init(ArenaPool::new)
+    }
+
+    /// Takes a warm arena out of the pool, or builds a fresh one when the
+    /// pool is dry.
+    #[must_use]
+    pub fn checkout(&self) -> SimArena {
+        self.free.lock().map_or_else(|_| SimArena::new(), |mut v| v.pop().unwrap_or_default())
+    }
+
+    /// Returns an arena to the pool for the next checkout.
+    pub fn checkin(&self, arena: SimArena) {
+        if let Ok(mut v) = self.free.lock() {
+            v.push(arena);
+        }
+    }
+
+    /// How many warm arenas are currently parked in the pool.
+    #[must_use]
+    pub fn warm_len(&self) -> usize {
+        self.free.lock().map_or(0, |v| v.len())
+    }
+}
+
 /// Runs a loaded method on a fabric configuration.
 pub fn execute(
     lm: &LoadedMethod<'_>,

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use javaflow_bytecode::asm::assemble;
 use javaflow_fabric::{
-    execute_in, load, BranchMode, ExecParams, FabricConfig, NetKind, Outcome, SimArena,
+    execute_in, load, ArenaPool, BranchMode, ExecParams, FabricConfig, NetKind, Outcome, SimArena,
 };
 
 struct CountingAlloc;
@@ -133,4 +133,30 @@ fn warm_scripted_run_does_not_allocate() {
         "contended run allocated {} times (want a small constant)",
         per_run[0]
     );
+
+    // Arena-pool phase: the sweep scheduler's per-worker lifecycle is
+    // checkout → run batches → checkin. Once the pool's free list has
+    // capacity (one warm cycle), that whole loop must be allocation-free:
+    // a warm checkout pops a parked arena, the run reuses its slabs, and
+    // the checkin pushes within capacity.
+    let pool = ArenaPool::new();
+    pool.checkin(arena); // park the warmed arena; sizes the free list
+    let warm_cycle = {
+        let mut a = pool.checkout();
+        let r = run(&mut a);
+        pool.checkin(a);
+        r
+    };
+    assert!(warm_cycle.outcome == warm.outcome);
+    let before = ALLOCS.load(Relaxed);
+    for _ in 0..3 {
+        let mut a = pool.checkout();
+        let report = run(&mut a);
+        pool.checkin(a);
+        assert!(report.outcome == warm.outcome);
+        assert!(report.events == warm.events);
+    }
+    let after = ALLOCS.load(Relaxed);
+    assert_eq!(after - before, 0, "warm pool checkout/run/checkin cycles must not allocate");
+    assert_eq!(pool.warm_len(), 1, "every checkout must come back to the pool");
 }
