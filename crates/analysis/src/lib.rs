@@ -21,6 +21,7 @@
 
 mod mix;
 mod net;
+pub mod report_json;
 mod stats;
 pub mod trace;
 mod utilization;

@@ -17,6 +17,9 @@
 //!                         # allocation counts) and write BENCH_kernel.json
 //! tables --bench-rings    # sweep the contended net's ring-slot × FIFO
 //!                         # parameters and write BENCH_rings.json
+//! tables --bench-serve    # hammer an in-process javaflow-serve at several
+//!                         # concurrency levels and write BENCH_serve.json
+//!                         # with throughput and p50/p95/p99 latency
 //! tables --trace-out trace.json
 //!                         # record the hotspot kernel under Compact2
 //!                         # (ideal + contended) and Sparse2, cross-check
@@ -27,8 +30,9 @@
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
+use javaflow_analysis::report_json::utilization_json;
 use javaflow_bench::{chapter5_tables, chapter7_tables, profile_suite};
-use javaflow_core::parallel::{default_threads, SweepStats};
+use javaflow_core::parallel::default_threads;
 use javaflow_core::{EvalConfig, Evaluation};
 use javaflow_fabric::NetKind;
 
@@ -59,25 +63,6 @@ unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
-
-/// Renders a sweep's scheduling telemetry as the `"utilization"` block of
-/// the `BENCH_*.json` artifacts: the worker count actually used for the
-/// timed parallel sweep plus per-worker records/busy-time/batch/steal
-/// counts.
-fn utilization_json(stats: &SweepStats) -> String {
-    let mut out = String::from("[");
-    for (i, w) in stats.workers.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        out.push_str(&format!(
-            "{{\"worker\": {i}, \"records_done\": {}, \"busy_secs\": {:.3}, \"batches\": {}, \"steals\": {}}}",
-            w.records_done, w.busy_secs, w.batches, w.steals,
-        ));
-    }
-    out.push(']');
-    out
-}
 
 fn run_eval(synthetic: usize, threads: usize, net: NetKind) -> Evaluation {
     eprintln!(
@@ -149,7 +134,7 @@ fn bench_eval(synthetic: usize, threads: usize) {
         serial.records.len(),
         serial.samples.len(),
         parallel.sweep.threads_used,
-        utilization_json(&parallel.sweep),
+        utilization_json(&parallel.sweep.utilization()),
     );
     std::fs::write("BENCH_evaluation.json", &json).expect("write BENCH_evaluation.json");
     println!("{json}");
@@ -202,7 +187,7 @@ fn bench_kernel(synthetic: usize, threads: usize) {
         serial.samples.len(),
         parallel.sweep.threads_used,
         serial_secs / parallel_secs.max(1e-9),
-        utilization_json(&parallel.sweep),
+        utilization_json(&parallel.sweep.utilization()),
     );
     std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
     println!("{json}");
@@ -320,6 +305,87 @@ fn bench_rings(synthetic: usize, threads: usize) {
     println!("{json}");
 }
 
+/// Benchmarks `javaflow-serve` end to end: an in-process server is
+/// hammered at several concurrency levels with identical sweep requests
+/// (the coalescing fast path), measuring client-observed end-to-end
+/// latency per request. Records throughput plus exact p50/p95/p99 per
+/// level in `BENCH_serve.json`.
+fn bench_serve(synthetic: usize, threads: usize) {
+    use javaflow_server::protocol::{read_frame, write_frame};
+    use javaflow_server::{Server, ServerConfig};
+
+    const LEVELS: [usize; 3] = [1, 8, 32];
+    const REQUESTS_PER_LEVEL: usize = 32;
+
+    let server = Server::start(ServerConfig { threads, queue_cap: 64, ..ServerConfig::default() })
+        .expect("start javaflow-serve in-process");
+    let addr = server.addr();
+    let request =
+        format!("{{\"kind\": \"sweep\", \"id\": 1, \"synthetic\": {synthetic}, \"tables\": [22]}}");
+
+    // One request up front so every timed level sees a warm prepared
+    // cache and arena pool — the steady state a resident server serves.
+    let run_one = |request: &str| -> f64 {
+        let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+        let t = Instant::now();
+        write_frame(&mut conn, request.as_bytes()).expect("send");
+        loop {
+            let frame = read_frame(&mut conn, usize::MAX).expect("recv").expect("stream");
+            if frame.starts_with(b"{\"type\": \"done\"") {
+                return t.elapsed().as_secs_f64();
+            }
+            assert!(
+                !frame.starts_with(b"{\"type\": \"error\""),
+                "bench request failed: {}",
+                String::from_utf8_lossy(&frame)
+            );
+        }
+    };
+    eprintln!("bench-serve: warming the prepared cache (synthetic {synthetic}) …");
+    run_one(&request);
+
+    let mut entries = String::new();
+    for (li, &concurrency) in LEVELS.iter().enumerate() {
+        let per_worker = REQUESTS_PER_LEVEL / concurrency;
+        eprintln!("bench-serve: {concurrency} clients \u{d7} {per_worker} requests …");
+        let wall = Instant::now();
+        let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..concurrency)
+                .map(|_| {
+                    let request = &request;
+                    scope.spawn(move || {
+                        (0..per_worker).map(|_| run_one(request)).collect::<Vec<f64>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("bench worker")).collect()
+        });
+        let wall_secs = wall.elapsed().as_secs_f64();
+        latencies.sort_by(f64::total_cmp);
+        let pct = |q: f64| {
+            let rank = ((q * latencies.len() as f64).ceil() as usize).max(1);
+            latencies[rank - 1]
+        };
+        let total = latencies.len();
+        let throughput = total as f64 / wall_secs.max(1e-9);
+        let sep = if li + 1 == LEVELS.len() { "" } else { "," };
+        entries.push_str(&format!(
+            "    {{\n      \"concurrency\": {concurrency},\n      \"requests\": {total},\n      \"wall_secs\": {wall_secs:.3},\n      \"throughput_rps\": {throughput:.3},\n      \"p50_ms\": {:.1},\n      \"p95_ms\": {:.1},\n      \"p99_ms\": {:.1}\n    }}{sep}\n",
+            pct(0.50) * 1e3,
+            pct(0.95) * 1e3,
+            pct(0.99) * 1e3,
+        ));
+    }
+    server.request_shutdown();
+    server.join().expect("clean server shutdown");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"tables --bench-serve --synthetic {synthetic}\",\n  \"threads\": {threads},\n  \"levels\": [\n{entries}  ]\n}}\n"
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("{json}");
+}
+
 /// Records the deterministic hotspot kernel under three configurations,
 /// cross-checks every recording against its live report (the Table 29
 /// numbers must reproduce bit-for-bit from the event stream alone), and
@@ -378,6 +444,7 @@ fn main() {
     let mut bench_net_mode = false;
     let mut bench_kernel_mode = false;
     let mut bench_rings_mode = false;
+    let mut bench_serve_mode = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -442,6 +509,7 @@ fn main() {
             "--bench-net" => bench_net_mode = true,
             "--bench-kernel" => bench_kernel_mode = true,
             "--bench-rings" => bench_rings_mode = true,
+            "--bench-serve" => bench_serve_mode = true,
             "--figure" => {
                 figure = args.next().and_then(|v| v.parse().ok());
                 if figure.is_none() {
@@ -454,7 +522,7 @@ fn main() {
                     "usage: tables [--table N] [--figure N] [--list-tables] \
                      [--synthetic COUNT] [--threads N] [--net ideal|contended] \
                      [--bench-eval] [--bench-net] [--bench-kernel] [--bench-rings] \
-                     [--trace-out FILE]"
+                     [--bench-serve] [--trace-out FILE]"
                 );
                 return;
             }
@@ -483,6 +551,10 @@ fn main() {
     }
     if bench_rings_mode {
         bench_rings(synthetic, threads);
+        return;
+    }
+    if bench_serve_mode {
+        bench_serve(synthetic, threads);
         return;
     }
 

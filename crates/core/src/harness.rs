@@ -41,6 +41,11 @@ pub struct EvalConfig {
     /// memory/GPP requests through slotted rings, attaching link-level
     /// statistics to every sample.
     pub net: NetKind,
+    /// Token-walk fast-forwarding (`ExecParams::fast_forward`). On by
+    /// default; the kernel only honours it where it is provably
+    /// report-invariant (order-free net models, stub GPP), so turning it
+    /// off trades speed for a naive walk of the identical event stream.
+    pub fast_forward: bool,
 }
 
 impl Default for EvalConfig {
@@ -51,6 +56,7 @@ impl Default for EvalConfig {
             configs: FabricConfig::all_six(),
             threads: default_threads(),
             net: NetKind::Ideal,
+            fast_forward: true,
         }
     }
 }
@@ -127,6 +133,29 @@ pub struct ConfigRow {
 }
 
 impl Evaluation {
+    /// Assembles an evaluation from per-record sweep results (statics plus
+    /// that record's samples, in record order), building the O(1) sample
+    /// index. [`Evaluation::run`] and the resident-process service path
+    /// (`core::service`) both finish through here, so the in-memory shape
+    /// cannot depend on which path produced it.
+    #[must_use]
+    pub fn assemble(
+        records: Vec<MethodRecord>,
+        configs: Vec<FabricConfig>,
+        results: Vec<(MethodStatics, Vec<Sample>)>,
+        sweep: SweepStats,
+    ) -> Evaluation {
+        let mut statics = Vec::with_capacity(records.len());
+        let mut samples = Vec::new();
+        for (st, mut record_samples) in results {
+            statics.push(st);
+            samples.append(&mut record_samples);
+        }
+        let sample_index =
+            samples.iter().enumerate().map(|(i, s)| ((s.record, s.config, s.bp), i)).collect();
+        Evaluation { records, configs, statics, samples, sweep, sample_index }
+    }
+
     /// Runs the full evaluation.
     ///
     /// Records are swept on [`EvalConfig::threads`] work-stealing workers
@@ -153,19 +182,12 @@ impl Evaluation {
             &schedule,
             || pool.checkout(),
             |arena| pool.checkin(arena),
-            |arena, ri, rec| eval_record(ri, rec, &configs, cfg.max_mesh_cycles, arena),
+            |arena, ri, rec| {
+                eval_record(ri, rec, &configs, cfg.max_mesh_cycles, cfg.fast_forward, arena)
+            },
         );
 
-        let mut statics = Vec::with_capacity(records.len());
-        let mut samples = Vec::new();
-        for (st, mut record_samples) in swept.results {
-            statics.push(st);
-            samples.append(&mut record_samples);
-        }
-        let sample_index =
-            samples.iter().enumerate().map(|(i, s)| ((s.record, s.config, s.bp), i)).collect();
-        let eval =
-            Evaluation { records, configs, statics, samples, sweep: swept.stats, sample_index };
+        let eval = Evaluation::assemble(records, configs, swept.results, swept.stats);
         if let Some(path) = profile_path {
             // Fold this sweep's observed costs into the persisted profile
             // so the next sweep (or the next process) schedules from
@@ -451,7 +473,7 @@ impl Evaluation {
 /// [`CostProfile`] is available. Every record contributes the same number
 /// of scripted runs (configs × branch scripts), so per-run cost orders
 /// the records directly.
-fn cost_schedule(records: &[MethodRecord], profile: Option<&CostProfile>) -> Vec<u32> {
+pub(crate) fn cost_schedule(records: &[MethodRecord], profile: Option<&CostProfile>) -> Vec<u32> {
     let cost: Vec<u64> =
         records.iter().map(|r| profile.map_or(r.len() as u64, |p| p.predict(r.len()))).collect();
     let mut schedule: Vec<u32> = (0..records.len() as u32).collect();
@@ -465,16 +487,34 @@ fn cost_schedule(records: &[MethodRecord], profile: Option<&CostProfile>) -> Vec
 /// Resolution and the routing graph are configuration-independent, so the
 /// record is [`prepare`]d exactly once and each configuration only adds a
 /// placement; the caller's arena is reused across every run.
-fn eval_record(
+pub(crate) fn eval_record(
     ri: usize,
     rec: &MethodRecord,
     configs: &[FabricConfig],
     max_mesh_cycles: u64,
+    fast_forward: bool,
+    arena: &mut SimArena,
+) -> (MethodStatics, Vec<Sample>) {
+    let prepared = prepare(&rec.method).ok();
+    eval_prepared(ri, rec, prepared.as_ref(), configs, max_mesh_cycles, fast_forward, arena)
+}
+
+/// [`eval_record`] with the [`prepare`] step hoisted out, so a resident
+/// process (`core::service`) can cache the prepared parts across sweeps
+/// and still run the *same* statics/sample assembly — byte-identity of
+/// served results against [`Evaluation::run`] is structural, not luck.
+/// `prepared` is `None` for fabric-inexecutable methods (jsr/switches).
+pub(crate) fn eval_prepared(
+    ri: usize,
+    rec: &MethodRecord,
+    prepared: Option<&javaflow_fabric::PreparedMethod<'_>>,
+    configs: &[FabricConfig],
+    max_mesh_cycles: u64,
+    fast_forward: bool,
     arena: &mut SimArena,
 ) -> (MethodStatics, Vec<Sample>) {
     let v = verify(&rec.method).expect("population verifies");
     let g = Cfg::build(&rec.method);
-    let prepared = prepare(&rec.method).ok();
     let resolve_stats = match &prepared {
         Some(p) => p.resolved.stats.clone(),
         // Fabric-inexecutable methods (jsr/switches) never run, but still
@@ -511,12 +551,12 @@ fn eval_record(
     };
 
     let mut samples = Vec::new();
-    if let Some(prepared) = &prepared {
+    if let Some(prepared) = prepared {
         for (ci, fc) in configs.iter().enumerate() {
             let Some(placement) = placements[ci].take() else { continue };
             let loaded = prepared.with_placement(placement);
             for bp in [BranchMode::Bp1, BranchMode::Bp2] {
-                let report = run_scripted(&loaded, fc, bp, max_mesh_cycles, arena);
+                let report = run_scripted(&loaded, fc, bp, max_mesh_cycles, fast_forward, arena);
                 let ok = matches!(report.outcome, Outcome::Returned(_));
                 samples.push(Sample { record: ri, config: ci, bp, report, ok });
             }
@@ -530,12 +570,13 @@ fn run_scripted(
     fc: &FabricConfig,
     bp: BranchMode,
     max_mesh_cycles: u64,
+    fast_forward: bool,
     arena: &mut SimArena,
 ) -> ExecReport {
     javaflow_fabric::execute_in(
         loaded,
         fc,
-        ExecParams { mode: bp, max_mesh_cycles, ..ExecParams::default() },
+        ExecParams { mode: bp, max_mesh_cycles, fast_forward, ..ExecParams::default() },
         arena,
     )
 }

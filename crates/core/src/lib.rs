@@ -47,8 +47,11 @@ mod harness;
 mod machine;
 pub mod parallel;
 mod population;
+pub mod service;
+pub mod tables;
 
 pub use filter::Filter;
 pub use harness::{ConfigRow, EvalConfig, Evaluation, MethodStatics, Sample};
 pub use machine::{Machine, MachineError, MachineRun};
 pub use population::{population, MethodRecord};
+pub use service::PreparedPopulation;

@@ -102,6 +102,24 @@ pub struct SweepStats {
 }
 
 impl SweepStats {
+    /// Adapts the per-worker stats into the analysis crate's
+    /// serialization-side [`WorkerUtilization`] rows (the `"utilization"`
+    /// block of the `BENCH_*.json` artifacts and the server's metrics
+    /// frames). Lives here because `analysis` cannot see this crate's
+    /// types — the dependency points the other way.
+    #[must_use]
+    pub fn utilization(&self) -> Vec<javaflow_analysis::report_json::WorkerUtilization> {
+        self.workers
+            .iter()
+            .map(|w| javaflow_analysis::report_json::WorkerUtilization {
+                records_done: w.records_done,
+                busy_secs: w.busy_secs,
+                batches: w.batches,
+                steals: w.steals,
+            })
+            .collect()
+    }
+
     fn inline(records: u64, busy_secs: f64) -> SweepStats {
         SweepStats {
             threads_used: 1,

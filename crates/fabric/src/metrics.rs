@@ -74,6 +74,44 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) from the log₂ buckets.
+    ///
+    /// Finds the bucket holding the rank-`⌈q·count⌉` sample and
+    /// interpolates linearly inside its value range, clamped to the
+    /// observed `[min, max]`. Exact for the extremes (`q == 0` → `min`,
+    /// `q == 1` → `max`); within a factor of 2 everywhere else — the
+    /// resolution a log₂ histogram buys. This is what the server's
+    /// p50/p95/p99 latency rows are computed from.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min;
+        }
+        // 1-based rank of the selected sample.
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                // Bucket b holds values with bit_width == b:
+                // b == 0 → {0}, b >= 1 → [2^(b-1), 2^b - 1].
+                let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                let hi = if b == 0 { 0 } else { (1u64 << (b - 1)) - 1 + lo };
+                let into = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + (hi - lo) as f64 * into;
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
 }
 
 /// Named monotonic counters, maxima, and histograms for one sweep.
@@ -426,6 +464,29 @@ mod tests {
         assert_eq!(h.buckets[2], 2); // 2, 3
         assert_eq!(h.buckets[3], 1); // 4
         assert_eq!(h.buckets[11], 1); // 1024
+    }
+
+    #[test]
+    fn quantiles_come_from_the_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        // 100 samples of 10, one of 1000: the p99 sits in the tail bucket.
+        for _ in 0..100 {
+            h.observe(10);
+        }
+        h.observe(1000);
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(1.0), 1000);
+        let p50 = h.quantile(0.5);
+        assert!((8..=15).contains(&p50), "p50 {p50} should sit in the 8..=15 bucket");
+        let p999 = h.quantile(0.999);
+        assert!((512..=1000).contains(&p999), "p99.9 {p999} should reach the tail bucket");
+        // Quantiles never leave the observed range.
+        let mut single = Histogram::default();
+        single.observe(7);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(single.quantile(q), 7);
+        }
     }
 
     #[test]

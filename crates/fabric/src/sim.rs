@@ -604,13 +604,29 @@ impl SimArena {
 ///
 /// A fresh arena pays its slab and timing-wheel allocations on first use;
 /// a pooled one keeps that capacity across whole sweeps, so repeated
-/// sweeps (the future server mode) skip warm-up entirely. Checking a warm
-/// arena out or in touches only a mutex-guarded `Vec` — no allocation in
-/// the steady state (enforced by the counting-allocator test in
+/// sweeps (server mode) skip warm-up entirely. Checking a warm arena out
+/// or in touches only a mutex-guarded `Vec` — no allocation in the steady
+/// state (enforced by the counting-allocator test in
 /// `crates/fabric/tests/alloc.rs`).
-#[derive(Debug, Default)]
+///
+/// Retention is capped: a long-lived process that absorbs a burst of wide
+/// concurrent sweeps would otherwise park one fully-grown arena per peak
+/// worker forever. [`ArenaPool::checkin`] drops arenas above the
+/// high-water mark ([`ArenaPool::set_retain_cap`]) instead of retaining
+/// them, so peak memory decays back to the steady-state working set.
+#[derive(Debug)]
 pub struct ArenaPool {
     free: std::sync::Mutex<Vec<SimArena>>,
+    retain_cap: std::sync::atomic::AtomicUsize,
+}
+
+impl Default for ArenaPool {
+    fn default() -> ArenaPool {
+        ArenaPool {
+            free: std::sync::Mutex::new(Vec::new()),
+            retain_cap: std::sync::atomic::AtomicUsize::new(ArenaPool::default_retain_cap()),
+        }
+    }
 }
 
 impl ArenaPool {
@@ -618,6 +634,15 @@ impl ArenaPool {
     #[must_use]
     pub fn new() -> ArenaPool {
         ArenaPool::default()
+    }
+
+    /// The default retention high-water mark: twice the machine's
+    /// available parallelism (a sweep checks in one arena per worker;
+    /// headroom for one sweep draining while the next one starts), never
+    /// below 4.
+    #[must_use]
+    pub fn default_retain_cap() -> usize {
+        std::thread::available_parallelism().map_or(4, |n| (n.get() * 2).max(4))
     }
 
     /// The process-wide pool the evaluation harness draws from: arenas
@@ -636,11 +661,32 @@ impl ArenaPool {
         self.free.lock().map_or_else(|_| SimArena::new(), |mut v| v.pop().unwrap_or_default())
     }
 
-    /// Returns an arena to the pool for the next checkout.
+    /// Returns an arena to the pool for the next checkout. Arenas above
+    /// the retention high-water mark are dropped (slabs freed) instead of
+    /// parked, so a burst of wide concurrency cannot pin peak memory for
+    /// the life of the process.
     pub fn checkin(&self, arena: SimArena) {
+        let cap = self.retain_cap.load(std::sync::atomic::Ordering::Relaxed);
         if let Ok(mut v) = self.free.lock() {
-            v.push(arena);
+            if v.len() < cap {
+                v.push(arena);
+            }
         }
+    }
+
+    /// Sets the retention high-water mark and drops any arenas already
+    /// parked above it.
+    pub fn set_retain_cap(&self, cap: usize) {
+        self.retain_cap.store(cap, std::sync::atomic::Ordering::Relaxed);
+        if let Ok(mut v) = self.free.lock() {
+            v.truncate(cap);
+        }
+    }
+
+    /// The current retention high-water mark.
+    #[must_use]
+    pub fn retain_cap(&self) -> usize {
+        self.retain_cap.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// How many warm arenas are currently parked in the pool.

@@ -1,0 +1,138 @@
+//! `javaflow-serve` — the sweep harness as a long-lived process.
+//!
+//! Binds a TCP listener (and optionally a Unix socket), prints a ready
+//! line with the bound address, and serves length-prefixed JSON sweep
+//! requests until a shutdown request or SIGINT/SIGTERM, then drains the
+//! admission queue and exits 0.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use javaflow_server::{Server, ServerConfig};
+
+/// Drain flag flipped by the C signal handler; the main loop polls it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+type SigHandler = extern "C" fn(i32);
+
+extern "C" {
+    fn signal(signum: i32, handler: SigHandler) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+const USAGE: &str = "\
+javaflow-serve: long-lived sweep server
+
+USAGE:
+    javaflow-serve [OPTIONS]
+
+OPTIONS:
+    --addr <host:port>     TCP bind address (default 127.0.0.1:0; port 0
+                           picks an ephemeral port, echoed on stdout)
+    --uds <path>           also listen on a Unix socket at <path>
+    --queue-cap <n>        admission-queue capacity (default 32)
+    --batch-records <n>    records per streamed batch (default 16)
+    --threads <n>          default sweep threads (default: machine parallelism)
+    --synthetic-cap <n>    largest accepted synthetic population (default 5000)
+    --help                 print this help
+
+PROTOCOL:
+    4-byte big-endian length prefix + UTF-8 JSON per frame. Request kinds:
+    sweep, metrics, ping, shutdown. See DESIGN.md \"Request lifecycle\".
+";
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--addr" => cfg.addr = value("--addr")?,
+            "--uds" => cfg.uds_path = Some(value("--uds")?.into()),
+            "--queue-cap" => {
+                cfg.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|_| "--queue-cap must be an integer".to_string())?;
+            }
+            "--batch-records" => {
+                cfg.batch_records = value("--batch-records")?
+                    .parse()
+                    .map_err(|_| "--batch-records must be an integer".to_string())?;
+                if cfg.batch_records == 0 {
+                    return Err("--batch-records must be at least 1".to_string());
+                }
+            }
+            "--threads" => {
+                cfg.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be an integer".to_string())?;
+                if cfg.threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+            }
+            "--synthetic-cap" => {
+                cfg.synthetic_cap = value("--synthetic-cap")?
+                    .parse()
+                    .map_err(|_| "--synthetic-cap must be an integer".to_string())?;
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("javaflow-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+    let uds = cfg.uds_path.clone();
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("javaflow-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The ready line CI and scripts scrape for the ephemeral port.
+    println!("javaflow-serve listening on {}", server.addr());
+    if let Some(path) = &uds {
+        println!("javaflow-serve listening on unix:{}", path.display());
+    }
+    loop {
+        if SHUTDOWN.load(Ordering::SeqCst) || server.shutdown_requested() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("javaflow-serve: draining");
+    server.request_shutdown();
+    match server.join() {
+        Ok(()) => {
+            eprintln!("javaflow-serve: drained, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("javaflow-serve: drain failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

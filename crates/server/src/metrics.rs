@@ -1,0 +1,105 @@
+//! Server-side counters and latency histograms for the metrics endpoint.
+
+use std::time::Duration;
+
+use javaflow_fabric::Histogram;
+
+/// Live server counters, updated under the shared-state lock. Latencies
+/// land in log₂ [`Histogram`]s — the same fixed-footprint buckets the
+/// simulator's Table 30 registry uses — so the percentile read-out costs
+/// a 65-bucket walk, never an allocation per request.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Sweep requests admitted to the queue.
+    pub accepted: u64,
+    /// Sweep requests refused with `429` (queue at capacity).
+    pub rejected_busy: u64,
+    /// Sweep requests refused with `503` (server draining).
+    pub rejected_drain: u64,
+    /// Frames that failed to parse or validate (`400`/`413`).
+    pub bad_requests: u64,
+    /// Sweeps that streamed to `done`.
+    pub completed: u64,
+    /// Sweeps cancelled at a batch boundary by their deadline (`504`).
+    pub cancelled_deadline: u64,
+    /// Subscribers dropped mid-stream by a write failure.
+    pub disconnects: u64,
+    /// Sweeps actually executed (≤ `accepted` when coalescing wins).
+    pub sweeps: u64,
+    /// Admitted requests that shared an already-queued sweep.
+    pub coalesced_requests: u64,
+    /// Batch frames written across all subscribers.
+    pub batches_streamed: u64,
+    /// End-to-end sweep latency (admission → done), microseconds.
+    pub latency_us: Histogram,
+    /// Time spent queued before the sweeper picked the job up, microseconds.
+    pub queue_wait_us: Histogram,
+}
+
+impl ServerMetrics {
+    /// Records one completed request's end-to-end latency.
+    pub fn observe_latency(&mut self, elapsed: Duration) {
+        self.latency_us.observe(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one job's time-in-queue.
+    pub fn observe_queue_wait(&mut self, waited: Duration) {
+        self.queue_wait_us.observe(waited.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Renders the `"server"` + `"latency"` halves of a metrics response:
+    /// counters, the caller-supplied instantaneous gauges, and
+    /// p50/p95/p99 for both histograms.
+    #[must_use]
+    pub fn render_json(&self, queue_depth: usize, in_flight: usize) -> String {
+        let q = |h: &Histogram| {
+            format!(
+                "{{\"count\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
+                h.count,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+            )
+        };
+        format!(
+            "{{\"accepted\": {}, \"rejected_busy\": {}, \"rejected_drain\": {}, \
+             \"bad_requests\": {}, \"completed\": {}, \"cancelled_deadline\": {}, \
+             \"disconnects\": {}, \"sweeps\": {}, \"coalesced_requests\": {}, \
+             \"batches_streamed\": {}, \"queue_depth\": {queue_depth}, \
+             \"in_flight\": {in_flight}, \"latency\": {}, \"queue_wait\": {}}}",
+            self.accepted,
+            self.rejected_busy,
+            self.rejected_drain,
+            self.bad_requests,
+            self.completed,
+            self.cancelled_deadline,
+            self.disconnects,
+            self.sweeps,
+            self.coalesced_requests,
+            self.batches_streamed,
+            q(&self.latency_us),
+            q(&self.queue_wait_us),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_carries_counters_and_quantiles() {
+        let mut m = ServerMetrics { accepted: 7, coalesced_requests: 3, ..Default::default() };
+        for us in [100, 200, 400, 800] {
+            m.observe_latency(Duration::from_micros(us));
+        }
+        let s = m.render_json(2, 1);
+        assert!(s.contains("\"accepted\": 7"), "{s}");
+        assert!(s.contains("\"coalesced_requests\": 3"), "{s}");
+        assert!(s.contains("\"queue_depth\": 2"), "{s}");
+        assert!(s.contains("\"in_flight\": 1"), "{s}");
+        assert!(s.contains("\"count\": 4"), "{s}");
+        // Log₂ buckets: the p99 of [100..800]µs lands in the 512..1023 bucket.
+        assert!(m.latency_us.quantile(0.99) >= 512);
+    }
+}

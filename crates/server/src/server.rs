@@ -1,0 +1,593 @@
+//! The server runtime: listeners, admission, coalescing, sweeping, drain.
+//!
+//! One sweeper thread owns all simulation work; reader threads only
+//! parse, validate, and enqueue. The admission queue is bounded —
+//! saturation is a `429` response, not an unbounded backlog — and
+//! compatible queued requests (same [`SweepKey`]) are coalesced into a
+//! single shared sweep whose batch frames fan out to every subscriber.
+//! Shutdown is a drain: no new sweeps are admitted (`503`), everything
+//! already queued streams to completion, then the threads exit.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use javaflow_analysis::report_json::json_escape;
+use javaflow_core::{EvalConfig, PreparedPopulation};
+use javaflow_fabric::{MetricsRegistry, NetKind};
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{
+    batch_frame, batch_payload, done_frame, error_frame, parse_request, read_frame, write_frame,
+    FrameError, Request, SweepRequest, MAX_REQUEST_FRAME,
+};
+
+/// Server tuning knobs. `Default` is suitable for tests and local use:
+/// an ephemeral TCP port, no Unix socket, a 32-deep admission queue.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// TCP bind address; port 0 picks an ephemeral port (read it back
+    /// with [`Server::addr`]).
+    pub addr: String,
+    /// Optional Unix-socket path to also listen on. A stale socket file
+    /// at this path is removed before binding.
+    pub uds_path: Option<PathBuf>,
+    /// Admission-queue capacity; a sweep arriving at a full queue is
+    /// refused with `429`.
+    pub queue_cap: usize,
+    /// Records per streamed batch (and therefore the deadline- and
+    /// cancellation-check granularity).
+    pub batch_records: usize,
+    /// Default sweep threads when a request does not ask for a count.
+    pub threads: usize,
+    /// Largest accepted request frame, bytes.
+    pub max_frame: usize,
+    /// Largest accepted `synthetic` population size; guards the prepared
+    /// cache against absurd requests.
+    pub synthetic_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            uds_path: None,
+            queue_cap: 32,
+            batch_records: 16,
+            threads: EvalConfig::default().threads,
+            max_frame: MAX_REQUEST_FRAME,
+            synthetic_cap: 5000,
+        }
+    }
+}
+
+/// The coalescing key: two queued sweeps with equal keys produce
+/// byte-identical batch payloads, so they share one sweep. `threads` is
+/// deliberately absent — results never depend on it (the shared sweep
+/// takes the group's largest ask).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SweepKey {
+    synthetic: usize,
+    max_mesh_cycles: u64,
+    net_contended: bool,
+    fast_forward: bool,
+}
+
+impl SweepKey {
+    fn of(req: &SweepRequest) -> SweepKey {
+        SweepKey {
+            synthetic: req.synthetic,
+            max_mesh_cycles: req.max_mesh_cycles,
+            net_contended: req.net == NetKind::Contended,
+            fast_forward: req.fast_forward,
+        }
+    }
+}
+
+/// One admitted sweep request waiting for (or riding) a sweep.
+struct Job {
+    id: u64,
+    key: SweepKey,
+    threads: Option<usize>,
+    tables: Vec<u32>,
+    deadline: Option<Instant>,
+    writer: Arc<ConnWriter>,
+    enqueued: Instant,
+}
+
+/// A connection stream over either transport.
+enum AnyStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl AnyStream {
+    fn try_clone(&self) -> std::io::Result<AnyStream> {
+        match self {
+            AnyStream::Tcp(s) => s.try_clone().map(AnyStream::Tcp),
+            AnyStream::Unix(s) => s.try_clone().map(AnyStream::Unix),
+        }
+    }
+
+    fn shutdown(&self) -> std::io::Result<()> {
+        match self {
+            AnyStream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            AnyStream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
+}
+
+impl Read for AnyStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            AnyStream::Tcp(s) => s.read(buf),
+            AnyStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for AnyStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            AnyStream::Tcp(s) => s.write(buf),
+            AnyStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            AnyStream::Tcp(s) => s.flush(),
+            AnyStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The write half of a connection, shared between the reader thread (for
+/// immediate responses) and the sweeper (for streamed frames). A failed
+/// write latches `closed`; later frames to this subscriber are dropped
+/// without touching the socket.
+struct ConnWriter {
+    stream: Mutex<AnyStream>,
+    closed: AtomicBool,
+}
+
+impl ConnWriter {
+    /// Closes the underlying socket in both directions, unblocking any
+    /// parked read on the other half.
+    fn shutdown(&self) {
+        let _ = self.stream.lock().expect("writer lock").shutdown();
+        self.closed.store(true, Ordering::Relaxed);
+    }
+
+    /// Writes one frame; `false` once the connection is dead.
+    fn send(&self, payload: &str) -> bool {
+        if self.closed.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut s = self.stream.lock().expect("writer lock");
+        match write_frame(&mut *s, payload.as_bytes()) {
+            Ok(()) => true,
+            Err(_) => {
+                self.closed.store(true, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    /// Request-level defaults handed to the parser.
+    defaults: EvalConfig,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    /// Set (under the queue lock) when draining; checked under the same
+    /// lock at admission so no job can slip in behind the sweeper's exit.
+    shutdown: AtomicBool,
+    /// Set by the sweeper once the drain is complete. The listeners stay
+    /// up until then so late requests get an explicit `503`, not a
+    /// connection refusal.
+    drained: AtomicBool,
+    in_flight: AtomicUsize,
+    metrics: Mutex<ServerMetrics>,
+    /// Simulation metrics folded in from every completed sweep (the
+    /// Table 30 registry the metrics endpoint renders).
+    registry: Mutex<MetricsRegistry>,
+    /// Prepared populations keyed by synthetic size.
+    prepared: Mutex<HashMap<usize, Arc<PreparedPopulation>>>,
+    /// Live connections, shut down at the end of a drain to unblock
+    /// parked reader threads. Readers deregister themselves on exit.
+    conns: Mutex<Vec<Arc<ConnWriter>>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        let _guard = self.queue.lock().expect("queue lock");
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+}
+
+/// A running `javaflow-serve` instance.
+///
+/// ```no_run
+/// use javaflow_server::{Server, ServerConfig};
+///
+/// let server = Server::start(ServerConfig::default()).unwrap();
+/// println!("listening on {}", server.addr());
+/// server.request_shutdown();
+/// server.join().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").field("cfg", &self.cfg).finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listeners, spawns the accept and sweeper threads, and
+    /// returns immediately.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let uds = match &cfg.uds_path {
+            Some(path) => {
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let defaults = EvalConfig { threads: cfg.threads, ..EvalConfig::default() };
+        let shared = Arc::new(Shared {
+            cfg,
+            defaults,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            metrics: Mutex::new(ServerMetrics::default()),
+            registry: Mutex::new(MetricsRegistry::new()),
+            prepared: Mutex::new(HashMap::new()),
+            conns: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                accept_loop(&shared, move || listener.accept().map(|(s, _)| AnyStream::Tcp(s)));
+            }));
+        }
+        if let Some(l) = uds {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                accept_loop(&shared, move || l.accept().map(|(s, _)| AnyStream::Unix(s)));
+            }));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || sweeper_loop(&shared)));
+        }
+        Ok(Server { shared, addr, handles })
+    }
+
+    /// The bound TCP address (the actual port when `addr` asked for 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins a graceful drain: new sweeps get `503`, queued sweeps run
+    /// to completion, then the worker threads exit. Idempotent; also
+    /// triggered by a client `shutdown` request.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Whether a drain has been requested (by [`Server::request_shutdown`]
+    /// or a client `shutdown` frame).
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the drain to finish: joins the accept and sweeper
+    /// threads, unblocks and joins every reader, removes the Unix socket
+    /// file. Call after (or concurrently with) a shutdown request.
+    pub fn join(mut self) -> std::io::Result<()> {
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        for c in self.shared.conns.lock().expect("conns lock").drain(..) {
+            c.shutdown();
+        }
+        let readers: Vec<_> = self.shared.readers.lock().expect("readers lock").drain(..).collect();
+        for h in readers {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.shared.cfg.uds_path {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+/// Polls a nonblocking listener until shutdown, handing each accepted
+/// stream its own reader thread.
+fn accept_loop(shared: &Arc<Shared>, mut accept: impl FnMut() -> std::io::Result<AnyStream>) {
+    while !shared.drained.load(Ordering::SeqCst) {
+        match accept() {
+            Ok(stream) => {
+                let Ok(read_half) = stream.try_clone() else { continue };
+                let writer = Arc::new(ConnWriter {
+                    stream: Mutex::new(stream),
+                    closed: AtomicBool::new(false),
+                });
+                shared.conns.lock().expect("conns lock").push(Arc::clone(&writer));
+                let shared2 = Arc::clone(shared);
+                let handle = std::thread::spawn(move || {
+                    let mut reader = read_half;
+                    reader_loop(&shared2, &mut reader, &writer);
+                    // Surface EOF to the peer even while queued jobs still
+                    // hold `Arc`s to this writer, and drop the registry
+                    // entry so long-lived servers don't accumulate one
+                    // per connection ever served.
+                    writer.shutdown();
+                    shared2.conns.lock().expect("conns lock").retain(|w| !Arc::ptr_eq(w, &writer));
+                });
+                shared.readers.lock().expect("readers lock").push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Reads frames off one connection until EOF, error, or a protocol
+/// violation that closes it.
+fn reader_loop(shared: &Arc<Shared>, reader: &mut AnyStream, writer: &Arc<ConnWriter>) {
+    loop {
+        match read_frame(reader, shared.cfg.max_frame) {
+            Ok(None) => break,
+            Ok(Some(payload)) => handle_request(shared, writer, &payload),
+            Err(FrameError::Oversized(n)) => {
+                shared.metrics.lock().expect("metrics lock").bad_requests += 1;
+                writer.send(&error_frame(
+                    0,
+                    413,
+                    &format!("frame of {n} bytes exceeds the {} byte limit", shared.cfg.max_frame),
+                ));
+                break;
+            }
+            Err(FrameError::Truncated | FrameError::Io(_)) => break,
+        }
+        if writer.closed.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, payload: &[u8]) {
+    match parse_request(payload, &shared.defaults) {
+        Err(e) => {
+            shared.metrics.lock().expect("metrics lock").bad_requests += 1;
+            writer.send(&error_frame(e.id, e.code, &e.message));
+        }
+        Ok(Request::Ping { id }) => {
+            writer.send(&format!("{{\"type\": \"pong\", \"id\": {id}}}"));
+        }
+        Ok(Request::Shutdown { id }) => {
+            writer.send(&format!("{{\"type\": \"shutdown_ack\", \"id\": {id}}}"));
+            shared.request_shutdown();
+        }
+        Ok(Request::Metrics { id }) => {
+            let queue_depth = shared.queue.lock().expect("queue lock").len();
+            let in_flight = shared.in_flight.load(Ordering::SeqCst);
+            let server =
+                shared.metrics.lock().expect("metrics lock").render_json(queue_depth, in_flight);
+            let reg = shared.registry.lock().expect("registry lock");
+            let frame = format!(
+                "{{\"type\": \"metrics\", \"id\": {id}, \"server\": {server}, \
+                 \"table30\": \"{}\", \"metrics\": {}}}",
+                json_escape(&reg.render()),
+                reg.to_json(),
+            );
+            drop(reg);
+            writer.send(&frame);
+        }
+        Ok(Request::Sweep(req)) => admit(shared, writer, req),
+    }
+}
+
+/// Admission control: validate against server limits, refuse when
+/// draining (`503`) or saturated (`429`), otherwise enqueue and ack.
+fn admit(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: SweepRequest) {
+    if req.synthetic > shared.cfg.synthetic_cap {
+        shared.metrics.lock().expect("metrics lock").bad_requests += 1;
+        writer.send(&error_frame(
+            req.id,
+            400,
+            &format!("`synthetic` exceeds the server cap of {}", shared.cfg.synthetic_cap),
+        ));
+        return;
+    }
+    let id = req.id;
+    {
+        let mut q = shared.queue.lock().expect("queue lock");
+        if shared.shutdown.load(Ordering::SeqCst) {
+            drop(q);
+            shared.metrics.lock().expect("metrics lock").rejected_drain += 1;
+            writer.send(&error_frame(id, 503, "server is draining"));
+            return;
+        }
+        if q.len() >= shared.cfg.queue_cap {
+            drop(q);
+            shared.metrics.lock().expect("metrics lock").rejected_busy += 1;
+            writer.send(&error_frame(id, 429, "admission queue is full"));
+            return;
+        }
+        let now = Instant::now();
+        q.push_back(Job {
+            id,
+            key: SweepKey::of(&req),
+            threads: req.threads,
+            tables: req.tables,
+            deadline: (req.deadline_ms > 0).then(|| now + Duration::from_millis(req.deadline_ms)),
+            writer: Arc::clone(writer),
+            enqueued: now,
+        });
+        // Ack under the queue lock: the sweeper cannot pop (and start
+        // streaming batches) until admission's frame is on the wire, so
+        // `accepted` always precedes the first `batch` on a connection.
+        writer.send(&format!(
+            "{{\"type\": \"accepted\", \"id\": {id}, \"queue_depth\": {}}}",
+            q.len()
+        ));
+    }
+    shared.queue_cv.notify_one();
+    shared.metrics.lock().expect("metrics lock").accepted += 1;
+}
+
+/// The sweeper: pop the oldest job, coalesce everything compatible with
+/// it, run one shared sweep, stream to all subscribers. Exits when the
+/// queue is empty after a shutdown request — a drain, not an abort.
+fn sweeper_loop(shared: &Arc<Shared>) {
+    loop {
+        let group: Vec<Job> = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(first) = q.pop_front() {
+                    let key = first.key.clone();
+                    let mut group = vec![first];
+                    let mut i = 0;
+                    while i < q.len() {
+                        if q[i].key == key {
+                            group.extend(q.remove(i));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    break group;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    drop(q);
+                    shared.drained.store(true, Ordering::SeqCst);
+                    return;
+                }
+                q = shared.queue_cv.wait(q).expect("queue lock");
+            }
+        };
+        shared.in_flight.store(group.len(), Ordering::SeqCst);
+        run_group(shared, group);
+        shared.in_flight.store(0, Ordering::SeqCst);
+    }
+}
+
+/// One subscriber to a (possibly shared) sweep.
+struct Sub {
+    job: Job,
+    seq: usize,
+    alive: bool,
+}
+
+fn run_group(shared: &Arc<Shared>, group: Vec<Job>) {
+    let coalesced = group.len() > 1;
+    {
+        let picked_up = Instant::now();
+        let mut m = shared.metrics.lock().expect("metrics lock");
+        m.sweeps += 1;
+        if coalesced {
+            m.coalesced_requests += group.len() as u64 - 1;
+        }
+        for job in &group {
+            m.observe_queue_wait(picked_up.duration_since(job.enqueued));
+        }
+    }
+    let mut subs: Vec<Sub> = Vec::with_capacity(group.len());
+    for job in group {
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            shared.metrics.lock().expect("metrics lock").cancelled_deadline += 1;
+            job.writer.send(&error_frame(job.id, 504, "deadline expired before the sweep started"));
+        } else {
+            subs.push(Sub { job, seq: 0, alive: true });
+        }
+    }
+    if subs.is_empty() {
+        return;
+    }
+    let key = subs[0].job.key.clone();
+    let pop = {
+        let mut cache = shared.prepared.lock().expect("prepared lock");
+        Arc::clone(cache.entry(key.synthetic).or_insert_with(|| {
+            Arc::new(PreparedPopulation::prepare(key.synthetic, shared.cfg.threads))
+        }))
+    };
+    let threads = subs.iter().filter_map(|s| s.job.threads).max().unwrap_or(shared.cfg.threads);
+    let cfg = EvalConfig {
+        synthetic_count: key.synthetic,
+        max_mesh_cycles: key.max_mesh_cycles,
+        net: if key.net_contended { NetKind::Contended } else { NetKind::Ideal },
+        fast_forward: key.fast_forward,
+        threads,
+        ..EvalConfig::default()
+    };
+    let records = pop.records();
+    let eval = pop.evaluate_batched(&cfg, shared.cfg.batch_records, |first, results| {
+        let payload = batch_payload(records, first, results);
+        let mut streamed = 0u64;
+        let mut any_alive = false;
+        for sub in subs.iter_mut().filter(|s| s.alive) {
+            if sub.job.deadline.is_some_and(|d| Instant::now() >= d) {
+                sub.alive = false;
+                shared.metrics.lock().expect("metrics lock").cancelled_deadline += 1;
+                sub.job.writer.send(&error_frame(sub.job.id, 504, "deadline exceeded mid-sweep"));
+                continue;
+            }
+            if sub.job.writer.send(&batch_frame(sub.job.id, sub.seq, first, &payload)) {
+                sub.seq += 1;
+                streamed += 1;
+                any_alive = true;
+            } else {
+                sub.alive = false;
+                shared.metrics.lock().expect("metrics lock").disconnects += 1;
+            }
+        }
+        shared.metrics.lock().expect("metrics lock").batches_streamed += streamed;
+        // No live subscribers left → cancel the sweep at this boundary.
+        any_alive
+    });
+    let Some(eval) = eval else { return };
+    let done_at = Instant::now();
+    for sub in subs.iter().filter(|s| s.alive) {
+        let frame = done_frame(sub.job.id, &eval, coalesced, &sub.job.tables);
+        let delivered = sub.job.writer.send(&frame);
+        let mut m = shared.metrics.lock().expect("metrics lock");
+        if delivered {
+            m.completed += 1;
+            m.observe_latency(done_at.duration_since(sub.job.enqueued));
+        } else {
+            m.disconnects += 1;
+        }
+    }
+    shared.registry.lock().expect("registry lock").merge(&eval.metrics());
+}
