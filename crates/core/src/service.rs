@@ -20,7 +20,8 @@
 use std::sync::Arc;
 
 use javaflow_fabric::{
-    prepare, ArenaPool, DataflowGraph, DecodedMethod, FabricConfig, PreparedMethod, Resolved,
+    prepare, ArenaPool, CompiledCache, DataflowGraph, DecodedMethod, FabricConfig, PreparedMethod,
+    Resolved,
 };
 
 use crate::harness::{cost_schedule, eval_prepared};
@@ -36,6 +37,10 @@ struct PreparedParts {
     resolved: Arc<Resolved>,
     graph: Arc<DataflowGraph>,
     decoded: Arc<DecodedMethod>,
+    /// Block-schedule cache shared across sweeps: a compiled sweep's
+    /// first visit to a (config, script) key records the schedule, every
+    /// later sweep replays it.
+    compiled: Arc<CompiledCache>,
 }
 
 /// A population prepared once and swept many times.
@@ -59,6 +64,7 @@ impl PreparedPopulation {
                 resolved: p.resolved,
                 graph: p.graph,
                 decoded: p.decoded,
+                compiled: p.compiled,
             })
         });
         PreparedPopulation { synthetic_count, records, preps }
@@ -92,6 +98,7 @@ impl PreparedPopulation {
             resolved: Arc::clone(&p.resolved),
             graph: Arc::clone(&p.graph),
             decoded: Arc::clone(&p.decoded),
+            compiled: Arc::clone(&p.compiled),
         })
     }
 
@@ -137,6 +144,7 @@ impl PreparedPopulation {
                     &configs,
                     cfg.max_mesh_cycles,
                     cfg.fast_forward,
+                    cfg.compiled,
                     arena,
                 )
             },

@@ -47,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 mod branch;
+mod compile;
 pub mod compute;
 mod config;
 mod enhance;
@@ -62,6 +63,7 @@ pub mod trace;
 pub mod wheel;
 
 pub use branch::{BranchMode, BranchOracle};
+pub use compile::{CompiledCache, CompiledMethod};
 pub use config::{ConfigError, FabricConfig, Layout, HETERO_PATTERN};
 pub use enhance::{DataflowGraph, Relay};
 pub use manager::{AnchorId, FabricManager, ManageError};

@@ -35,12 +35,14 @@ use javaflow_bytecode::{InstructionGroup, Method, Opcode, Operand, Value};
 use javaflow_interp::{Interp, JvmError, JvmErrorKind};
 
 use crate::{
+    compile::{BlockRecorder, CompiledCache, CompiledMethod, Snapshot},
     compute::{eval_condition, eval_into, OutVals},
     net::{ContendedNet, IdealNet, NetModel},
     place, resolve,
     trace::{
         encode_token, encode_value, env_stderr_sink, pack_coords, NoopSink, TraceEvent, TraceKind,
-        TraceSink, WARN_FF_GPP, WARN_FF_NET_ORDER,
+        TraceSink, WARN_COMPILE_DATA_MODE, WARN_COMPILE_GPP, WARN_COMPILE_NET_ORDER, WARN_FF_GPP,
+        WARN_FF_NET_ORDER,
     },
     BranchMode, BranchOracle, DataflowGraph, FabricConfig, NetKind, NetReport, PlaceError,
     Placement, ResolveError, Resolved, TimingWheel, Token,
@@ -65,13 +67,20 @@ pub struct LoadedMethod<'m> {
     pub graph: Arc<DataflowGraph>,
     /// The pre-decoded per-instruction dispatch table.
     pub decoded: Arc<DecodedMethod>,
+    /// Block-compiled schedules keyed by `(config, mode, budget, args)`,
+    /// shared with the [`PreparedMethod`] so every placement and sweep
+    /// over the method reuses one artifact per key.
+    pub compiled: Arc<CompiledCache>,
 }
 
 impl LoadedMethod<'_> {
     /// Mutable access to the routing graph for the Section 6.4
     /// enhancement passes (folding, fanout limiting). Unshares the graph
-    /// from sibling placements first if needed.
+    /// from sibling placements first if needed — and detaches the
+    /// compiled-schedule cache, whose recorded timings assume the
+    /// untransformed graph.
     pub fn graph_mut(&mut self) -> &mut DataflowGraph {
+        self.compiled = Arc::new(CompiledCache::new());
         Arc::make_mut(&mut self.graph)
     }
 }
@@ -250,12 +259,17 @@ pub struct PreparedMethod<'m> {
     pub graph: Arc<DataflowGraph>,
     /// The pre-decoded per-instruction dispatch table.
     pub decoded: Arc<DecodedMethod>,
+    /// Block-compiled schedule cache (`ExecParams::compiled`), shared by
+    /// every placement of this method: the first eligible run per
+    /// `(config, mode, budget, args)` key records an AOT schedule, all
+    /// later runs replay it.
+    pub compiled: Arc<CompiledCache>,
 }
 
 impl<'m> PreparedMethod<'m> {
     /// Combines the prepared parts with an externally computed placement
     /// into a runnable [`LoadedMethod`]. Shares (rather than deep-copies)
-    /// the resolution, graph, and decode table.
+    /// the resolution, graph, decode table, and compiled-schedule cache.
     #[must_use]
     pub fn with_placement(&self, placement: Placement) -> LoadedMethod<'m> {
         LoadedMethod {
@@ -264,6 +278,7 @@ impl<'m> PreparedMethod<'m> {
             resolved: Arc::clone(&self.resolved),
             graph: Arc::clone(&self.graph),
             decoded: Arc::clone(&self.decoded),
+            compiled: Arc::clone(&self.compiled),
         }
     }
 }
@@ -291,6 +306,7 @@ pub fn prepare(method: &Method) -> Result<PreparedMethod<'_>, LoadError> {
         resolved: Arc::new(resolved),
         graph: Arc::new(graph),
         decoded: Arc::new(DecodedMethod::decode(method)),
+        compiled: Arc::new(CompiledCache::new()),
     })
 }
 
@@ -397,6 +413,18 @@ pub struct ExecParams<'g, 'p> {
     /// stub GPP — see DESIGN.md "Skip-index fast-forwarding"). `false`
     /// forces the naive per-node walk everywhere (differential testing).
     pub fast_forward: bool,
+    /// Execute from a block-compiled AOT schedule (`fabric::compile`)
+    /// instead of the event loop. Eligibility is fast-forward's gate plus
+    /// the scripted-mode requirement (ideal interconnect, stub GPP,
+    /// `BranchMode::Bp1`/`Bp2`, no active trace sink); ineligible runs
+    /// fall back to the interpreted walk and an active sink gets a
+    /// `WARN_COMPILE_*` event. The first eligible run per `(config,
+    /// mode, budget, args)` key pays one recorded interpreted run to
+    /// build the schedule; later runs replay it allocation-free with a
+    /// bit-identical report. Off by default: one-shot sweeps never
+    /// re-execute a key, so recording would be pure overhead — resident
+    /// processes (the sweep server) and repeated-run harnesses opt in.
+    pub compiled: bool,
 }
 
 impl Default for ExecParams<'_, '_> {
@@ -407,6 +435,7 @@ impl Default for ExecParams<'_, '_> {
             gpp: Gpp::Stub,
             args: Vec::new(),
             fast_forward: true,
+            compiled: false,
         }
     }
 }
@@ -758,12 +787,116 @@ pub fn execute_with_sink<S: TraceSink>(
     sink: &mut S,
 ) -> ExecReport {
     config.validate().expect("invalid FabricConfig");
+    // The block-compiled gate: fast-forward's eligibility (order-free
+    // interconnect, stub GPP, no active sink) plus scripted branches —
+    // only then is the whole run independent of data values and a
+    // recorded schedule exact. Declines fall through to the event loop,
+    // which emits the `WARN_COMPILE_*` trace events.
+    if params.compiled
+        && matches!(config.net, NetKind::Ideal)
+        && matches!(params.gpp, Gpp::Stub)
+        && params.mode.is_scripted()
+        && !S::ACTIVE
+    {
+        return run_compiled(lm, config, params, arena, sink);
+    }
     match config.net {
-        NetKind::Ideal => Sim::new(lm, config, params, arena, IdealNet, sink).run(),
+        NetKind::Ideal => Sim::new(lm, config, params, arena, IdealNet, sink, None).run(),
         NetKind::Contended => {
             let net = ContendedNet::new(config);
-            Sim::new(lm, config, params, arena, net, sink).run()
+            Sim::new(lm, config, params, arena, net, sink, None).run()
         }
+    }
+}
+
+/// The compiled execution entry: replay the cached AOT schedule for this
+/// `(config, mode, budget, fast-forward, args)` key, or record one with
+/// an instrumented run on a cache miss. The recording run *is* the
+/// requested execution — its report is returned directly, so a cold
+/// compile costs one interpreted run plus the recorder's bookkeeping.
+fn run_compiled<S: TraceSink>(
+    lm: &LoadedMethod<'_>,
+    config: &FabricConfig,
+    params: ExecParams<'_, '_>,
+    arena: &mut SimArena,
+    sink: &mut S,
+) -> ExecReport {
+    let (mode, max, ff) = (params.mode, params.max_mesh_cycles, params.fast_forward);
+    if let Some(cm) = lm.compiled.lookup(config, mode, max, ff, &params.args) {
+        return replay_schedule(&cm, lm, arena);
+    }
+    let args = params.args.clone();
+    let mut rec = BlockRecorder::new();
+    let report = Sim::new(lm, config, params, arena, IdealNet, sink, Some(&mut rec)).run();
+    let active_static = lm.graph.active.iter().filter(|a| **a).count().max(1);
+    let cm = rec.finish_from_report(&report, active_static, config.mesh_cycle_ticks());
+    lm.compiled.insert(config, mode, max, ff, &args, Arc::new(cm));
+    report
+}
+
+/// Executes a [`CompiledMethod`]: walk the run-length-encoded block
+/// schedule, fold each block's precomputed counter and delay offsets in
+/// (scaled by the repeat count), and mark its firing order in the
+/// coverage slab. Allocation-free on a warmed arena; the report is
+/// bit-identical to the interpreted run the schedule was recorded from.
+fn replay_schedule(cm: &CompiledMethod, lm: &LoadedMethod<'_>, arena: &mut SimArena) -> ExecReport {
+    arena.reset_for(&lm.decoded);
+    let mut end = 0u64;
+    let mut events = 0u64;
+    let mut events_skipped = 0u64;
+    let mut executed = 0u64;
+    let mut relay_fires = 0u64;
+    let mut serial_msgs = 0u64;
+    let mut mesh_msgs = 0u64;
+    let mut wheel_pushes = 0u64;
+    let mut acc_ge1 = 0u64;
+    let mut acc_ge2 = 0u64;
+    let mut class_fires = [0u64; 4];
+    let mut static_covered = 0usize;
+    for &(bid, count) in &cm.schedule {
+        let b = &cm.blocks[bid as usize];
+        let k = u64::from(count);
+        end += b.ticks * k;
+        events += b.events * k;
+        events_skipped += b.events_skipped * k;
+        executed += b.executed * k;
+        relay_fires += b.relay_fires * k;
+        serial_msgs += b.serial_msgs * k;
+        mesh_msgs += b.mesh_msgs * k;
+        wheel_pushes += b.wheel_pushes * k;
+        acc_ge1 += b.acc_ge1 * k;
+        acc_ge2 += b.acc_ge2 * k;
+        for (acc, d) in class_fires.iter_mut().zip(&b.class_fires) {
+            *acc += d * k;
+        }
+        for &f in &b.fired {
+            let ix = f as usize;
+            if !arena.covered[ix] {
+                arena.covered[ix] = true;
+                static_covered += 1;
+            }
+        }
+    }
+    let end = end.max(1);
+    let mesh_cycles = end.div_ceil(cm.mesh_ticks);
+    ExecReport {
+        outcome: cm.outcome.clone(),
+        mesh_cycles,
+        executed,
+        relay_fires,
+        static_covered,
+        coverage: static_covered as f64 / cm.active_static as f64,
+        ipc: executed as f64 / mesh_cycles as f64,
+        frac_cycles_ge2: acc_ge2 as f64 / end as f64,
+        frac_cycles_ge1: acc_ge1 as f64 / end as f64,
+        serial_msgs,
+        mesh_msgs,
+        events,
+        events_skipped,
+        class_fires,
+        wheel_high_water: cm.wheel_high_water,
+        wheel_pushes,
+        net: None,
     }
 }
 
@@ -786,6 +919,14 @@ struct Sim<'a, 'm, 'g, 'p, N: NetModel, S: TraceSink> {
     /// What the caller asked for — when the gate declines it, an active
     /// sink gets a [`TraceKind::Warn`] naming the reason.
     wanted_ff: bool,
+    /// Whether the caller asked for block-compiled execution — when the
+    /// gate declined it (this event loop is running instead), an active
+    /// sink gets a [`TraceKind::Warn`] naming the reason.
+    wanted_compiled: bool,
+    /// Block-schedule recorder riding this run (`fabric::compile` cache
+    /// misses only); observes fires, backward-jump re-injections, and
+    /// the final counter snapshot.
+    rec: Option<&'a mut BlockRecorder>,
     // stats
     events: u64,
     events_skipped: u64,
@@ -811,6 +952,7 @@ impl<'a, 'm, 'g, 'p, N: NetModel, S: TraceSink> Sim<'a, 'm, 'g, 'p, N, S> {
         arena: &'a mut SimArena,
         net: N,
         tracer: &'a mut S,
+        rec: Option<&'a mut BlockRecorder>,
     ) -> Self {
         let n = lm.method.code.len();
         let dm: &'a DecodedMethod = &lm.decoded;
@@ -843,6 +985,8 @@ impl<'a, 'm, 'g, 'p, N: NetModel, S: TraceSink> Sim<'a, 'm, 'g, 'p, N, S> {
             max_ticks,
             ff,
             wanted_ff: params.fast_forward,
+            wanted_compiled: params.compiled,
+            rec,
             events: 0,
             events_skipped: 0,
             executed: 0,
@@ -862,6 +1006,24 @@ impl<'a, 'm, 'g, 'p, N: NetModel, S: TraceSink> Sim<'a, 'm, 'g, 'p, N, S> {
 
     fn mesh_ticks(&self) -> u64 {
         self.cfg.mesh_cycle_ticks()
+    }
+
+    /// Cumulative counter snapshot for the block recorder; two snapshots
+    /// bracket a block and their difference is the block's delta.
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            now: self.now,
+            events: self.events,
+            events_skipped: self.events_skipped,
+            executed: self.executed,
+            relay_fires: self.relay_fires,
+            serial_msgs: self.serial_msgs,
+            mesh_msgs: self.mesh_msgs,
+            wheel_pushes: self.arena.queue.pushes(),
+            acc_ge1: self.acc_ge1,
+            acc_ge2: self.acc_ge2,
+            class_fires: self.class_fires,
+        }
     }
 
     fn serial_hop(&self) -> u64 {
@@ -1040,6 +1202,27 @@ impl<'a, 'm, 'g, 'p, N: NetModel, S: TraceSink> Sim<'a, 'm, 'g, 'p, N, S> {
                 });
             }
         }
+        // Same for block compilation. As with fast-forward, the sink
+        // itself forcing this walk is not an event — only the semantic
+        // declines are, so recordings stay byte-identical either way.
+        if S::ACTIVE && self.wanted_compiled {
+            for (cond, code) in [
+                (!N::ORDER_FREE, WARN_COMPILE_NET_ORDER),
+                (!matches!(self.gpp, Gpp::Stub), WARN_COMPILE_GPP),
+                (!self.lenient, WARN_COMPILE_DATA_MODE),
+            ] {
+                if cond {
+                    self.tracer.record(&TraceEvent {
+                        tick: 0,
+                        kind: TraceKind::Warn,
+                        node: u32::MAX,
+                        arg: code,
+                        data: 0,
+                        aux: 0,
+                    });
+                }
+            }
+        }
         self.inject_bundle();
         // Drain the wheel one bucket at a time: all events of a bucket
         // share one tick, so the budget check and `now` update hoist out
@@ -1092,6 +1275,14 @@ impl<'a, 'm, 'g, 'p, N: NetModel, S: TraceSink> Sim<'a, 'm, 'g, 'p, N, S> {
             }
         }
         self.arena.batch = batch;
+        // Close the final (fall-through) block: everything fired since
+        // the last backward-jump re-injection up to the settled outcome.
+        if self.rec.is_some() {
+            let snap = self.snapshot();
+            if let Some(r) = self.rec.as_deref_mut() {
+                r.boundary(snap);
+            }
+        }
         let end = self.now.max(1);
         let mesh_cycles = end.div_ceil(self.mesh_ticks());
         let static_covered = self.arena.covered.iter().filter(|c| **c).count();
@@ -1456,6 +1647,9 @@ impl<'a, 'm, 'g, 'p, N: NetModel, S: TraceSink> Sim<'a, 'm, 'g, 'p, N, S> {
         self.executed += 1;
         self.class_fires[usize::from(d.timing_class)] += 1;
         self.set_busy(1);
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.on_fire(i);
+        }
 
         let exec_ticks = self.class_ticks[usize::from(d.timing_class)];
         if S::ACTIVE {
@@ -1830,6 +2024,15 @@ impl<'a, 'm, 'g, 'p, N: NetModel, S: TraceSink> Sim<'a, 'm, 'g, 'p, N, S> {
             );
         }
         self.arena.scratch.clear();
+        // A completed re-injection is a block boundary: the loop body is
+        // back in its ready state, so the firings since the previous
+        // boundary form one repeatable schedule unit.
+        if self.rec.is_some() {
+            let snap = self.snapshot();
+            if let Some(r) = self.rec.as_deref_mut() {
+                r.boundary(snap);
+            }
+        }
     }
 
     /// Ordered memory operations against the shared JVM state (or dummy

@@ -41,6 +41,20 @@ pub const WARN_FF_NET_ORDER: u32 = 1;
 /// requested but auto-disabled because a non-stub GPP is attached (the
 /// interpreter's heap observes same-tick service order).
 pub const WARN_FF_GPP: u32 = 2;
+/// Why a [`TraceKind::Warn`] event fired: `ExecParams::compiled` was
+/// requested but declined because the interconnect model books link/ring
+/// state in arrival order (`NetModel::ORDER_FREE` is false), so a
+/// recorded schedule would not be tick-exact.
+pub const WARN_COMPILE_NET_ORDER: u32 = 3;
+/// Why a [`TraceKind::Warn`] event fired: `ExecParams::compiled` was
+/// requested but declined because a non-stub GPP is attached — real
+/// heap/interpreter state makes timing value-dependent.
+pub const WARN_COMPILE_GPP: u32 = 4;
+/// Why a [`TraceKind::Warn`] event fired: `ExecParams::compiled` was
+/// requested but declined because the run uses data-driven branches
+/// (`BranchMode::Data`); only the scripted oracle modes make control
+/// flow independent of argument values.
+pub const WARN_COMPILE_DATA_MODE: u32 = 5;
 
 /// What a [`TraceEvent`] describes. Discriminants are the first byte of
 /// the binary record format and must stay stable.
@@ -81,8 +95,9 @@ pub enum TraceKind {
     /// `JAVAFLOW_TRACE_MEM` observation). `arg` = operand count,
     /// `data`/`aux` = bits/tag of the stored value.
     MemObserve = 9,
-    /// A diagnostic: see [`WARN_FF_NET_ORDER`] / [`WARN_FF_GPP`] for the
-    /// `arg` codes.
+    /// A diagnostic: see [`WARN_FF_NET_ORDER`] / [`WARN_FF_GPP`] /
+    /// [`WARN_COMPILE_NET_ORDER`] / [`WARN_COMPILE_GPP`] /
+    /// [`WARN_COMPILE_DATA_MODE`] for the `arg` codes.
     Warn = 10,
     /// The run ended. `tick` = final raw tick, `arg` = outcome code
     /// (0 returned / 1 timeout / 2 deadlock / 3 exception), `data` =
@@ -252,12 +267,19 @@ impl TraceSink for StderrSink {
                 );
             }
             TraceKind::Warn => {
-                let why = match ev.arg {
-                    WARN_FF_NET_ORDER => "interconnect model is not order-free",
-                    WARN_FF_GPP => "a non-stub GPP is attached",
-                    _ => "unknown reason",
+                let (what, why) = match ev.arg {
+                    WARN_FF_NET_ORDER => ("fast-forward", "interconnect model is not order-free"),
+                    WARN_FF_GPP => ("fast-forward", "a non-stub GPP is attached"),
+                    WARN_COMPILE_NET_ORDER => {
+                        ("block compilation", "interconnect model is not order-free")
+                    }
+                    WARN_COMPILE_GPP => ("block compilation", "a non-stub GPP is attached"),
+                    WARN_COMPILE_DATA_MODE => {
+                        ("block compilation", "branches are data-driven, not scripted")
+                    }
+                    _ => ("fast-forward", "unknown reason"),
                 };
-                eprintln!("[warn] fast-forward requested but disabled: {why}");
+                eprintln!("[warn] {what} requested but disabled: {why}");
             }
             _ => {}
         }

@@ -1,0 +1,93 @@
+//! Zero-allocation steady state for the block-compiled path: once a
+//! method's schedule has been recorded (one cold run), every warm replay
+//! is a table walk over the cached [`CompiledMethod`] — cache lookup,
+//! arena reset, block-delta accumulation, and report assembly must not
+//! touch the heap at all.
+//!
+//! Single-test file on purpose: the counting `#[global_allocator]` is
+//! process-wide, and a concurrent test's allocations would show up in
+//! the measured window (`fabric/tests/alloc.rs` covers the interpreted
+//! walks under the same constraint).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use javaflow_bytecode::asm::assemble;
+use javaflow_fabric::{execute_in, load, BranchMode, ExecParams, FabricConfig, Outcome, SimArena};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const SUM_LOOP: &str = ".method sum args=1 returns=true locals=3
+   iconst_0
+   istore 1
+ top:
+   iload 1
+   iload 0
+   iadd
+   istore 1
+   iinc 0 -1
+   iload 0
+   ifgt @top
+   iload 1
+   ireturn
+ .end";
+
+#[test]
+fn warm_compiled_replay_does_not_allocate() {
+    let p = assemble(SUM_LOOP).unwrap();
+    let (_, m) = p.method_by_name("sum").unwrap();
+    let config = FabricConfig::compact2();
+    let loaded = load(m, &config).unwrap();
+    let mut arena = SimArena::new();
+
+    let run = |arena: &mut SimArena| {
+        execute_in(
+            &loaded,
+            &config,
+            ExecParams { mode: BranchMode::Bp1, compiled: true, ..ExecParams::default() },
+            arena,
+        )
+    };
+
+    // Cold run: rides the fast-forward walk, records the block schedule,
+    // and inserts the compiled artifact. Allocates (blocks, schedule,
+    // cache entry) by design — it happens once per (config, args) key.
+    let cold = run(&mut arena);
+    assert!(matches!(cold.outcome, Outcome::Returned(_)), "cold run: {:?}", cold.outcome);
+    assert!(cold.executed > 20, "the loop should iterate (bp back jumps taken 9 of 10)");
+    assert_eq!(loaded.compiled.len(), 1, "cold run must populate the cache");
+    assert_eq!(loaded.compiled.misses(), 1);
+
+    // Measured replays: the steady state must be allocation-free, and
+    // each replay must reproduce the cold report bit for bit. (No
+    // `format!` in this window — the checks themselves must not touch
+    // the heap on the success path.)
+    let before = ALLOCS.load(Relaxed);
+    for _ in 0..3 {
+        let report = run(&mut arena);
+        assert!(report == cold);
+    }
+    let after = ALLOCS.load(Relaxed);
+    assert_eq!(after - before, 0, "warm compiled replays must not allocate");
+    assert_eq!(loaded.compiled.hits(), 3, "every warm run must be a cache hit");
+}

@@ -1,12 +1,12 @@
-//! Differential property test for the skip-index fast-forward: on
-//! randomized synthetic methods (the same generator the evaluation sweep
-//! runs), the fast-forwarded walk must report exactly the cycle counts,
-//! stats, and outcome of the naive per-node walk, across every
-//! configuration and scripted branch mode.
+//! Differential property tests for the optimized walks: on randomized
+//! synthetic methods (the same generator the evaluation sweep runs), the
+//! skip-index fast-forward and the block-compiled replay must report
+//! exactly the cycle counts, stats, and outcome of the naive per-node
+//! walk, across every configuration and scripted branch mode.
 //!
 //! Two counter families are exempt from strict equality by design:
 //!
-//! * `events` / `events_skipped` — the point of the optimization; the
+//! * `events` / `events_skipped` — the point of the optimizations; the
 //!   naive walk must pop at least as many events as the fast walk, and the
 //!   fast walk must actually skip some.
 //! * `serial_msgs` / `mesh_msgs` / `relay_fires` — the fast walk commits a
@@ -14,6 +14,12 @@
 //!   walk books each hop as its event is processed; a run that terminates
 //!   with tokens in flight therefore counts a few trailing hops only under
 //!   fast-forward. The fast counters can never be *smaller*.
+//!
+//! The compiled path has a stronger contract than the naive one: the
+//! recording rides whatever walk the caller requested, so a compiled run
+//! (cold record or warm replay) must be *fully* byte-identical to the
+//! plain run with the same `fast_forward` setting — every counter, not
+//! just the observable ones.
 
 use javaflow_fabric::{
     execute, load, BranchMode, ExecParams, ExecReport, FabricConfig, Gpp, SimArena,
@@ -25,6 +31,7 @@ fn run(
     fc: &FabricConfig,
     bp: BranchMode,
     ff: bool,
+    compiled: bool,
 ) -> ExecReport {
     execute(
         loaded,
@@ -35,6 +42,7 @@ fn run(
             gpp: Gpp::Stub,
             args: Vec::new(),
             fast_forward: ff,
+            compiled,
         },
     )
 }
@@ -65,8 +73,9 @@ fn assert_equivalent(fast: &ExecReport, naive: &ExecReport, ctx: &str) {
 }
 
 #[test]
-fn fast_forward_matches_naive_walk_on_random_methods() {
+fn compiled_and_fast_forward_match_naive_walk_on_random_methods() {
     let mut total_skipped = 0u64;
+    let mut total_replays = 0u64;
     for seed in [0x4a56_4d46u64, 0xdead_beef, 0x0ddba11] {
         let (program, ids) = generate(&GenConfig { seed, count: 24, ..GenConfig::default() });
         for config in FabricConfig::all_six() {
@@ -74,20 +83,50 @@ fn fast_forward_matches_naive_walk_on_random_methods() {
                 let method = program.method(id);
                 let Ok(loaded) = load(method, &config) else { continue };
                 for bp in [BranchMode::Bp1, BranchMode::Bp2] {
-                    let fast = run(&loaded, &config, bp, true);
-                    let naive = run(&loaded, &config, bp, false);
+                    let fast = run(&loaded, &config, bp, true, false);
+                    let naive = run(&loaded, &config, bp, false, false);
                     let ctx = format!("seed {seed:#x} method {id:?} {} {bp:?}", config.name);
                     assert_equivalent(&fast, &naive, &ctx);
+                    // Cold compiled run: records while riding the
+                    // fast-forward walk, so the report is the FF report.
+                    let cold = run(&loaded, &config, bp, true, true);
+                    assert_eq!(cold, fast, "{ctx}: cold compiled run diverged from fast");
+                    // Warm compiled run: pure schedule replay.
+                    let warm = run(&loaded, &config, bp, true, true);
+                    assert_eq!(warm, fast, "{ctx}: compiled replay diverged from fast");
+                    assert_equivalent(&warm, &naive, &ctx);
                     total_skipped += fast.events_skipped;
+                    total_replays += loaded.compiled.hits();
                 }
             }
         }
     }
     assert!(total_skipped > 0, "fast-forward never skipped a single event");
+    assert!(total_replays > 0, "the compiled cache never replayed a schedule");
+}
+
+/// The compiled replay must also be bit-identical to the *naive* walk
+/// when the recording rode a `fast_forward: false` run — the schedule
+/// captures whichever walk was requested, counters and all.
+#[test]
+fn compiled_replay_matches_the_walk_it_recorded() {
+    let (program, ids) = generate(&GenConfig { seed: 0xb10c, count: 12, ..GenConfig::default() });
+    let config = FabricConfig::compact2();
+    for &id in &ids {
+        let method = program.method(id);
+        let Ok(loaded) = load(method, &config) else { continue };
+        for ff in [false, true] {
+            let plain = run(&loaded, &config, BranchMode::Bp2, ff, false);
+            let cold = run(&loaded, &config, BranchMode::Bp2, ff, true);
+            let warm = run(&loaded, &config, BranchMode::Bp2, ff, true);
+            assert_eq!(cold, plain, "method {id:?} ff={ff}: cold run diverged");
+            assert_eq!(warm, plain, "method {id:?} ff={ff}: replay diverged");
+        }
+    }
 }
 
 /// The arena-reusing entry point (the sweep's hot path) must behave the
-/// same as the fresh-arena one under fast-forward.
+/// same as the fresh-arena one under fast-forward and compiled replay.
 #[test]
 fn fast_forward_is_stable_under_arena_reuse() {
     let (program, ids) = generate(&GenConfig { count: 6, ..GenConfig::default() });
@@ -96,13 +135,20 @@ fn fast_forward_is_stable_under_arena_reuse() {
     for &id in &ids {
         let method = program.method(id);
         let Ok(loaded) = load(method, &config) else { continue };
-        let fresh = run(&loaded, &config, BranchMode::Bp1, true);
-        let reused = javaflow_fabric::execute_in(
-            &loaded,
-            &config,
-            ExecParams { mode: BranchMode::Bp1, max_mesh_cycles: 250_000, ..ExecParams::default() },
-            &mut arena,
-        );
-        assert_eq!(fresh, reused, "arena reuse changed a fast-forwarded report");
+        let fresh = run(&loaded, &config, BranchMode::Bp1, true, false);
+        for compiled in [false, true, true] {
+            let reused = javaflow_fabric::execute_in(
+                &loaded,
+                &config,
+                ExecParams {
+                    mode: BranchMode::Bp1,
+                    max_mesh_cycles: 250_000,
+                    compiled,
+                    ..ExecParams::default()
+                },
+                &mut arena,
+            );
+            assert_eq!(fresh, reused, "arena reuse changed a report (compiled={compiled})");
+        }
     }
 }

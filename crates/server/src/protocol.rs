@@ -127,6 +127,10 @@ pub struct SweepRequest {
     pub threads: Option<usize>,
     /// Token-walk fast-forwarding.
     pub fast_forward: bool,
+    /// Block-compiled execution: replay cached AOT schedules where
+    /// eligible. Part of the coalescing key — compiled and interpreted
+    /// sweeps never share a run.
+    pub compiled: bool,
     /// Chapter 7 tables to render into the final `done` frame.
     pub tables: Vec<u32>,
     /// Per-request deadline in milliseconds; 0 = none. An expired sweep
@@ -205,6 +209,12 @@ pub fn parse_request(payload: &[u8], defaults: &EvalConfig) -> Result<Request, R
                     .as_bool()
                     .ok_or_else(|| RequestError::bad(id, "`fast_forward` must be a bool"))?,
             };
+            let compiled = match j.get("compiled") {
+                None | Some(Json::Null) => defaults.compiled,
+                Some(v) => {
+                    v.as_bool().ok_or_else(|| RequestError::bad(id, "`compiled` must be a bool"))?
+                }
+            };
             let tables = match j.get("tables") {
                 None | Some(Json::Null) => Vec::new(),
                 Some(v) => {
@@ -233,6 +243,7 @@ pub fn parse_request(payload: &[u8], defaults: &EvalConfig) -> Result<Request, R
                 net,
                 threads,
                 fast_forward,
+                compiled,
                 tables,
                 deadline_ms,
             }))
@@ -409,8 +420,13 @@ mod tests {
         assert_eq!(s.net, d.net);
         assert_eq!(s.threads, None);
         assert!(s.fast_forward);
+        assert!(!s.compiled, "compiled defaults off, like EvalConfig");
         assert!(s.tables.is_empty());
         assert_eq!(s.deadline_ms, 0);
+
+        let r = parse_request(b"{\"kind\": \"sweep\", \"id\": 4, \"compiled\": true}", &d).unwrap();
+        let Request::Sweep(s) = r else { panic!("expected sweep") };
+        assert!(s.compiled);
     }
 
     #[test]
@@ -422,6 +438,7 @@ mod tests {
             "{\"kind\": \"sweep\", \"id\": 9, \"tables\": [31]}",
             "{\"kind\": \"sweep\", \"id\": 9, \"max_mesh_cycles\": 0}",
             "{\"kind\": \"sweep\", \"id\": 9, \"synthetic\": \"many\"}",
+            "{\"kind\": \"sweep\", \"id\": 9, \"compiled\": \"yes\"}",
             "{\"kind\": \"warp\", \"id\": 9}",
         ] {
             let e = parse_request(bad.as_bytes(), &d).unwrap_err();

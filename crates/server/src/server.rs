@@ -77,6 +77,11 @@ struct SweepKey {
     max_mesh_cycles: u64,
     net_contended: bool,
     fast_forward: bool,
+    /// Execution backend: block-compiled replay vs the interpreted walk.
+    /// Reports are bit-identical either way, but the backend is part of
+    /// the contract a subscriber asked for — compiled and interpreted
+    /// sweeps never coalesce onto one shared run.
+    compiled: bool,
 }
 
 impl SweepKey {
@@ -86,6 +91,7 @@ impl SweepKey {
             max_mesh_cycles: req.max_mesh_cycles,
             net_contended: req.net == NetKind::Contended,
             fast_forward: req.fast_forward,
+            compiled: req.compiled,
         }
     }
 }
@@ -548,6 +554,7 @@ fn run_group(shared: &Arc<Shared>, group: Vec<Job>) {
         max_mesh_cycles: key.max_mesh_cycles,
         net: if key.net_contended { NetKind::Contended } else { NetKind::Ideal },
         fast_forward: key.fast_forward,
+        compiled: key.compiled,
         threads,
         ..EvalConfig::default()
     };
