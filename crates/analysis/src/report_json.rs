@@ -123,7 +123,7 @@ pub fn net_report_json(n: &NetReport) -> String {
 /// every field in declaration order, `"net"` as `null` for ideal runs.
 pub fn exec_report_json(r: &ExecReport) -> String {
     format!(
-        "{{\"outcome\": {}, \"mesh_cycles\": {}, \"executed\": {}, \"relay_fires\": {}, \"static_covered\": {}, \"coverage\": {}, \"ipc\": {}, \"frac_cycles_ge2\": {}, \"frac_cycles_ge1\": {}, \"serial_msgs\": {}, \"mesh_msgs\": {}, \"events\": {}, \"events_skipped\": {}, \"class_fires\": [{}, {}, {}, {}], \"wheel_high_water\": {}, \"wheel_pushes\": {}, \"net\": {}}}",
+        "{{\"outcome\": {}, \"mesh_cycles\": {}, \"executed\": {}, \"relay_fires\": {}, \"static_covered\": {}, \"coverage\": {}, \"ipc\": {}, \"frac_cycles_ge2\": {}, \"frac_cycles_ge1\": {}, \"serial_msgs\": {}, \"mesh_msgs\": {}, \"events\": {}, \"events_skipped\": {}, \"class_fires\": [{}, {}, {}, {}], \"wheel_high_water\": {}, \"wheel_pushes\": {}, \"declined\": {}, \"net\": {}}}",
         outcome_json(&r.outcome),
         r.mesh_cycles,
         r.executed,
@@ -143,6 +143,7 @@ pub fn exec_report_json(r: &ExecReport) -> String {
         r.class_fires[3],
         r.wheel_high_water,
         r.wheel_pushes,
+        r.declined,
         r.net.as_ref().map_or_else(|| "null".to_string(), net_report_json),
     )
 }
@@ -204,12 +205,13 @@ mod tests {
             class_fires: [1, 2, 3, 4],
             wheel_high_water: 11,
             wheel_pushes: 12,
+            declined: 0,
             net: None,
         };
         let json = exec_report_json(&r);
         assert!(json.starts_with("{\"outcome\": \"Timeout\", \"mesh_cycles\": 10"));
         assert!(json.contains("\"ipc\": null"), "NaN must serialize as null: {json}");
         assert!(json.contains("\"class_fires\": [1, 2, 3, 4]"));
-        assert!(json.ends_with("\"net\": null}"));
+        assert!(json.ends_with("\"declined\": 0, \"net\": null}"));
     }
 }

@@ -18,7 +18,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 use javaflow_fabric::net::{NetReport, NodeNetStat, RingReport};
-use javaflow_fabric::trace::{decode_value, unpack_coords, WARN_FF_GPP, WARN_FF_NET_ORDER};
+use javaflow_fabric::trace::{
+    decode_value, unpack_coords, WARN_COMPILE_DATA_MODE, WARN_COMPILE_GPP, WARN_COMPILE_NET_ORDER,
+    WARN_FF_GPP, WARN_FF_NET_ORDER,
+};
 use javaflow_fabric::{ExecReport, Outcome, TraceEvent, TraceKind};
 
 /// An [`ExecReport`] reconstructed purely from a recorded event stream.
@@ -48,6 +51,10 @@ pub struct Replay {
     pub mesh_msgs: u64,
     /// Fires per timing class.
     pub class_fires: [u64; 4],
+    /// Semantic fast-forward / compile decline bitmask, reconstructed
+    /// from the recorded `Warn` events (bit `1 << code`) — mirrors
+    /// `ExecReport::declined`.
+    pub declined: u8,
     /// Link statistics, reconstructed when the run was contended.
     pub net: Option<NetReport>,
 }
@@ -75,6 +82,7 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, String> {
     let (mut hops, mut stall, mut depth_sum, mut max_depth) = (0u64, 0u64, 0u64, 0u64);
     let mut routers: BTreeMap<(u32, u32), (u64, u64)> = BTreeMap::new();
     let mut rings = [RingReport { requests: 0, wait_ticks: 0, max_queue: 0 }; 2];
+    let mut declined = 0u8;
     let mut end: Option<&TraceEvent> = None;
     for ev in events {
         if end.is_some() {
@@ -122,11 +130,14 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, String> {
                 ring.max_queue = ring.max_queue.max(ev.aux);
             }
             TraceKind::End => end = Some(ev),
+            TraceKind::Warn => {
+                // Semantic declines fold back into the report bitmask.
+                if (1..8).contains(&ev.arg) {
+                    declined |= 1 << ev.arg;
+                }
+            }
             // Observation-only events carry no report state.
-            TraceKind::ServiceDone
-            | TraceKind::RegObserve
-            | TraceKind::MemObserve
-            | TraceKind::Warn => {}
+            TraceKind::ServiceDone | TraceKind::RegObserve | TraceKind::MemObserve => {}
         }
     }
     let end = end.ok_or("no End marker in the recording")?;
@@ -170,6 +181,7 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, String> {
         serial_msgs,
         mesh_msgs,
         class_fires,
+        declined,
         net,
     })
 }
@@ -228,6 +240,7 @@ pub fn verify_replay(replayed: &Replay, live: &ExecReport) -> Result<(), String>
     eq("serial_msgs", replayed.serial_msgs, live.serial_msgs)?;
     eq("mesh_msgs", replayed.mesh_msgs, live.mesh_msgs)?;
     eq("class_fires", replayed.class_fires, live.class_fires)?;
+    eq("declined", replayed.declined, live.declined)?;
     eq("net", &replayed.net, &live.net)?;
     Ok(())
 }
@@ -247,14 +260,81 @@ fn esc(s: &str) -> String {
     out
 }
 
-/// One emitted JSON event.
-struct Emit {
-    pid: u32,
-    tid: u32,
-    ts: u64,
-    dur: u64,
-    name: String,
-    args: String,
+/// One Chrome-trace duration (`ph:"X"`) event: a slice of wall/sim time
+/// on a `(pid, tid)` row. The flight recorder and the simulator-trace
+/// export both render through [`chrome_json`] with these.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    /// Process row (1-based in practice; 0 is fine too).
+    pub pid: u32,
+    /// Thread row within the process.
+    pub tid: u32,
+    /// Start timestamp, in trace microseconds.
+    pub ts: u64,
+    /// Duration, in trace microseconds.
+    pub dur: u64,
+    /// Event label (escaped by the renderer).
+    pub name: String,
+    /// Pre-rendered JSON object for the `args` field.
+    pub args: String,
+}
+
+/// Renders process/thread name metadata plus duration spans as a
+/// Chrome-trace / Perfetto JSON document. `processes` maps pid → display
+/// name; `threads` maps `(pid, tid)` → row name. Span `args` strings are
+/// embedded verbatim and must already be valid JSON objects.
+#[must_use]
+pub fn chrome_json(
+    processes: &[(u32, String)],
+    threads: &[((u32, u32), String)],
+    spans: &[TraceSpan],
+) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: String, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&s);
+    };
+    for (pid, name) in processes {
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                esc(name)
+            ),
+            &mut out,
+        );
+    }
+    for ((pid, tid), name) in threads {
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                esc(name)
+            ),
+            &mut out,
+        );
+    }
+    for e in spans {
+        push(
+            format!(
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\
+                 \"name\":\"{}\",\"args\":{}}}",
+                e.pid,
+                e.tid,
+                e.ts,
+                e.dur,
+                esc(&e.name),
+                e.args
+            ),
+            &mut out,
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
 }
 
 /// Renders recordings as a Chrome-trace / Perfetto JSON document.
@@ -266,7 +346,7 @@ struct Emit {
 /// ticks shows as that many µs.
 #[must_use]
 pub fn chrome_trace_json(runs: &[(&str, &[TraceEvent])]) -> String {
-    let mut emits: Vec<Emit> = Vec::new();
+    let mut emits: Vec<TraceSpan> = Vec::new();
     let mut threads: BTreeMap<(u32, u32), String> = BTreeMap::new();
     for (ri, (_, events)) in runs.iter().enumerate() {
         let pid = ri as u32 + 1;
@@ -285,7 +365,7 @@ pub fn chrome_trace_json(runs: &[(&str, &[TraceEvent])]) -> String {
                         let (_, y) = unpack_coords(coords);
                         let tid = 1000 + y;
                         threads.entry((pid, tid)).or_insert_with(|| format!("row {y}"));
-                        emits.push(Emit {
+                        emits.push(TraceSpan {
                             pid,
                             tid,
                             ts: start,
@@ -308,7 +388,7 @@ pub fn chrome_trace_json(runs: &[(&str, &[TraceEvent])]) -> String {
                             [code.min(3) as usize]
                             .to_string()
                     });
-                    emits.push(Emit {
+                    emits.push(TraceSpan {
                         pid,
                         tid,
                         ts: ev.tick,
@@ -321,7 +401,7 @@ pub fn chrome_trace_json(runs: &[(&str, &[TraceEvent])]) -> String {
                     let tid = 2004;
                     threads.entry((pid, tid)).or_insert_with(|| "mesh messages".to_string());
                     let (fx, fy) = unpack_coords(ev.data);
-                    emits.push(Emit {
+                    emits.push(TraceSpan {
                         pid,
                         tid,
                         ts: ev.tick,
@@ -335,7 +415,7 @@ pub fn chrome_trace_json(runs: &[(&str, &[TraceEvent])]) -> String {
                     threads.entry((pid, tid)).or_insert_with(|| {
                         (if ev.arg == 0 { "memory ring" } else { "gpp ring" }).to_string()
                     });
-                    emits.push(Emit {
+                    emits.push(TraceSpan {
                         pid,
                         tid,
                         ts: ev.tick,
@@ -347,7 +427,7 @@ pub fn chrome_trace_json(runs: &[(&str, &[TraceEvent])]) -> String {
                 TraceKind::LinkHop if ev.data > 0 => {
                     let tid = 4000 + ev.arg;
                     threads.entry((pid, tid)).or_insert_with(|| format!("router row {}", ev.arg));
-                    emits.push(Emit {
+                    emits.push(TraceSpan {
                         pid,
                         tid,
                         ts: ev.tick,
@@ -362,9 +442,12 @@ pub fn chrome_trace_json(runs: &[(&str, &[TraceEvent])]) -> String {
                     let why = match ev.arg {
                         WARN_FF_NET_ORDER => "fast-forward disabled: net not order-free",
                         WARN_FF_GPP => "fast-forward disabled: non-stub GPP",
+                        WARN_COMPILE_NET_ORDER => "compile declined: net not order-free",
+                        WARN_COMPILE_GPP => "compile declined: non-stub GPP",
+                        WARN_COMPILE_DATA_MODE => "compile declined: data-driven branches",
                         _ => "warning",
                     };
-                    emits.push(Emit {
+                    emits.push(TraceSpan {
                         pid,
                         tid,
                         ts: ev.tick,
@@ -377,7 +460,7 @@ pub fn chrome_trace_json(runs: &[(&str, &[TraceEvent])]) -> String {
                     let tid = 5001;
                     threads.entry((pid, tid)).or_insert_with(|| "observations".to_string());
                     let v = decode_value(ev.aux, ev.data);
-                    emits.push(Emit {
+                    emits.push(TraceSpan {
                         pid,
                         tid,
                         ts: ev.tick,
@@ -397,54 +480,11 @@ pub fn chrome_trace_json(runs: &[(&str, &[TraceEvent])]) -> String {
             }
         }
     }
-    let mut out = String::from("{\"traceEvents\":[");
-    let mut first = true;
-    let push = |s: String, out: &mut String, first: &mut bool| {
-        if !*first {
-            out.push(',');
-        }
-        *first = false;
-        out.push_str(&s);
-    };
-    for (ri, (name, _)) in runs.iter().enumerate() {
-        let pid = ri as u32 + 1;
-        push(
-            format!(
-                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
-                 \"args\":{{\"name\":\"{}\"}}}}",
-                esc(name)
-            ),
-            &mut out,
-            &mut first,
-        );
-    }
-    for ((pid, tid), name) in &threads {
-        push(
-            format!(
-                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
-                 \"args\":{{\"name\":\"{}\"}}}}",
-                esc(name)
-            ),
-            &mut out,
-            &mut first,
-        );
-    }
-    for e in &emits {
-        push(
-            format!(
-                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\
-                 \"name\":\"{}\",\"args\":{}}}",
-                e.pid,
-                e.tid,
-                e.ts,
-                e.dur,
-                esc(&e.name),
-                e.args
-            ),
-            &mut out,
-            &mut first,
-        );
-    }
-    out.push_str("],\"displayTimeUnit\":\"ms\"}");
-    out
+    let processes: Vec<(u32, String)> = runs
+        .iter()
+        .enumerate()
+        .map(|(ri, (name, _))| (ri as u32 + 1, (*name).to_string()))
+        .collect();
+    let threads: Vec<((u32, u32), String)> = threads.into_iter().collect();
+    chrome_json(&processes, &threads, &emits)
 }

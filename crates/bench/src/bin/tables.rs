@@ -352,7 +352,10 @@ fn bench_rings(synthetic: usize, threads: usize) {
 /// hammered at several concurrency levels with identical sweep requests
 /// (the coalescing fast path), measuring client-observed end-to-end
 /// latency per request. Records throughput plus exact p50/p95/p99 per
-/// level in `BENCH_serve.json`.
+/// level in `BENCH_serve.json`, and — because request spans and the
+/// flight recorder are always on in production — runs the whole ladder
+/// twice, once with observability disabled, to publish the measured
+/// span overhead against that untraced floor.
 fn bench_serve(synthetic: usize, threads: usize) {
     use javaflow_server::protocol::{read_frame, write_frame};
     use javaflow_server::{Server, ServerConfig};
@@ -360,15 +363,27 @@ fn bench_serve(synthetic: usize, threads: usize) {
     const LEVELS: [usize; 3] = [1, 8, 32];
     const REQUESTS_PER_LEVEL: usize = 32;
 
-    let server = Server::start(ServerConfig { threads, queue_cap: 64, ..ServerConfig::default() })
-        .expect("start javaflow-serve in-process");
-    let addr = server.addr();
     let request =
         format!("{{\"kind\": \"sweep\", \"id\": 1, \"synthetic\": {synthetic}, \"tables\": [22]}}");
 
-    // One request up front so every timed level sees a warm prepared
-    // cache and arena pool — the steady state a resident server serves.
-    let run_one = |request: &str| -> f64 {
+    // Two resident servers, identical except for the observability
+    // switch. Every level is measured back-to-back on both so machine
+    // drift (frequency scaling, noisy neighbours) cancels out of the
+    // overhead figure instead of landing entirely on whichever ladder
+    // ran first.
+    let start = |observability: bool| {
+        Server::start(ServerConfig {
+            threads,
+            queue_cap: 64,
+            observability,
+            ..ServerConfig::default()
+        })
+        .expect("start javaflow-serve in-process")
+    };
+    let floor_server = start(false);
+    let obs_server = start(true);
+
+    let run_one = |addr: std::net::SocketAddr, request: &str| -> f64 {
         let mut conn = std::net::TcpStream::connect(addr).expect("connect");
         let t = Instant::now();
         write_frame(&mut conn, request.as_bytes()).expect("send");
@@ -384,26 +399,63 @@ fn bench_serve(synthetic: usize, threads: usize) {
             );
         }
     };
-    eprintln!("bench-serve: warming the prepared cache (synthetic {synthetic}) …");
-    run_one(&request);
-
-    let mut entries = String::new();
-    for (li, &concurrency) in LEVELS.iter().enumerate() {
+    // One level's worth of requests; returns (wall seconds, latencies).
+    let run_level = |addr: std::net::SocketAddr, concurrency: usize| -> (f64, Vec<f64>) {
         let per_worker = REQUESTS_PER_LEVEL / concurrency;
-        eprintln!("bench-serve: {concurrency} clients \u{d7} {per_worker} requests …");
         let wall = Instant::now();
-        let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let latencies: Vec<f64> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..concurrency)
                 .map(|_| {
                     let request = &request;
                     scope.spawn(move || {
-                        (0..per_worker).map(|_| run_one(request)).collect::<Vec<f64>>()
+                        (0..per_worker).map(|_| run_one(addr, request)).collect::<Vec<f64>>()
                     })
                 })
                 .collect();
             handles.into_iter().flat_map(|h| h.join().expect("bench worker")).collect()
         });
-        let wall_secs = wall.elapsed().as_secs_f64();
+        (wall.elapsed().as_secs_f64(), latencies)
+    };
+
+    // One request up front on each server so every timed level sees a
+    // warm prepared cache and arena pool — the steady state a resident
+    // server serves.
+    eprintln!("bench-serve: warming the prepared caches (synthetic {synthetic}) …");
+    run_one(floor_server.addr(), &request);
+    run_one(obs_server.addr(), &request);
+
+    // Two rounds per level in ABBA order (floor/observed, then
+    // observed/floor) so neither configuration systematically runs on a
+    // warmer or more throttled machine than the other.
+    let (mut floor_requests, mut floor_wall) = (0u64, 0.0f64);
+    let (mut obs_requests, mut obs_wall) = (0u64, 0.0f64);
+    let mut level_stats: Vec<(f64, Vec<f64>)> = vec![(0.0, Vec::new()); LEVELS.len()];
+    for round in 0..2 {
+        for (li, &concurrency) in LEVELS.iter().enumerate() {
+            let per_worker = REQUESTS_PER_LEVEL / concurrency;
+            eprintln!(
+                "bench-serve: round {}/2, {concurrency} clients \u{d7} {per_worker} requests \u{d7} 2 servers …",
+                round + 1
+            );
+            let floor_first = round == 0;
+            for obs_turn in [!floor_first, floor_first] {
+                if obs_turn {
+                    let (wall_secs, latencies) = run_level(obs_server.addr(), concurrency);
+                    obs_requests += latencies.len() as u64;
+                    obs_wall += wall_secs;
+                    level_stats[li].0 += wall_secs;
+                    level_stats[li].1.extend(latencies);
+                } else {
+                    let (wall_secs, _) = run_level(floor_server.addr(), concurrency);
+                    floor_requests += REQUESTS_PER_LEVEL as u64;
+                    floor_wall += wall_secs;
+                }
+            }
+        }
+    }
+    let mut entries = String::new();
+    for (li, &concurrency) in LEVELS.iter().enumerate() {
+        let (wall_secs, latencies) = &mut level_stats[li];
         latencies.sort_by(f64::total_cmp);
         let pct = |q: f64| {
             let rank = ((q * latencies.len() as f64).ceil() as usize).max(1);
@@ -419,11 +471,21 @@ fn bench_serve(synthetic: usize, threads: usize) {
             pct(0.99) * 1e3,
         ));
     }
-    server.request_shutdown();
-    server.join().expect("clean server shutdown");
+    for server in [floor_server, obs_server] {
+        server.request_shutdown();
+        server.join().expect("clean server shutdown");
+    }
+
+    // Overhead over the whole ladder: per-level numbers are too short to
+    // be stable (the top level finishes in a fraction of a second), but
+    // the full 3-level pass is seconds of timed work on both sides.
+    // Positive = spans cost throughput.
+    let floor_rps = floor_requests as f64 / floor_wall.max(1e-9);
+    let observed_rps = obs_requests as f64 / obs_wall.max(1e-9);
+    let overhead_pct = (floor_rps - observed_rps) / floor_rps.max(1e-9) * 100.0;
 
     let json = format!(
-        "{{\n  \"benchmark\": \"tables --bench-serve --synthetic {synthetic}\",\n  \"threads\": {threads},\n  \"levels\": [\n{entries}  ]\n}}\n"
+        "{{\n  \"benchmark\": \"tables --bench-serve --synthetic {synthetic}\",\n  \"threads\": {threads},\n  \"levels\": [\n{entries}  ],\n  \"observability\": {{\n    \"floor_throughput_rps\": {floor_rps:.3},\n    \"observed_throughput_rps\": {observed_rps:.3},\n    \"span_overhead_pct\": {overhead_pct:.2}\n  }}\n}}\n"
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("{json}");

@@ -359,6 +359,7 @@ mod tests {
             class_fires: [0; 4],
             wheel_high_water: 4,
             wheel_pushes: 0,
+            declined: 0,
             net: None,
         }
     }

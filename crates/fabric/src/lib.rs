@@ -83,6 +83,7 @@ pub use sim::{
 pub use timing::Timing;
 pub use token::{Command, InstanceId, SerialDest, SerialMessage, Token};
 pub use trace::{
-    NoopSink, RingRecorder, StderrSink, TraceEvent, TraceKind, TraceSink, EVENT_BYTES,
+    warn_counter_name, NoopSink, RingRecorder, StderrSink, TraceEvent, TraceKind, TraceSink,
+    EVENT_BYTES, WARN_COUNTERS,
 };
 pub use wheel::TimingWheel;

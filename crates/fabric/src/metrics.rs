@@ -45,7 +45,9 @@ impl Histogram {
         }
         self.max = self.max.max(v);
         self.count += 1;
-        self.sum += v;
+        // Saturate: a pair of near-u64::MAX samples must not wrap the
+        // running sum (the mean degrades gracefully instead).
+        self.sum = self.sum.saturating_add(v);
         self.buckets[64 - v.leading_zeros() as usize] += 1;
     }
 
@@ -59,7 +61,7 @@ impl Histogram {
         }
         self.max = self.max.max(other.max);
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
@@ -75,14 +77,30 @@ impl Histogram {
         }
     }
 
+    /// Inclusive value range of bucket `b`: `b == 0` → `{0}`,
+    /// `b >= 1` → `[2^(b-1), 2^b - 1]` (bucket 64 tops out at
+    /// `u64::MAX`).
+    #[must_use]
+    pub fn bucket_range(b: usize) -> (u64, u64) {
+        if b == 0 {
+            (0, 0)
+        } else {
+            let lo = 1u64 << (b - 1);
+            (lo, lo - 1 + lo)
+        }
+    }
+
     /// Estimated `q`-quantile (`0.0 ..= 1.0`) from the log₂ buckets.
     ///
     /// Finds the bucket holding the rank-`⌈q·count⌉` sample and
-    /// interpolates linearly inside its value range, clamped to the
-    /// observed `[min, max]`. Exact for the extremes (`q == 0` → `min`,
-    /// `q == 1` → `max`); within a factor of 2 everywhere else — the
-    /// resolution a log₂ histogram buys. This is what the server's
-    /// p50/p95/p99 latency rows are computed from.
+    /// interpolates linearly inside its value range, treating the `n`
+    /// samples of the bucket as sitting at the midpoints of `n` equal
+    /// sub-ranges (so a single-sample bucket reads back its midpoint,
+    /// not its upper bound), clamped to the observed `[min, max]`.
+    /// Exact for the extremes (`q == 0` → `min`, `q == 1` → `max`);
+    /// within a factor of 2 everywhere else — the resolution a log₂
+    /// histogram buys. This is what the server's p50/p95/p99 latency
+    /// rows are computed from.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -92,6 +110,9 @@ impl Histogram {
         if q <= 0.0 {
             return self.min;
         }
+        if q >= 1.0 {
+            return self.max;
+        }
         // 1-based rank of the selected sample.
         let rank = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
@@ -100,17 +121,40 @@ impl Histogram {
                 continue;
             }
             if seen + n >= rank {
-                // Bucket b holds values with bit_width == b:
-                // b == 0 → {0}, b >= 1 → [2^(b-1), 2^b - 1].
-                let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
-                let hi = if b == 0 { 0 } else { (1u64 << (b - 1)) - 1 + lo };
-                let into = (rank - seen) as f64 / n as f64;
+                let (lo, hi) = Histogram::bucket_range(b);
+                // Midpoint rule: sample k of n (1-based) sits at the
+                // centre of the k-th of n equal slices of [lo, hi].
+                let into = ((rank - seen) as f64 - 0.5) / n as f64;
                 let est = lo as f64 + (hi - lo) as f64 * into;
+                // `as u64` saturates, which is what we want for bucket
+                // 64 where `hi as f64` rounds up past u64::MAX.
                 return (est.round() as u64).clamp(self.min, self.max);
             }
             seen += n;
         }
         self.max
+    }
+
+    /// Appends this histogram in Prometheus text exposition format:
+    /// `# TYPE` header, cumulative `{le="..."}` buckets (the log₂ bucket
+    /// `b` maps to the upper bound `2^b - 1`), `+Inf`, `_sum`, `_count`.
+    /// Empty buckets are elided — cumulative counts stay valid and the
+    /// page stays small.
+    pub fn render_prometheus(&self, out: &mut String, name: &str, help: &str) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            let le = Histogram::bucket_range(b).1;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.count);
+        let _ = writeln!(out, "{name}_sum {}", self.sum);
+        let _ = writeln!(out, "{name}_count {}", self.count);
     }
 }
 
@@ -199,6 +243,13 @@ impl MetricsRegistry {
             Outcome::Exception(_) => "runs_exception",
         };
         self.add(outcome, 1);
+        // Semantic fast-forward / compile declines, visible without an
+        // active trace sink (satellite of the observability PR).
+        for (code, name) in crate::trace::WARN_COUNTERS {
+            if r.declined & (1 << code) != 0 {
+                self.add(name, 1);
+            }
+        }
         self.add("instructions_executed", r.executed);
         self.add("relay_fires", r.relay_fires);
         self.add("serial_msgs", r.serial_msgs);
@@ -262,6 +313,24 @@ impl MetricsRegistry {
         }
         out.push_str("}}");
         out
+    }
+
+    /// Appends the whole registry in Prometheus text exposition format.
+    /// Counters become `{prefix}{name}_total`, maxima become
+    /// `{prefix}{name}_max` gauges, histograms render through
+    /// [`Histogram::render_prometheus`] as `{prefix}{name}`.
+    pub fn render_prometheus(&self, out: &mut String, prefix: &str) {
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {prefix}{name}_total counter");
+            let _ = writeln!(out, "{prefix}{name}_total {v}");
+        }
+        for (name, v) in &self.maxima {
+            let _ = writeln!(out, "# TYPE {prefix}{name}_max gauge");
+            let _ = writeln!(out, "{prefix}{name}_max {v}");
+        }
+        for (name, h) in &self.hists {
+            h.render_prometheus(out, &format!("{prefix}{name}"), "log2-bucketed histogram");
+        }
     }
 
     /// Renders the registry as the "Table 30" text block.
@@ -487,6 +556,117 @@ mod tests {
         for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
             assert_eq!(single.quantile(q), 7);
         }
+    }
+
+    #[test]
+    fn quantile_interpolates_inside_the_bucket() {
+        // 4 samples spread across one bucket (32..=63): the midpoint rule
+        // places ranks 1..4 at 1/8, 3/8, 5/8, 7/8 of the range instead of
+        // snapping every one to the upper bound.
+        let mut h = Histogram::default();
+        for v in [32, 40, 50, 63] {
+            h.observe(v);
+        }
+        let p25 = h.quantile(0.25);
+        let p75 = h.quantile(0.75);
+        assert!(p25 < p75, "interpolation must order ranks: p25 {p25} vs p75 {p75}");
+        assert!((32..=63).contains(&p25) && (32..=63).contains(&p75));
+        // A single-sample bucket reads back its midpoint, not `hi`.
+        let mut one = Histogram::default();
+        for _ in 0..99 {
+            one.observe(1);
+        }
+        one.observe(600); // bucket 10 = 512..=1023, midpoint ≈ 767
+        assert_eq!(one.quantile(0.995), 600, "clamped to max, not the 1023 bucket roof");
+    }
+
+    #[test]
+    fn quantile_edge_cases_zero_powers_of_two_and_max() {
+        // All zeros: bucket 0 has lo == hi == 0.
+        let mut z = Histogram::default();
+        for _ in 0..10 {
+            z.observe(0);
+        }
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(z.quantile(q), 0);
+        }
+        // Exact powers of two land in the bucket they open.
+        for p in [1u64, 2, 1024, 1 << 40, 1 << 63] {
+            let mut h = Histogram::default();
+            h.observe(p);
+            assert_eq!(h.buckets[64 - p.leading_zeros() as usize], 1);
+            for q in [0.01, 0.5, 0.99] {
+                assert_eq!(h.quantile(q), p, "single sample {p} must read back exactly");
+            }
+        }
+        // u64::MAX: bucket 64's roof; the f64 round-trip saturates
+        // instead of wrapping.
+        let mut m = Histogram::default();
+        m.observe(u64::MAX);
+        m.observe(u64::MAX - 1);
+        assert_eq!(m.buckets[64], 2);
+        assert_eq!(m.quantile(1.0), u64::MAX);
+        let p50 = m.quantile(0.5);
+        assert!(p50 >= u64::MAX - 1, "bucket-64 estimate clamps into [min, max], got {p50}");
+        assert_eq!(Histogram::bucket_range(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_cumulative() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 3, 1000] {
+            h.observe(v);
+        }
+        let mut out = String::new();
+        h.render_prometheus(&mut out, "t_us", "test");
+        let want = "# HELP t_us test\n# TYPE t_us histogram\n\
+                    t_us_bucket{le=\"0\"} 1\nt_us_bucket{le=\"1\"} 2\n\
+                    t_us_bucket{le=\"3\"} 3\nt_us_bucket{le=\"1023\"} 4\n\
+                    t_us_bucket{le=\"+Inf\"} 4\nt_us_sum 1004\nt_us_count 4\n";
+        assert_eq!(out, want);
+
+        let mut r = MetricsRegistry::new();
+        r.add("runs", 3);
+        r.observe_max("wheel_high_water", 9);
+        r.observe("events_per_run", 5);
+        let mut page = String::new();
+        r.render_prometheus(&mut page, "javaflow_sim_");
+        assert!(page.contains("# TYPE javaflow_sim_runs_total counter\njavaflow_sim_runs_total 3"));
+        assert!(page.contains("javaflow_sim_wheel_high_water_max 9"));
+        assert!(page.contains("javaflow_sim_events_per_run_bucket{le=\"7\"} 1"));
+        assert!(page.contains("javaflow_sim_events_per_run_count 1"));
+    }
+
+    #[test]
+    fn declined_reports_count_warn_reasons() {
+        use crate::trace::{WARN_COMPILE_DATA_MODE, WARN_FF_NET_ORDER};
+        let mut reg = MetricsRegistry::new();
+        let r = ExecReport {
+            outcome: Outcome::Deadlock,
+            mesh_cycles: 1,
+            executed: 0,
+            relay_fires: 0,
+            static_covered: 0,
+            coverage: 0.0,
+            ipc: 0.0,
+            frac_cycles_ge2: 0.0,
+            frac_cycles_ge1: 0.0,
+            serial_msgs: 0,
+            mesh_msgs: 0,
+            events: 0,
+            events_skipped: 0,
+            class_fires: [0; 4],
+            wheel_high_water: 0,
+            wheel_pushes: 0,
+            declined: (1 << WARN_FF_NET_ORDER) | (1 << WARN_COMPILE_DATA_MODE),
+            net: None,
+        };
+        reg.observe_report(&r, [1; 4]);
+        assert_eq!(reg.counter("warn_ff_net_order"), 1);
+        assert_eq!(reg.counter("warn_compile_data_mode"), 1);
+        assert_eq!(reg.counter("warn_ff_gpp"), 0);
+        reg.observe_report(&r, [1; 4]);
+        assert_eq!(reg.counter("warn_ff_net_order"), 2);
     }
 
     #[test]

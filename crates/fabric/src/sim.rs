@@ -389,6 +389,14 @@ pub struct ExecReport {
     pub wheel_high_water: u64,
     /// Total events pushed into the timing wheel.
     pub wheel_pushes: u64,
+    /// Bitmask of *semantic* fast-forward / compile declines: bit
+    /// `1 << WARN_*` is set when the caller asked for the fast path but
+    /// the gate picked the naive walk for that reason. Only the semantic
+    /// reasons are recorded — an active trace sink forcing the naive
+    /// walk sets no bit, so reports stay identical traced vs untraced.
+    /// [`MetricsRegistry::observe_report`](crate::MetricsRegistry::observe_report)
+    /// folds the bits into `warn_*` counters.
+    pub declined: u8,
     /// Link-level interconnect statistics ([`NetKind::Contended`] runs
     /// only; the ideal model collects none).
     pub net: Option<NetReport>,
@@ -896,6 +904,9 @@ fn replay_schedule(cm: &CompiledMethod, lm: &LoadedMethod<'_>, arena: &mut SimAr
         class_fires,
         wheel_high_water: cm.wheel_high_water,
         wheel_pushes,
+        // Replay only happens when the whole compile gate passed, which
+        // subsumes the fast-forward gate: nothing was declined.
+        declined: 0,
         net: None,
     }
 }
@@ -1175,43 +1186,40 @@ impl<'a, 'm, 'g, 'p, N: NetModel, S: TraceSink> Sim<'a, 'm, 'g, 'p, N, S> {
     }
 
     fn run(mut self) -> ExecReport {
-        // Surface a silent fast-forward downgrade: the caller asked for
-        // the fast kernel but the gate picked the naive walk. Only the
-        // two *semantic* reasons are events — an active sink forcing the
-        // naive walk is not, so a recording is byte-identical whether
-        // fast-forward was requested or not.
-        if S::ACTIVE && self.wanted_ff {
+        // Surface a silent fast-forward / compile downgrade: the caller
+        // asked for the fast kernel but the gate picked the naive walk.
+        // Only the *semantic* reasons count — an active sink forcing the
+        // naive walk is not one, so a recording (and the `declined`
+        // report mask) is byte-identical whether tracing is on or not.
+        let mut declined = 0u8;
+        if self.wanted_ff {
             if !N::ORDER_FREE {
-                self.tracer.record(&TraceEvent {
-                    tick: 0,
-                    kind: TraceKind::Warn,
-                    node: u32::MAX,
-                    arg: WARN_FF_NET_ORDER,
-                    data: 0,
-                    aux: 0,
-                });
+                declined |= 1 << WARN_FF_NET_ORDER;
             }
             if !matches!(self.gpp, Gpp::Stub) {
-                self.tracer.record(&TraceEvent {
-                    tick: 0,
-                    kind: TraceKind::Warn,
-                    node: u32::MAX,
-                    arg: WARN_FF_GPP,
-                    data: 0,
-                    aux: 0,
-                });
+                declined |= 1 << WARN_FF_GPP;
             }
         }
-        // Same for block compilation. As with fast-forward, the sink
-        // itself forcing this walk is not an event — only the semantic
-        // declines are, so recordings stay byte-identical either way.
-        if S::ACTIVE && self.wanted_compiled {
+        if self.wanted_compiled {
             for (cond, code) in [
                 (!N::ORDER_FREE, WARN_COMPILE_NET_ORDER),
                 (!matches!(self.gpp, Gpp::Stub), WARN_COMPILE_GPP),
                 (!self.lenient, WARN_COMPILE_DATA_MODE),
             ] {
                 if cond {
+                    declined |= 1 << code;
+                }
+            }
+        }
+        if S::ACTIVE {
+            for code in [
+                WARN_FF_NET_ORDER,
+                WARN_FF_GPP,
+                WARN_COMPILE_NET_ORDER,
+                WARN_COMPILE_GPP,
+                WARN_COMPILE_DATA_MODE,
+            ] {
+                if declined & (1 << code) != 0 {
                     self.tracer.record(&TraceEvent {
                         tick: 0,
                         kind: TraceKind::Warn,
@@ -1325,6 +1333,7 @@ impl<'a, 'm, 'g, 'p, N: NetModel, S: TraceSink> Sim<'a, 'm, 'g, 'p, N, S> {
             class_fires: self.class_fires,
             wheel_high_water: self.arena.queue.high_water() as u64,
             wheel_pushes: self.arena.queue.pushes(),
+            declined,
             net: net_report,
         }
     }

@@ -56,6 +56,25 @@ pub const WARN_COMPILE_GPP: u32 = 4;
 /// flow independent of argument values.
 pub const WARN_COMPILE_DATA_MODE: u32 = 5;
 
+/// Every warn code paired with the `MetricsRegistry` counter name it is
+/// folded into by `observe_report` (via the `ExecReport::declined`
+/// bitmask — bit `1 << code`). Keeping the table here, next to the
+/// codes, is what lets declines be counted without an active sink.
+pub const WARN_COUNTERS: [(u32, &str); 5] = [
+    (WARN_FF_NET_ORDER, "warn_ff_net_order"),
+    (WARN_FF_GPP, "warn_ff_gpp"),
+    (WARN_COMPILE_NET_ORDER, "warn_compile_net_order"),
+    (WARN_COMPILE_GPP, "warn_compile_gpp"),
+    (WARN_COMPILE_DATA_MODE, "warn_compile_data_mode"),
+];
+
+/// The `MetricsRegistry` counter name for a warn `arg` code, or `None`
+/// for an unknown code.
+#[must_use]
+pub fn warn_counter_name(code: u32) -> Option<&'static str> {
+    WARN_COUNTERS.iter().find(|(c, _)| *c == code).map(|&(_, n)| n)
+}
+
 /// What a [`TraceEvent`] describes. Discriminants are the first byte of
 /// the binary record format and must stay stable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -10,13 +10,14 @@
 //! per-run allocation count must be a small constant (the two slabs plus
 //! the hotspot report), never traffic-dependent.
 //!
-//! Single-test file on purpose: the counting `#[global_allocator]` is
-//! process-wide, and a concurrent test's allocations would show up in the
-//! measured window. The contended phase lives inside the same `#[test]`
-//! for the same reason.
+//! The counting `#[global_allocator]` is process-wide, so every test in
+//! this binary holds [`SERIAL`] for its whole body — a concurrent test's
+//! allocations would otherwise show up in the measured window. The
+//! contended phase lives inside the same `#[test]` for the same reason.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
 
 use javaflow_bytecode::asm::assemble;
 use javaflow_fabric::{
@@ -45,6 +46,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+static SERIAL: Mutex<()> = Mutex::new(());
+
 const SUM_LOOP: &str = ".method sum args=1 returns=true locals=3
    iconst_0
    istore 1
@@ -62,6 +65,7 @@ const SUM_LOOP: &str = ".method sum args=1 returns=true locals=3
 
 #[test]
 fn warm_scripted_run_does_not_allocate() {
+    let _serial = SERIAL.lock().unwrap();
     let p = assemble(SUM_LOOP).unwrap();
     let (_, m) = p.method_by_name("sum").unwrap();
     let config = FabricConfig::compact2();
@@ -163,6 +167,7 @@ fn warm_scripted_run_does_not_allocate() {
 
 #[test]
 fn pool_checkin_drops_arenas_above_the_retain_cap() {
+    let _serial = SERIAL.lock().unwrap();
     // A long-lived server process absorbs bursts of wide concurrency;
     // every worker checks its arena back in when the burst drains. The
     // pool must not retain all of them forever — checkins above the

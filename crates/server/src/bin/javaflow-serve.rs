@@ -3,7 +3,9 @@
 //! Binds a TCP listener (and optionally a Unix socket), prints a ready
 //! line with the bound address, and serves length-prefixed JSON sweep
 //! requests until a shutdown request or SIGINT/SIGTERM, then drains the
-//! admission queue and exits 0.
+//! admission queue and exits 0. With `--metrics-addr` an HTTP sidecar
+//! serves `/metrics`, `/healthz`, and `/varz`; SIGUSR1 dumps the flight
+//! recorder to a Chrome-trace file.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -13,6 +15,8 @@ use javaflow_server::{Server, ServerConfig};
 
 /// Drain flag flipped by the C signal handler; the main loop polls it.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Flight-dump flag flipped by SIGUSR1; the main loop polls and clears it.
+static DUMP: AtomicBool = AtomicBool::new(false);
 
 type SigHandler = extern "C" fn(i32);
 
@@ -24,7 +28,12 @@ extern "C" fn on_signal(_signum: i32) {
     SHUTDOWN.store(true, Ordering::SeqCst);
 }
 
+extern "C" fn on_dump_signal(_signum: i32) {
+    DUMP.store(true, Ordering::SeqCst);
+}
+
 const SIGINT: i32 = 2;
+const SIGUSR1: i32 = 10;
 const SIGTERM: i32 = 15;
 
 const USAGE: &str = "\
@@ -37,11 +46,20 @@ OPTIONS:
     --addr <host:port>     TCP bind address (default 127.0.0.1:0; port 0
                            picks an ephemeral port, echoed on stdout)
     --uds <path>           also listen on a Unix socket at <path>
+    --metrics-addr <h:p>   serve HTTP /metrics, /healthz, /varz here
     --queue-cap <n>        admission-queue capacity (default 32)
     --batch-records <n>    records per streamed batch (default 16)
     --threads <n>          default sweep threads (default: machine parallelism)
     --synthetic-cap <n>    largest accepted synthetic population (default 5000)
+    --log-json             one structured JSON log line per request on stderr
+    --flight-cap <n>       flight-recorder ring capacity (default 1024)
+    --flight-dump <path>   Chrome-trace dump target for SIGUSR1, and for
+                           automatic dumps on request failure
     --help                 print this help
+
+SIGNALS:
+    SIGINT/SIGTERM drain and exit; SIGUSR1 dumps the flight recorder to
+    the --flight-dump path (default flight.trace.json).
 
 PROTOCOL:
     4-byte big-endian length prefix + UTF-8 JSON per frame. Request kinds:
@@ -60,6 +78,7 @@ fn parse_args() -> Result<ServerConfig, String> {
             }
             "--addr" => cfg.addr = value("--addr")?,
             "--uds" => cfg.uds_path = Some(value("--uds")?.into()),
+            "--metrics-addr" => cfg.metrics_addr = Some(value("--metrics-addr")?),
             "--queue-cap" => {
                 cfg.queue_cap = value("--queue-cap")?
                     .parse()
@@ -86,6 +105,16 @@ fn parse_args() -> Result<ServerConfig, String> {
                     .parse()
                     .map_err(|_| "--synthetic-cap must be an integer".to_string())?;
             }
+            "--log-json" => cfg.log_json = true,
+            "--flight-cap" => {
+                cfg.flight_capacity = value("--flight-cap")?
+                    .parse()
+                    .map_err(|_| "--flight-cap must be an integer".to_string())?;
+                if cfg.flight_capacity == 0 {
+                    return Err("--flight-cap must be at least 1".to_string());
+                }
+            }
+            "--flight-dump" => cfg.flight_dump_on_error = Some(value("--flight-dump")?.into()),
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
@@ -103,8 +132,10 @@ fn main() -> ExitCode {
     unsafe {
         signal(SIGINT, on_signal);
         signal(SIGTERM, on_signal);
+        signal(SIGUSR1, on_dump_signal);
     }
     let uds = cfg.uds_path.clone();
+    let dump_path = cfg.flight_dump_on_error.clone().unwrap_or_else(|| "flight.trace.json".into());
     let server = match Server::start(cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -117,9 +148,20 @@ fn main() -> ExitCode {
     if let Some(path) = &uds {
         println!("javaflow-serve listening on unix:{}", path.display());
     }
+    if let Some(addr) = server.metrics_addr() {
+        println!("javaflow-serve metrics on http://{addr}/metrics");
+    }
     loop {
         if SHUTDOWN.load(Ordering::SeqCst) || server.shutdown_requested() {
             break;
+        }
+        if DUMP.swap(false, Ordering::SeqCst) {
+            match server.dump_flight(&dump_path) {
+                Ok(()) => eprintln!("javaflow-serve: flight dump → {}", dump_path.display()),
+                Err(e) => {
+                    eprintln!("javaflow-serve: flight dump to {} failed: {e}", dump_path.display());
+                }
+            }
         }
         std::thread::sleep(Duration::from_millis(100));
     }

@@ -28,13 +28,23 @@
 //! * **Live metrics** — a `metrics` request renders the server counters,
 //!   log₂-histogram latency percentiles, and the folded Table 30
 //!   simulation registry of everything the process has run.
+//! * **Always-on observability** — every request carries a
+//!   [`span::RequestSpan`] (read → parse → queue → prepare → execute →
+//!   stream) folded into per-phase histograms; an optional HTTP sidecar
+//!   ([`ServerConfig::metrics_addr`]) serves `/metrics` (Prometheus text
+//!   exposition), `/healthz`, and `/varz`; and a fixed-capacity
+//!   [`flight::FlightRecorder`] ring keeps the most recent spans and
+//!   gating warnings for a Chrome-trace dump on SIGUSR1 or on failure.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod flight;
+mod http;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
 mod server;
+pub mod span;
 
 pub use server::{Server, ServerConfig};

@@ -33,10 +33,26 @@ pub const MAX_TABLES: usize = 32;
 /// boundary; a length above `max` yields `FrameError::Oversized` without
 /// reading the payload; a mid-frame EOF yields `Truncated`.
 pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    read_frame_timed(r, max).map(|f| f.map(|(payload, _)| payload))
+}
+
+/// [`read_frame`], also reporting how long the frame took to arrive.
+///
+/// The clock starts when the *first* bytes of the length prefix return —
+/// not when the call blocks waiting for the client to speak — so the
+/// reported duration is socket/transfer time for this frame, which is
+/// what the request span's `read` phase means. An idle keep-alive
+/// connection therefore reads as µs, not as the minutes it sat parked.
+pub fn read_frame_timed(
+    r: &mut impl Read,
+    max: usize,
+) -> Result<Option<(Vec<u8>, std::time::Duration)>, FrameError> {
     let mut len = [0u8; 4];
+    let started;
     match r.read(&mut len) {
         Ok(0) => return Ok(None),
         Ok(mut got) => {
+            started = std::time::Instant::now();
             while got < 4 {
                 match r.read(&mut len[got..]) {
                     Ok(0) => return Err(FrameError::Truncated),
@@ -61,7 +77,7 @@ pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, Fram
             FrameError::Io(e)
         }
     })?;
-    Ok(Some(buf))
+    Ok(Some((buf, started.elapsed())))
 }
 
 /// Writes one length-prefixed frame.

@@ -7,25 +7,37 @@
 //! single shared sweep whose batch frames fan out to every subscriber.
 //! Shutdown is a drain: no new sweeps are admitted (`503`), everything
 //! already queued streams to completion, then the threads exit.
+//!
+//! Every framed request carries a [`RequestSpan`] from its first byte to
+//! its terminal frame; finished spans fold into the per-phase histograms
+//! of [`ServerMetrics`], land in the always-on [`FlightRecorder`] ring,
+//! and (with `log_json`) emit one structured log line each. An optional
+//! HTTP sidecar listener ([`ServerConfig::metrics_addr`]) exposes
+//! `/metrics` (Prometheus text), `/healthz`, and `/varz`.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use javaflow_analysis::report_json::json_escape;
 use javaflow_core::{EvalConfig, PreparedPopulation};
-use javaflow_fabric::{MetricsRegistry, NetKind};
+use javaflow_fabric::{MetricsRegistry, NetKind, WARN_COUNTERS};
 
+use crate::flight::{FlightEntry, FlightRecorder};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    batch_frame, batch_payload, done_frame, error_frame, parse_request, read_frame, write_frame,
-    FrameError, Request, SweepRequest, MAX_REQUEST_FRAME,
+    batch_frame, batch_payload, done_frame, error_frame, parse_request, read_frame_timed,
+    write_frame, FrameError, Request, SweepRequest, MAX_REQUEST_FRAME,
+};
+use crate::span::{
+    RequestSpan, OUTCOME_CLIENT_GONE, PHASE_EXECUTE, PHASE_PARSE, PHASE_PREPARE, PHASE_QUEUE,
+    PHASE_READ, PHASE_STREAM,
 };
 
 /// Server tuning knobs. `Default` is suitable for tests and local use:
@@ -38,6 +50,10 @@ pub struct ServerConfig {
     /// Optional Unix-socket path to also listen on. A stale socket file
     /// at this path is removed before binding.
     pub uds_path: Option<PathBuf>,
+    /// Optional HTTP bind address for the observability sidecar
+    /// (`/metrics`, `/healthz`, `/varz`); port 0 picks an ephemeral port
+    /// (read it back with [`Server::metrics_addr`]).
+    pub metrics_addr: Option<String>,
     /// Admission-queue capacity; a sweep arriving at a full queue is
     /// refused with `429`.
     pub queue_cap: usize,
@@ -51,6 +67,20 @@ pub struct ServerConfig {
     /// Largest accepted `synthetic` population size; guards the prepared
     /// cache against absurd requests.
     pub synthetic_cap: usize,
+    /// Emit one structured JSON log line per finished request on stderr.
+    pub log_json: bool,
+    /// Flight-recorder ring capacity (entries). The ring is preallocated
+    /// at startup and recording never allocates.
+    pub flight_capacity: usize,
+    /// Dump the flight recorder to this Chrome-trace file whenever a
+    /// request fails (`4xx`/`5xx`/client-gone), throttled to once per
+    /// second. `None` disables failure dumps; SIGUSR1 dumps are driven by
+    /// the binary regardless.
+    pub flight_dump_on_error: Option<PathBuf>,
+    /// Master switch for span accounting, the flight recorder, and log
+    /// lines. On by default; `--bench-serve` turns it off to measure the
+    /// untraced floor the 2% overhead guard compares against.
+    pub observability: bool,
 }
 
 impl Default for ServerConfig {
@@ -58,11 +88,16 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             uds_path: None,
+            metrics_addr: None,
             queue_cap: 32,
             batch_records: 16,
             threads: EvalConfig::default().threads,
             max_frame: MAX_REQUEST_FRAME,
             synthetic_cap: 5000,
+            log_json: false,
+            flight_capacity: 1024,
+            flight_dump_on_error: None,
+            observability: true,
         }
     }
 }
@@ -70,18 +105,19 @@ impl Default for ServerConfig {
 /// The coalescing key: two queued sweeps with equal keys produce
 /// byte-identical batch payloads, so they share one sweep. `threads` is
 /// deliberately absent — results never depend on it (the shared sweep
-/// takes the group's largest ask).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct SweepKey {
-    synthetic: usize,
-    max_mesh_cycles: u64,
-    net_contended: bool,
-    fast_forward: bool,
+/// takes the group's largest ask). `Ord` keeps the per-key sweep
+/// counters in a stable order on the `/metrics` page.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) struct SweepKey {
+    pub(crate) synthetic: usize,
+    pub(crate) max_mesh_cycles: u64,
+    pub(crate) net_contended: bool,
+    pub(crate) fast_forward: bool,
     /// Execution backend: block-compiled replay vs the interpreted walk.
     /// Reports are bit-identical either way, but the backend is part of
     /// the contract a subscriber asked for — compiled and interpreted
     /// sweeps never coalesce onto one shared run.
-    compiled: bool,
+    pub(crate) compiled: bool,
 }
 
 impl SweepKey {
@@ -94,6 +130,18 @@ impl SweepKey {
             compiled: req.compiled,
         }
     }
+
+    /// Prometheus label set for the per-key sweep counter.
+    pub(crate) fn prom_labels(&self) -> String {
+        format!(
+            "synthetic=\"{}\",max_mesh_cycles=\"{}\",net=\"{}\",fast_forward=\"{}\",compiled=\"{}\"",
+            self.synthetic,
+            self.max_mesh_cycles,
+            if self.net_contended { "contended" } else { "ideal" },
+            self.fast_forward,
+            self.compiled,
+        )
+    }
 }
 
 /// One admitted sweep request waiting for (or riding) a sweep.
@@ -105,6 +153,7 @@ struct Job {
     deadline: Option<Instant>,
     writer: Arc<ConnWriter>,
     enqueued: Instant,
+    span: RequestSpan,
 }
 
 /// A connection stream over either transport.
@@ -187,24 +236,34 @@ impl ConnWriter {
     }
 }
 
-struct Shared {
-    cfg: ServerConfig,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
     /// Request-level defaults handed to the parser.
     defaults: EvalConfig,
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     /// Set (under the queue lock) when draining; checked under the same
     /// lock at admission so no job can slip in behind the sweeper's exit.
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     /// Set by the sweeper once the drain is complete. The listeners stay
     /// up until then so late requests get an explicit `503`, not a
     /// connection refusal.
-    drained: AtomicBool,
-    in_flight: AtomicUsize,
-    metrics: Mutex<ServerMetrics>,
+    pub(crate) drained: AtomicBool,
+    pub(crate) in_flight: AtomicUsize,
+    pub(crate) metrics: Mutex<ServerMetrics>,
     /// Simulation metrics folded in from every completed sweep (the
     /// Table 30 registry the metrics endpoint renders).
-    registry: Mutex<MetricsRegistry>,
+    pub(crate) registry: Mutex<MetricsRegistry>,
+    /// Sweeps executed per [`SweepKey`], for the labelled `/metrics`
+    /// counter.
+    pub(crate) sweeps_by_key: Mutex<BTreeMap<SweepKey, u64>>,
+    /// The always-on flight recorder ring.
+    pub(crate) flight: Mutex<FlightRecorder>,
+    /// Monotonic zero for every span timestamp in this process.
+    pub(crate) epoch: Instant,
+    /// µs-since-epoch of the last failure-triggered flight dump, for the
+    /// once-per-second throttle.
+    last_error_dump_us: AtomicU64,
     /// Prepared populations keyed by synthetic size.
     prepared: Mutex<HashMap<usize, Arc<PreparedPopulation>>>,
     /// Live connections, shut down at the end of a drain to unblock
@@ -219,6 +278,63 @@ impl Shared {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue_cv.notify_all();
     }
+
+    /// Microseconds since the server epoch.
+    pub(crate) fn now_us(&self) -> u64 {
+        crate::span::as_micros_u64(self.epoch.elapsed())
+    }
+
+    /// Current admission-queue depth.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("queue lock").len()
+    }
+
+    /// A request reached its terminal point: fold the span into the
+    /// per-phase histograms, record it in the flight ring, emit the log
+    /// line, and — for failures, when configured — dump the recorder.
+    pub(crate) fn finish_span(&self, span: &RequestSpan) {
+        if !self.cfg.observability {
+            return;
+        }
+        self.metrics.lock().expect("metrics lock").observe_span(span);
+        self.flight.lock().expect("flight lock").push(FlightEntry::Span(*span));
+        if self.cfg.log_json {
+            eprintln!("{}", span.render_log_json());
+        }
+        if span.outcome != 200 {
+            if let Some(path) = &self.cfg.flight_dump_on_error {
+                let now = self.now_us();
+                let last = self.last_error_dump_us.load(Ordering::Relaxed);
+                if now.saturating_sub(last) >= 1_000_000 || last == 0 {
+                    self.last_error_dump_us.store(now.max(1), Ordering::Relaxed);
+                    if let Err(e) = self.dump_flight(path) {
+                        eprintln!("javaflow-serve: flight dump to {} failed: {e}", path.display());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Writes the flight ring as a Chrome-trace JSON file.
+    pub(crate) fn dump_flight(&self, path: &Path) -> std::io::Result<()> {
+        let json = self.flight.lock().expect("flight lock").chrome_json();
+        std::fs::write(path, json)
+    }
+}
+
+/// Renders the framed `metrics` response body — also served verbatim at
+/// `/varz` by the HTTP sidecar.
+pub(crate) fn metrics_frame_json(shared: &Shared, id: u64) -> String {
+    let queue_depth = shared.queue_depth();
+    let in_flight = shared.in_flight.load(Ordering::SeqCst);
+    let server = shared.metrics.lock().expect("metrics lock").render_json(queue_depth, in_flight);
+    let reg = shared.registry.lock().expect("registry lock");
+    format!(
+        "{{\"type\": \"metrics\", \"id\": {id}, \"server\": {server}, \
+         \"table30\": \"{}\", \"metrics\": {}}}",
+        json_escape(&reg.render()),
+        reg.to_json(),
+    )
 }
 
 /// A running `javaflow-serve` instance.
@@ -231,10 +347,10 @@ impl Shared {
 /// server.request_shutdown();
 /// server.join().unwrap();
 /// ```
-#[derive(Debug)]
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -244,9 +360,18 @@ impl std::fmt::Debug for Shared {
     }
 }
 
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("metrics_addr", &self.metrics_addr)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Server {
-    /// Binds the listeners, spawns the accept and sweeper threads, and
-    /// returns immediately.
+    /// Binds the listeners, spawns the accept and sweeper threads (plus
+    /// the HTTP sidecar when configured), and returns immediately.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
@@ -260,7 +385,20 @@ impl Server {
             }
             None => None,
         };
+        let http = match &cfg.metrics_addr {
+            Some(a) => {
+                let l = TcpListener::bind(a)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = match &http {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let defaults = EvalConfig { threads: cfg.threads, ..EvalConfig::default() };
+        let flight_capacity = cfg.flight_capacity;
         let shared = Arc::new(Shared {
             cfg,
             defaults,
@@ -271,6 +409,10 @@ impl Server {
             in_flight: AtomicUsize::new(0),
             metrics: Mutex::new(ServerMetrics::default()),
             registry: Mutex::new(MetricsRegistry::new()),
+            sweeps_by_key: Mutex::new(BTreeMap::new()),
+            flight: Mutex::new(FlightRecorder::new(flight_capacity)),
+            epoch: Instant::now(),
+            last_error_dump_us: AtomicU64::new(0),
             prepared: Mutex::new(HashMap::new()),
             conns: Mutex::new(Vec::new()),
             readers: Mutex::new(Vec::new()),
@@ -288,17 +430,27 @@ impl Server {
                 accept_loop(&shared, move || l.accept().map(|(s, _)| AnyStream::Unix(s)));
             }));
         }
+        if let Some(l) = http {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || crate::http::serve(&shared, &l)));
+        }
         {
             let shared = Arc::clone(&shared);
             handles.push(std::thread::spawn(move || sweeper_loop(&shared)));
         }
-        Ok(Server { shared, addr, handles })
+        Ok(Server { shared, addr, metrics_addr, handles })
     }
 
     /// The bound TCP address (the actual port when `addr` asked for 0).
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound HTTP sidecar address, when one was configured.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Begins a graceful drain: new sweeps get `503`, queued sweeps run
@@ -313,6 +465,22 @@ impl Server {
     #[must_use]
     pub fn shutdown_requested(&self) -> bool {
         self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Writes the flight recorder's current ring to `path` as a
+    /// Chrome-trace / Perfetto JSON file (the SIGUSR1 dump).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn dump_flight(&self, path: &Path) -> std::io::Result<()> {
+        self.shared.dump_flight(path)
+    }
+
+    /// The flight recorder's current ring as Chrome-trace JSON.
+    #[must_use]
+    pub fn flight_chrome_json(&self) -> String {
+        self.shared.flight.lock().expect("flight lock").chrome_json()
     }
 
     /// Waits for the drain to finish: joins the accept and sweeper
@@ -373,9 +541,16 @@ fn accept_loop(shared: &Arc<Shared>, mut accept: impl FnMut() -> std::io::Result
 /// violation that closes it.
 fn reader_loop(shared: &Arc<Shared>, reader: &mut AnyStream, writer: &Arc<ConnWriter>) {
     loop {
-        match read_frame(reader, shared.cfg.max_frame) {
+        match read_frame_timed(reader, shared.cfg.max_frame) {
             Ok(None) => break,
-            Ok(Some(payload)) => handle_request(shared, writer, &payload),
+            Ok(Some((payload, read_dur))) => {
+                let mut span = RequestSpan {
+                    start_us: shared.now_us().saturating_sub(crate::span::as_micros_u64(read_dur)),
+                    ..RequestSpan::default()
+                };
+                span.add_phase(PHASE_READ, read_dur);
+                handle_request(shared, writer, &payload, span);
+            }
             Err(FrameError::Oversized(n)) => {
                 shared.metrics.lock().expect("metrics lock").bad_requests += 1;
                 writer.send(&error_frame(
@@ -383,6 +558,14 @@ fn reader_loop(shared: &Arc<Shared>, reader: &mut AnyStream, writer: &Arc<ConnWr
                     413,
                     &format!("frame of {n} bytes exceeds the {} byte limit", shared.cfg.max_frame),
                 ));
+                // The payload was never read, so the span has no
+                // measured phases — record the failure itself.
+                let span = RequestSpan {
+                    start_us: shared.now_us(),
+                    outcome: 413,
+                    ..RequestSpan::default()
+                };
+                shared.finish_span(&span);
                 break;
             }
             Err(FrameError::Truncated | FrameError::Io(_)) => break,
@@ -393,41 +576,62 @@ fn reader_loop(shared: &Arc<Shared>, reader: &mut AnyStream, writer: &Arc<ConnWr
     }
 }
 
-fn handle_request(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, payload: &[u8]) {
-    match parse_request(payload, &shared.defaults) {
+fn handle_request(
+    shared: &Arc<Shared>,
+    writer: &Arc<ConnWriter>,
+    payload: &[u8],
+    mut span: RequestSpan,
+) {
+    let parse_started = Instant::now();
+    let parsed = parse_request(payload, &shared.defaults);
+    span.add_phase(PHASE_PARSE, parse_started.elapsed());
+    match parsed {
         Err(e) => {
             shared.metrics.lock().expect("metrics lock").bad_requests += 1;
             writer.send(&error_frame(e.id, e.code, &e.message));
+            span.id = e.id;
+            span.outcome = e.code as u16;
+            shared.finish_span(&span);
         }
         Ok(Request::Ping { id }) => {
             writer.send(&format!("{{\"type\": \"pong\", \"id\": {id}}}"));
+            span.id = id;
+            span.kind = b'p';
+            span.outcome = 200;
+            shared.finish_span(&span);
         }
         Ok(Request::Shutdown { id }) => {
             writer.send(&format!("{{\"type\": \"shutdown_ack\", \"id\": {id}}}"));
             shared.request_shutdown();
+            span.id = id;
+            span.kind = b'x';
+            span.outcome = 200;
+            shared.finish_span(&span);
         }
         Ok(Request::Metrics { id }) => {
-            let queue_depth = shared.queue.lock().expect("queue lock").len();
-            let in_flight = shared.in_flight.load(Ordering::SeqCst);
-            let server =
-                shared.metrics.lock().expect("metrics lock").render_json(queue_depth, in_flight);
-            let reg = shared.registry.lock().expect("registry lock");
-            let frame = format!(
-                "{{\"type\": \"metrics\", \"id\": {id}, \"server\": {server}, \
-                 \"table30\": \"{}\", \"metrics\": {}}}",
-                json_escape(&reg.render()),
-                reg.to_json(),
-            );
-            drop(reg);
+            let frame = metrics_frame_json(shared, id);
             writer.send(&frame);
+            span.id = id;
+            span.kind = b'm';
+            span.outcome = 200;
+            shared.finish_span(&span);
         }
-        Ok(Request::Sweep(req)) => admit(shared, writer, req),
+        Ok(Request::Sweep(req)) => {
+            span.id = req.id;
+            span.kind = b's';
+            span.synthetic = req.synthetic as u64;
+            span.max_mesh_cycles = req.max_mesh_cycles;
+            span.net_contended = req.net == NetKind::Contended;
+            span.fast_forward = req.fast_forward;
+            span.compiled = req.compiled;
+            admit(shared, writer, req, span);
+        }
     }
 }
 
 /// Admission control: validate against server limits, refuse when
 /// draining (`503`) or saturated (`429`), otherwise enqueue and ack.
-fn admit(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: SweepRequest) {
+fn admit(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: SweepRequest, mut span: RequestSpan) {
     if req.synthetic > shared.cfg.synthetic_cap {
         shared.metrics.lock().expect("metrics lock").bad_requests += 1;
         writer.send(&error_frame(
@@ -435,6 +639,8 @@ fn admit(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: SweepRequest) {
             400,
             &format!("`synthetic` exceeds the server cap of {}", shared.cfg.synthetic_cap),
         ));
+        span.outcome = 400;
+        shared.finish_span(&span);
         return;
     }
     let id = req.id;
@@ -444,12 +650,16 @@ fn admit(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: SweepRequest) {
             drop(q);
             shared.metrics.lock().expect("metrics lock").rejected_drain += 1;
             writer.send(&error_frame(id, 503, "server is draining"));
+            span.outcome = 503;
+            shared.finish_span(&span);
             return;
         }
         if q.len() >= shared.cfg.queue_cap {
             drop(q);
             shared.metrics.lock().expect("metrics lock").rejected_busy += 1;
             writer.send(&error_frame(id, 429, "admission queue is full"));
+            span.outcome = 429;
+            shared.finish_span(&span);
             return;
         }
         let now = Instant::now();
@@ -461,6 +671,7 @@ fn admit(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: SweepRequest) {
             deadline: (req.deadline_ms > 0).then(|| now + Duration::from_millis(req.deadline_ms)),
             writer: Arc::clone(writer),
             enqueued: now,
+            span,
         });
         // Ack under the queue lock: the sweeper cannot pop (and start
         // streaming batches) until admission's frame is on the wire, so
@@ -516,7 +727,7 @@ struct Sub {
     alive: bool,
 }
 
-fn run_group(shared: &Arc<Shared>, group: Vec<Job>) {
+fn run_group(shared: &Arc<Shared>, mut group: Vec<Job>) {
     let coalesced = group.len() > 1;
     {
         let picked_up = Instant::now();
@@ -525,8 +736,11 @@ fn run_group(shared: &Arc<Shared>, group: Vec<Job>) {
         if coalesced {
             m.coalesced_requests += group.len() as u64 - 1;
         }
-        for job in &group {
-            m.observe_queue_wait(picked_up.duration_since(job.enqueued));
+        for job in &mut group {
+            let waited = picked_up.duration_since(job.enqueued);
+            m.observe_queue_wait(waited);
+            job.span.add_phase(PHASE_QUEUE, waited);
+            job.span.coalesced = coalesced;
         }
     }
     let mut subs: Vec<Sub> = Vec::with_capacity(group.len());
@@ -534,6 +748,9 @@ fn run_group(shared: &Arc<Shared>, group: Vec<Job>) {
         if job.deadline.is_some_and(|d| Instant::now() >= d) {
             shared.metrics.lock().expect("metrics lock").cancelled_deadline += 1;
             job.writer.send(&error_frame(job.id, 504, "deadline expired before the sweep started"));
+            let mut span = job.span;
+            span.outcome = 504;
+            shared.finish_span(&span);
         } else {
             subs.push(Sub { job, seq: 0, alive: true });
         }
@@ -542,12 +759,17 @@ fn run_group(shared: &Arc<Shared>, group: Vec<Job>) {
         return;
     }
     let key = subs[0].job.key.clone();
+    let prepare_started = Instant::now();
     let pop = {
         let mut cache = shared.prepared.lock().expect("prepared lock");
         Arc::clone(cache.entry(key.synthetic).or_insert_with(|| {
             Arc::new(PreparedPopulation::prepare(key.synthetic, shared.cfg.threads))
         }))
     };
+    let prepare_dur = prepare_started.elapsed();
+    for sub in &mut subs {
+        sub.job.span.add_phase(PHASE_PREPARE, prepare_dur);
+    }
     let threads = subs.iter().filter_map(|s| s.job.threads).max().unwrap_or(shared.cfg.threads);
     let cfg = EvalConfig {
         synthetic_count: key.synthetic,
@@ -559,42 +781,84 @@ fn run_group(shared: &Arc<Shared>, group: Vec<Job>) {
         ..EvalConfig::default()
     };
     let records = pop.records();
+    let mut exec_mark = Instant::now();
     let eval = pop.evaluate_batched(&cfg, shared.cfg.batch_records, |first, results| {
+        let exec_dur = exec_mark.elapsed();
         let payload = batch_payload(records, first, results);
         let mut streamed = 0u64;
         let mut any_alive = false;
         for sub in subs.iter_mut().filter(|s| s.alive) {
+            sub.job.span.add_phase(PHASE_EXECUTE, exec_dur);
             if sub.job.deadline.is_some_and(|d| Instant::now() >= d) {
                 sub.alive = false;
                 shared.metrics.lock().expect("metrics lock").cancelled_deadline += 1;
                 sub.job.writer.send(&error_frame(sub.job.id, 504, "deadline exceeded mid-sweep"));
+                let mut span = sub.job.span;
+                span.outcome = 504;
+                shared.finish_span(&span);
                 continue;
             }
-            if sub.job.writer.send(&batch_frame(sub.job.id, sub.seq, first, &payload)) {
+            let frame = batch_frame(sub.job.id, sub.seq, first, &payload);
+            let write_started = Instant::now();
+            if sub.job.writer.send(&frame) {
+                sub.job.span.add_phase(PHASE_STREAM, write_started.elapsed());
+                sub.job.span.bytes_streamed += frame.len() as u64;
+                sub.job.span.batches += 1;
                 sub.seq += 1;
                 streamed += 1;
                 any_alive = true;
             } else {
                 sub.alive = false;
                 shared.metrics.lock().expect("metrics lock").disconnects += 1;
+                let mut span = sub.job.span;
+                span.outcome = OUTCOME_CLIENT_GONE;
+                shared.finish_span(&span);
             }
         }
         shared.metrics.lock().expect("metrics lock").batches_streamed += streamed;
+        exec_mark = Instant::now();
         // No live subscribers left → cancel the sweep at this boundary.
         any_alive
     });
     let Some(eval) = eval else { return };
-    let done_at = Instant::now();
-    for sub in subs.iter().filter(|s| s.alive) {
-        let frame = done_frame(sub.job.id, &eval, coalesced, &sub.job.tables);
-        let delivered = sub.job.writer.send(&frame);
-        let mut m = shared.metrics.lock().expect("metrics lock");
-        if delivered {
-            m.completed += 1;
-            m.observe_latency(done_at.duration_since(sub.job.enqueued));
-        } else {
-            m.disconnects += 1;
+    // Fold the sweep's simulation metrics in (and count it against its
+    // key) before the done frames go out, so a client that saw `done`
+    // also sees this sweep on the metrics page.
+    let sweep_metrics = eval.metrics();
+    shared.registry.lock().expect("registry lock").merge(&sweep_metrics);
+    *shared.sweeps_by_key.lock().expect("sweeps_by_key lock").entry(key).or_insert(0) += 1;
+    if shared.cfg.observability {
+        let at_us = shared.now_us();
+        let mut flight = shared.flight.lock().expect("flight lock");
+        for (code, name) in WARN_COUNTERS {
+            let count = sweep_metrics.counter(name);
+            if count > 0 {
+                flight.push(FlightEntry::Warn { at_us, code, count });
+            }
         }
     }
-    shared.registry.lock().expect("registry lock").merge(&eval.metrics());
+    let done_at = Instant::now();
+    for sub in subs.iter_mut().filter(|s| s.alive) {
+        let frame = done_frame(sub.job.id, &eval, coalesced, &sub.job.tables);
+        let write_started = Instant::now();
+        let delivered = sub.job.writer.send(&frame);
+        sub.job.span.add_phase(PHASE_STREAM, write_started.elapsed());
+        {
+            let mut m = shared.metrics.lock().expect("metrics lock");
+            if delivered {
+                m.completed += 1;
+                m.observe_latency(done_at.duration_since(sub.job.enqueued));
+            } else {
+                m.disconnects += 1;
+            }
+        }
+        let mut span = sub.job.span;
+        if delivered {
+            span.bytes_streamed += frame.len() as u64;
+            span.outcome = 200;
+        } else {
+            span.outcome = OUTCOME_CLIENT_GONE;
+        }
+        shared.finish_span(&span);
+    }
 }

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Validates a Prometheus text-exposition page (as served by
+# javaflow-serve's /metrics endpoint) with nothing but awk:
+#
+#   * every metric line parses as `name{labels} value` with a numeric value;
+#   * every series has a preceding `# TYPE` for its family;
+#   * histograms: bucket counts are cumulative (non-decreasing as `le`
+#     grows), a `+Inf` bucket exists, `_count` equals the `+Inf` bucket,
+#     and `_sum` is present;
+#   * counters never end without a value.
+#
+# Usage: check_prometheus.sh <file>          (or pipe the page on stdin)
+set -euo pipefail
+
+awk '
+function fail(msg) { printf("check_prometheus: line %d: %s\n", NR, msg); bad = 1 }
+function family(name) {
+    sub(/_(bucket|sum|count)$/, "", name)
+    return name
+}
+/^#/ {
+    if ($1 == "#" && $2 == "TYPE") { type[$3] = $4 }
+    next
+}
+/^$/ { next }
+{
+    # name{labels} value  |  name value
+    if (match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) { fail("unparseable metric name: " $0); next }
+    name = substr($0, 1, RLENGTH)
+    rest = substr($0, RLENGTH + 1)
+    le = ""
+    if (substr(rest, 1, 1) == "{") {
+        close_idx = index(rest, "}")
+        if (close_idx == 0) { fail("unterminated label set: " $0); next }
+        labels = substr(rest, 2, close_idx - 2)
+        rest = substr(rest, close_idx + 1)
+        if (match(labels, /le="[^"]*"/)) { le = substr(labels, RSTART + 4, RLENGTH - 5) }
+    }
+    gsub(/^[ \t]+|[ \t]+$/, "", rest)
+    if (rest !~ /^[+-]?([0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?|[0-9]+)$/ && rest != "+Inf" && rest != "NaN") {
+        fail("non-numeric value `" rest "` for " name); next
+    }
+    fam = family(name)
+    if (!(name in type) && !(fam in type)) { fail("no # TYPE for " name) }
+    if (name ~ /_bucket$/ && (fam in type) && type[fam] == "histogram") {
+        if (le == "") { fail("histogram bucket without le label: " $0); next }
+        if (le == "+Inf") { inf[fam] = rest + 0; has_inf[fam] = 1 }
+        else {
+            if ((fam in prev_le) && rest + 0 < prev_ct[fam]) {
+                fail("bucket counts not cumulative for " fam " at le=" le)
+            }
+            prev_le[fam] = le + 0
+            prev_ct[fam] = rest + 0
+        }
+        seen_hist[fam] = 1
+    }
+    if (name ~ /_sum$/ && (fam in type) && type[fam] == "histogram") { has_sum[fam] = 1 }
+    if (name ~ /_count$/ && (fam in type) && type[fam] == "histogram") { count[fam] = rest + 0; has_count[fam] = 1 }
+    lines++
+}
+END {
+    if (lines == 0) { print "check_prometheus: no metric lines"; bad = 1 }
+    for (fam in seen_hist) {
+        if (!(fam in has_inf)) { printf("check_prometheus: histogram %s has no +Inf bucket\n", fam); bad = 1 }
+        if (!(fam in has_sum)) { printf("check_prometheus: histogram %s has no _sum\n", fam); bad = 1 }
+        if (!(fam in has_count)) { printf("check_prometheus: histogram %s has no _count\n", fam); bad = 1 }
+        else if ((fam in has_inf) && count[fam] != inf[fam]) {
+            printf("check_prometheus: histogram %s _count %d != +Inf bucket %d\n", fam, count[fam], inf[fam]); bad = 1
+        }
+        if ((fam in has_inf) && (fam in prev_ct) && inf[fam] < prev_ct[fam]) {
+            printf("check_prometheus: histogram %s +Inf bucket below last finite bucket\n", fam); bad = 1
+        }
+    }
+    if (bad) { exit 1 }
+    printf("check_prometheus: OK (%d metric lines, %d histograms)\n", lines, length(seen_hist))
+}
+' "${1:--}"
